@@ -1,0 +1,168 @@
+// Ablations for the design choices DESIGN.md calls out:
+//   A1 LIKE fast paths — suffix/prefix/contains patterns take O(1)-ish
+//      compares instead of the general backtracking matcher.
+//   A2 Executor batch size — watermark (and window-close sweep) frequency
+//      is per batch; tiny batches pay for frequent close scans.
+//   A3 Reorder buffer — cost of tolerating out-of-order agent feeds.
+//   A4 1-D DBSCAN fast path — covered in bench_dbscan (1D vs 2D).
+
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/like_matcher.h"
+#include "engine/engine.h"
+#include "stream/reorder_buffer.h"
+
+namespace saql {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A1: LIKE fast paths.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> Paths(size_t n) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back("C:\\Windows\\System32\\dir" + std::to_string(i % 50) +
+                  "\\app" + std::to_string(i % 1000) + ".exe");
+  }
+  return out;
+}
+
+void BM_LikeSuffixFastPath(benchmark::State& state) {
+  LikeMatcher m("%cmd.exe");  // suffix fast path
+  auto paths = Paths(10000);
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (const std::string& p : paths) hits += m.Matches(p);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_LikeSuffixFastPath)->Unit(benchmark::kMicrosecond);
+
+void BM_LikeGeneralBacktracking(benchmark::State& state) {
+  LikeMatcher m("%c%m%d%.exe");  // forces the general matcher
+  auto paths = Paths(10000);
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (const std::string& p : paths) hits += m.Matches(p);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_LikeGeneralBacktracking)->Unit(benchmark::kMicrosecond);
+
+void BM_LikeExact(benchmark::State& state) {
+  LikeMatcher m("c:\\windows\\system32\\dir1\\app1.exe");
+  auto paths = Paths(10000);
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (const std::string& p : paths) hits += m.Matches(p);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_LikeExact)->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// A2: executor batch size.
+// ---------------------------------------------------------------------------
+
+void BM_BatchSizeSweep(benchmark::State& state) {
+  size_t batch = static_cast<size_t>(state.range(0));
+  static const EventBatch* events =
+      new EventBatch(bench::NetWriteStream(100000, 50, 20));
+  const char* query =
+      "proc p write ip i as e #time(10 s) "
+      "state ss { amt := sum(e.amount) } group by p "
+      "alert ss.amt > 100000000 return p, ss.amt";
+  for (auto _ : state) {
+    SaqlEngine::Options opts;
+    opts.batch_size = batch;
+    SaqlEngine engine(opts);
+    Status st = engine.AddQuery(query, "q");
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    engine.SetAlertSink([](const Alert&) {});
+    VectorEventSource source(*events);
+    st = engine.Run(&source);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100000);
+  state.counters["batch"] = static_cast<double>(batch);
+}
+BENCHMARK(BM_BatchSizeSweep)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(8192)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// A3: reorder buffer overhead.
+// ---------------------------------------------------------------------------
+
+void BM_ReorderBufferPassThrough(benchmark::State& state) {
+  // Ordered input: measures the pure bookkeeping cost of the buffer.
+  static const EventBatch* events =
+      new EventBatch(bench::NetWriteStream(100000, 50, 20));
+  for (auto _ : state) {
+    ReorderBuffer buf(kSecond);
+    EventBatch out;
+    out.reserve(1024);
+    size_t total = 0;
+    for (const Event& e : *events) {
+      out.clear();
+      buf.Push(e, &out);
+      total += out.size();
+    }
+    out.clear();
+    buf.Flush(&out);
+    total += out.size();
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_ReorderBufferPassThrough)->Unit(benchmark::kMillisecond);
+
+void BM_ReorderBufferShuffledInput(benchmark::State& state) {
+  // Bounded disorder: events jittered within +/-500ms.
+  static const EventBatch* events = [] {
+    EventBatch e = bench::NetWriteStream(100000, 50, 20);
+    std::mt19937_64 rng(3);
+    std::uniform_int_distribution<Duration> jitter(-500 * kMillisecond,
+                                                   500 * kMillisecond);
+    for (Event& ev : e) ev.ts += jitter(rng);
+    return new EventBatch(std::move(e));
+  }();
+  for (auto _ : state) {
+    ReorderBuffer buf(2 * kSecond);
+    EventBatch out;
+    size_t total = 0;
+    for (const Event& e : *events) {
+      out.clear();
+      buf.Push(e, &out);
+      total += out.size();
+    }
+    out.clear();
+    buf.Flush(&out);
+    total += out.size();
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_ReorderBufferShuffledInput)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace saql
+
+BENCHMARK_MAIN();

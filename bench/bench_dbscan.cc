@@ -1,0 +1,110 @@
+// E10: DBSCAN scaling — the per-window cost of the outlier model's
+// clustering stage. Expected shapes: the 1-D fast path (sort + two-pointer
+// sweep, the common case for SAQL outlier queries) scales n·log n, the
+// generic path n^2; eps has little effect on the 1-D path.
+
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "anomaly/dbscan.h"
+
+namespace saql {
+namespace {
+
+std::vector<ClusterPoint> Points(size_t n, int dims, uint64_t seed = 5) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> cluster_a(1000.0, 50.0);
+  std::normal_distribution<double> cluster_b(5000.0, 80.0);
+  std::uniform_real_distribution<double> noise(0.0, 100000.0);
+  std::vector<ClusterPoint> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ClusterPoint p;
+    for (int d = 0; d < dims; ++d) {
+      double v = i % 20 == 0 ? noise(rng)
+                             : (i % 2 == 0 ? cluster_a(rng) : cluster_b(rng));
+      p.push_back(v);
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+void BM_Dbscan1D(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto points = Points(n, 1);
+  Dbscan dbscan(150.0, 5);
+  int clusters = 0;
+  for (auto _ : state) {
+    DbscanResult r = dbscan.Run(points);
+    clusters = r.num_clusters;
+    benchmark::DoNotOptimize(r.labels.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  state.counters["points"] = static_cast<double>(n);
+  state.counters["clusters"] = clusters;
+}
+BENCHMARK(BM_Dbscan1D)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Dbscan2DGeneric(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto points = Points(n, 2);
+  Dbscan dbscan(200.0, 5);
+  for (auto _ : state) {
+    DbscanResult r = dbscan.Run(points);
+    benchmark::DoNotOptimize(r.labels.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  state.counters["points"] = static_cast<double>(n);
+}
+BENCHMARK(BM_Dbscan2DGeneric)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DbscanEpsSweep(benchmark::State& state) {
+  auto points = Points(10000, 1);
+  double eps = static_cast<double>(state.range(0));
+  Dbscan dbscan(eps, 5);
+  for (auto _ : state) {
+    DbscanResult r = dbscan.Run(points);
+    benchmark::DoNotOptimize(r.labels.data());
+  }
+  state.counters["eps"] = eps;
+}
+BENCHMARK(BM_DbscanEpsSweep)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DbscanMinPtsSweep(benchmark::State& state) {
+  auto points = Points(10000, 1);
+  Dbscan dbscan(150.0, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    DbscanResult r = dbscan.Run(points);
+    benchmark::DoNotOptimize(r.labels.data());
+  }
+  state.counters["min_pts"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_DbscanMinPtsSweep)
+    ->Arg(2)
+    ->Arg(5)
+    ->Arg(20)
+    ->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace saql
+
+BENCHMARK_MAIN();

@@ -1,0 +1,164 @@
+// E9: multievent matcher scaling — per-event cost as a function of the
+// temporal sequence length and the live partial-match population. Expected
+// shapes: cost grows with sequence length (more steps to try) and with the
+// number of live partials (each event probes every partial expecting its
+// shape); gap bounds and pruning keep the population flat over time.
+
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "engine/compiled_pattern.h"
+#include "engine/multievent_matcher.h"
+#include "parser/analyzer.h"
+
+namespace saql {
+namespace {
+
+/// Builds a k-step sequence query over process-start events:
+/// parent0 starts child, parent1 starts child, ... with e0 -> e1 -> ...
+std::string SequenceQuery(int steps) {
+  std::string q;
+  for (int i = 0; i < steps; ++i) {
+    // Each step is selective (1-in-20 children), as real kill-chain
+    // patterns are; otherwise the benchmark measures match-emission volume
+    // rather than matching cost.
+    q += "proc s" + std::to_string(i) + "[\"%parent" + std::to_string(i) +
+         ".exe\"] start proc o" + std::to_string(i) + "[\"%child" +
+         std::to_string(i % 20) + ".exe\"] as e" + std::to_string(i) + " ";
+  }
+  q += "with e0";
+  for (int i = 1; i < steps; ++i) q += " -> e" + std::to_string(i);
+  q += " return s0";
+  return q;
+}
+
+struct CompiledMatcher {
+  AnalyzedQueryPtr aq;
+  std::vector<CompiledPattern> patterns;
+  std::unique_ptr<MultieventMatcher> matcher;
+};
+
+CompiledMatcher Build(const std::string& query,
+                      MultieventMatcher::Options options = {}) {
+  CompiledMatcher out;
+  out.aq = CompileSaql(query).value();
+  for (const EventPatternDecl& p : out.aq->query->patterns) {
+    out.patterns.emplace_back(p);
+  }
+  out.matcher = std::make_unique<MultieventMatcher>(out.aq, &out.patterns,
+                                                    options);
+  return out;
+}
+
+void BM_SequenceLength(benchmark::State& state) {
+  int steps = static_cast<int>(state.range(0));
+  EventBatch events = bench::ProcStartStream(20000, steps, 20);
+  std::string query = SequenceQuery(steps);
+  // Bound the partial population the way a windowed query would: partials
+  // older than 10 seconds of event time cannot complete.
+  MultieventMatcher::Options options;
+  options.match_horizon = 10 * kSecond;
+  uint64_t matches = 0;
+  for (auto _ : state) {
+    CompiledMatcher m = Build(query, options);
+    std::vector<PatternMatch> out;
+    size_t i = 0;
+    for (const Event& e : events) {
+      out.clear();
+      m.matcher->OnEvent(e, &out);
+      matches += out.size();
+      if (++i % 1024 == 0) m.matcher->Prune(e.ts);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(events.size()));
+  state.counters["steps"] = static_cast<double>(steps);
+  state.counters["matches"] =
+      static_cast<double>(matches) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SequenceLength)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PartialMatchPopulation(benchmark::State& state) {
+  // Selectivity of the first pattern controls the live population: every
+  // `parent0` start opens a partial; the closing pattern never matches, so
+  // the cap and horizon govern the population.
+  size_t cap = static_cast<size_t>(state.range(0));
+  EventBatch events = bench::ProcStartStream(20000, 2, 20);
+  MultieventMatcher::Options options;
+  options.max_partial_matches = cap;
+  options.match_horizon = kHour;  // population governed by the cap alone
+  std::string query =
+      "proc a[\"%parent0.exe\"] start proc b as e1 "
+      "proc c[\"%never.exe\"] start proc d as e2 "
+      "with e1 -> e2 return a";
+  for (auto _ : state) {
+    CompiledMatcher m = Build(query, options);
+    std::vector<PatternMatch> out;
+    for (const Event& e : events) {
+      out.clear();
+      m.matcher->OnEvent(e, &out);
+    }
+    benchmark::DoNotOptimize(m.matcher->live_partials());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(events.size()));
+  state.counters["partial_cap"] = static_cast<double>(cap);
+}
+BENCHMARK(BM_PartialMatchPopulation)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SharedVariableBinding(benchmark::State& state) {
+  // Shared-variable sequences pay key construction + binding checks.
+  EventBatch events;
+  size_t n = 50000;
+  for (size_t i = 0; i < n; ++i) {
+    Event e;
+    e.id = i;
+    e.ts = static_cast<Timestamp>(i) * 10 * kMillisecond;
+    e.agent_id = "h";
+    e.subject.exe_name = i % 2 == 0 ? "writer.exe" : "reader.exe";
+    e.subject.pid = 100 + static_cast<int64_t>(i % 7);
+    e.op = i % 2 == 0 ? EventOp::kWrite : EventOp::kRead;
+    e.object_type = EntityType::kFile;
+    e.obj_file.path = "/data/f" + std::to_string((i / 2) % 200);
+    events.push_back(std::move(e));
+  }
+  std::string query =
+      "proc a[\"%writer.exe\"] write file f as e1 "
+      "proc b[\"%reader.exe\"] read file f as e2 "
+      "with e1 ->[1 s] e2 return a, b, f";
+  MultieventMatcher::Options options;
+  options.match_horizon = 2 * kSecond;
+  uint64_t matches = 0;
+  for (auto _ : state) {
+    CompiledMatcher m = Build(query, options);
+    std::vector<PatternMatch> out;
+    size_t i = 0;
+    for (const Event& e : events) {
+      out.clear();
+      m.matcher->OnEvent(e, &out);
+      matches += out.size();
+      if (++i % 1024 == 0) m.matcher->Prune(e.ts);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(events.size()));
+  state.counters["matches"] =
+      static_cast<double>(matches) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SharedVariableBinding)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace saql
+
+BENCHMARK_MAIN();

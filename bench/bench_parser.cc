@@ -1,0 +1,81 @@
+// E11: query compile cost (lex + parse + semantic analysis) for the four
+// paper queries and for synthetically large queries. Compilation happens
+// once per registered query, so absolute numbers only need to be "cheap
+// relative to stream startup" — microseconds.
+
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "parser/analyzer.h"
+#include "parser/lexer.h"
+#include "parser/parser.h"
+
+namespace saql {
+namespace {
+
+void RunCompileBench(benchmark::State& state, const std::string& text) {
+  for (auto _ : state) {
+    Result<AnalyzedQueryPtr> aq = CompileSaql(text);
+    if (!aq.ok()) {
+      state.SkipWithError(aq.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(aq.value().get());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["query_bytes"] = static_cast<double>(text.size());
+}
+
+void BM_CompileQuery1(benchmark::State& state) {
+  RunCompileBench(state, bench::ReadQueryFile("query1_rule.saql"));
+}
+BENCHMARK(BM_CompileQuery1);
+
+void BM_CompileQuery2(benchmark::State& state) {
+  RunCompileBench(state, bench::ReadQueryFile("query2_timeseries.saql"));
+}
+BENCHMARK(BM_CompileQuery2);
+
+void BM_CompileQuery3(benchmark::State& state) {
+  RunCompileBench(state, bench::ReadQueryFile("query3_invariant.saql"));
+}
+BENCHMARK(BM_CompileQuery3);
+
+void BM_CompileQuery4(benchmark::State& state) {
+  RunCompileBench(state, bench::ReadQueryFile("query4_outlier.saql"));
+}
+BENCHMARK(BM_CompileQuery4);
+
+void BM_LexOnlyQuery1(benchmark::State& state) {
+  std::string text = bench::ReadQueryFile("query1_rule.saql");
+  for (auto _ : state) {
+    Result<std::vector<Token>> tokens = TokenizeSaql(text);
+    benchmark::DoNotOptimize(tokens.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LexOnlyQuery1);
+
+void BM_CompileLargeSequence(benchmark::State& state) {
+  // Synthetic query with range(0) event patterns chained by `with`.
+  int patterns = static_cast<int>(state.range(0));
+  std::string text;
+  for (int i = 0; i < patterns; ++i) {
+    text += "proc p" + std::to_string(i) + "[\"%app" + std::to_string(i) +
+            ".exe\"] write file f" + std::to_string(i) + " as e" +
+            std::to_string(i) + "\n";
+  }
+  text += "with e0";
+  for (int i = 1; i < patterns; ++i) text += " -> e" + std::to_string(i);
+  text += "\nreturn p0";
+  RunCompileBench(state, text);
+  state.counters["patterns"] = static_cast<double>(patterns);
+}
+BENCHMARK(BM_CompileLargeSequence)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace saql
+
+BENCHMARK_MAIN();

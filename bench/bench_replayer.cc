@@ -1,0 +1,94 @@
+// E12: event log + stream replayer throughput (the demo's record/replay
+// path, Fig. 4). Measures serialized write rate, full-speed replay rate,
+// and filtered replay (host selection) — the replayer must outpace the
+// engine so it never becomes the bottleneck when reproducing attacks.
+
+#include <cstdio>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "storage/event_log.h"
+#include "storage/replayer.h"
+
+namespace saql {
+namespace {
+
+constexpr size_t kLogEvents = 100000;
+
+std::string LogPath() {
+  return ::std::string("/tmp/saql_bench_replayer.saqllog");
+}
+
+const EventBatch& Events() {
+  static const EventBatch* events =
+      new EventBatch(bench::NetWriteStream(kLogEvents, 50, 20));
+  return *events;
+}
+
+void BM_EventLogWrite(benchmark::State& state) {
+  const EventBatch& events = Events();
+  for (auto _ : state) {
+    Status st = WriteEventLog(LogPath(), events);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kLogEvents));
+}
+BENCHMARK(BM_EventLogWrite)->Unit(benchmark::kMillisecond);
+
+void BM_EventLogRead(benchmark::State& state) {
+  (void)WriteEventLog(LogPath(), Events());
+  for (auto _ : state) {
+    Result<EventBatch> events = ReadEventLog(LogPath());
+    if (!events.ok()) {
+      state.SkipWithError(events.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(events->size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kLogEvents));
+}
+BENCHMARK(BM_EventLogRead)->Unit(benchmark::kMillisecond);
+
+void BM_ReplayFullSpeed(benchmark::State& state) {
+  (void)WriteEventLog(LogPath(), Events());
+  for (auto _ : state) {
+    StreamReplayer replayer(LogPath(), StreamReplayer::Filter{});
+    EventBatch batch;
+    size_t total = 0;
+    while (replayer.NextBatch(1024, &batch)) total += batch.size();
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kLogEvents));
+}
+BENCHMARK(BM_ReplayFullSpeed)->Unit(benchmark::kMillisecond);
+
+void BM_ReplayWithHostFilter(benchmark::State& state) {
+  // All bench events carry agent "db-server-01"; filtering for another
+  // host exercises the filter-and-skip path on every record.
+  (void)WriteEventLog(LogPath(), Events());
+  StreamReplayer::Filter filter;
+  filter.hosts = {"ws-01"};
+  for (auto _ : state) {
+    StreamReplayer replayer(LogPath(), filter);
+    EventBatch batch;
+    while (replayer.NextBatch(1024, &batch)) {
+    }
+    benchmark::DoNotOptimize(replayer.filtered_out());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kLogEvents));
+}
+BENCHMARK(BM_ReplayWithHostFilter)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace saql
+
+BENCHMARK_MAIN();

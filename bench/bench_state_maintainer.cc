@@ -1,0 +1,129 @@
+// E8: state maintainer cost across window length and group cardinality.
+// Sweeps the sliding-window length (1s .. 10min) and the number of groups
+// (10 .. 10k) for a sum+count aggregation. Expected shapes: per-event cost
+// is roughly flat in window length (aggregation is incremental; longer
+// windows just close less often) and grows mildly with group count (hash
+// pressure), while windows_closed scales inversely with length.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "engine/engine.h"
+
+namespace saql {
+namespace {
+
+constexpr size_t kStreamSize = 100000;
+
+void BM_WindowLengthSweep(benchmark::State& state) {
+  Duration window = static_cast<Duration>(state.range(0)) * kSecond;
+  EventBatch events = bench::NetWriteStream(kStreamSize, 100, 50);
+  std::string query =
+      "proc p write ip i as e #time(" +
+      std::to_string(state.range(0)) +
+      " s) state ss { amt := sum(e.amount) c := count() } group by p "
+      "alert ss.amt > 100000000 return p, ss.amt";
+  uint64_t windows = 0;
+  for (auto _ : state) {
+    SaqlEngine engine;
+    Status st = engine.AddQuery(query, "q");
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    engine.SetAlertSink([](const Alert&) {});
+    VectorEventSource source(events);
+    st = engine.Run(&source);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    windows += engine.query_stats()[0].second.windows_closed;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kStreamSize));
+  state.counters["window_s"] =
+      static_cast<double>(window) / static_cast<double>(kSecond);
+  state.counters["windows_closed"] =
+      static_cast<double>(windows) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_WindowLengthSweep)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(60)
+    ->Arg(600)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GroupCardinalitySweep(benchmark::State& state) {
+  int groups = static_cast<int>(state.range(0));
+  EventBatch events = bench::NetWriteStream(kStreamSize, groups, 50);
+  const char* query =
+      "proc p write ip i as e #time(1 min) "
+      "state ss { amt := sum(e.amount) } group by p "
+      "alert ss.amt > 100000000 return p, ss.amt";
+  for (auto _ : state) {
+    SaqlEngine engine;
+    Status st = engine.AddQuery(query, "q");
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    engine.SetAlertSink([](const Alert&) {});
+    VectorEventSource source(events);
+    st = engine.Run(&source);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kStreamSize));
+  state.counters["groups"] = static_cast<double>(groups);
+}
+BENCHMARK(BM_GroupCardinalitySweep)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SlidingVsTumbling(benchmark::State& state) {
+  // slide = length / range(0): factor 1 is tumbling, 10 means every event
+  // lands in 10 windows.
+  int overlap = static_cast<int>(state.range(0));
+  EventBatch events = bench::NetWriteStream(kStreamSize, 100, 50);
+  std::string query =
+      "proc p write ip i as e #time(60 s, " +
+      std::to_string(60 / overlap) +
+      " s) state ss { amt := sum(e.amount) } group by p "
+      "alert ss.amt > 100000000 return p, ss.amt";
+  for (auto _ : state) {
+    SaqlEngine engine;
+    Status st = engine.AddQuery(query, "q");
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    engine.SetAlertSink([](const Alert&) {});
+    VectorEventSource source(events);
+    st = engine.Run(&source);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kStreamSize));
+  state.counters["windows_per_event"] = static_cast<double>(overlap);
+}
+BENCHMARK(BM_SlidingVsTumbling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(6)
+    ->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace saql
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Full reproduction of the paper's demonstration (§III): deploy the 8 SAQL
+// queries — one rule query per APT step plus three advanced anomaly
+// queries — over the enterprise stream with the five-step attack injected,
+// and report which step each alert exposes.
+//
+//   $ ./apt_detection [minutes] [workstations]
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "cli/table.h"
+#include "collect/enterprise_sim.h"
+#include "engine/engine.h"
+
+namespace {
+
+std::string ReadQuery(const std::string& relative) {
+  std::ifstream in(std::string(SAQL_QUERY_DIR) + "/" + relative);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct DemoQuery {
+  const char* name;
+  const char* file;
+  const char* detects;
+};
+
+constexpr DemoQuery kQueries[] = {
+    {"r1-initial-compromise", "apt/r1_initial_compromise.saql",
+     "c1: malicious email attachment lands"},
+    {"r2-malware-infection", "apt/r2_malware_infection.saql",
+     "c2: Excel macro drops and starts backdoor"},
+    {"r3-privilege-escalation", "apt/r3_privilege_escalation.saql",
+     "c3: credential dumper reads SAM"},
+    {"r4-penetration", "apt/r4_penetration.saql",
+     "c4: VBScript drops backdoor on DB server"},
+    {"r5-exfiltration", "query1_rule.saql",
+     "c5: database dump shipped to attacker (paper Query 1)"},
+    {"a6-invariant-excel", "apt/a6_invariant_excel.saql",
+     "c2 via invariant model (no attack knowledge)"},
+    {"a7-timeseries-network", "apt/a7_timeseries_network.saql",
+     "c5 via time-series SMA model (no attack knowledge)"},
+    {"a8-outlier-dbscan", "apt/a8_outlier_dbscan.saql",
+     "c5 via DBSCAN peer comparison (paper Query 4)"},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int minutes = argc > 1 ? std::atoi(argv[1]) : 30;
+  int workstations = argc > 2 ? std::atoi(argv[2]) : 3;
+  if (minutes < 16) minutes = 16;  // attack needs room after its offset
+
+  saql::EnterpriseSimulator::Options opts;
+  opts.num_workstations = workstations;
+  opts.duration = minutes * saql::kMinute;
+  opts.attack_offset = 12 * saql::kMinute;
+  opts.events_per_host_per_second = 10;
+  saql::EnterpriseSimulator sim(opts);
+  auto source = sim.MakeSource();
+
+  std::cout << "=== SAQL demo: 5-step APT attack over "
+            << sim.hosts().size() << " hosts, " << minutes
+            << " minutes of monitoring data ===\n\nattack script:\n";
+  for (const saql::AptStep& step : sim.attack_steps()) {
+    std::cout << "  c" << step.step << ": " << step.description << " ("
+              << step.events.size() << " events)\n";
+  }
+
+  saql::SaqlEngine engine;
+  for (const DemoQuery& q : kQueries) {
+    saql::Status st = engine.AddQuery(ReadQuery(q.file), q.name);
+    if (!st.ok()) {
+      std::cerr << "cannot register " << q.name << ": " << st << "\n";
+      return 1;
+    }
+  }
+
+  std::map<std::string, int> counts;
+  engine.SetAlertSink([&](const saql::Alert& alert) {
+    ++counts[alert.query_name];
+    std::cout << "  " << alert.ToString() << "\n";
+  });
+
+  std::cout << "\nalerts as the stream is processed:\n";
+  saql::Status st = engine.Run(source.get());
+  if (!st.ok()) {
+    std::cerr << "run failed: " << st << "\n";
+    return 1;
+  }
+
+  std::cout << "\n=== detection summary ===\n";
+  saql::TextTable table({"query", "detects", "alerts"});
+  for (const DemoQuery& q : kQueries) {
+    table.AddRow({q.name, q.detects, std::to_string(counts[q.name])});
+  }
+  std::cout << table.Render();
+
+  std::cout << "\nstream: " << engine.executor_stats().events
+            << " events, " << engine.num_queries() << " queries in "
+            << engine.num_groups()
+            << " scheduler groups (master-dependent scheme)\n";
+  if (!engine.errors().empty()) {
+    std::cout << "errors:\n" << engine.errors().ToString();
+  }
+
+  // The demo succeeds when every step is detected.
+  bool all = true;
+  for (const DemoQuery& q : kQueries) {
+    if (counts[q.name] == 0) {
+      std::cout << "MISSING detection: " << q.name << "\n";
+      all = false;
+    }
+  }
+  std::cout << (all ? "\nall 5 attack steps detected by all 8 queries.\n"
+                    : "\nsome steps went undetected.\n");
+  return all ? 0 : 2;
+}

@@ -1,0 +1,18 @@
+// The SAQL command-line UI (Fig. 3 of the paper): interactively register
+// queries, simulate or replay monitoring data, and inspect alerts.
+//
+//   $ ./saql_shell
+//   saql> load queries/query1_rule.saql exfil
+//   saql> simulate 30
+//   saql> alerts
+//   saql> quit
+
+#include <iostream>
+
+#include "cli/shell.h"
+
+int main() {
+  saql::QueryShell shell(std::cin, std::cout);
+  shell.Run();
+  return 0;
+}

@@ -1,0 +1,168 @@
+#include "anomaly/dbscan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+
+namespace saql {
+
+double PointDistance(const ClusterPoint& a, const ClusterPoint& b,
+                     DistanceMetric metric) {
+  double acc = 0.0;
+  switch (metric) {
+    case DistanceMetric::kEuclidean:
+      for (size_t i = 0; i < a.size(); ++i) {
+        double d = a[i] - b[i];
+        acc += d * d;
+      }
+      return std::sqrt(acc);
+    case DistanceMetric::kManhattan:
+      for (size_t i = 0; i < a.size(); ++i) {
+        acc += std::fabs(a[i] - b[i]);
+      }
+      return acc;
+  }
+  return acc;
+}
+
+Dbscan::Dbscan(double eps, size_t min_pts, DistanceMetric metric)
+    : eps_(eps), min_pts_(min_pts == 0 ? 1 : min_pts), metric_(metric) {}
+
+DbscanResult Dbscan::Run(const std::vector<ClusterPoint>& points) const {
+  if (points.empty()) return DbscanResult{};
+  if (points[0].size() == 1) return Run1D(points);
+  return RunGeneric(points);
+}
+
+DbscanResult Dbscan::RunGeneric(
+    const std::vector<ClusterPoint>& points) const {
+  const size_t n = points.size();
+  DbscanResult result;
+  result.labels.assign(n, DbscanResult::kNoise);
+  std::vector<bool> visited(n, false);
+
+  auto neighbours = [&](size_t i) {
+    std::vector<size_t> out;
+    for (size_t j = 0; j < n; ++j) {
+      if (PointDistance(points[i], points[j], metric_) <= eps_) {
+        out.push_back(j);
+      }
+    }
+    return out;
+  };
+
+  int cluster_id = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (visited[i]) continue;
+    visited[i] = true;
+    std::vector<size_t> seed = neighbours(i);
+    if (seed.size() < min_pts_) continue;  // noise (may be claimed later)
+    result.labels[i] = cluster_id;
+    std::deque<size_t> frontier(seed.begin(), seed.end());
+    while (!frontier.empty()) {
+      size_t j = frontier.front();
+      frontier.pop_front();
+      if (result.labels[j] == DbscanResult::kNoise) {
+        result.labels[j] = cluster_id;  // border point
+      }
+      if (visited[j]) continue;
+      visited[j] = true;
+      std::vector<size_t> nb = neighbours(j);
+      if (nb.size() >= min_pts_) {
+        frontier.insert(frontier.end(), nb.begin(), nb.end());
+      }
+    }
+    ++cluster_id;
+  }
+  result.num_clusters = cluster_id;
+  return result;
+}
+
+DbscanResult Dbscan::Run1D(const std::vector<ClusterPoint>& points) const {
+  // In one dimension an eps-neighbourhood is an interval, so neighbour
+  // counting reduces to a two-pointer sweep over the sorted values:
+  // O(n log n) total instead of O(n^2).
+  const size_t n = points.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return points[a][0] < points[b][0];
+  });
+  std::vector<double> sorted(n);
+  for (size_t i = 0; i < n; ++i) sorted[i] = points[order[i]][0];
+
+  // neighbour_count[k] = #points within eps of sorted[k] (inclusive).
+  std::vector<size_t> lo(n), hi(n);
+  {
+    size_t l = 0, h = 0;
+    for (size_t k = 0; k < n; ++k) {
+      while (sorted[k] - sorted[l] > eps_) ++l;
+      if (h < k) h = k;
+      while (h + 1 < n && sorted[h + 1] - sorted[k] <= eps_) ++h;
+      lo[k] = l;
+      hi[k] = h;
+    }
+  }
+  auto is_core = [&](size_t k) { return hi[k] - lo[k] + 1 >= min_pts_; };
+
+  DbscanResult result;
+  result.labels.assign(n, DbscanResult::kNoise);
+  std::vector<int> sorted_labels(n, DbscanResult::kNoise);
+  int cluster_id = -1;
+  // Consecutive core points whose gaps are <= eps chain into one cluster;
+  // border points attach to the cluster of any core point within eps.
+  size_t last_core_in_cluster = 0;
+  bool in_cluster = false;
+  for (size_t k = 0; k < n; ++k) {
+    if (!is_core(k)) continue;
+    if (!in_cluster ||
+        sorted[k] - sorted[last_core_in_cluster] > eps_) {
+      ++cluster_id;
+      in_cluster = true;
+    }
+    sorted_labels[k] = cluster_id;
+    last_core_in_cluster = k;
+  }
+  // Attach border points to the nearest core point's cluster when in range.
+  for (size_t k = 0; k < n; ++k) {
+    if (sorted_labels[k] != DbscanResult::kNoise) continue;
+    // Scan the eps-window for a core point (prefer the nearest).
+    int best = DbscanResult::kNoise;
+    double best_dist = eps_ + 1.0;
+    for (size_t j = lo[k]; j <= hi[k]; ++j) {
+      if (j == k || sorted_labels[j] == DbscanResult::kNoise) continue;
+      if (!is_core(j)) continue;
+      double d = std::fabs(sorted[j] - sorted[k]);
+      if (d <= eps_ && d < best_dist) {
+        best = sorted_labels[j];
+        best_dist = d;
+      }
+    }
+    sorted_labels[k] = best;
+  }
+  for (size_t k = 0; k < n; ++k) {
+    result.labels[order[k]] = sorted_labels[k];
+  }
+  result.num_clusters = cluster_id + 1;
+
+  // Renumber clusters by first appearance in original index order so the
+  // generic and 1-D paths agree on labeling for identical inputs.
+  std::vector<int> remap(static_cast<size_t>(result.num_clusters), -1);
+  int next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    int c = result.labels[i];
+    if (c < 0) continue;
+    if (remap[static_cast<size_t>(c)] < 0) {
+      remap[static_cast<size_t>(c)] = next++;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (result.labels[i] >= 0) {
+      result.labels[i] = remap[static_cast<size_t>(result.labels[i])];
+    }
+  }
+  return result;
+}
+
+}  // namespace saql

@@ -1,0 +1,69 @@
+#ifndef SAQL_ANOMALY_DBSCAN_H_
+#define SAQL_ANOMALY_DBSCAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace saql {
+
+/// A point in the clustering space. SAQL's `cluster(...)` construct builds
+/// one point per group from the state fields named in `points=`; Query 4
+/// clusters 1-D points (per-IP transferred volume), but the implementation
+/// is dimension-agnostic.
+using ClusterPoint = std::vector<double>;
+
+/// Distance metric for clustering, selected by the query's `distance=`
+/// argument: "ed" (Euclidean) or "md" (Manhattan).
+enum class DistanceMetric {
+  kEuclidean,
+  kManhattan,
+};
+
+/// Computes the selected distance between two equal-dimension points.
+double PointDistance(const ClusterPoint& a, const ClusterPoint& b,
+                     DistanceMetric metric);
+
+/// Result of a DBSCAN run. `labels[i]` is the cluster id of point i
+/// (0-based), or `kNoise` for outliers.
+struct DbscanResult {
+  static constexpr int kNoise = -1;
+
+  std::vector<int> labels;
+  int num_clusters = 0;
+
+  bool IsOutlier(size_t i) const { return labels[i] == kNoise; }
+};
+
+/// Density-based clustering (Ester et al. 1996), the method the paper uses
+/// for the outlier-based anomaly model ("DBSCAN(100000, 5)" = eps, minPts).
+///
+/// Deterministic: points are visited in index order, so cluster ids are
+/// stable for a fixed input. Complexity O(n^2) distance evaluations with the
+/// plain neighbour scan; an index-accelerated 1-D path (sort + window) is
+/// used automatically for one-dimensional inputs, which is the common case
+/// for SAQL outlier queries.
+class Dbscan {
+ public:
+  /// `eps` is the neighbourhood radius, `min_pts` the core-point density
+  /// threshold (including the point itself, per the original paper).
+  Dbscan(double eps, size_t min_pts,
+         DistanceMetric metric = DistanceMetric::kEuclidean);
+
+  /// Clusters `points`; all points must share the same dimension.
+  DbscanResult Run(const std::vector<ClusterPoint>& points) const;
+
+  double eps() const { return eps_; }
+  size_t min_pts() const { return min_pts_; }
+
+ private:
+  DbscanResult RunGeneric(const std::vector<ClusterPoint>& points) const;
+  DbscanResult Run1D(const std::vector<ClusterPoint>& points) const;
+
+  double eps_;
+  size_t min_pts_;
+  DistanceMetric metric_;
+};
+
+}  // namespace saql
+
+#endif  // SAQL_ANOMALY_DBSCAN_H_

@@ -1,0 +1,31 @@
+#include "anomaly/invariant_set.h"
+
+namespace saql {
+
+InvariantSet::InvariantSet(size_t training_windows, Mode mode)
+    : training_windows_(training_windows), mode_(mode) {}
+
+StringSet InvariantSet::Observe(const StringSet& observed) {
+  ++windows_seen_;
+  if (windows_seen_ <= training_windows_) {
+    invariant_.insert(observed.begin(), observed.end());
+    return {};
+  }
+  StringSet violations;
+  for (const std::string& v : observed) {
+    if (invariant_.find(v) == invariant_.end()) {
+      violations.insert(v);
+    }
+  }
+  if (mode_ == Mode::kOnline) {
+    invariant_.insert(violations.begin(), violations.end());
+  }
+  return violations;
+}
+
+void InvariantSet::Reset() {
+  windows_seen_ = 0;
+  invariant_.clear();
+}
+
+}  // namespace saql

@@ -1,0 +1,55 @@
+#ifndef SAQL_ANOMALY_INVARIANT_SET_H_
+#define SAQL_ANOMALY_INVARIANT_SET_H_
+
+#include <cstddef>
+#include <string>
+
+#include "core/value.h"
+
+namespace saql {
+
+/// Invariant learner behind the paper's invariant-based anomaly model
+/// (Query 3): accumulate the set of values seen during a training phase of
+/// N windows, then report deviations.
+///
+/// Two modes, as in the SAQL language's `invariant[N][offline|online]`:
+///  - offline: after N training windows the invariant is frozen; every later
+///    unseen value is a violation (and stays one).
+///  - online:  violations are reported, then merged into the invariant so a
+///    value alerts at most once (the model keeps learning).
+class InvariantSet {
+ public:
+  enum class Mode { kOffline, kOnline };
+
+  /// `training_windows`: number of windows consumed before detection starts.
+  InvariantSet(size_t training_windows, Mode mode);
+
+  /// Feeds one window's observed values. During training this extends the
+  /// invariant and returns an empty set. After training it returns the
+  /// violating values (`observed diff invariant`); in online mode those are
+  /// then absorbed into the invariant.
+  StringSet Observe(const StringSet& observed);
+
+  /// True while windows are still being consumed for training.
+  bool InTraining() const { return windows_seen_ < training_windows_; }
+
+  /// Number of windows fed so far.
+  size_t windows_seen() const { return windows_seen_; }
+
+  /// The learned invariant set.
+  const StringSet& invariant() const { return invariant_; }
+
+  Mode mode() const { return mode_; }
+
+  void Reset();
+
+ private:
+  size_t training_windows_;
+  Mode mode_;
+  size_t windows_seen_ = 0;
+  StringSet invariant_;
+};
+
+}  // namespace saql
+
+#endif  // SAQL_ANOMALY_INVARIANT_SET_H_

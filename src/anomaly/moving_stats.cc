@@ -1,0 +1,76 @@
+#include "anomaly/moving_stats.h"
+
+#include <cmath>
+
+namespace saql {
+
+SimpleMovingAverage::SimpleMovingAverage(size_t window)
+    : window_(window == 0 ? 1 : window) {}
+
+void SimpleMovingAverage::Push(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+  if (samples_.size() > window_) {
+    sum_ -= samples_.front();
+    samples_.pop_front();
+  }
+}
+
+double SimpleMovingAverage::Mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double SimpleMovingAverage::At(size_t age) const {
+  return samples_[samples_.size() - 1 - age];
+}
+
+void SimpleMovingAverage::Reset() {
+  samples_.clear();
+  sum_ = 0.0;
+}
+
+ExponentialMovingAverage::ExponentialMovingAverage(double alpha)
+    : alpha_(alpha <= 0.0 ? 0.1 : (alpha > 1.0 ? 1.0 : alpha)) {}
+
+void ExponentialMovingAverage::Push(double sample) {
+  if (count_ == 0) {
+    mean_ = sample;
+  } else {
+    mean_ = alpha_ * sample + (1.0 - alpha_) * mean_;
+  }
+  ++count_;
+}
+
+void ExponentialMovingAverage::Reset() {
+  mean_ = 0.0;
+  count_ = 0;
+}
+
+void OnlineVariance::Push(double sample) {
+  ++count_;
+  double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+double OnlineVariance::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double OnlineVariance::StdDev() const { return std::sqrt(Variance()); }
+
+double OnlineVariance::ZScore(double sample) const {
+  double sd = StdDev();
+  if (sd == 0.0) return 0.0;
+  return (sample - mean_) / sd;
+}
+
+void OnlineVariance::Reset() {
+  count_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+}
+
+}  // namespace saql

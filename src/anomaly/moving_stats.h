@@ -1,0 +1,82 @@
+#ifndef SAQL_ANOMALY_MOVING_STATS_H_
+#define SAQL_ANOMALY_MOVING_STATS_H_
+
+#include <cstddef>
+#include <deque>
+
+namespace saql {
+
+/// Simple moving average over the last `window` samples, the statistic
+/// behind the paper's time-series anomaly model (Query 2 computes a 3-window
+/// SMA of per-window network volume). Push O(1), query O(1).
+class SimpleMovingAverage {
+ public:
+  /// `window` must be >= 1.
+  explicit SimpleMovingAverage(size_t window);
+
+  /// Adds a sample, evicting the oldest when the window is full.
+  void Push(double sample);
+
+  /// Mean of the retained samples; 0 when empty.
+  double Mean() const;
+
+  /// Number of samples currently retained (<= window).
+  size_t Count() const { return samples_.size(); }
+
+  /// True once `window` samples have been observed.
+  bool Full() const { return samples_.size() == window_; }
+
+  /// Sample at `age` windows back (0 = most recent). Precondition:
+  /// age < Count().
+  double At(size_t age) const;
+
+  void Reset();
+
+ private:
+  size_t window_;
+  std::deque<double> samples_;
+  double sum_ = 0.0;
+};
+
+/// Exponentially weighted moving average with smoothing factor `alpha`
+/// (weight of the newest sample). An alternative spike detector the full
+/// SAQL paper lists alongside SMA.
+class ExponentialMovingAverage {
+ public:
+  /// `alpha` in (0, 1].
+  explicit ExponentialMovingAverage(double alpha);
+
+  void Push(double sample);
+  double Mean() const { return mean_; }
+  size_t Count() const { return count_; }
+  void Reset();
+
+ private:
+  double alpha_;
+  double mean_ = 0.0;
+  size_t count_ = 0;
+};
+
+/// Welford online mean/variance, used for z-score style detectors and for
+/// aggregate `stddev`. Numerically stable; push O(1).
+class OnlineVariance {
+ public:
+  void Push(double sample);
+  size_t Count() const { return count_; }
+  double Mean() const { return mean_; }
+  /// Population variance; 0 for fewer than 2 samples.
+  double Variance() const;
+  double StdDev() const;
+  /// Z-score of `sample` under the current distribution; 0 when stddev is 0.
+  double ZScore(double sample) const;
+  void Reset();
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace saql
+
+#endif  // SAQL_ANOMALY_MOVING_STATS_H_

@@ -1,0 +1,50 @@
+#include "anomaly/robust_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace saql {
+
+double Percentile(const std::vector<double>& samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  if (p <= 0.0) return sorted.front();
+  if (p >= 100.0) return sorted.back();
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double Median(const std::vector<double>& samples) {
+  return Percentile(samples, 50.0);
+}
+
+double Mad(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  double med = Median(samples);
+  std::vector<double> dev;
+  dev.reserve(samples.size());
+  for (double s : samples) dev.push_back(std::fabs(s - med));
+  return Median(dev);
+}
+
+double RobustZScore(const std::vector<double>& samples, double x) {
+  double mad = Mad(samples);
+  if (mad == 0.0) return 0.0;
+  double med = Median(samples);
+  // 1.4826 scales MAD to the stddev of a normal distribution.
+  return std::fabs(x - med) / (1.4826 * mad);
+}
+
+bool IqrOutlier(const std::vector<double>& samples, double x, double k) {
+  if (samples.size() < 4) return false;
+  double q1 = Percentile(samples, 25.0);
+  double q3 = Percentile(samples, 75.0);
+  double iqr = q3 - q1;
+  return x < q1 - k * iqr || x > q3 + k * iqr;
+}
+
+}  // namespace saql

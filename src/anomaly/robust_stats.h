@@ -1,0 +1,33 @@
+#ifndef SAQL_ANOMALY_ROBUST_STATS_H_
+#define SAQL_ANOMALY_ROBUST_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace saql {
+
+/// Order statistics and robust outlier scores used by peer-comparison
+/// anomaly queries (alternatives to DBSCAN the full SAQL paper mentions).
+/// All functions take an unsorted sample vector and do not modify it.
+
+/// p-th percentile (p in [0, 100]) with linear interpolation between closest
+/// ranks; 0 for an empty sample.
+double Percentile(const std::vector<double>& samples, double p);
+
+/// Median (50th percentile).
+double Median(const std::vector<double>& samples);
+
+/// Median absolute deviation (unscaled).
+double Mad(const std::vector<double>& samples);
+
+/// Robust z-score of `x`: |x - median| / (1.4826 * MAD). Returns 0 when the
+/// MAD is zero.
+double RobustZScore(const std::vector<double>& samples, double x);
+
+/// Tukey IQR fence outlier test: x outside [Q1 - k*IQR, Q3 + k*IQR].
+bool IqrOutlier(const std::vector<double>& samples, double x,
+                double k = 1.5);
+
+}  // namespace saql
+
+#endif  // SAQL_ANOMALY_ROBUST_STATS_H_

@@ -1,0 +1,258 @@
+#include "cli/shell.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "cli/table.h"
+#include "collect/enterprise_sim.h"
+#include "core/string_util.h"
+#include "engine/engine.h"
+#include "storage/event_log.h"
+#include "storage/replayer.h"
+
+namespace saql {
+
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> out;
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+}  // namespace
+
+QueryShell::QueryShell(std::istream& in, std::ostream& out)
+    : in_(in), out_(out) {}
+
+void QueryShell::Run() {
+  out_ << "SAQL shell — type 'help' for commands.\n";
+  std::string line;
+  while (true) {
+    out_ << "saql> " << std::flush;
+    if (!std::getline(in_, line)) break;
+    if (!Execute(line)) break;
+  }
+  out_ << "bye.\n";
+}
+
+bool QueryShell::Execute(const std::string& line) {
+  std::string trimmed = Trim(line);
+  if (trimmed.empty()) return true;
+  std::vector<std::string> tokens = Tokenize(trimmed);
+  std::string cmd = ToLower(tokens[0]);
+  std::vector<std::string> args(tokens.begin() + 1, tokens.end());
+  if (cmd == "quit" || cmd == "exit") return false;
+  if (cmd == "help") {
+    CmdHelp();
+  } else if (cmd == "load") {
+    CmdLoad(args);
+  } else if (cmd == "query") {
+    CmdQueryInline(trimmed.substr(5));
+  } else if (cmd == "list") {
+    CmdList();
+  } else if (cmd == "simulate") {
+    CmdSimulate(args);
+  } else if (cmd == "replay") {
+    CmdReplay(args);
+  } else if (cmd == "record") {
+    CmdRecord(args);
+  } else if (cmd == "alerts") {
+    CmdAlerts(args);
+  } else if (cmd == "stats") {
+    CmdStats();
+  } else if (cmd == "errors") {
+    CmdErrors();
+  } else {
+    out_ << "unknown command '" << cmd << "' — try 'help'\n";
+  }
+  return true;
+}
+
+void QueryShell::CmdHelp() {
+  out_ << "commands:\n"
+       << "  load <file> [name]      load a .saql query file\n"
+       << "  query <name> <text>     register an inline query\n"
+       << "  list                    list registered queries\n"
+       << "  simulate [minutes]      run enterprise sim + APT attack\n"
+       << "  replay <log> [host...]  replay a stored event log\n"
+       << "  record <log> [minutes]  simulate and store events to a log\n"
+       << "  alerts [n]              show last n alerts\n"
+       << "  stats                   last run statistics\n"
+       << "  errors                  last run error reports\n"
+       << "  quit                    exit\n";
+}
+
+void QueryShell::CmdLoad(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    out_ << "usage: load <file> [name]\n";
+    return;
+  }
+  std::ifstream f(args[0]);
+  if (!f) {
+    out_ << "cannot open '" << args[0] << "'\n";
+    return;
+  }
+  std::ostringstream text;
+  text << f.rdbuf();
+  std::string name = args.size() > 1 ? args[1] : args[0];
+  Result<AnalyzedQueryPtr> compiled = CompileSaql(text.str());
+  if (!compiled.ok()) {
+    out_ << "query rejected: " << compiled.status() << "\n";
+    return;
+  }
+  queries_[name] = text.str();
+  out_ << "loaded query '" << name << "'\n";
+}
+
+void QueryShell::CmdQueryInline(const std::string& rest) {
+  std::istringstream is(Trim(rest));
+  std::string name;
+  is >> name;
+  std::string text;
+  std::getline(is, text);
+  text = Trim(text);
+  if (name.empty() || text.empty()) {
+    out_ << "usage: query <name> <text>\n";
+    return;
+  }
+  Result<AnalyzedQueryPtr> compiled = CompileSaql(text);
+  if (!compiled.ok()) {
+    out_ << "query rejected: " << compiled.status() << "\n";
+    return;
+  }
+  queries_[name] = text;
+  out_ << "registered query '" << name << "'\n";
+}
+
+void QueryShell::CmdList() {
+  if (queries_.empty()) {
+    out_ << "(no queries registered)\n";
+    return;
+  }
+  for (const auto& [name, text] : queries_) {
+    out_ << "  " << name << " (" << text.size() << " chars)\n";
+  }
+}
+
+void QueryShell::RunEngine(EventSource* source) {
+  if (queries_.empty()) {
+    out_ << "no queries registered — use 'load' or 'query' first\n";
+    return;
+  }
+  SaqlEngine engine;
+  for (const auto& [name, text] : queries_) {
+    Status st = engine.AddQuery(text, name);
+    if (!st.ok()) {
+      out_ << "skipping '" << name << "': " << st << "\n";
+    }
+  }
+  alerts_.clear();
+  engine.SetAlertSink([this](const Alert& a) {
+    alerts_.push_back(a);
+    out_ << a.ToString() << "\n";
+  });
+  Status st = engine.Run(source);
+  if (!st.ok()) {
+    out_ << "run failed: " << st << "\n";
+    return;
+  }
+  std::ostringstream stats;
+  stats << "events=" << engine.executor_stats().events
+        << " deliveries=" << engine.executor_stats().deliveries
+        << " queries=" << engine.num_queries()
+        << " groups=" << engine.num_groups() << " alerts=" << alerts_.size()
+        << "\n";
+  for (const auto& [name, qs] : engine.query_stats()) {
+    stats << "  " << name << ": matched=" << qs.matches
+          << " windows=" << qs.windows_closed << " alerts=" << qs.alerts
+          << "\n";
+  }
+  last_stats_ = stats.str();
+  last_errors_ = engine.errors().ToString();
+  out_ << "run complete: " << alerts_.size() << " alert(s)\n";
+}
+
+void QueryShell::CmdSimulate(const std::vector<std::string>& args) {
+  EnterpriseSimulator::Options opts;
+  if (!args.empty()) {
+    opts.duration = std::strtol(args[0].c_str(), nullptr, 10) * kMinute;
+    if (opts.duration <= 0) opts.duration = 30 * kMinute;
+  }
+  EnterpriseSimulator sim(opts);
+  auto source = sim.MakeSource();
+  out_ << "simulating " << FormatDuration(opts.duration) << " across "
+       << sim.hosts().size() << " hosts (APT attack injected)...\n";
+  RunEngine(source.get());
+}
+
+void QueryShell::CmdReplay(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    out_ << "usage: replay <log> [host...]\n";
+    return;
+  }
+  StreamReplayer::Filter filter;
+  for (size_t i = 1; i < args.size(); ++i) filter.hosts.insert(args[i]);
+  StreamReplayer replayer(args[0], filter);
+  if (!replayer.status().ok()) {
+    out_ << "replay failed: " << replayer.status() << "\n";
+    return;
+  }
+  RunEngine(&replayer);
+}
+
+void QueryShell::CmdRecord(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    out_ << "usage: record <log> [minutes]\n";
+    return;
+  }
+  EnterpriseSimulator::Options opts;
+  if (args.size() > 1) {
+    opts.duration = std::strtol(args[1].c_str(), nullptr, 10) * kMinute;
+    if (opts.duration <= 0) opts.duration = 30 * kMinute;
+  }
+  EnterpriseSimulator sim(opts);
+  EventBatch events = sim.Generate();
+  Status st = WriteEventLog(args[0], events);
+  if (!st.ok()) {
+    out_ << "record failed: " << st << "\n";
+    return;
+  }
+  out_ << "recorded " << events.size() << " events to " << args[0] << "\n";
+}
+
+void QueryShell::CmdAlerts(const std::vector<std::string>& args) {
+  size_t n = 10;
+  if (!args.empty()) {
+    n = static_cast<size_t>(std::strtoul(args[0].c_str(), nullptr, 10));
+    if (n == 0) n = 10;
+  }
+  if (alerts_.empty()) {
+    out_ << "(no alerts)\n";
+    return;
+  }
+  TextTable table({"time", "query", "group", "values"});
+  size_t start = alerts_.size() > n ? alerts_.size() - n : 0;
+  for (size_t i = start; i < alerts_.size(); ++i) {
+    const Alert& a = alerts_[i];
+    std::string values;
+    for (const auto& [label, value] : a.values) {
+      if (!values.empty()) values += ", ";
+      values += label + "=" + value.ToString();
+    }
+    table.AddRow({FormatTimestamp(a.ts), a.query_name, a.group, values});
+  }
+  out_ << table.Render();
+}
+
+void QueryShell::CmdStats() {
+  out_ << (last_stats_.empty() ? "(no run yet)\n" : last_stats_);
+}
+
+void QueryShell::CmdErrors() {
+  out_ << (last_errors_.empty() ? "(no run yet)\n" : last_errors_) << "\n";
+}
+
+}  // namespace saql

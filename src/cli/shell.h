@@ -1,0 +1,76 @@
+#ifndef SAQL_CLI_SHELL_H_
+#define SAQL_CLI_SHELL_H_
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "engine/alert.h"
+#include "parser/analyzer.h"
+
+namespace saql {
+
+/// The SAQL command-line UI (Fig. 3 of the paper): load queries, replay or
+/// simulate a stream, and inspect alerts/errors interactively. The shell is
+/// a library class so tests can drive it with string streams; the
+/// `saql_shell` example binds it to stdin/stdout.
+///
+/// Commands:
+///   load <file> [name]       load a .saql query file
+///   query <name> <text...>   register an inline query (single line)
+///   list                     list registered queries
+///   simulate [minutes]       run the enterprise simulator + APT attack
+///   replay <log> [host...]   replay a stored event log (all hosts or a
+///                            subset), at maximum speed
+///   record <log> [minutes]   simulate and store events into a log file
+///   alerts [n]               show the last n alerts (default 10)
+///   stats                    engine statistics of the last run
+///   errors                   error-reporter contents of the last run
+///   help                     command summary
+///   quit                     leave the shell
+class QueryShell {
+ public:
+  QueryShell(std::istream& in, std::ostream& out);
+
+  /// Runs the read-eval-print loop until quit/EOF.
+  void Run();
+
+  /// Executes one command line; returns false when the shell should exit.
+  bool Execute(const std::string& line);
+
+  /// Alerts collected by the last simulate/replay command.
+  const std::vector<Alert>& alerts() const { return alerts_; }
+
+  /// Registered (name, text) pairs.
+  const std::map<std::string, std::string>& queries() const {
+    return queries_;
+  }
+
+ private:
+  void CmdHelp();
+  void CmdLoad(const std::vector<std::string>& args);
+  void CmdQueryInline(const std::string& rest);
+  void CmdList();
+  void CmdSimulate(const std::vector<std::string>& args);
+  void CmdReplay(const std::vector<std::string>& args);
+  void CmdRecord(const std::vector<std::string>& args);
+  void CmdAlerts(const std::vector<std::string>& args);
+  void CmdStats();
+  void CmdErrors();
+
+  /// Runs all registered queries against `source`, capturing alerts.
+  void RunEngine(class EventSource* source);
+
+  std::istream& in_;
+  std::ostream& out_;
+  std::map<std::string, std::string> queries_;
+  std::vector<Alert> alerts_;
+  std::string last_stats_;
+  std::string last_errors_;
+};
+
+}  // namespace saql
+
+#endif  // SAQL_CLI_SHELL_H_

@@ -1,0 +1,36 @@
+#ifndef SAQL_CLI_TABLE_H_
+#define SAQL_CLI_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace saql {
+
+/// Minimal ASCII table renderer for the command-line UI (the paper's demo
+/// presents query results in a terminal, Fig. 3).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with box-drawing in plain ASCII:
+  /// ```
+  /// +------+------+
+  /// | a    | b    |
+  /// +------+------+
+  /// | 1    | 2    |
+  /// +------+------+
+  /// ```
+  std::string Render() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace saql
+
+#endif  // SAQL_CLI_TABLE_H_

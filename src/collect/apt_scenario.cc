@@ -1,0 +1,247 @@
+#include "collect/apt_scenario.h"
+
+namespace saql {
+
+namespace {
+
+/// Small helper assembling attack events with consistent pids per
+/// (host, exe) pair.
+class AttackEventBuilder {
+ public:
+  explicit AttackEventBuilder(const AptScenarioConfig& cfg) : cfg_(cfg) {}
+
+  ProcessEntity Proc(const std::string& host, const std::string& exe) {
+    for (const auto& [key, pid] : pids_) {
+      if (key == host + "/" + exe) {
+        return ProcessEntity{pid, exe, "user"};
+      }
+    }
+    int64_t pid = next_pid_;
+    next_pid_ += 2;
+    pids_.emplace_back(host + "/" + exe, pid);
+    return ProcessEntity{pid, exe, "user"};
+  }
+
+  Event Base(const std::string& host, Timestamp ts) {
+    Event e;
+    e.agent_id = host;
+    e.ts = ts;
+    return e;
+  }
+
+  Event ProcStart(const std::string& host, Timestamp ts,
+                  const std::string& parent, const std::string& child) {
+    Event e = Base(host, ts);
+    e.subject = Proc(host, parent);
+    e.op = EventOp::kStart;
+    e.object_type = EntityType::kProcess;
+    e.obj_proc = Proc(host, child);
+    return e;
+  }
+
+  Event FileOp(const std::string& host, Timestamp ts,
+               const std::string& exe, EventOp op, const std::string& path,
+               int64_t amount = 0) {
+    Event e = Base(host, ts);
+    e.subject = Proc(host, exe);
+    e.op = op;
+    e.object_type = EntityType::kFile;
+    e.obj_file.path = path;
+    e.amount = amount;
+    return e;
+  }
+
+  Event NetOp(const std::string& host, Timestamp ts, const std::string& exe,
+              EventOp op, const std::string& src_ip,
+              const std::string& dst_ip, int64_t dst_port,
+              int64_t amount = 0) {
+    Event e = Base(host, ts);
+    e.subject = Proc(host, exe);
+    e.op = op;
+    e.object_type = EntityType::kNetwork;
+    e.obj_net.src_ip = src_ip;
+    e.obj_net.dst_ip = dst_ip;
+    e.obj_net.src_port = 49000 + (next_pid_ % 1000);
+    e.obj_net.dst_port = dst_port;
+    e.amount = amount;
+    return e;
+  }
+
+ private:
+  const AptScenarioConfig& cfg_;
+  std::vector<std::pair<std::string, int64_t>> pids_;
+  int64_t next_pid_ = 6000;
+};
+
+}  // namespace
+
+std::vector<AptStep> GenerateAptScenario(const AptScenarioConfig& cfg) {
+  AttackEventBuilder b(cfg);
+  std::vector<AptStep> steps;
+  Timestamp t = cfg.start;
+  const Duration tick = 2 * kSecond;
+
+  // ---- c1: Initial Compromise -------------------------------------------
+  {
+    AptStep s;
+    s.step = 1;
+    s.description =
+        "Initial compromise: crafted email with malicious Excel macro";
+    Timestamp ts = t;
+    s.events.push_back(b.NetOp(cfg.victim_host, ts, "outlook.exe",
+                               EventOp::kRecv, cfg.victim_ip,
+                               cfg.attacker_ip, 25, 250000));
+    ts += tick;
+    s.events.push_back(
+        b.FileOp(cfg.victim_host, ts, "outlook.exe", EventOp::kWrite,
+                 "C:\\Users\\user\\Downloads\\invoice_q2.xls", 250000));
+    steps.push_back(std::move(s));
+  }
+  t += cfg.step_gap;
+
+  // ---- c2: Malware Infection --------------------------------------------
+  {
+    AptStep s;
+    s.step = 2;
+    s.description =
+        "Malware infection: Excel macro drops and starts backdoor "
+        "(CVE-2008-0081 exploit chain)";
+    Timestamp ts = t;
+    s.events.push_back(
+        b.FileOp(cfg.victim_host, ts, "excel.exe", EventOp::kRead,
+                 "C:\\Users\\user\\Downloads\\invoice_q2.xls", 250000));
+    ts += tick;
+    // Excel spawns a scripting host it never starts under benign load —
+    // the unseen child the invariant query catches on the workstation, and
+    // a rule-query anchor.
+    s.events.push_back(b.ProcStart(cfg.victim_host, ts, "excel.exe",
+                                   "mshta.exe"));
+    ts += tick;
+    s.events.push_back(b.NetOp(cfg.victim_host, ts, "mshta.exe",
+                               EventOp::kRecv, cfg.victim_ip,
+                               cfg.attacker_ip, 443, 800000));
+    ts += tick;
+    s.events.push_back(
+        b.FileOp(cfg.victim_host, ts, "mshta.exe", EventOp::kWrite,
+                 "C:\\Windows\\Temp\\sbblv.exe", 800000));
+    ts += tick;
+    s.events.push_back(
+        b.ProcStart(cfg.victim_host, ts, "mshta.exe", "sbblv.exe"));
+    ts += tick;
+    s.events.push_back(b.NetOp(cfg.victim_host, ts, "sbblv.exe",
+                               EventOp::kConnect, cfg.victim_ip,
+                               cfg.attacker_ip, 443));
+    steps.push_back(std::move(s));
+  }
+  t += cfg.step_gap;
+
+  // ---- c3: Privilege Escalation -----------------------------------------
+  {
+    AptStep s;
+    s.step = 3;
+    s.description =
+        "Privilege escalation: port scan locates the database; "
+        "gsecdump.exe steals credentials";
+    Timestamp ts = t;
+    for (int p = 0; p < cfg.scan_ports; ++p) {
+      s.events.push_back(b.NetOp(cfg.victim_host, ts, "sbblv.exe",
+                                 EventOp::kConnect, cfg.victim_ip,
+                                 cfg.db_ip, 1024 + p * 13));
+      ts += kSecond / 4;
+    }
+    s.events.push_back(b.NetOp(cfg.victim_host, ts, "sbblv.exe",
+                               EventOp::kConnect, cfg.victim_ip, cfg.db_ip,
+                               1433));
+    ts += tick;
+    s.events.push_back(
+        b.ProcStart(cfg.victim_host, ts, "sbblv.exe", "gsecdump.exe"));
+    ts += tick;
+    s.events.push_back(
+        b.FileOp(cfg.victim_host, ts, "gsecdump.exe", EventOp::kRead,
+                 "C:\\Windows\\System32\\config\\SAM", 65536));
+    steps.push_back(std::move(s));
+  }
+  t += cfg.step_gap;
+
+  // ---- c4: Penetration into Database Server -----------------------------
+  {
+    AptStep s;
+    s.step = 4;
+    s.description =
+        "Penetration: VBScript drops a second backdoor on the database "
+        "server";
+    Timestamp ts = t;
+    s.events.push_back(b.NetOp(cfg.victim_host, ts, "sbblv.exe",
+                               EventOp::kWrite, cfg.victim_ip, cfg.db_ip,
+                               1433, 40000));
+    ts += tick;
+    s.events.push_back(
+        b.ProcStart(cfg.db_host, ts, "sqlservr.exe", "cscript.exe"));
+    ts += tick;
+    s.events.push_back(
+        b.FileOp(cfg.db_host, ts, "cscript.exe", EventOp::kWrite,
+                 "C:\\Windows\\Temp\\dropper.vbs", 12000));
+    ts += tick;
+    s.events.push_back(
+        b.FileOp(cfg.db_host, ts, "cscript.exe", EventOp::kWrite,
+                 "C:\\Windows\\Temp\\sbblv.exe", 800000));
+    ts += tick;
+    s.events.push_back(
+        b.ProcStart(cfg.db_host, ts, "cscript.exe", "sbblv.exe"));
+    steps.push_back(std::move(s));
+  }
+  t += cfg.step_gap;
+
+  // ---- c5: Data Exfiltration --------------------------------------------
+  {
+    AptStep s;
+    s.step = 5;
+    s.description =
+        "Data exfiltration: osql.exe dumps the database; sbblv.exe ships "
+        "backup1.dmp to the attacker";
+    Timestamp ts = t;
+    // The Query 1 sequence: cmd -> osql, sqlservr writes the dump, the
+    // malware reads it and sends it out.
+    s.events.push_back(b.ProcStart(cfg.db_host, ts, "cmd.exe", "osql.exe"));
+    ts += tick;
+    s.events.push_back(b.NetOp(cfg.db_host, ts, "osql.exe", EventOp::kConnect,
+                               cfg.db_ip, cfg.db_ip, 1433));
+    ts += tick;
+    s.events.push_back(
+        b.FileOp(cfg.db_host, ts, "sqlservr.exe", EventOp::kWrite,
+                 "C:\\MSSQL\\Backup\\backup1.dmp", cfg.dump_bytes));
+    ts += tick;
+    s.events.push_back(
+        b.FileOp(cfg.db_host, ts, "sbblv.exe", EventOp::kRead,
+                 "C:\\MSSQL\\Backup\\backup1.dmp", cfg.dump_bytes));
+    ts += tick;
+    int64_t chunk =
+        cfg.dump_bytes / (cfg.exfil_chunks > 0 ? cfg.exfil_chunks : 1);
+    for (int i = 0; i < cfg.exfil_chunks; ++i) {
+      // The osql session makes sqlservr.exe stream the dump content over
+      // its client connection (what the paper's Query 4 clusters), while
+      // the malware ships its copy to the attacker (Query 1's evt4).
+      s.events.push_back(b.NetOp(cfg.db_host, ts, "sqlservr.exe",
+                                 EventOp::kWrite, cfg.db_ip,
+                                 cfg.attacker_ip, 1433, chunk));
+      ts += kSecond / 2;
+      s.events.push_back(b.NetOp(cfg.db_host, ts, "sbblv.exe",
+                                 EventOp::kWrite, cfg.db_ip,
+                                 cfg.attacker_ip, 443, chunk));
+      ts += kSecond / 2;
+    }
+    steps.push_back(std::move(s));
+  }
+
+  return steps;
+}
+
+EventBatch FlattenAptScenario(const std::vector<AptStep>& steps) {
+  EventBatch out;
+  for (const AptStep& s : steps) {
+    out.insert(out.end(), s.events.begin(), s.events.end());
+  }
+  return out;
+}
+
+}  // namespace saql

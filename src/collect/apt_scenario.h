@@ -1,0 +1,61 @@
+#ifndef SAQL_COLLECT_APT_SCENARIO_H_
+#define SAQL_COLLECT_APT_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/event.h"
+#include "core/time_util.h"
+
+namespace saql {
+
+/// Script of the paper's five-step APT attack (§III, Fig. 2), reproduced as
+/// a synthetic event trace injected into benign traffic:
+///
+///   c1 Initial Compromise — crafted email with a malicious Excel macro
+///      lands on a workstation.
+///   c2 Malware Infection  — Excel runs the macro, downloads and executes a
+///      malicious script that opens a backdoor (sbblv.exe).
+///   c3 Privilege Escalation — the attacker scans ports to find the
+///      database and runs gsecdump.exe to steal credentials.
+///   c4 Penetration — with credentials, a VBScript drops a second backdoor
+///      on the database server.
+///   c5 Data Exfiltration — osql.exe dumps the database (backup1.dmp); the
+///      malware ships the dump to the attacker's host.
+struct AptScenarioConfig {
+  std::string victim_host = "ws-01";
+  std::string victim_ip = "10.10.1.10";
+  std::string db_host = "db-server-01";
+  std::string db_ip = "10.10.0.9";
+  std::string web_host = "web-server-01";
+  std::string attacker_ip = "66.77.88.129";
+  /// When step c1 starts.
+  Timestamp start = 0;
+  /// Gap between consecutive attack steps.
+  Duration step_gap = 2 * kMinute;
+  /// Ports probed during the c3 scan.
+  int scan_ports = 30;
+  /// Size of the database dump shipped out during c5 (bytes).
+  int64_t dump_bytes = 50'000'000;
+  /// Chunks used to exfiltrate the dump (distinct network writes).
+  int exfil_chunks = 20;
+};
+
+/// One generated attack step, with the events it contributes and a label
+/// used by tests and the demo to explain detections.
+struct AptStep {
+  int step = 0;  ///< 1..5
+  std::string description;
+  EventBatch events;
+};
+
+/// Generates the attack trace. Events are timestamp-ordered within and
+/// across steps; ids are left 0 (assigned by the simulator).
+std::vector<AptStep> GenerateAptScenario(const AptScenarioConfig& config);
+
+/// Flattens the steps into one ordered batch.
+EventBatch FlattenAptScenario(const std::vector<AptStep>& steps);
+
+}  // namespace saql
+
+#endif  // SAQL_COLLECT_APT_SCENARIO_H_

@@ -1,0 +1,132 @@
+#include "collect/benign_workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace saql {
+
+BenignWorkload::BenignWorkload(const HostProfile& profile, uint64_t seed,
+                               Options options)
+    : profile_(profile),
+      factory_(profile, seed),
+      options_(options),
+      rng_(seed ^ 0x5a91ull) {
+  // Every role executable gets a stable traffic scale so per-process
+  // volumes are separable (Query 2's per-process baseline).
+  std::uniform_real_distribution<double> scale(0.5, 2.0);
+  for (size_t i = 0; i < factory_.role_executables().size(); ++i) {
+    proc_volume_scale_.push_back(scale(rng_));
+  }
+}
+
+Event BenignWorkload::MakeBase(Timestamp ts) {
+  Event e;
+  e.ts = ts;
+  e.agent_id = profile_.agent_id;
+  return e;
+}
+
+void BenignWorkload::EmitFileEvent(Timestamp ts, EventBatch* out) {
+  Event e = MakeBase(ts);
+  e.subject = factory_.RandomProcess(&rng_);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  double c = coin(rng_);
+  if (c < 0.6) {
+    e.op = EventOp::kRead;
+  } else if (c < 0.95) {
+    e.op = EventOp::kWrite;
+  } else if (c < 0.98) {
+    e.op = EventOp::kDelete;
+  } else {
+    e.op = EventOp::kRename;
+  }
+  e.object_type = EntityType::kFile;
+  e.obj_file.path = factory_.RandomFilePath(&rng_);
+  if (e.op == EventOp::kRead || e.op == EventOp::kWrite) {
+    std::lognormal_distribution<double> amount(
+        std::log(options_.mean_amount), 0.8);
+    e.amount = static_cast<int64_t>(amount(rng_));
+  }
+  out->push_back(std::move(e));
+}
+
+void BenignWorkload::EmitNetworkEvent(Timestamp ts, EventBatch* out) {
+  Event e = MakeBase(ts);
+  const auto& exes = factory_.role_executables();
+  std::uniform_int_distribution<size_t> pick(0, exes.size() - 1);
+  size_t exe_idx = pick(rng_);
+  e.subject = factory_.ProcessByName(exes[exe_idx]);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  double c = coin(rng_);
+  if (c < 0.45) {
+    e.op = EventOp::kWrite;  // send
+  } else if (c < 0.9) {
+    e.op = EventOp::kRead;  // receive
+  } else {
+    e.op = EventOp::kConnect;
+  }
+  e.object_type = EntityType::kNetwork;
+  e.obj_net = factory_.RandomPeer(&rng_);
+  if (e.op != EventOp::kConnect) {
+    std::lognormal_distribution<double> amount(
+        std::log(options_.mean_amount * proc_volume_scale_[exe_idx]), 0.6);
+    e.amount = static_cast<int64_t>(amount(rng_));
+  }
+  out->push_back(std::move(e));
+}
+
+void BenignWorkload::EmitProcessEvent(Timestamp ts, EventBatch* out) {
+  Event e = MakeBase(ts);
+  e.op = EventOp::kStart;
+  e.object_type = EntityType::kProcess;
+  if (profile_.role == HostRole::kWebServer) {
+    // Apache spawns its characteristic worker set — the invariant model's
+    // training signal (Query 3).
+    e.subject = factory_.ProcessByName("apache.exe");
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    const char* child = coin(rng_) < 0.6 ? "php.exe" : "logger.exe";
+    e.obj_proc = factory_.ProcessByName(child);
+  } else if (profile_.role == HostRole::kWorkstation) {
+    // Office applications spawn a stable helper set — the invariant the
+    // demo's Excel query learns before the macro spawns mshta.exe.
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    double c = coin(rng_);
+    if (c < 0.4) {
+      e.subject = factory_.ProcessByName("excel.exe");
+      e.obj_proc = factory_.ProcessByName(c < 0.2 ? "splwow64.exe"
+                                                  : "printdrv.exe");
+    } else {
+      e.subject = factory_.SystemProcess(&rng_);
+      e.obj_proc = factory_.RandomProcess(&rng_);
+    }
+  } else {
+    e.subject = factory_.SystemProcess(&rng_);
+    e.obj_proc = factory_.RandomProcess(&rng_);
+  }
+  out->push_back(std::move(e));
+}
+
+void BenignWorkload::Generate(Timestamp start, Duration duration,
+                              EventBatch* out) {
+  if (options_.events_per_second <= 0) return;
+  double mean_gap_ns =
+      static_cast<double>(kSecond) / options_.events_per_second;
+  std::exponential_distribution<double> gap(1.0 / mean_gap_ns);
+  std::uniform_real_distribution<double> kind(0.0, 1.0);
+  Timestamp end = start + duration;
+  Timestamp ts = start;
+  while (true) {
+    ts += static_cast<Timestamp>(gap(rng_));
+    if (ts >= end) break;
+    double k = kind(rng_);
+    if (k < 0.5) {
+      EmitFileEvent(ts, out);
+    } else if (k < 0.85) {
+      EmitNetworkEvent(ts, out);
+    } else {
+      EmitProcessEvent(ts, out);
+    }
+  }
+}
+
+}  // namespace saql

@@ -1,0 +1,57 @@
+#ifndef SAQL_COLLECT_BENIGN_WORKLOAD_H_
+#define SAQL_COLLECT_BENIGN_WORKLOAD_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "collect/entity_factory.h"
+#include "core/event.h"
+#include "core/time_util.h"
+
+namespace saql {
+
+/// Generates the benign background activity of one host: the normal system
+/// call traffic the paper's agents collect (~50GB/day for 100 hosts). Event
+/// mix and volumes are role-aware and statistically stable so that
+/// time-series and peer-comparison models have a meaningful baseline:
+///
+///  - file reads/writes with log-normal amounts,
+///  - steady per-process network traffic (each (process, peer) pair has a
+///    stable mean volume),
+///  - periodic process spawns (apache.exe on the web server spawns its
+///    worker set — the invariant Query 3 learns),
+///  - Poisson event arrivals at `events_per_second`.
+class BenignWorkload {
+ public:
+  struct Options {
+    double events_per_second = 20.0;
+    /// Mean bytes for file/network operations (log-normal median).
+    double mean_amount = 4000.0;
+  };
+
+  BenignWorkload(const HostProfile& profile, uint64_t seed, Options options);
+  BenignWorkload(const HostProfile& profile, uint64_t seed)
+      : BenignWorkload(profile, seed, Options{}) {}
+
+  /// Appends this host's events for [start, start+duration) to `out`, in
+  /// timestamp order. Event ids are left 0 (assigned by the simulator).
+  void Generate(Timestamp start, Duration duration, EventBatch* out);
+
+ private:
+  Event MakeBase(Timestamp ts);
+  void EmitFileEvent(Timestamp ts, EventBatch* out);
+  void EmitNetworkEvent(Timestamp ts, EventBatch* out);
+  void EmitProcessEvent(Timestamp ts, EventBatch* out);
+
+  HostProfile profile_;
+  EntityFactory factory_;
+  Options options_;
+  std::mt19937_64 rng_;
+  /// Stable per-process mean network volume multipliers.
+  std::vector<double> proc_volume_scale_;
+};
+
+}  // namespace saql
+
+#endif  // SAQL_COLLECT_BENIGN_WORKLOAD_H_

@@ -1,0 +1,55 @@
+#include "collect/enterprise_sim.h"
+
+#include <algorithm>
+
+namespace saql {
+
+EnterpriseSimulator::EnterpriseSimulator(Options options)
+    : options_(options), hosts_(MakeEnterpriseHosts(options.num_workstations)) {}
+
+EventBatch EnterpriseSimulator::Generate() {
+  EventBatch all;
+  uint64_t host_seed = options_.seed;
+  for (const HostProfile& host : hosts_) {
+    BenignWorkload::Options wo;
+    wo.events_per_second = options_.events_per_host_per_second;
+    BenignWorkload workload(host, ++host_seed, wo);
+    workload.Generate(options_.start, options_.duration, &all);
+  }
+  attack_steps_.clear();
+  if (options_.include_attack) {
+    AptScenarioConfig cfg = options_.attack;
+    cfg.start = options_.start + options_.attack_offset;
+    // Bind the scenario to the simulated topology.
+    if (!hosts_.empty()) {
+      for (const HostProfile& h : hosts_) {
+        if (h.role == HostRole::kWorkstation && cfg.victim_host == "ws-01") {
+          cfg.victim_ip = h.ip;
+          break;
+        }
+      }
+      for (const HostProfile& h : hosts_) {
+        if (h.role == HostRole::kDatabaseServer) {
+          cfg.db_host = h.agent_id;
+          cfg.db_ip = h.ip;
+        } else if (h.role == HostRole::kWebServer) {
+          cfg.web_host = h.agent_id;
+        }
+      }
+    }
+    attack_steps_ = GenerateAptScenario(cfg);
+    EventBatch attack = FlattenAptScenario(attack_steps_);
+    all.insert(all.end(), attack.begin(), attack.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Event& a, const Event& b) { return a.ts < b.ts; });
+  uint64_t id = 1;
+  for (Event& e : all) e.id = id++;
+  return all;
+}
+
+std::unique_ptr<VectorEventSource> EnterpriseSimulator::MakeSource() {
+  return std::make_unique<VectorEventSource>(Generate());
+}
+
+}  // namespace saql

@@ -1,0 +1,61 @@
+#ifndef SAQL_COLLECT_ENTERPRISE_SIM_H_
+#define SAQL_COLLECT_ENTERPRISE_SIM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "collect/apt_scenario.h"
+#include "collect/benign_workload.h"
+#include "collect/entity_factory.h"
+#include "core/event.h"
+#include "stream/event_source.h"
+
+namespace saql {
+
+/// Synthesizes the enterprise-wide event stream the paper's deployment
+/// collects: per-host benign workloads merged into one timestamp-ordered
+/// feed, optionally with the five-step APT attack trace injected
+/// (DESIGN.md substitution S3 for the 150-host NEC deployment).
+class EnterpriseSimulator {
+ public:
+  struct Options {
+    int num_workstations = 4;
+    double events_per_host_per_second = 20.0;
+    Duration duration = 30 * kMinute;
+    Timestamp start = 1582761600LL * kSecond;  // 2020-02-27 00:00 UTC
+    uint64_t seed = 42;
+    bool include_attack = true;
+    /// When the attack starts, relative to `start`. The default leaves
+    /// enough benign prefix for invariant training and moving-average
+    /// baselines.
+    Duration attack_offset = 12 * kMinute;
+    AptScenarioConfig attack;
+  };
+
+  EnterpriseSimulator() : EnterpriseSimulator(Options{}) {}
+  explicit EnterpriseSimulator(Options options);
+
+  /// Materializes the full stream: benign + attack, sorted by timestamp,
+  /// with sequential event ids.
+  EventBatch Generate();
+
+  /// Convenience: materializes and wraps in a source.
+  std::unique_ptr<VectorEventSource> MakeSource();
+
+  /// The attack steps injected by the last `Generate` call (empty when
+  /// `include_attack` is false).
+  const std::vector<AptStep>& attack_steps() const { return attack_steps_; }
+
+  const std::vector<HostProfile>& hosts() const { return hosts_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  std::vector<HostProfile> hosts_;
+  std::vector<AptStep> attack_steps_;
+};
+
+}  // namespace saql
+
+#endif  // SAQL_COLLECT_ENTERPRISE_SIM_H_

@@ -1,0 +1,111 @@
+#include "core/event.h"
+
+#include <sstream>
+
+#include "core/string_util.h"
+
+namespace saql {
+
+const char* EntityTypeName(EntityType type) {
+  switch (type) {
+    case EntityType::kProcess:
+      return "proc";
+    case EntityType::kFile:
+      return "file";
+    case EntityType::kNetwork:
+      return "ip";
+  }
+  return "?";
+}
+
+Result<EntityType> ParseEntityType(const std::string& name) {
+  std::string n = ToLower(name);
+  if (n == "proc" || n == "process") return EntityType::kProcess;
+  if (n == "file") return EntityType::kFile;
+  if (n == "ip" || n == "net" || n == "network" || n == "conn") {
+    return EntityType::kNetwork;
+  }
+  return Status::ParseError("unknown entity type '" + name + "'");
+}
+
+const char* EventOpName(EventOp op) {
+  switch (op) {
+    case EventOp::kRead:
+      return "read";
+    case EventOp::kWrite:
+      return "write";
+    case EventOp::kStart:
+      return "start";
+    case EventOp::kExecute:
+      return "execute";
+    case EventOp::kDelete:
+      return "delete";
+    case EventOp::kRename:
+      return "rename";
+    case EventOp::kConnect:
+      return "connect";
+    case EventOp::kAccept:
+      return "accept";
+    case EventOp::kSend:
+      return "send";
+    case EventOp::kRecv:
+      return "recv";
+    case EventOp::kKill:
+      return "kill";
+    case EventOp::kChmod:
+      return "chmod";
+  }
+  return "?";
+}
+
+Result<EventOp> ParseEventOp(const std::string& name) {
+  std::string n = ToLower(name);
+  if (n == "read") return EventOp::kRead;
+  if (n == "write") return EventOp::kWrite;
+  if (n == "start") return EventOp::kStart;
+  if (n == "execute" || n == "exec") return EventOp::kExecute;
+  if (n == "delete" || n == "unlink") return EventOp::kDelete;
+  if (n == "rename") return EventOp::kRename;
+  if (n == "connect") return EventOp::kConnect;
+  if (n == "accept") return EventOp::kAccept;
+  if (n == "send") return EventOp::kSend;
+  if (n == "recv" || n == "receive") return EventOp::kRecv;
+  if (n == "kill") return EventOp::kKill;
+  if (n == "chmod") return EventOp::kChmod;
+  return Status::ParseError("unknown operation '" + name + "'");
+}
+
+std::string OpMaskToString(OpMask mask) {
+  std::string out;
+  for (int i = 0; i < kNumEventOps; ++i) {
+    if (OpMaskContains(mask, static_cast<EventOp>(i))) {
+      if (!out.empty()) out += " || ";
+      out += EventOpName(static_cast<EventOp>(i));
+    }
+  }
+  return out;
+}
+
+std::string Event::ToString() const {
+  std::ostringstream os;
+  os << "[" << FormatTimestamp(ts) << " " << agent_id << "] "
+     << subject.exe_name << "(" << subject.pid << ") " << EventOpName(op)
+     << " ";
+  switch (object_type) {
+    case EntityType::kProcess:
+      os << "proc " << obj_proc.exe_name << "(" << obj_proc.pid << ")";
+      break;
+    case EntityType::kFile:
+      os << "file " << obj_file.path;
+      break;
+    case EntityType::kNetwork:
+      os << "ip " << obj_net.src_ip << ":" << obj_net.src_port << "->"
+         << obj_net.dst_ip << ":" << obj_net.dst_port;
+      break;
+  }
+  if (amount > 0) os << " amount=" << amount;
+  if (failed) os << " FAILED";
+  return os.str();
+}
+
+}  // namespace saql

@@ -1,0 +1,140 @@
+#ifndef SAQL_CORE_EVENT_H_
+#define SAQL_CORE_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "core/time_util.h"
+
+namespace saql {
+
+/// System entity categories from the paper's data model (§II-A): processes,
+/// files, and network connections.
+enum class EntityType : uint8_t {
+  kProcess = 0,
+  kFile = 1,
+  kNetwork = 2,
+};
+
+/// Returns "proc" / "file" / "ip" — the spelling used in SAQL queries.
+const char* EntityTypeName(EntityType type);
+
+/// Parses the SAQL spelling ("proc", "file", "ip") of an entity type.
+Result<EntityType> ParseEntityType(const std::string& name);
+
+/// Kernel-level operations recorded between a subject process and an object
+/// entity. The set covers the operations used by the paper's queries plus
+/// the natural completions for each object category.
+enum class EventOp : uint8_t {
+  kRead = 0,     // file read, network receive-side read
+  kWrite = 1,    // file write, network send-side write
+  kStart = 2,    // process creation
+  kExecute = 3,  // image execution (execve)
+  kDelete = 4,   // file unlink
+  kRename = 5,   // file rename
+  kConnect = 6,  // outbound connection establishment
+  kAccept = 7,   // inbound connection accepted
+  kSend = 8,     // explicit network send
+  kRecv = 9,     // explicit network receive
+  kKill = 10,    // process termination by subject
+  kChmod = 11,   // permission change
+};
+
+inline constexpr int kNumEventOps = 12;
+
+/// Returns the SAQL spelling of an operation ("read", "start", ...).
+const char* EventOpName(EventOp op);
+
+/// Parses the SAQL spelling of an operation.
+Result<EventOp> ParseEventOp(const std::string& name);
+
+/// Bitmask over `EventOp` used by event patterns with alternation
+/// (`read || write`).
+using OpMask = uint32_t;
+
+inline constexpr OpMask OpBit(EventOp op) {
+  return OpMask{1} << static_cast<int>(op);
+}
+inline constexpr bool OpMaskContains(OpMask mask, EventOp op) {
+  return (mask & OpBit(op)) != 0;
+}
+
+/// Renders an op mask as "read || write".
+std::string OpMaskToString(OpMask mask);
+
+/// A process entity. As subject it is the acting process; as object it is
+/// the process being started/killed.
+struct ProcessEntity {
+  int64_t pid = 0;
+  std::string exe_name;  ///< executable image name, e.g. "cmd.exe"
+  std::string user;      ///< owning account, e.g. "SYSTEM", "alice"
+
+  bool operator==(const ProcessEntity&) const = default;
+};
+
+/// A file entity identified by path; `name` in queries refers to the path.
+struct FileEntity {
+  std::string path;
+
+  bool operator==(const FileEntity&) const = default;
+};
+
+/// A network connection entity (5-tuple minus subject-side identity).
+struct NetworkEntity {
+  std::string src_ip;
+  std::string dst_ip;
+  int64_t src_port = 0;
+  int64_t dst_port = 0;
+  std::string protocol = "tcp";
+
+  bool operator==(const NetworkEntity&) const = default;
+};
+
+/// One system monitoring event: the SVO triple 〈subject, operation, object〉
+/// stamped with host and time, as collected by the (simulated) kernel
+/// agents. Events are immutable once emitted into the stream.
+struct Event {
+  /// Monotonically increasing id assigned by the producing source.
+  uint64_t id = 0;
+  /// Event time (kernel timestamp), nanoseconds since epoch.
+  Timestamp ts = 0;
+  /// Host / data-collection agent identifier ("db-server-01").
+  std::string agent_id;
+  /// Acting process.
+  ProcessEntity subject;
+  /// Operation performed by the subject on the object.
+  EventOp op = EventOp::kRead;
+  /// Which of the object fields below is populated.
+  EntityType object_type = EntityType::kFile;
+  ProcessEntity obj_proc;
+  FileEntity obj_file;
+  NetworkEntity obj_net;
+  /// Data volume of the operation in bytes (read/write/send/recv), else 0.
+  int64_t amount = 0;
+  /// True when the kernel reported the operation as failed.
+  bool failed = false;
+
+  /// Human-readable one-line rendering for logs and the CLI.
+  std::string ToString() const;
+};
+
+/// Classification used by the paper: file / process / network events,
+/// derived from the object type.
+inline bool IsFileEvent(const Event& e) {
+  return e.object_type == EntityType::kFile;
+}
+inline bool IsProcessEvent(const Event& e) {
+  return e.object_type == EntityType::kProcess;
+}
+inline bool IsNetworkEvent(const Event& e) {
+  return e.object_type == EntityType::kNetwork;
+}
+
+/// A batch of events; sources produce batches to amortize dispatch.
+using EventBatch = std::vector<Event>;
+
+}  // namespace saql
+
+#endif  // SAQL_CORE_EVENT_H_

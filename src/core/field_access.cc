@@ -1,0 +1,117 @@
+#include "core/field_access.h"
+
+#include "core/string_util.h"
+
+namespace saql {
+
+namespace {
+
+Result<Value> GetProcessField(const ProcessEntity& p,
+                              const std::string& field) {
+  if (field == "exe_name" || field == "name" || field == "image") {
+    return Value(p.exe_name);
+  }
+  if (field == "pid") return Value(p.pid);
+  if (field == "user") return Value(p.user);
+  return Status::NotFound("process entity has no attribute '" + field + "'");
+}
+
+Result<Value> GetFileField(const FileEntity& f, const std::string& field) {
+  if (field == "name" || field == "path") return Value(f.path);
+  return Status::NotFound("file entity has no attribute '" + field + "'");
+}
+
+Result<Value> GetNetworkField(const NetworkEntity& n,
+                              const std::string& field) {
+  if (field == "srcip" || field == "src_ip" || field == "sip") {
+    return Value(n.src_ip);
+  }
+  if (field == "dstip" || field == "dst_ip" || field == "dip") {
+    return Value(n.dst_ip);
+  }
+  if (field == "sport" || field == "src_port") return Value(n.src_port);
+  if (field == "dport" || field == "dst_port" || field == "port") {
+    return Value(n.dst_port);
+  }
+  if (field == "protocol" || field == "proto") return Value(n.protocol);
+  return Status::NotFound("network entity has no attribute '" + field + "'");
+}
+
+}  // namespace
+
+Result<Value> GetEntityField(const Event& event, EntityRole role,
+                             const std::string& field) {
+  std::string f = ToLower(field);
+  if (role == EntityRole::kSubject) {
+    return GetProcessField(event.subject, f);
+  }
+  switch (event.object_type) {
+    case EntityType::kProcess:
+      return GetProcessField(event.obj_proc, f);
+    case EntityType::kFile:
+      return GetFileField(event.obj_file, f);
+    case EntityType::kNetwork:
+      return GetNetworkField(event.obj_net, f);
+  }
+  return Status::Internal("bad object type");
+}
+
+Result<Value> GetEventField(const Event& event, const std::string& field) {
+  std::string f = ToLower(field);
+  if (f == "amount") return Value(event.amount);
+  if (f == "ts" || f == "time" || f == "timestamp") return Value(event.ts);
+  if (f == "agentid" || f == "agent_id" || f == "host") {
+    return Value(event.agent_id);
+  }
+  if (f == "op" || f == "operation") {
+    return Value(std::string(EventOpName(event.op)));
+  }
+  if (f == "failed") return Value(event.failed);
+  if (f == "id") return Value(static_cast<int64_t>(event.id));
+  if (StartsWith(f, "subject_")) {
+    return GetEntityField(event, EntityRole::kSubject, f.substr(8));
+  }
+  if (StartsWith(f, "object_")) {
+    return GetEntityField(event, EntityRole::kObject, f.substr(7));
+  }
+  return Status::NotFound("event has no attribute '" + field + "'");
+}
+
+const char* DefaultFieldForEntity(EntityType type) {
+  switch (type) {
+    case EntityType::kProcess:
+      return "exe_name";
+    case EntityType::kFile:
+      return "name";
+    case EntityType::kNetwork:
+      return "dstip";
+  }
+  return "name";
+}
+
+bool IsValidEntityField(EntityType type, const std::string& field) {
+  std::string f = ToLower(field);
+  switch (type) {
+    case EntityType::kProcess:
+      return f == "exe_name" || f == "name" || f == "image" || f == "pid" ||
+             f == "user";
+    case EntityType::kFile:
+      return f == "name" || f == "path";
+    case EntityType::kNetwork:
+      return f == "srcip" || f == "src_ip" || f == "sip" || f == "dstip" ||
+             f == "dst_ip" || f == "dip" || f == "sport" ||
+             f == "src_port" || f == "dport" || f == "dst_port" ||
+             f == "port" || f == "protocol" || f == "proto";
+  }
+  return false;
+}
+
+bool IsValidEventField(const std::string& field) {
+  std::string f = ToLower(field);
+  return f == "amount" || f == "ts" || f == "time" || f == "timestamp" ||
+         f == "agentid" || f == "agent_id" || f == "host" || f == "op" ||
+         f == "operation" || f == "failed" || f == "id" ||
+         StartsWith(f, "subject_") || StartsWith(f, "object_");
+}
+
+}  // namespace saql

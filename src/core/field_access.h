@@ -1,0 +1,50 @@
+#ifndef SAQL_CORE_FIELD_ACCESS_H_
+#define SAQL_CORE_FIELD_ACCESS_H_
+
+#include <string>
+
+#include "core/event.h"
+#include "core/result.h"
+#include "core/value.h"
+
+namespace saql {
+
+/// Which side of the SVO triple a variable is bound to. Entity variables in
+/// SAQL queries (`p1`, `f1`, `i1`) bind to the subject or object of the
+/// events they match; event aliases (`evt1`) bind to the whole event.
+enum class EntityRole : uint8_t {
+  kSubject = 0,
+  kObject = 1,
+};
+
+/// Reads attribute `field` of the entity playing `role` in `event`.
+///
+/// Supported fields by entity type:
+///  - proc: `exe_name` (alias `name`, `image`), `pid`, `user`
+///  - file: `name` (alias `path`)
+///  - ip:   `srcip`, `dstip` (alias `dst_ip`/`src_ip`), `sport`, `dport`,
+///          `protocol`
+///
+/// Returns NotFound for an attribute the entity type does not have.
+Result<Value> GetEntityField(const Event& event, EntityRole role,
+                             const std::string& field);
+
+/// Reads a whole-event attribute referenced through an event alias:
+/// `amount`, `ts`, `agentid`, `op` (as string), `failed`, plus passthrough
+/// of subject fields prefixed `subject_` and object fields `object_`.
+Result<Value> GetEventField(const Event& event, const std::string& field);
+
+/// The field an entity variable denotes when used bare, mirroring the
+/// paper's context-aware shortcut (`return p1` means `p1.exe_name`,
+/// `f1` → `f1.name`, `i1` → `i1.dstip`).
+const char* DefaultFieldForEntity(EntityType type);
+
+/// True when `field` is a valid attribute name for `type`.
+bool IsValidEntityField(EntityType type, const std::string& field);
+
+/// True when `field` is a valid whole-event attribute name.
+bool IsValidEventField(const std::string& field);
+
+}  // namespace saql
+
+#endif  // SAQL_CORE_FIELD_ACCESS_H_

@@ -1,0 +1,91 @@
+#include "core/like_matcher.h"
+
+#include <cctype>
+
+#include "core/string_util.h"
+
+namespace saql {
+
+namespace {
+
+bool ContainsWildcard(const std::string& s) {
+  return s.find('%') != std::string::npos ||
+         s.find('_') != std::string::npos;
+}
+
+}  // namespace
+
+LikeMatcher::LikeMatcher(const std::string& pattern)
+    : pattern_(pattern), lowered_(ToLower(pattern)) {
+  const std::string& p = lowered_;
+  if (!ContainsWildcard(p)) {
+    kind_ = Kind::kExact;
+    needle_ = p;
+    return;
+  }
+  // Fast paths only apply when '%' is the sole wildcard present.
+  bool has_underscore = p.find('_') != std::string::npos;
+  size_t first = p.find('%');
+  size_t last = p.rfind('%');
+  if (!has_underscore && first == 0 && last == 0 && p.size() > 1) {
+    kind_ = Kind::kSuffix;  // "%cmd.exe"
+    needle_ = p.substr(1);
+    return;
+  }
+  if (!has_underscore && first == p.size() - 1 && last == first &&
+      p.size() > 1) {
+    kind_ = Kind::kPrefix;  // "C:\\Windows\\%"
+    needle_ = p.substr(0, p.size() - 1);
+    return;
+  }
+  if (!has_underscore && first == 0 && last == p.size() - 1 &&
+      p.find('%', 1) == last && p.size() > 2) {
+    kind_ = Kind::kContains;  // "%temp%"
+    needle_ = p.substr(1, p.size() - 2);
+    return;
+  }
+  kind_ = Kind::kGeneral;
+}
+
+bool LikeMatcher::Matches(const std::string& text) const {
+  std::string t = ToLower(text);
+  switch (kind_) {
+    case Kind::kExact:
+      return t == needle_;
+    case Kind::kSuffix:
+      return EndsWith(t, needle_);
+    case Kind::kPrefix:
+      return StartsWith(t, needle_);
+    case Kind::kContains:
+      return t.find(needle_) != std::string::npos;
+    case Kind::kGeneral:
+      return GeneralMatch(t);
+  }
+  return false;
+}
+
+bool LikeMatcher::GeneralMatch(const std::string& text) const {
+  const std::string& p = lowered_;
+  // Classic iterative wildcard matching with backtracking on the most
+  // recent '%' (linear in |text| for typical patterns).
+  size_t ti = 0, pi = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (ti < text.size()) {
+    if (pi < p.size() && (p[pi] == '_' || p[pi] == text[ti])) {
+      ++ti;
+      ++pi;
+    } else if (pi < p.size() && p[pi] == '%') {
+      star_p = pi++;
+      star_t = ti;
+    } else if (star_p != std::string::npos) {
+      pi = star_p + 1;
+      ti = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (pi < p.size() && p[pi] == '%') ++pi;
+  return pi == p.size();
+}
+
+}  // namespace saql

@@ -1,0 +1,103 @@
+#ifndef SAQL_CORE_STATUS_H_
+#define SAQL_CORE_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace saql {
+
+/// Error categories used across the SAQL library. The library does not throw
+/// exceptions on its fallible paths; every operation that can fail returns a
+/// `Status` (or a `Result<T>`, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  /// The caller supplied an argument that violates the API contract.
+  kInvalidArgument,
+  /// A query failed to lex/parse; message carries line:col context.
+  kParseError,
+  /// A query parsed but is semantically invalid (unknown field, type error,
+  /// undeclared alias, ...).
+  kSemanticError,
+  /// A runtime evaluation error (division by zero, incompatible operands).
+  kRuntimeError,
+  /// A named object (query, alias, field, file) does not exist.
+  kNotFound,
+  /// A named object already exists.
+  kAlreadyExists,
+  /// An I/O operation failed (event log read/write, replayer).
+  kIoError,
+  /// Internal invariant violated; indicates a bug in the library.
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` ("ParseError", "Ok", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-type status carrying a code and message, modeled after the
+/// RocksDB/Abseil convention. Cheap to copy in the OK case (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status SemanticError(std::string msg) {
+    return Status(StatusCode::kSemanticError, std::move(msg));
+  }
+  static Status RuntimeError(std::string msg) {
+    return Status(StatusCode::kRuntimeError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller. Usable in any function that
+/// returns `Status`.
+#define SAQL_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::saql::Status _saql_status = (expr);     \
+    if (!_saql_status.ok()) return _saql_status; \
+  } while (0)
+
+}  // namespace saql
+
+#endif  // SAQL_CORE_STATUS_H_

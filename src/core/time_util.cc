@@ -1,0 +1,81 @@
+#include "core/time_util.h"
+
+#include <cstdio>
+#include <ctime>
+#include <sstream>
+
+#include "core/string_util.h"
+
+namespace saql {
+
+Result<Duration> ParseTimeUnit(const std::string& unit) {
+  std::string u = ToLower(unit);
+  if (u == "ns") return kNanosecond;
+  if (u == "us") return kMicrosecond;
+  if (u == "ms") return kMillisecond;
+  if (u == "s" || u == "sec" || u == "secs" || u == "second" ||
+      u == "seconds") {
+    return kSecond;
+  }
+  if (u == "m" || u == "min" || u == "mins" || u == "minute" ||
+      u == "minutes") {
+    return kMinute;
+  }
+  if (u == "h" || u == "hour" || u == "hours") return kHour;
+  if (u == "d" || u == "day" || u == "days") return kDay;
+  return Status::ParseError("unknown time unit '" + unit + "'");
+}
+
+Result<Duration> ParseDuration(const std::string& text) {
+  std::istringstream is(text);
+  double count = 0;
+  std::string unit;
+  if (!(is >> count)) {
+    return Status::ParseError("bad duration '" + text + "'");
+  }
+  if (!(is >> unit)) unit = "s";
+  SAQL_ASSIGN_OR_RETURN(Duration u, ParseTimeUnit(unit));
+  return static_cast<Duration>(count * static_cast<double>(u));
+}
+
+std::string FormatDuration(Duration d) {
+  auto render = [](double v, const char* unit) {
+    char buf[64];
+    if (v == static_cast<int64_t>(v)) {
+      std::snprintf(buf, sizeof(buf), "%lld%s",
+                    static_cast<long long>(v), unit);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.3g%s", v, unit);
+    }
+    return std::string(buf);
+  };
+  if (d >= kHour) return render(static_cast<double>(d) / kHour, "h");
+  if (d >= kMinute) return render(static_cast<double>(d) / kMinute, "min");
+  if (d >= kSecond) return render(static_cast<double>(d) / kSecond, "s");
+  if (d >= kMillisecond) {
+    return render(static_cast<double>(d) / kMillisecond, "ms");
+  }
+  if (d >= kMicrosecond) {
+    return render(static_cast<double>(d) / kMicrosecond, "us");
+  }
+  return render(static_cast<double>(d), "ns");
+}
+
+std::string FormatTimestamp(Timestamp ts) {
+  std::time_t secs = static_cast<std::time_t>(ts / kSecond);
+  int64_t millis = (ts % kSecond) / kMillisecond;
+  if (millis < 0) {
+    millis += 1000;
+    secs -= 1;
+  }
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%03d",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,
+                static_cast<int>(millis));
+  return std::string(buf);
+}
+
+}  // namespace saql

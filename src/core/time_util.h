@@ -1,0 +1,42 @@
+#ifndef SAQL_CORE_TIME_UTIL_H_
+#define SAQL_CORE_TIME_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/result.h"
+
+namespace saql {
+
+/// Event time in nanoseconds since the Unix epoch. All stream processing is
+/// event-time based; wall-clock time only matters to the replayer's pacing.
+using Timestamp = int64_t;
+
+/// A span of event time in nanoseconds.
+using Duration = int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1000 * kNanosecond;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+inline constexpr Duration kMinute = 60 * kSecond;
+inline constexpr Duration kHour = 60 * kMinute;
+inline constexpr Duration kDay = 24 * kHour;
+
+/// Parses a duration unit name as it appears in `#time(...)` window specs:
+/// "ns", "us", "ms", "s"/"sec"/"second"/"seconds", "min"/"minute"/"minutes",
+/// "h"/"hour"/"hours", "d"/"day"/"days".
+Result<Duration> ParseTimeUnit(const std::string& unit);
+
+/// Parses "<number> <unit>" (e.g., "10 min", "30 s") into a duration.
+Result<Duration> ParseDuration(const std::string& text);
+
+/// Renders a duration compactly, e.g., "10min", "1.5s", "250ms".
+std::string FormatDuration(Duration d);
+
+/// Renders a timestamp as "YYYY-MM-DD HH:MM:SS.mmm" (UTC).
+std::string FormatTimestamp(Timestamp ts);
+
+}  // namespace saql
+
+#endif  // SAQL_CORE_TIME_UTIL_H_

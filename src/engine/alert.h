@@ -1,0 +1,49 @@
+#ifndef SAQL_ENGINE_ALERT_H_
+#define SAQL_ENGINE_ALERT_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/time_util.h"
+#include "core/value.h"
+#include "stream/window.h"
+
+namespace saql {
+
+/// One detection alert, produced when a query's alert condition holds (or,
+/// for rule-based queries without an explicit `alert`, when the event
+/// pattern fully matches).
+struct Alert {
+  /// Name of the query that fired.
+  std::string query_name;
+  /// Event time of the alert: match completion time for rule queries,
+  /// window end for stateful queries.
+  Timestamp ts = 0;
+  /// The window that triggered (stateful queries only).
+  std::optional<TimeWindow> window;
+  /// Rendered group key ("sqlservr.exe" or "10.2.0.9"); empty for rule
+  /// queries.
+  std::string group;
+  /// The `return` clause items: label → value.
+  std::vector<std::pair<std::string, Value>> values;
+
+  /// One-line rendering for the CLI.
+  std::string ToString() const {
+    std::string out = "[" + FormatTimestamp(ts) + "] ALERT " + query_name;
+    if (!group.empty()) out += " group=" + group;
+    for (const auto& [label, value] : values) {
+      out += " " + label + "=" + value.ToString();
+    }
+    return out;
+  }
+};
+
+/// Receives alerts as they fire. Must be cheap; called on the stream path.
+using AlertSink = std::function<void(const Alert&)>;
+
+}  // namespace saql
+
+#endif  // SAQL_ENGINE_ALERT_H_

@@ -1,0 +1,70 @@
+#include "engine/cluster_stage.h"
+
+#include "anomaly/dbscan.h"
+
+namespace saql {
+
+std::vector<ClusterOutcome> RunClusterStage(
+    const AnalyzedQuery& aq, const std::vector<ClusterGroupInput>& groups,
+    const std::function<void(const Status&)>& on_error) {
+  std::vector<ClusterOutcome> outcomes(groups.size());
+  const ClusterSpec& spec = *aq.query->cluster;
+
+  // One point per group; track which groups produced a usable point.
+  std::vector<ClusterPoint> points;
+  std::vector<size_t> point_group;  // point index -> group index
+  points.reserve(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    WindowEvalContext ctx(aq, groups[g].history, groups[g].key_values,
+                          groups[g].invariant_env, nullptr);
+    ClusterPoint p;
+    p.reserve(spec.points.size());
+    bool ok = true;
+    for (const ExprPtr& dim : spec.points) {
+      Result<Value> v = EvaluateExpr(*dim, ctx);
+      if (!v.ok()) {
+        on_error(v.status());
+        ok = false;
+        break;
+      }
+      Result<double> d = v->ToDouble();
+      if (!d.ok()) {
+        // A null dimension (e.g., avg over an empty window) silently
+        // excludes the group; only true errors are reported above.
+        if (!v->is_null()) on_error(d.status());
+        ok = false;
+        break;
+      }
+      p.push_back(*d);
+    }
+    if (ok) {
+      points.push_back(std::move(p));
+      point_group.push_back(g);
+    }
+  }
+
+  if (points.empty()) return outcomes;
+
+  Dbscan dbscan(aq.cluster_method.eps,
+                static_cast<size_t>(aq.cluster_method.min_pts),
+                aq.cluster_method.euclidean ? DistanceMetric::kEuclidean
+                                            : DistanceMetric::kManhattan);
+  DbscanResult r = dbscan.Run(points);
+
+  std::vector<int> cluster_sizes(static_cast<size_t>(r.num_clusters), 0);
+  for (int label : r.labels) {
+    if (label >= 0) ++cluster_sizes[static_cast<size_t>(label)];
+  }
+  for (size_t i = 0; i < points.size(); ++i) {
+    ClusterOutcome& o = outcomes[point_group[i]];
+    o.valid = true;
+    o.outlier = r.IsOutlier(i);
+    o.cluster_id = r.labels[i];
+    o.cluster_size =
+        r.labels[i] >= 0 ? cluster_sizes[static_cast<size_t>(r.labels[i])]
+                         : 0;
+  }
+  return outcomes;
+}
+
+}  // namespace saql

@@ -1,0 +1,37 @@
+#ifndef SAQL_ENGINE_CLUSTER_STAGE_H_
+#define SAQL_ENGINE_CLUSTER_STAGE_H_
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "core/value.h"
+#include "engine/eval_contexts.h"
+#include "parser/analyzer.h"
+
+namespace saql {
+
+/// Inputs of the cluster stage for one group at window close: enough
+/// context to evaluate the query's `points=` expressions for that group.
+struct ClusterGroupInput {
+  const std::deque<WindowState>* history = nullptr;
+  const std::vector<Value>* key_values = nullptr;
+  const std::vector<Value>* invariant_env = nullptr;  ///< may be null
+};
+
+/// Executes the query's `cluster(...)` stage over all groups that closed in
+/// the same window (the paper's peer comparison, Query 4): evaluates one
+/// point per group from the `points=` expressions, clusters them with
+/// DBSCAN under the configured distance metric, and reports per-group
+/// outcomes.
+///
+/// Groups whose point expressions fail to evaluate to numbers get an
+/// invalid outcome (their `cluster.*` attributes read as null) and are
+/// excluded from the clustering; `on_error` is invoked for each.
+std::vector<ClusterOutcome> RunClusterStage(
+    const AnalyzedQuery& aq, const std::vector<ClusterGroupInput>& groups,
+    const std::function<void(const Status&)>& on_error);
+
+}  // namespace saql
+
+#endif  // SAQL_ENGINE_CLUSTER_STAGE_H_

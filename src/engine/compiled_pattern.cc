@@ -1,0 +1,105 @@
+#include "engine/compiled_pattern.h"
+
+#include "core/string_util.h"
+
+namespace saql {
+
+CompiledConstraint::CompiledConstraint(std::string field, ConstraintOp op,
+                                       Value value)
+    : field_(std::move(field)), op_(op), value_(std::move(value)) {
+  if (value_.is_string() &&
+      (op_ == ConstraintOp::kEq || op_ == ConstraintOp::kNe)) {
+    like_.emplace(value_.AsString());
+  }
+}
+
+bool CompiledConstraint::CompareResolved(const Value& actual) const {
+  if (actual.is_null()) return false;
+  switch (op_) {
+    case ConstraintOp::kEq:
+      if (like_.has_value() && actual.is_string()) {
+        return like_->Matches(actual.AsString());
+      }
+      return actual.Equals(value_);
+    case ConstraintOp::kNe:
+      if (like_.has_value() && actual.is_string()) {
+        return !like_->Matches(actual.AsString());
+      }
+      return !actual.Equals(value_);
+    case ConstraintOp::kLt:
+    case ConstraintOp::kLe:
+    case ConstraintOp::kGt:
+    case ConstraintOp::kGe: {
+      Result<int> c = actual.Compare(value_);
+      if (!c.ok()) return false;
+      switch (op_) {
+        case ConstraintOp::kLt:
+          return *c < 0;
+        case ConstraintOp::kLe:
+          return *c <= 0;
+        case ConstraintOp::kGt:
+          return *c > 0;
+        default:
+          return *c >= 0;
+      }
+    }
+  }
+  return false;
+}
+
+bool CompiledConstraint::MatchesEntity(const Event& event,
+                                       EntityRole role) const {
+  Result<Value> v = GetEntityField(event, role, field_);
+  if (!v.ok()) return false;
+  return CompareResolved(*v);
+}
+
+bool CompiledConstraint::MatchesEvent(const Event& event) const {
+  Result<Value> v = GetEventField(event, field_);
+  if (!v.ok()) return false;
+  return CompareResolved(*v);
+}
+
+CompiledPattern::CompiledPattern(const EventPatternDecl& decl)
+    : ops_(decl.ops), object_type_(decl.object.type) {
+  for (const AttrConstraint& c : decl.subject.constraints) {
+    subject_constraints_.emplace_back(c.field, c.op, c.value);
+  }
+  for (const AttrConstraint& c : decl.object.constraints) {
+    object_constraints_.emplace_back(c.field, c.op, c.value);
+  }
+}
+
+bool CompiledPattern::Matches(const Event& event) const {
+  if (!StructuralMatch(event)) return false;
+  for (const CompiledConstraint& c : subject_constraints_) {
+    if (!c.MatchesEntity(event, EntityRole::kSubject)) return false;
+  }
+  for (const CompiledConstraint& c : object_constraints_) {
+    if (!c.MatchesEntity(event, EntityRole::kObject)) return false;
+  }
+  return true;
+}
+
+std::string CompiledPattern::StructuralSignature() const {
+  return std::string("proc|") + std::to_string(ops_) + "|" +
+         EntityTypeName(object_type_);
+}
+
+std::string EntityKeyOf(const Event& event, EntityRole role) {
+  if (role == EntityRole::kSubject) {
+    return event.agent_id + "/p" + std::to_string(event.subject.pid);
+  }
+  switch (event.object_type) {
+    case EntityType::kProcess:
+      return event.agent_id + "/p" + std::to_string(event.obj_proc.pid);
+    case EntityType::kFile:
+      return event.agent_id + "/f" + ToLower(event.obj_file.path);
+    case EntityType::kNetwork:
+      return "n" + event.obj_net.dst_ip + ":" +
+             std::to_string(event.obj_net.dst_port);
+  }
+  return "?";
+}
+
+}  // namespace saql

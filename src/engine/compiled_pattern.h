@@ -1,0 +1,80 @@
+#ifndef SAQL_ENGINE_COMPILED_PATTERN_H_
+#define SAQL_ENGINE_COMPILED_PATTERN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/event.h"
+#include "core/field_access.h"
+#include "core/like_matcher.h"
+#include "parser/ast.h"
+
+namespace saql {
+
+/// One compiled attribute predicate: `field op value`, with string equality
+/// pre-compiled to a `LikeMatcher` so the per-event hot path avoids pattern
+/// re-parsing.
+class CompiledConstraint {
+ public:
+  CompiledConstraint(std::string field, ConstraintOp op, Value value);
+
+  /// Evaluates against the entity playing `role` in `event`.
+  bool MatchesEntity(const Event& event, EntityRole role) const;
+
+  /// Evaluates against a whole-event attribute (global constraints).
+  bool MatchesEvent(const Event& event) const;
+
+  const std::string& field() const { return field_; }
+
+ private:
+  bool CompareResolved(const Value& actual) const;
+
+  std::string field_;
+  ConstraintOp op_;
+  Value value_;
+  std::optional<LikeMatcher> like_;  ///< set for string eq/ne constraints
+};
+
+/// A fully compiled event pattern: structural shape (subject/object entity
+/// types + operation mask) plus attribute constraints for both sides.
+///
+/// `StructuralMatch` is the cheap test the concurrent-query scheduler
+/// shares across a query group; `Matches` adds the per-query constraints.
+class CompiledPattern {
+ public:
+  explicit CompiledPattern(const EventPatternDecl& decl);
+
+  /// Type/operation shape only.
+  bool StructuralMatch(const Event& event) const {
+    return OpMaskContains(ops_, event.op) &&
+           event.object_type == object_type_;
+  }
+
+  /// Shape plus subject and object attribute constraints.
+  bool Matches(const Event& event) const;
+
+  OpMask ops() const { return ops_; }
+  EntityType object_type() const { return object_type_; }
+
+  /// A stable signature of the structural shape, used to group compatible
+  /// queries ("proc|start|proc").
+  std::string StructuralSignature() const;
+
+ private:
+  OpMask ops_;
+  EntityType object_type_;
+  std::vector<CompiledConstraint> subject_constraints_;
+  std::vector<CompiledConstraint> object_constraints_;
+};
+
+/// Identity key of the entity playing `role` in `event`; shared pattern
+/// variables (the paper's `f1` appearing in two patterns) require equal
+/// keys. Processes are identified by (host, pid), files by (host, path),
+/// network connections by their remote endpoint.
+std::string EntityKeyOf(const Event& event, EntityRole role);
+
+}  // namespace saql
+
+#endif  // SAQL_ENGINE_COMPILED_PATTERN_H_

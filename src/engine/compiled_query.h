@@ -1,0 +1,133 @@
+#ifndef SAQL_ENGINE_COMPILED_QUERY_H_
+#define SAQL_ENGINE_COMPILED_QUERY_H_
+
+#include <deque>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/alert.h"
+#include "engine/compiled_pattern.h"
+#include "engine/error_reporter.h"
+#include "engine/eval_contexts.h"
+#include "engine/multievent_matcher.h"
+#include "engine/state_maintainer.h"
+#include "parser/analyzer.h"
+#include "stream/stream_executor.h"
+
+namespace saql {
+
+/// An executable SAQL query: the full pipeline from stream events to
+/// alerts. Wraps the multievent matcher, state maintainer, invariant
+/// trainer, cluster stage, and alert evaluation behind the
+/// `EventProcessor` interface so it can subscribe to a `StreamExecutor`
+/// directly or through a scheduler group.
+class CompiledQuery : public EventProcessor {
+ public:
+  struct Options {
+    /// Horizon for rule-query partial matches without a window.
+    Duration match_horizon = 24 * kHour;
+    size_t max_partial_matches = 100000;
+    /// Minimum event-time spacing between alerts of the same (query,
+    /// group) pair; 0 disables. Controls alert fatigue for continuously
+    /// firing stateful queries (a production SOC requirement: the first
+    /// detection matters, the 500th repeat does not).
+    Duration alert_cooldown = 0;
+  };
+
+  struct QueryStats {
+    uint64_t events_in = 0;
+    uint64_t events_past_global = 0;  ///< passed global constraints
+    uint64_t matches = 0;             ///< complete pattern matches
+    uint64_t windows_closed = 0;
+    uint64_t alerts = 0;
+    uint64_t eval_errors = 0;
+  };
+
+  /// Compiles an analyzed query. `name` identifies the query in alerts and
+  /// error reports.
+  static Result<std::unique_ptr<CompiledQuery>> Create(
+      AnalyzedQueryPtr aq, std::string name, Options options);
+  static Result<std::unique_ptr<CompiledQuery>> Create(AnalyzedQueryPtr aq,
+                                                       std::string name) {
+    return Create(std::move(aq), std::move(name), Options{});
+  }
+
+  /// Sets the alert destination (required before running).
+  void SetAlertSink(AlertSink sink) { sink_ = std::move(sink); }
+
+  /// Attaches a shared error reporter (optional; errors are counted in
+  /// stats regardless).
+  void SetErrorReporter(ErrorReporter* reporter) { reporter_ = reporter; }
+
+  // EventProcessor:
+  void OnEvent(const Event& event) override;
+  void OnWatermark(Timestamp ts) override;
+  void OnFinish() override;
+
+  /// True when `event` matches the structural shape of any pattern (used by
+  /// the concurrent-query scheduler's shared master filter).
+  bool StructuralMatchAny(const Event& event) const;
+
+  const std::string& name() const { return name_; }
+  const AnalyzedQuery& analyzed() const { return *aq_; }
+  const QueryStats& stats() const { return stats_; }
+
+  /// Signature of the query's structural shape; queries with equal
+  /// signatures are semantically compatible for scheduler grouping.
+  std::string GroupSignature() const;
+
+ private:
+  CompiledQuery(AnalyzedQueryPtr aq, std::string name, Options options);
+
+  Status Init();
+
+  /// Rule-query path: a complete pattern match arrived.
+  void EmitRuleMatch(const PatternMatch& match);
+
+  /// Stateful path: one window closed with its groups.
+  void OnWindowClose(const TimeWindow& window,
+                     std::vector<StateMaintainer::ClosedGroup>& groups);
+
+  void ReportError(const Status& status);
+
+  /// Per-group retained state across windows.
+  struct GroupHistory {
+    std::deque<WindowState> history;  ///< front = newest closed window
+    std::vector<Value> key_values;
+    std::vector<Value> invariant_env;  ///< by invariant var index
+    size_t windows_seen = 0;
+  };
+
+  /// Runs invariant init statements for a new group.
+  void InitInvariantEnv(GroupHistory* gh);
+  /// Runs invariant update statements for one group.
+  void UpdateInvariant(GroupHistory* gh);
+
+  /// Applies the cooldown policy; returns false when the alert should be
+  /// suppressed.
+  bool PassesCooldown(const std::string& group, Timestamp ts);
+
+  AnalyzedQueryPtr aq_;
+  std::string name_;
+  Options options_;
+  AlertSink sink_;
+  ErrorReporter* reporter_ = nullptr;
+  std::unordered_map<std::string, Timestamp> last_alert_ts_;
+
+  std::vector<CompiledConstraint> global_constraints_;
+  std::vector<CompiledPattern> patterns_;
+  std::unique_ptr<MultieventMatcher> matcher_;  ///< multi-pattern queries
+  std::unique_ptr<StateMaintainer> state_;      ///< stateful queries
+  std::unordered_map<std::string, GroupHistory> groups_;
+  std::set<std::string> distinct_seen_;  ///< for `return distinct`
+
+  QueryStats stats_;
+  std::vector<PatternMatch> scratch_matches_;
+};
+
+}  // namespace saql
+
+#endif  // SAQL_ENGINE_COMPILED_QUERY_H_

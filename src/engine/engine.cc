@@ -1,0 +1,72 @@
+#include "engine/engine.h"
+
+#include "parser/analyzer.h"
+
+namespace saql {
+
+SaqlEngine::SaqlEngine(Options options)
+    : options_(options),
+      scheduler_(ConcurrentQueryScheduler::Options{
+          options.enable_grouping}) {
+  sink_ = [this](const Alert& a) { alerts_.push_back(a); };
+}
+
+Status SaqlEngine::AddQuery(const std::string& text,
+                            const std::string& name) {
+  SAQL_ASSIGN_OR_RETURN(AnalyzedQueryPtr aq, CompileSaql(text));
+  return AddAnalyzedQuery(std::move(aq), name);
+}
+
+Status SaqlEngine::AddAnalyzedQuery(AnalyzedQueryPtr aq,
+                                    const std::string& name) {
+  if (ran_) {
+    return Status::InvalidArgument(
+        "cannot add queries after the engine has run");
+  }
+  for (const auto& q : queries_) {
+    if (q->name() == name) {
+      return Status::AlreadyExists("query '" + name +
+                                   "' is already registered");
+    }
+  }
+  SAQL_ASSIGN_OR_RETURN(
+      std::unique_ptr<CompiledQuery> q,
+      CompiledQuery::Create(std::move(aq), name, options_.query_options));
+  q->SetErrorReporter(&errors_);
+  q->SetAlertSink([this](const Alert& a) { sink_(a); });
+  queries_.push_back(std::move(q));
+  return Status::Ok();
+}
+
+void SaqlEngine::SetAlertSink(AlertSink sink) { sink_ = std::move(sink); }
+
+Status SaqlEngine::Run(EventSource* source) {
+  if (ran_) {
+    return Status::InvalidArgument("engine already ran");
+  }
+  if (queries_.empty()) {
+    return Status::InvalidArgument("no queries registered");
+  }
+  ran_ = true;
+  for (auto& q : queries_) {
+    scheduler_.AddQuery(q.get());
+  }
+  scheduler_.BuildGroups();
+  for (QueryGroup* g : scheduler_.groups()) {
+    executor_.Subscribe(g);
+  }
+  executor_.Run(source, options_.batch_size);
+  return Status::Ok();
+}
+
+std::vector<std::pair<std::string, CompiledQuery::QueryStats>>
+SaqlEngine::query_stats() const {
+  std::vector<std::pair<std::string, CompiledQuery::QueryStats>> out;
+  out.reserve(queries_.size());
+  for (const auto& q : queries_) {
+    out.emplace_back(q->name(), q->stats());
+  }
+  return out;
+}
+
+}  // namespace saql

@@ -1,0 +1,83 @@
+#ifndef SAQL_ENGINE_ENGINE_H_
+#define SAQL_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/alert.h"
+#include "engine/compiled_query.h"
+#include "engine/error_reporter.h"
+#include "engine/scheduler.h"
+#include "stream/event_source.h"
+#include "stream/stream_executor.h"
+
+namespace saql {
+
+/// The SAQL anomaly query engine (Fig. 1 of the paper): the public facade
+/// tying together the parser, multievent matcher, state maintainer,
+/// concurrent query scheduler, and error reporter.
+///
+/// Typical use:
+/// ```
+///   SaqlEngine engine;
+///   engine.SetAlertSink([](const Alert& a) { std::cout << a.ToString(); });
+///   auto st = engine.AddQuery(query_text, "exfiltration");
+///   engine.Run(&source);
+/// ```
+class SaqlEngine {
+ public:
+  struct Options {
+    /// Group compatible queries under the master-dependent-query scheme.
+    bool enable_grouping = true;
+    /// Compiled-query tuning.
+    CompiledQuery::Options query_options;
+    /// Events pulled from the source per batch.
+    size_t batch_size = 1024;
+  };
+
+  SaqlEngine() : SaqlEngine(Options{}) {}
+  explicit SaqlEngine(Options options);
+
+  /// Parses, analyzes, and registers a query. The name must be unique; it
+  /// labels alerts and error reports.
+  Status AddQuery(const std::string& text, const std::string& name);
+
+  /// Registers an already-analyzed query.
+  Status AddAnalyzedQuery(AnalyzedQueryPtr aq, const std::string& name);
+
+  /// All alerts are delivered here. Defaults to buffering in `alerts()`.
+  void SetAlertSink(AlertSink sink);
+
+  /// Runs the engine over `source` until exhaustion. May be called once
+  /// per engine instance (queries carry stream state).
+  Status Run(EventSource* source);
+
+  /// Buffered alerts (only when no custom sink was installed).
+  const std::vector<Alert>& alerts() const { return alerts_; }
+
+  const ErrorReporter& errors() const { return errors_; }
+  const ExecutorStats& executor_stats() const { return executor_.stats(); }
+
+  size_t num_queries() const { return queries_.size(); }
+  size_t num_groups() const { return scheduler_.num_groups(); }
+  double forward_ratio() const { return scheduler_.ForwardRatio(); }
+
+  /// Per-query statistics, by registration order.
+  std::vector<std::pair<std::string, CompiledQuery::QueryStats>>
+  query_stats() const;
+
+ private:
+  Options options_;
+  std::vector<std::unique_ptr<CompiledQuery>> queries_;
+  ConcurrentQueryScheduler scheduler_;
+  StreamExecutor executor_;
+  ErrorReporter errors_;
+  AlertSink sink_;
+  std::vector<Alert> alerts_;
+  bool ran_ = false;
+};
+
+}  // namespace saql
+
+#endif  // SAQL_ENGINE_ENGINE_H_

@@ -1,0 +1,48 @@
+#include "engine/error_reporter.h"
+
+namespace saql {
+
+void ErrorReporter::Report(const std::string& query, const Status& status) {
+  if (status.ok()) return;
+  ++total_;
+  std::string key = query + "\x1f" + status.ToString();
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++entries_[it->second].count;
+    return;
+  }
+  if (entries_.size() >= max_entries_) {
+    ++overflow_;
+    return;
+  }
+  index_[key] = entries_.size();
+  entries_.push_back(Entry{query, status, 1});
+}
+
+std::vector<ErrorReporter::Entry> ErrorReporter::entries() const {
+  return entries_;
+}
+
+std::string ErrorReporter::ToString() const {
+  if (empty()) return "(no errors)";
+  std::string out;
+  for (const Entry& e : entries_) {
+    out += "[" + e.query + "] " + e.status.ToString();
+    if (e.count > 1) out += " (x" + std::to_string(e.count) + ")";
+    out += "\n";
+  }
+  if (overflow_ > 0) {
+    out += "... and " + std::to_string(overflow_) +
+           " more distinct errors (table full)\n";
+  }
+  return out;
+}
+
+void ErrorReporter::Clear() {
+  total_ = 0;
+  overflow_ = 0;
+  index_.clear();
+  entries_.clear();
+}
+
+}  // namespace saql

@@ -1,0 +1,74 @@
+#include "engine/scheduler.h"
+
+namespace saql {
+
+void QueryGroup::OnEvent(const Event& event) {
+  ++stats_.events_in;
+  if (members_.empty()) return;
+  // Master filter: the structural shape is shared by every member, so the
+  // first member's patterns decide for the whole group.
+  if (!members_.front()->StructuralMatchAny(event)) return;
+  ++stats_.events_forwarded;
+  for (CompiledQuery* q : members_) {
+    ++stats_.member_deliveries;
+    q->OnEvent(event);
+  }
+}
+
+void QueryGroup::OnWatermark(Timestamp ts) {
+  for (CompiledQuery* q : members_) {
+    q->OnWatermark(ts);
+  }
+}
+
+void QueryGroup::OnFinish() {
+  for (CompiledQuery* q : members_) {
+    q->OnFinish();
+  }
+}
+
+void ConcurrentQueryScheduler::AddQuery(CompiledQuery* query) {
+  queries_.push_back(query);
+}
+
+void ConcurrentQueryScheduler::BuildGroups() {
+  groups_.clear();
+  if (!options_.enable_grouping) {
+    for (CompiledQuery* q : queries_) {
+      auto group = std::make_unique<QueryGroup>(q->name());
+      group->AddMember(q);
+      groups_.push_back(std::move(group));
+    }
+    return;
+  }
+  std::map<std::string, QueryGroup*> by_signature;
+  for (CompiledQuery* q : queries_) {
+    std::string sig = q->GroupSignature();
+    auto it = by_signature.find(sig);
+    if (it == by_signature.end()) {
+      auto group = std::make_unique<QueryGroup>(sig);
+      it = by_signature.emplace(sig, group.get()).first;
+      groups_.push_back(std::move(group));
+    }
+    it->second->AddMember(q);
+  }
+}
+
+std::vector<QueryGroup*> ConcurrentQueryScheduler::groups() {
+  std::vector<QueryGroup*> out;
+  out.reserve(groups_.size());
+  for (auto& g : groups_) out.push_back(g.get());
+  return out;
+}
+
+double ConcurrentQueryScheduler::ForwardRatio() const {
+  uint64_t in = 0, forwarded = 0;
+  for (const auto& g : groups_) {
+    in += g->stats().events_in;
+    forwarded += g->stats().events_forwarded;
+  }
+  if (in == 0) return 0.0;
+  return static_cast<double>(forwarded) / static_cast<double>(in);
+}
+
+}  // namespace saql

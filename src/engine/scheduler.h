@@ -1,0 +1,95 @@
+#ifndef SAQL_ENGINE_SCHEDULER_H_
+#define SAQL_ENGINE_SCHEDULER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/compiled_query.h"
+#include "stream/stream_executor.h"
+
+namespace saql {
+
+/// A group of semantically compatible queries under the paper's
+/// master-dependent-query scheme (§II-C). Queries whose event patterns
+/// share the same structural shape (subject type, operation set, object
+/// type per pattern) are grouped; the group subscribes to the stream
+/// *once*, the master's structural matcher filters events, and only events
+/// that structurally match are handed to the member queries — which then
+/// apply their residual attribute constraints.
+///
+/// This is where the scheme's saving comes from: N compatible queries cost
+/// one stream subscription and one structural match per event instead of
+/// N full evaluations of irrelevant events.
+class QueryGroup : public EventProcessor {
+ public:
+  struct GroupStats {
+    uint64_t events_in = 0;
+    uint64_t events_forwarded = 0;   ///< passed the shared master filter
+    uint64_t member_deliveries = 0;  ///< events handed to member queries
+  };
+
+  explicit QueryGroup(std::string signature)
+      : signature_(std::move(signature)) {}
+
+  /// Adds a member. The first member becomes the master whose structural
+  /// shape drives the shared filter (all members share it by construction).
+  void AddMember(CompiledQuery* query) { members_.push_back(query); }
+
+  void OnEvent(const Event& event) override;
+  void OnWatermark(Timestamp ts) override;
+  void OnFinish() override;
+
+  const std::string& signature() const { return signature_; }
+  size_t size() const { return members_.size(); }
+  const CompiledQuery* master() const {
+    return members_.empty() ? nullptr : members_.front();
+  }
+  const GroupStats& stats() const { return stats_; }
+
+ private:
+  std::string signature_;
+  std::vector<CompiledQuery*> members_;
+  GroupStats stats_;
+};
+
+/// The paper's concurrent query scheduler: divides registered queries into
+/// compatibility groups and exposes one `EventProcessor` per group. With
+/// grouping disabled every query becomes its own group — the baseline the
+/// evaluation compares against (one data copy per query).
+class ConcurrentQueryScheduler {
+ public:
+  struct Options {
+    bool enable_grouping = true;
+  };
+
+  ConcurrentQueryScheduler() : ConcurrentQueryScheduler(Options{}) {}
+  explicit ConcurrentQueryScheduler(Options options) : options_(options) {}
+
+  /// Registers a compiled query (not owned; must outlive the scheduler).
+  void AddQuery(CompiledQuery* query);
+
+  /// Builds groups from the registered queries. Must be called after all
+  /// AddQuery calls and before `groups()`.
+  void BuildGroups();
+
+  /// The processors to subscribe to the stream executor.
+  std::vector<QueryGroup*> groups();
+
+  size_t num_queries() const { return queries_.size(); }
+  size_t num_groups() const { return groups_.size(); }
+
+  /// Events forwarded to members across groups / events seen — the measure
+  /// of how much stream data the scheme filtered out before per-query work.
+  double ForwardRatio() const;
+
+ private:
+  Options options_;
+  std::vector<CompiledQuery*> queries_;
+  std::vector<std::unique_ptr<QueryGroup>> groups_;
+};
+
+}  // namespace saql
+
+#endif  // SAQL_ENGINE_SCHEDULER_H_

@@ -1,0 +1,578 @@
+#include "parser/analyzer.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+#include "core/string_util.h"
+#include "parser/parser.h"
+
+namespace saql {
+
+namespace {
+
+Status SemErr(SourceLoc loc, const std::string& msg) {
+  return Status::SemanticError(loc.ToString() + ": " + msg);
+}
+
+/// Context in which an expression is being checked; controls which
+/// references are legal.
+struct ExprContext {
+  const AnalyzedQuery* aq = nullptr;
+  bool in_state_field = false;  ///< aggregates legal, event refs legal
+  bool in_alert = false;        ///< state/invariant/cluster refs legal
+  bool in_invariant = false;    ///< invariant vars + ss refs legal
+};
+
+class AnalyzerImpl {
+ public:
+  explicit AnalyzerImpl(Query query)
+      : owned_(std::make_shared<Query>(std::move(query))) {}
+
+  Result<AnalyzedQueryPtr> Run() {
+    auto aq = std::make_shared<AnalyzedQuery>();
+    aq_ = aq.get();
+    aq->query = owned_;
+
+    SAQL_RETURN_IF_ERROR(CollectBindings());
+    SAQL_RETURN_IF_ERROR(CheckGlobalConstraints());
+    SAQL_RETURN_IF_ERROR(CheckPatternConstraints());
+    SAQL_RETURN_IF_ERROR(ResolveTemporal());
+    SAQL_RETURN_IF_ERROR(CheckWindowRequirements());
+    SAQL_RETURN_IF_ERROR(AnalyzeState());
+    SAQL_RETURN_IF_ERROR(AnalyzeInvariant());
+    SAQL_RETURN_IF_ERROR(AnalyzeCluster());
+    SAQL_RETURN_IF_ERROR(AnalyzeAlertAndReturn());
+    return AnalyzedQueryPtr(std::move(aq));
+  }
+
+ private:
+  const Query& query() const { return *owned_; }
+
+  Status CollectBindings() {
+    std::set<std::string> seen_aliases;
+    for (int i = 0; i < static_cast<int>(query().patterns.size()); ++i) {
+      const EventPatternDecl& p = query().patterns[i];
+      if (!seen_aliases.insert(p.alias).second) {
+        return SemErr(p.loc, "duplicate event alias '" + p.alias + "'");
+      }
+      aq_->alias_to_pattern[p.alias] = i;
+
+      auto bind = [&](const EntityPattern& e, EntityRole role) -> Status {
+        EntityBinding b;
+        b.pattern_index = i;
+        b.role = role;
+        b.type = e.type;
+        auto& occurrences = aq_->entity_vars[e.var];
+        if (!occurrences.empty() && occurrences.front().type != e.type) {
+          return SemErr(e.loc, "variable '" + e.var +
+                                   "' bound to conflicting entity types");
+        }
+        occurrences.push_back(b);
+        return Status::Ok();
+      };
+      SAQL_RETURN_IF_ERROR(bind(p.subject, EntityRole::kSubject));
+      SAQL_RETURN_IF_ERROR(bind(p.object, EntityRole::kObject));
+      if (aq_->entity_vars.count(p.alias) != 0 &&
+          aq_->alias_to_pattern.count(p.alias) != 0 &&
+          aq_->entity_vars.find(p.alias) != aq_->entity_vars.end()) {
+        // A name used both as entity variable and event alias is ambiguous.
+        if (aq_->entity_vars[p.alias].size() > 0 &&
+            seen_aliases.count(p.alias) > 0 &&
+            (p.subject.var == p.alias || p.object.var == p.alias)) {
+          return SemErr(p.loc, "name '" + p.alias +
+                                   "' used as both entity variable and "
+                                   "event alias");
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status CheckGlobalConstraints() {
+    for (const AttrConstraint& c : query().global_constraints) {
+      if (!IsValidEventField(c.field)) {
+        return SemErr(c.loc, "unknown global constraint field '" + c.field +
+                                 "' (expected an event attribute such as "
+                                 "agentid)");
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status CheckPatternConstraints() {
+    for (const EventPatternDecl& p : query().patterns) {
+      for (const EntityPattern* e : {&p.subject, &p.object}) {
+        for (const AttrConstraint& c : e->constraints) {
+          if (!IsValidEntityField(e->type, c.field)) {
+            return SemErr(c.loc,
+                          std::string("entity type '") +
+                              EntityTypeName(e->type) +
+                              "' has no attribute '" + c.field + "'");
+          }
+        }
+      }
+      if (p.ops == 0) {
+        return SemErr(p.loc, "event pattern has no operation");
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status ResolveTemporal() {
+    if (!query().temporal.has_value()) {
+      // Without `with`, a multi-pattern match is unordered; keep declaration
+      // order for bookkeeping.
+      for (int i = 0; i < aq_->NumPatterns(); ++i) {
+        aq_->temporal_order.push_back(i);
+      }
+      aq_->ordered = false;
+      return Status::Ok();
+    }
+    const TemporalRelation& rel = *query().temporal;
+    std::set<std::string> seen;
+    for (const std::string& alias : rel.sequence) {
+      auto it = aq_->alias_to_pattern.find(alias);
+      if (it == aq_->alias_to_pattern.end()) {
+        return SemErr(rel.loc,
+                      "temporal relation references undeclared event '" +
+                          alias + "'");
+      }
+      if (!seen.insert(alias).second) {
+        return SemErr(rel.loc, "event '" + alias +
+                                   "' appears twice in temporal relation");
+      }
+      aq_->temporal_order.push_back(it->second);
+    }
+    // Patterns not named in `with` still must match; append them unordered.
+    for (int i = 0; i < aq_->NumPatterns(); ++i) {
+      if (std::find(aq_->temporal_order.begin(), aq_->temporal_order.end(),
+                    i) == aq_->temporal_order.end()) {
+        aq_->temporal_order.push_back(i);
+      }
+    }
+    aq_->temporal_gaps = rel.max_gaps;
+    aq_->ordered = true;
+    return Status::Ok();
+  }
+
+  Status CheckWindowRequirements() {
+    if (query().IsStateful() && !query().window.has_value()) {
+      return SemErr(query().state->loc,
+                    "stateful query requires a window specification "
+                    "(#time or #count)");
+    }
+    if (query().invariant.has_value() && !query().IsStateful()) {
+      return SemErr(query().invariant->loc,
+                    "invariant block requires a state block");
+    }
+    if (query().cluster.has_value() && !query().IsStateful()) {
+      return SemErr(query().cluster->loc,
+                    "cluster spec requires a state block");
+    }
+    return Status::Ok();
+  }
+
+  Status ResolveGroupKey(const GroupKey& key, ResolvedGroupKey* out) {
+    out->base = key.base;
+    out->spelling = key.ToString();
+    auto ent = aq_->entity_vars.find(key.base);
+    if (ent != aq_->entity_vars.end()) {
+      const EntityBinding& b = ent->second.front();
+      out->pattern_index = b.pattern_index;
+      out->source = b.role == EntityRole::kSubject
+                        ? ResolvedGroupKey::Source::kSubject
+                        : ResolvedGroupKey::Source::kObject;
+      out->field =
+          key.field.empty() ? DefaultFieldForEntity(b.type) : key.field;
+      if (!IsValidEntityField(b.type, out->field)) {
+        return SemErr(key.loc, std::string("entity type '") +
+                                   EntityTypeName(b.type) +
+                                   "' has no attribute '" + out->field + "'");
+      }
+      return Status::Ok();
+    }
+    auto alias = aq_->alias_to_pattern.find(key.base);
+    if (alias != aq_->alias_to_pattern.end()) {
+      if (key.field.empty()) {
+        return SemErr(key.loc, "group-by on an event alias needs a field "
+                               "(e.g. evt.agentid)");
+      }
+      if (!IsValidEventField(key.field)) {
+        return SemErr(key.loc,
+                      "event has no attribute '" + key.field + "'");
+      }
+      out->pattern_index = alias->second;
+      out->source = ResolvedGroupKey::Source::kEvent;
+      out->field = key.field;
+      return Status::Ok();
+    }
+    return SemErr(key.loc, "unknown group-by key '" + key.base + "'");
+  }
+
+  Status AnalyzeState() {
+    if (!query().IsStateful()) return Status::Ok();
+    const StateBlock& st = *query().state;
+    std::set<std::string> field_names;
+    for (int i = 0; i < static_cast<int>(st.fields.size()); ++i) {
+      const StateField& f = st.fields[i];
+      if (!field_names.insert(f.name).second) {
+        return SemErr(f.loc, "duplicate state field '" + f.name + "'");
+      }
+      aq_->state_field_index[f.name] = i;
+    }
+    for (const GroupKey& key : st.group_by) {
+      ResolvedGroupKey resolved;
+      SAQL_RETURN_IF_ERROR(ResolveGroupKey(key, &resolved));
+      aq_->group_keys.push_back(std::move(resolved));
+    }
+    // Check field expressions after the table is complete so a state field
+    // may not reference another (aggregates see raw events only).
+    ExprContext ctx;
+    ctx.aq = aq_;
+    ctx.in_state_field = true;
+    for (const StateField& f : st.fields) {
+      SAQL_RETURN_IF_ERROR(CheckExpr(*f.expr, ctx, /*agg_depth=*/0));
+      if (!ContainsAggregate(*f.expr)) {
+        return SemErr(f.loc, "state field '" + f.name +
+                                 "' must contain an aggregate call "
+                                 "(avg, sum, count, min, max, stddev, set, "
+                                 "count_distinct)");
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status AnalyzeInvariant() {
+    if (!query().invariant.has_value()) return Status::Ok();
+    const InvariantBlock& inv = *query().invariant;
+    if (inv.training_windows <= 0) {
+      return SemErr(inv.loc, "invariant training window count must be > 0");
+    }
+    std::set<std::string> declared;
+    for (const InvariantStmt& s : inv.stmts) {
+      if (s.is_init) {
+        if (!declared.insert(s.var).second) {
+          return SemErr(s.loc,
+                        "invariant variable '" + s.var + "' initialized twice");
+        }
+        aq_->invariant_vars.push_back(s.var);
+      } else if (declared.find(s.var) == declared.end()) {
+        return SemErr(s.loc, "invariant update of undeclared variable '" +
+                                 s.var + "' (initialize it with ':=')");
+      }
+    }
+    ExprContext ctx;
+    ctx.aq = aq_;
+    ctx.in_invariant = true;
+    for (const InvariantStmt& s : inv.stmts) {
+      SAQL_RETURN_IF_ERROR(CheckExpr(*s.expr, ctx, 0));
+    }
+    return Status::Ok();
+  }
+
+  Status AnalyzeCluster() {
+    if (!query().cluster.has_value()) return Status::Ok();
+    const ClusterSpec& spec = *query().cluster;
+    ClusterMethod method;
+    if (spec.distance == "ed") {
+      method.euclidean = true;
+    } else if (spec.distance == "md") {
+      method.euclidean = false;
+    } else {
+      return SemErr(spec.loc, "unknown distance metric '" + spec.distance +
+                                  "' (expected \"ed\" or \"md\")");
+    }
+    // Parse `DBSCAN(eps, minPts)`.
+    std::string m = Trim(spec.method);
+    size_t open = m.find('(');
+    size_t close = m.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      return SemErr(spec.loc, "malformed cluster method '" + spec.method +
+                                  "' (expected NAME(args))");
+    }
+    std::string name = ToLower(Trim(m.substr(0, open)));
+    std::vector<std::string> args =
+        Split(m.substr(open + 1, close - open - 1), ',');
+    if (name == "dbscan") {
+      method.kind = ClusterMethod::Kind::kDbscan;
+      if (args.size() != 2) {
+        return SemErr(spec.loc, "DBSCAN expects (eps, minPts)");
+      }
+      method.eps = std::strtod(Trim(args[0]).c_str(), nullptr);
+      method.min_pts =
+          static_cast<int>(std::strtol(Trim(args[1]).c_str(), nullptr, 10));
+      if (method.eps <= 0 || method.min_pts <= 0) {
+        return SemErr(spec.loc, "DBSCAN eps and minPts must be positive");
+      }
+    } else {
+      return SemErr(spec.loc,
+                    "unknown cluster method '" + name + "' (supported: "
+                    "DBSCAN)");
+    }
+    aq_->cluster_method = method;
+
+    ExprContext ctx;
+    ctx.aq = aq_;
+    ctx.in_alert = true;  // cluster points read window state like alerts do
+    for (const ExprPtr& p : spec.points) {
+      SAQL_RETURN_IF_ERROR(CheckExpr(*p, ctx, 0));
+    }
+    return Status::Ok();
+  }
+
+  Status AnalyzeAlertAndReturn() {
+    ExprContext ctx;
+    ctx.aq = aq_;
+    ctx.in_alert = true;
+    if (query().alert) {
+      SAQL_RETURN_IF_ERROR(CheckExpr(*query().alert, ctx, 0));
+    }
+    for (const ReturnItem& item : query().returns) {
+      SAQL_RETURN_IF_ERROR(CheckExpr(*item.expr, ctx, 0));
+    }
+    return Status::Ok();
+  }
+
+  bool ContainsAggregate(const Expr& e) const {
+    if (e.kind == ExprKind::kCall && IsAggregateFunction(ToLower(e.callee))) {
+      return true;
+    }
+    if (e.lhs && ContainsAggregate(*e.lhs)) return true;
+    if (e.rhs && ContainsAggregate(*e.rhs)) return true;
+    for (const ExprPtr& a : e.args) {
+      if (ContainsAggregate(*a)) return true;
+    }
+    return false;
+  }
+
+  /// Validates one reference expression against the query's symbol tables.
+  Status CheckRef(const Expr& e, const ExprContext& ctx) {
+    const Query& q = query();
+    const std::string& base = e.base;
+
+    // State variable reference (`ss[0].f`, `ss.f`).
+    if (q.IsStateful() && base == q.state->var) {
+      if (e.field.empty()) {
+        return SemErr(e.loc, "state reference needs a field (e.g. " + base +
+                                 ".field)");
+      }
+      if (aq_->state_field_index.find(e.field) ==
+          aq_->state_field_index.end()) {
+        return SemErr(e.loc, "state block has no field '" + e.field + "'");
+      }
+      int h = e.history.value_or(0);
+      if (h < 0 || h >= q.state->history) {
+        return SemErr(e.loc, "state history index " + std::to_string(h) +
+                                 " out of range (history size " +
+                                 std::to_string(q.state->history) + ")");
+      }
+      if (ctx.in_state_field) {
+        return SemErr(e.loc,
+                      "state fields cannot reference other state fields");
+      }
+      return Status::Ok();
+    }
+
+    // Cluster attribute (`cluster.outlier`).
+    if (base == "cluster" && q.cluster.has_value()) {
+      std::string f = ToLower(e.field);
+      if (f != "outlier" && f != "cluster_id" && f != "cluster_size") {
+        return SemErr(e.loc, "unknown cluster attribute '" + e.field +
+                                 "' (outlier, cluster_id, cluster_size)");
+      }
+      if (!ctx.in_alert) {
+        return SemErr(e.loc, "cluster attributes are only available in "
+                             "alert/return expressions");
+      }
+      return Status::Ok();
+    }
+
+    // Invariant variable.
+    if (std::find(aq_->invariant_vars.begin(), aq_->invariant_vars.end(),
+                  base) != aq_->invariant_vars.end()) {
+      if (!e.field.empty()) {
+        return SemErr(e.loc, "invariant variable '" + base +
+                                 "' has no attributes");
+      }
+      return Status::Ok();
+    }
+
+    // Entity variable.
+    auto ent = aq_->entity_vars.find(base);
+    if (ent != aq_->entity_vars.end()) {
+      const EntityBinding& b = ent->second.front();
+      std::string field =
+          e.field.empty() ? DefaultFieldForEntity(b.type) : e.field;
+      if (!IsValidEntityField(b.type, field)) {
+        return SemErr(e.loc, std::string("entity type '") +
+                                 EntityTypeName(b.type) +
+                                 "' has no attribute '" + field + "'");
+      }
+      // In stateful alert/return context an entity reference must match a
+      // group-by key: per-event values are gone once the window aggregates.
+      if (q.IsStateful() && (ctx.in_alert || ctx.in_invariant)) {
+        bool is_group_key = false;
+        for (const ResolvedGroupKey& k : aq_->group_keys) {
+          if (k.base == base &&
+              (e.field.empty() || ToLower(e.field) == k.field)) {
+            is_group_key = true;
+            break;
+          }
+        }
+        if (!is_group_key) {
+          return SemErr(e.loc,
+                        "reference '" + e.ToString() +
+                            "' in a stateful query must be a group-by key");
+        }
+      }
+      return Status::Ok();
+    }
+
+    // Event alias.
+    auto alias = aq_->alias_to_pattern.find(base);
+    if (alias != aq_->alias_to_pattern.end()) {
+      if (e.field.empty()) {
+        return SemErr(e.loc, "event reference needs a field (e.g. " + base +
+                                 ".amount)");
+      }
+      if (!IsValidEventField(e.field)) {
+        return SemErr(e.loc, "event has no attribute '" + e.field + "'");
+      }
+      if (q.IsStateful() && (ctx.in_alert || ctx.in_invariant)) {
+        bool is_group_key = false;
+        for (const ResolvedGroupKey& k : aq_->group_keys) {
+          if (k.base == base && ToLower(e.field) == k.field) {
+            is_group_key = true;
+            break;
+          }
+        }
+        if (!is_group_key) {
+          return SemErr(e.loc,
+                        "reference '" + e.ToString() +
+                            "' in a stateful query must be a group-by key");
+        }
+      }
+      return Status::Ok();
+    }
+
+    return SemErr(e.loc, "unknown name '" + base + "'");
+  }
+
+  Status CheckExpr(const Expr& e, const ExprContext& ctx, int agg_depth) {
+    switch (e.kind) {
+      case ExprKind::kLiteral:
+        return Status::Ok();
+      case ExprKind::kRef:
+        return CheckRef(e, ctx);
+      case ExprKind::kCall: {
+        std::string callee = ToLower(e.callee);
+        if (IsAggregateFunction(callee)) {
+          if (!ctx.in_state_field) {
+            return SemErr(e.loc, "aggregate '" + e.callee +
+                                     "' is only allowed in state fields");
+          }
+          if (agg_depth > 0) {
+            return SemErr(e.loc, "aggregates cannot be nested");
+          }
+          if (callee == "count") {
+            if (e.args.size() > 1) {
+              return SemErr(e.loc, "count() takes at most one argument");
+            }
+          } else if (e.args.size() != 1) {
+            return SemErr(e.loc, "aggregate '" + e.callee +
+                                     "' takes exactly one argument");
+          }
+          for (const ExprPtr& a : e.args) {
+            SAQL_RETURN_IF_ERROR(CheckAggArg(*a, ctx));
+          }
+          return Status::Ok();
+        }
+        if (callee == "all") {
+          return SemErr(e.loc,
+                        "all(...) is only valid as cluster points=...");
+        }
+        if (callee == "abs" || callee == "sqrt" || callee == "log" ||
+            callee == "exp") {
+          if (e.args.size() != 1) {
+            return SemErr(e.loc, "'" + e.callee + "' takes one argument");
+          }
+          return CheckExpr(*e.args[0], ctx, agg_depth);
+        }
+        if (callee == "min2" || callee == "max2" || callee == "pow") {
+          if (e.args.size() != 2) {
+            return SemErr(e.loc, "'" + e.callee + "' takes two arguments");
+          }
+          SAQL_RETURN_IF_ERROR(CheckExpr(*e.args[0], ctx, agg_depth));
+          return CheckExpr(*e.args[1], ctx, agg_depth);
+        }
+        return SemErr(e.loc, "unknown function '" + e.callee + "'");
+      }
+      case ExprKind::kBinary:
+        SAQL_RETURN_IF_ERROR(CheckExpr(*e.lhs, ctx, agg_depth));
+        return CheckExpr(*e.rhs, ctx, agg_depth);
+      case ExprKind::kUnary:
+        return CheckExpr(*e.lhs, ctx, agg_depth);
+    }
+    return Status::Internal("bad expr kind");
+  }
+
+  /// Inside an aggregate argument only event/entity references, literals,
+  /// and arithmetic are allowed.
+  Status CheckAggArg(const Expr& e, const ExprContext& ctx) {
+    switch (e.kind) {
+      case ExprKind::kLiteral:
+        return Status::Ok();
+      case ExprKind::kRef: {
+        // Must resolve to an entity variable or event alias, not state.
+        if (query().IsStateful() && e.base == query().state->var) {
+          return SemErr(e.loc,
+                        "aggregate arguments read events, not window state");
+        }
+        ExprContext inner = ctx;
+        inner.in_alert = false;
+        inner.in_invariant = false;
+        return CheckRef(e, inner);
+      }
+      case ExprKind::kCall:
+        if (IsAggregateFunction(ToLower(e.callee))) {
+          return SemErr(e.loc, "aggregates cannot be nested");
+        }
+        for (const ExprPtr& a : e.args) {
+          SAQL_RETURN_IF_ERROR(CheckAggArg(*a, ctx));
+        }
+        return Status::Ok();
+      case ExprKind::kBinary:
+        SAQL_RETURN_IF_ERROR(CheckAggArg(*e.lhs, ctx));
+        return CheckAggArg(*e.rhs, ctx);
+      case ExprKind::kUnary:
+        return CheckAggArg(*e.lhs, ctx);
+    }
+    return Status::Internal("bad expr kind");
+  }
+
+  std::shared_ptr<Query> owned_;
+  AnalyzedQuery* aq_ = nullptr;
+};
+
+}  // namespace
+
+bool IsAggregateFunction(const std::string& name) {
+  return name == "avg" || name == "sum" || name == "count" ||
+         name == "min" || name == "max" || name == "stddev" ||
+         name == "set" || name == "count_distinct" || name == "median" ||
+         name == "top";
+}
+
+Result<AnalyzedQueryPtr> AnalyzeQuery(Query query) {
+  AnalyzerImpl impl(std::move(query));
+  return impl.Run();
+}
+
+Result<AnalyzedQueryPtr> CompileSaql(const std::string& text) {
+  SAQL_ASSIGN_OR_RETURN(Query q, ParseSaql(text));
+  return AnalyzeQuery(std::move(q));
+}
+
+}  // namespace saql

@@ -1,0 +1,100 @@
+#ifndef SAQL_PARSER_ANALYZER_H_
+#define SAQL_PARSER_ANALYZER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/field_access.h"
+#include "core/result.h"
+#include "parser/ast.h"
+
+namespace saql {
+
+/// Where a variable occurrence binds inside an event pattern.
+struct EntityBinding {
+  int pattern_index = 0;
+  EntityRole role = EntityRole::kSubject;
+  EntityType type = EntityType::kProcess;
+};
+
+/// A group-by key resolved to a concrete event attribute.
+struct ResolvedGroupKey {
+  enum class Source { kSubject, kObject, kEvent };
+
+  int pattern_index = 0;
+  Source source = Source::kSubject;
+  std::string field;     ///< concrete attribute name (never empty)
+  std::string base;      ///< original variable / alias spelling
+  std::string spelling;  ///< `base` or `base.field` as written
+};
+
+/// Clustering configuration extracted from the raw `method=` string.
+struct ClusterMethod {
+  enum class Kind { kDbscan };
+
+  Kind kind = Kind::kDbscan;
+  double eps = 0.0;
+  int min_pts = 0;
+  bool euclidean = true;  ///< from distance= ("ed"); false = Manhattan ("md")
+};
+
+/// A validated query plus the symbol tables the execution engine needs.
+/// Produced by `AnalyzeQuery`; immutable afterwards.
+struct AnalyzedQuery {
+  QueryPtr query;
+
+  /// Entity variable → every pattern position it occurs in. Variables that
+  /// occur in several patterns (e.g. `f1` written by evt2 and read by evt3
+  /// in the paper's Query 1) constrain those events to share the entity.
+  std::unordered_map<std::string, std::vector<EntityBinding>> entity_vars;
+
+  /// Event alias (`evt1`) → pattern index.
+  std::unordered_map<std::string, int> alias_to_pattern;
+
+  /// Pattern indices in the order the temporal relation requires; identical
+  /// to declaration order when the query has no `with` clause (in which case
+  /// the match is unordered).
+  std::vector<int> temporal_order;
+  /// Max event-time gap between consecutive temporal steps (0 = unbounded).
+  std::vector<Duration> temporal_gaps;
+  /// True when a `with` clause imposes ordering.
+  bool ordered = false;
+
+  /// State block info (valid when `query->state` is set).
+  std::unordered_map<std::string, int> state_field_index;
+  std::vector<ResolvedGroupKey> group_keys;
+
+  /// Names of invariant variables, in declaration order.
+  std::vector<std::string> invariant_vars;
+
+  /// Parsed cluster method (valid when `query->cluster` is set).
+  ClusterMethod cluster_method;
+
+  /// Convenience accessors.
+  bool IsStateful() const { return query->state.has_value(); }
+  bool HasInvariant() const { return query->invariant.has_value(); }
+  bool HasCluster() const { return query->cluster.has_value(); }
+  int NumPatterns() const { return static_cast<int>(query->patterns.size()); }
+};
+
+using AnalyzedQueryPtr = std::shared_ptr<const AnalyzedQuery>;
+
+/// Validates `query` and builds its symbol tables. Returns SemanticError
+/// with position info on: duplicate aliases, type-inconsistent shared
+/// variables, unknown attributes, undeclared aliases in `with`, stateful
+/// constructs without a window, invariant/cluster without state, malformed
+/// cluster methods, and unresolvable references in state / alert / return
+/// expressions.
+Result<AnalyzedQueryPtr> AnalyzeQuery(Query query);
+
+/// Parses and analyzes in one step.
+Result<AnalyzedQueryPtr> CompileSaql(const std::string& text);
+
+/// Names of the aggregate functions allowed inside state blocks.
+bool IsAggregateFunction(const std::string& name);
+
+}  // namespace saql
+
+#endif  // SAQL_PARSER_ANALYZER_H_

@@ -1,0 +1,237 @@
+#include "parser/ast.h"
+
+#include <sstream>
+
+namespace saql {
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kOr:
+      return "||";
+    case BinOp::kAnd:
+      return "&&";
+    case BinOp::kEq:
+      return "==";
+    case BinOp::kNe:
+      return "!=";
+    case BinOp::kLt:
+      return "<";
+    case BinOp::kLe:
+      return "<=";
+    case BinOp::kGt:
+      return ">";
+    case BinOp::kGe:
+      return ">=";
+    case BinOp::kIn:
+      return "in";
+    case BinOp::kUnion:
+      return "union";
+    case BinOp::kDiff:
+      return "diff";
+    case BinOp::kIntersect:
+      return "intersect";
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+    case BinOp::kMod:
+      return "%";
+  }
+  return "?";
+}
+
+const char* UnOpName(UnOp op) {
+  switch (op) {
+    case UnOp::kNot:
+      return "!";
+    case UnOp::kNeg:
+      return "-";
+    case UnOp::kSize:
+      return "| |";
+  }
+  return "?";
+}
+
+const char* ConstraintOpName(ConstraintOp op) {
+  switch (op) {
+    case ConstraintOp::kEq:
+      return "=";
+    case ConstraintOp::kNe:
+      return "!=";
+    case ConstraintOp::kLt:
+      return "<";
+    case ConstraintOp::kLe:
+      return "<=";
+    case ConstraintOp::kGt:
+      return ">";
+    case ConstraintOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+ExprPtr Expr::MakeLiteral(Value v, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::MakeRef(std::string base, std::optional<int> history,
+                      std::string field, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kRef;
+  e->base = std::move(base);
+  e->history = history;
+  e->field = std::move(field);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::MakeCall(std::string callee, std::vector<ExprPtr> args,
+                       SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCall;
+  e->callee = std::move(callee);
+  e->args = std::move(args);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin_op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::MakeUnary(UnOp op, ExprPtr operand, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->un_op = op;
+  e->lhs = std::move(operand);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->loc = loc;
+  e->literal = literal;
+  e->base = base;
+  e->history = history;
+  e->field = field;
+  e->callee = callee;
+  for (const ExprPtr& a : args) e->args.push_back(a->Clone());
+  e->bin_op = bin_op;
+  e->un_op = un_op;
+  if (lhs) e->lhs = lhs->Clone();
+  if (rhs) e->rhs = rhs->Clone();
+  return e;
+}
+
+std::string Expr::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case ExprKind::kLiteral:
+      if (literal.is_string()) {
+        os << '"' << literal.ToString() << '"';
+      } else {
+        os << literal.ToString();
+      }
+      break;
+    case ExprKind::kRef:
+      os << base;
+      if (history.has_value()) os << '[' << *history << ']';
+      if (!field.empty()) os << '.' << field;
+      break;
+    case ExprKind::kCall: {
+      os << callee << '(';
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << args[i]->ToString();
+      }
+      os << ')';
+      break;
+    }
+    case ExprKind::kBinary:
+      os << '(' << lhs->ToString() << ' ' << BinOpName(bin_op) << ' '
+         << rhs->ToString() << ')';
+      break;
+    case ExprKind::kUnary:
+      if (un_op == UnOp::kSize) {
+        os << '|' << lhs->ToString() << '|';
+      } else {
+        os << UnOpName(un_op) << lhs->ToString();
+      }
+      break;
+  }
+  return os.str();
+}
+
+std::string AttrConstraint::ToString() const {
+  std::string v = value.is_string() ? "\"" + value.ToString() + "\""
+                                    : value.ToString();
+  return field + " " + ConstraintOpName(op) + " " + v;
+}
+
+std::string EntityPattern::ToString() const {
+  std::string out = EntityTypeName(type);
+  if (!var.empty()) out += " " + var;
+  if (!constraints.empty()) {
+    out += "[";
+    for (size_t i = 0; i < constraints.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += constraints[i].ToString();
+    }
+    out += "]";
+  }
+  return out;
+}
+
+std::string EventPatternDecl::ToString() const {
+  std::string out = subject.ToString() + " " + OpMaskToString(ops) + " " +
+                    object.ToString();
+  if (!alias.empty()) out += " as " + alias;
+  return out;
+}
+
+std::string WindowSpec::ToString() const {
+  if (kind == Kind::kCount) {
+    return "#count(" + std::to_string(count) + ")";
+  }
+  std::string out = "#time(" + FormatDuration(length);
+  if (slide > 0 && slide != length) out += ", " + FormatDuration(slide);
+  out += ")";
+  return out;
+}
+
+std::string TemporalRelation::ToString() const {
+  std::string out = "with ";
+  for (size_t i = 0; i < sequence.size(); ++i) {
+    if (i > 0) {
+      out += " ->";
+      if (i - 1 < max_gaps.size() && max_gaps[i - 1] > 0) {
+        out += "[" + FormatDuration(max_gaps[i - 1]) + "]";
+      }
+      out += " ";
+    }
+    out += sequence[i];
+  }
+  return out;
+}
+
+std::string GroupKey::ToString() const {
+  return field.empty() ? base : base + "." + field;
+}
+
+}  // namespace saql

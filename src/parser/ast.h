@@ -1,0 +1,282 @@
+#ifndef SAQL_PARSER_AST_H_
+#define SAQL_PARSER_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/event.h"
+#include "core/time_util.h"
+#include "core/value.h"
+#include "parser/token.h"
+
+namespace saql {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+/// Binary operators in SAQL expressions, in increasing binding strength
+/// groups: logical, comparison, set algebra, additive, multiplicative.
+enum class BinOp {
+  kOr,
+  kAnd,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kIn,
+  kUnion,
+  kDiff,
+  kIntersect,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+};
+
+/// Unary operators: `!x`, `-x`, and the `|x|` size/abs form.
+enum class UnOp {
+  kNot,
+  kNeg,
+  kSize,
+};
+
+const char* BinOpName(BinOp op);
+const char* UnOpName(UnOp op);
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Expression node kinds (closed set; the evaluator switches on this rather
+/// than using virtual dispatch so nodes stay simple aggregates).
+enum class ExprKind {
+  kLiteral,
+  kRef,
+  kCall,
+  kBinary,
+  kUnary,
+};
+
+/// One expression node. A tagged union in the struct-of-optionals style:
+/// only the members for `kind` are meaningful.
+class Expr {
+ public:
+  ExprKind kind;
+  SourceLoc loc;
+
+  // kLiteral
+  Value literal;
+
+  // kRef — a possibly-qualified reference:
+  //   `p1`            → base="p1"
+  //   `p1.exe_name`   → base="p1",   field="exe_name"
+  //   `ss[1].avg`     → base="ss",   history=1, field="avg"
+  //   `cluster.outlier` → base="cluster", field="outlier"
+  std::string base;
+  std::optional<int> history;  ///< state history index from `ss[k]`
+  std::string field;           ///< empty for a bare reference
+
+  // kCall — `avg(evt.amount)`, `set(p2.exe_name)`, `all(ss.amt)`, ...
+  std::string callee;
+  std::vector<ExprPtr> args;
+
+  // kBinary / kUnary
+  BinOp bin_op = BinOp::kAdd;
+  UnOp un_op = UnOp::kNot;
+  ExprPtr lhs;  ///< also the operand of a unary node
+  ExprPtr rhs;
+
+  /// Factory helpers.
+  static ExprPtr MakeLiteral(Value v, SourceLoc loc);
+  static ExprPtr MakeRef(std::string base, std::optional<int> history,
+                         std::string field, SourceLoc loc);
+  static ExprPtr MakeCall(std::string callee, std::vector<ExprPtr> args,
+                          SourceLoc loc);
+  static ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs,
+                            SourceLoc loc);
+  static ExprPtr MakeUnary(UnOp op, ExprPtr operand, SourceLoc loc);
+
+  /// Deep copy (used when the scheduler instantiates dependent queries).
+  ExprPtr Clone() const;
+
+  /// Unparses back to SAQL-like text for diagnostics and tests.
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+/// Comparison operator inside an attribute constraint.
+enum class ConstraintOp {
+  kEq,    // = or ==; strings with wildcards use LIKE semantics
+  kNe,    // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+const char* ConstraintOpName(ConstraintOp op);
+
+/// One attribute constraint, from `[dstip="XXX.129"]`, `[pid > 100]`, or a
+/// global constraint line such as `agentid = server1`.
+struct AttrConstraint {
+  std::string field;
+  ConstraintOp op = ConstraintOp::kEq;
+  Value value;
+  SourceLoc loc;
+
+  std::string ToString() const;
+};
+
+/// An entity pattern: `proc p1["%cmd.exe"]` or `ip i1[dstip="XXX.129"]`.
+/// A bare string constraint applies to the entity's default field with LIKE
+/// semantics.
+struct EntityPattern {
+  EntityType type = EntityType::kProcess;
+  std::string var;  ///< empty when anonymous
+  std::vector<AttrConstraint> constraints;
+  SourceLoc loc;
+
+  std::string ToString() const;
+};
+
+/// One event pattern declaration:
+/// `proc p3 write file f1["%backup1.dmp"] as evt2`.
+struct EventPatternDecl {
+  EntityPattern subject;
+  OpMask ops = 0;
+  EntityPattern object;
+  std::string alias;  ///< from `as evtN`; auto-generated when omitted
+  SourceLoc loc;
+
+  std::string ToString() const;
+};
+
+/// Sliding-window specification from `#time(10 min)` / `#count(1000)`.
+/// `slide` defaults to the window length (tumbling behaviour), matching the
+/// semantics of the paper's queries where `ss[0]`, `ss[1]` are successive
+/// windows.
+struct WindowSpec {
+  enum class Kind { kTime, kCount };
+
+  Kind kind = Kind::kTime;
+  Duration length = 0;     ///< for kTime
+  Duration slide = 0;      ///< 0 = same as length
+  int64_t count = 0;       ///< for kCount
+  SourceLoc loc;
+
+  Duration EffectiveSlide() const { return slide > 0 ? slide : length; }
+  std::string ToString() const;
+};
+
+/// `with evt1 -> evt2 -> evt3`; `max_gaps[i]` bounds the event-time gap
+/// between step i and i+1 (0 = unbounded within the window).
+struct TemporalRelation {
+  std::vector<std::string> sequence;
+  std::vector<Duration> max_gaps;
+  SourceLoc loc;
+
+  std::string ToString() const;
+};
+
+/// A named aggregation inside a state block: `avg_amount := avg(evt.amount)`.
+struct StateField {
+  std::string name;
+  ExprPtr expr;
+  SourceLoc loc;
+};
+
+/// One group-by key: an entity variable (default field implied) or a
+/// qualified field such as `i.dstip`.
+struct GroupKey {
+  std::string base;
+  std::string field;  ///< empty → default field of the referenced entity
+  SourceLoc loc;
+
+  std::string ToString() const;
+};
+
+/// `state[3] ss { ... } group by p`.
+struct StateBlock {
+  int history = 1;  ///< number of retained window states (>=1)
+  std::string var;  ///< the state variable, usually "ss"
+  std::vector<StateField> fields;
+  std::vector<GroupKey> group_by;
+  SourceLoc loc;
+};
+
+/// One statement inside an invariant block. `a := empty_set` (init, uses
+/// `:=`) or `a = a union ss.set_proc` (update, uses `=`).
+struct InvariantStmt {
+  std::string var;
+  bool is_init = false;
+  ExprPtr expr;
+  SourceLoc loc;
+};
+
+/// `invariant[10][offline] { ... }`.
+struct InvariantBlock {
+  int training_windows = 0;
+  bool offline = true;  ///< false → online (keeps learning after training)
+  std::vector<InvariantStmt> stmts;
+  SourceLoc loc;
+};
+
+/// `cluster(points=all(ss.amt), distance="ed", method="DBSCAN(100000,5)")`.
+struct ClusterSpec {
+  std::vector<ExprPtr> points;  ///< the expressions inside `all(...)`
+  std::string distance = "ed";
+  std::string method;           ///< raw method string, parsed by the engine
+  SourceLoc loc;
+};
+
+/// One item of the `return` clause.
+struct ReturnItem {
+  ExprPtr expr;
+  std::string label;  ///< display label (defaults to the unparsed expr)
+  SourceLoc loc;
+};
+
+/// A parsed SAQL query: the direct syntax-tree form of the language
+/// described in §II-B of the paper. Produced by `Parser`, validated by
+/// `Analyzer`, executed by the engine.
+struct Query {
+  /// Raw query text, retained for diagnostics and the scheduler's signature.
+  std::string text;
+  /// Optional query name (set by the API, not the language).
+  std::string name;
+
+  std::vector<AttrConstraint> global_constraints;
+  std::vector<EventPatternDecl> patterns;
+  std::optional<WindowSpec> window;
+  std::optional<TemporalRelation> temporal;
+  std::optional<StateBlock> state;
+  std::optional<InvariantBlock> invariant;
+  std::optional<ClusterSpec> cluster;
+  ExprPtr alert;  ///< null → rule queries alert on every full match
+  bool return_distinct = false;
+  std::vector<ReturnItem> returns;
+
+  Query() = default;
+  Query(Query&&) = default;
+  Query& operator=(Query&&) = default;
+  Query(const Query&) = delete;
+  Query& operator=(const Query&) = delete;
+
+  /// True when the query has a state block (time-series / invariant /
+  /// outlier models); false for pure rule-based queries.
+  bool IsStateful() const { return state.has_value(); }
+};
+
+using QueryPtr = std::shared_ptr<const Query>;
+
+}  // namespace saql
+
+#endif  // SAQL_PARSER_AST_H_

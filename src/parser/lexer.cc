@@ -1,0 +1,252 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace saql {
+
+Lexer::Lexer(std::string input) : input_(std::move(input)) {}
+
+char Lexer::Peek(int ahead) const {
+  size_t p = pos_ + static_cast<size_t>(ahead);
+  return p < input_.size() ? input_[p] : '\0';
+}
+
+char Lexer::Advance() {
+  char c = input_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+Status Lexer::ErrorHere(const std::string& msg) const {
+  return Status::ParseError(Here().ToString() + ": " + msg);
+}
+
+void Lexer::SkipWhitespaceAndComments(Status* status) {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+    } else if (c == '/' && Peek(1) == '/') {
+      while (!AtEnd() && Peek() != '\n') Advance();
+    } else if (c == '/' && Peek(1) == '*') {
+      SourceLoc start = Here();
+      Advance();
+      Advance();
+      bool closed = false;
+      while (!AtEnd()) {
+        if (Peek() == '*' && Peek(1) == '/') {
+          Advance();
+          Advance();
+          closed = true;
+          break;
+        }
+        Advance();
+      }
+      if (!closed) {
+        *status = Status::ParseError(start.ToString() +
+                                     ": unterminated block comment");
+        return;
+      }
+    } else {
+      return;
+    }
+  }
+}
+
+Result<Token> Lexer::LexString() {
+  SourceLoc loc = Here();
+  Advance();  // opening quote
+  std::string out;
+  while (!AtEnd() && Peek() != '"') {
+    char c = Advance();
+    if (c == '\\' && !AtEnd()) {
+      char esc = Advance();
+      switch (esc) {
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '"':
+          out += '"';
+          break;
+        default:
+          out += esc;
+      }
+    } else {
+      out += c;
+    }
+  }
+  if (AtEnd()) {
+    return Status::ParseError(loc.ToString() + ": unterminated string");
+  }
+  Advance();  // closing quote
+  Token t;
+  t.kind = TokenKind::kString;
+  t.text = std::move(out);
+  t.loc = loc;
+  return t;
+}
+
+Result<Token> Lexer::LexNumber() {
+  SourceLoc loc = Here();
+  std::string digits;
+  bool is_float = false;
+  while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+    digits += Advance();
+  }
+  if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+    is_float = true;
+    digits += Advance();
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      digits += Advance();
+    }
+  }
+  if ((Peek() == 'e' || Peek() == 'E') &&
+      (std::isdigit(static_cast<unsigned char>(Peek(1))) ||
+       ((Peek(1) == '+' || Peek(1) == '-') &&
+        std::isdigit(static_cast<unsigned char>(Peek(2)))))) {
+    is_float = true;
+    digits += Advance();
+    if (Peek() == '+' || Peek() == '-') digits += Advance();
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      digits += Advance();
+    }
+  }
+  Token t;
+  t.loc = loc;
+  t.text = digits;
+  if (is_float) {
+    t.kind = TokenKind::kFloat;
+    t.float_value = std::strtod(digits.c_str(), nullptr);
+  } else {
+    t.kind = TokenKind::kInteger;
+    t.int_value = std::strtoll(digits.c_str(), nullptr, 10);
+    t.float_value = static_cast<double>(t.int_value);
+  }
+  return t;
+}
+
+Token Lexer::LexIdentifier() {
+  SourceLoc loc = Here();
+  std::string text;
+  while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                      Peek() == '_')) {
+    text += Advance();
+  }
+  Token t;
+  t.kind = TokenKind::kIdentifier;
+  t.text = std::move(text);
+  t.loc = loc;
+  return t;
+}
+
+Result<Token> Lexer::Next() {
+  Status status;
+  SkipWhitespaceAndComments(&status);
+  if (!status.ok()) return status;
+  SourceLoc loc = Here();
+  if (AtEnd()) {
+    Token t;
+    t.kind = TokenKind::kEof;
+    t.loc = loc;
+    return t;
+  }
+  char c = Peek();
+  if (c == '"') return LexString();
+  if (std::isdigit(static_cast<unsigned char>(c))) return LexNumber();
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    return LexIdentifier();
+  }
+
+  auto simple = [&](TokenKind kind, int len) {
+    Token t;
+    t.kind = kind;
+    t.loc = loc;
+    for (int i = 0; i < len; ++i) Advance();
+    return t;
+  };
+
+  switch (c) {
+    case '(':
+      return simple(TokenKind::kLParen, 1);
+    case ')':
+      return simple(TokenKind::kRParen, 1);
+    case '[':
+      return simple(TokenKind::kLBracket, 1);
+    case ']':
+      return simple(TokenKind::kRBracket, 1);
+    case '{':
+      return simple(TokenKind::kLBrace, 1);
+    case '}':
+      return simple(TokenKind::kRBrace, 1);
+    case ',':
+      return simple(TokenKind::kComma, 1);
+    case '.':
+      return simple(TokenKind::kDot, 1);
+    case '#':
+      return simple(TokenKind::kHash, 1);
+    case '+':
+      return simple(TokenKind::kPlus, 1);
+    case '*':
+      return simple(TokenKind::kStar, 1);
+    case '/':
+      return simple(TokenKind::kSlash, 1);
+    case '%':
+      return simple(TokenKind::kPercent, 1);
+    case '|':
+      return Peek(1) == '|' ? simple(TokenKind::kOrOr, 2)
+                            : simple(TokenKind::kPipe, 1);
+    case '&':
+      if (Peek(1) == '&') return simple(TokenKind::kAndAnd, 2);
+      return ErrorHere("unexpected '&' (did you mean '&&'?)");
+    case '-':
+      return Peek(1) == '>' ? simple(TokenKind::kArrow, 2)
+                            : simple(TokenKind::kMinus, 1);
+    case ':':
+      if (Peek(1) == '=') return simple(TokenKind::kColonAssign, 2);
+      return ErrorHere("unexpected ':' (did you mean ':='?)");
+    case '=':
+      return Peek(1) == '=' ? simple(TokenKind::kEq, 2)
+                            : simple(TokenKind::kAssign, 1);
+    case '!':
+      return Peek(1) == '=' ? simple(TokenKind::kNe, 2)
+                            : simple(TokenKind::kBang, 1);
+    case '<':
+      return Peek(1) == '=' ? simple(TokenKind::kLe, 2)
+                            : simple(TokenKind::kLt, 1);
+    case '>':
+      return Peek(1) == '=' ? simple(TokenKind::kGe, 2)
+                            : simple(TokenKind::kGt, 1);
+    default:
+      return ErrorHere(std::string("unexpected character '") + c + "'");
+  }
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    SAQL_ASSIGN_OR_RETURN(Token t, Next());
+    bool eof = t.Is(TokenKind::kEof);
+    tokens.push_back(std::move(t));
+    if (eof) break;
+  }
+  return tokens;
+}
+
+Result<std::vector<Token>> TokenizeSaql(const std::string& input) {
+  Lexer lexer(input);
+  return lexer.Tokenize();
+}
+
+}  // namespace saql

@@ -1,0 +1,53 @@
+#ifndef SAQL_PARSER_LEXER_H_
+#define SAQL_PARSER_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "parser/token.h"
+
+namespace saql {
+
+/// Hand-written lexer for the SAQL language (replaces the paper's ANTLR 4
+/// generated lexer; see DESIGN.md substitution S1).
+///
+/// Lexical rules:
+///  - `//` starts a line comment; `/* ... */` a block comment.
+///  - Strings use double quotes with `\"`, `\\`, `\n`, `\t` escapes.
+///  - Identifiers: `[A-Za-z_][A-Za-z0-9_]*`; keywords are not distinguished
+///    at the lexical level (the parser resolves them contextually, which is
+///    what lets `state`, `cluster`, etc. still be used as variable names).
+///  - Numbers: decimal integers and floats (`10`, `1.5`, `1e6`).
+class Lexer {
+ public:
+  explicit Lexer(std::string input);
+
+  /// Lexes the whole input. On success the final token is always kEof.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Result<Token> Next();
+  Result<Token> LexString();
+  Result<Token> LexNumber();
+  Token LexIdentifier();
+
+  char Peek(int ahead = 0) const;
+  char Advance();
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  void SkipWhitespaceAndComments(Status* status);
+  SourceLoc Here() const { return SourceLoc{line_, col_}; }
+  Status ErrorHere(const std::string& msg) const;
+
+  std::string input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+/// Convenience wrapper: lex `input` into tokens.
+Result<std::vector<Token>> TokenizeSaql(const std::string& input);
+
+}  // namespace saql
+
+#endif  // SAQL_PARSER_LEXER_H_

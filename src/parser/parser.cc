@@ -1,0 +1,766 @@
+#include "parser/parser.h"
+
+#include <utility>
+
+#include "core/field_access.h"
+#include "core/string_util.h"
+#include "parser/lexer.h"
+
+namespace saql {
+
+Parser::Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {
+  if (tokens_.empty()) {
+    tokens_.push_back(Token{});  // defensive EOF
+  }
+}
+
+const Token& Parser::Peek(int ahead) const {
+  size_t p = pos_ + static_cast<size_t>(ahead);
+  if (p >= tokens_.size()) return tokens_.back();
+  return tokens_[p];
+}
+
+const Token& Parser::Advance() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::Match(TokenKind kind) {
+  if (Check(kind)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Result<Token> Parser::Expect(TokenKind kind, const std::string& context) {
+  if (Check(kind)) return Advance();
+  return Status::ParseError(Peek().loc.ToString() + ": expected " +
+                            TokenKindName(kind) + " " + context + ", got " +
+                            Peek().ToString());
+}
+
+Result<Token> Parser::ExpectIdent(const std::string& context) {
+  return Expect(TokenKind::kIdentifier, context);
+}
+
+Status Parser::ErrorHere(const std::string& msg) const {
+  return Status::ParseError(Peek().loc.ToString() + ": " + msg);
+}
+
+bool Parser::AtEntityType() const {
+  const Token& t = Peek();
+  return t.IsIdent("proc") || t.IsIdent("process") || t.IsIdent("file") ||
+         t.IsIdent("ip");
+}
+
+bool Parser::LooksLikeOp(int ahead) const {
+  const Token& t = Peek(ahead);
+  if (!t.Is(TokenKind::kIdentifier)) return false;
+  return ParseEventOp(t.text).ok();
+}
+
+Result<Query> Parser::ParseQuery(const std::string& text) {
+  Query query;
+  query.text = text;
+  while (!Check(TokenKind::kEof)) {
+    if (AtEntityType()) {
+      SAQL_RETURN_IF_ERROR(ParseEventPattern(&query));
+    } else if (Check(TokenKind::kHash)) {
+      SAQL_RETURN_IF_ERROR(ParseWindow(&query));
+    } else if (CheckIdent("with")) {
+      SAQL_RETURN_IF_ERROR(ParseTemporal(&query));
+    } else if (CheckIdent("state")) {
+      SAQL_RETURN_IF_ERROR(ParseStateBlock(&query));
+    } else if (CheckIdent("invariant")) {
+      SAQL_RETURN_IF_ERROR(ParseInvariantBlock(&query));
+    } else if (CheckIdent("cluster")) {
+      SAQL_RETURN_IF_ERROR(ParseClusterSpec(&query));
+    } else if (CheckIdent("alert")) {
+      SAQL_RETURN_IF_ERROR(ParseAlert(&query));
+    } else if (CheckIdent("return")) {
+      SAQL_RETURN_IF_ERROR(ParseReturn(&query));
+    } else if (Check(TokenKind::kIdentifier) &&
+               Peek(1).Is(TokenKind::kAssign)) {
+      SAQL_RETURN_IF_ERROR(ParseGlobalConstraint(&query));
+    } else {
+      return ErrorHere("unexpected " + Peek().ToString() +
+                       " at query top level");
+    }
+  }
+  if (query.patterns.empty()) {
+    return Status::ParseError("query declares no event pattern");
+  }
+  if (query.returns.empty()) {
+    return Status::ParseError("query has no return clause");
+  }
+  return query;
+}
+
+Status Parser::ParseGlobalConstraint(Query* query) {
+  Token field = Advance();
+  Advance();  // '='
+  SAQL_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+  AttrConstraint c;
+  c.field = ToLower(field.text);
+  c.op = ConstraintOp::kEq;
+  c.value = std::move(v);
+  c.loc = field.loc;
+  query->global_constraints.push_back(std::move(c));
+  return Status::Ok();
+}
+
+Result<Value> Parser::ParseLiteralValue() {
+  const Token& t = Peek();
+  switch (t.kind) {
+    case TokenKind::kString:
+      return Value(Advance().text);
+    case TokenKind::kInteger:
+      return Value(Advance().int_value);
+    case TokenKind::kFloat:
+      return Value(Advance().float_value);
+    case TokenKind::kMinus: {
+      Advance();
+      const Token& n = Peek();
+      if (n.Is(TokenKind::kInteger)) return Value(-Advance().int_value);
+      if (n.Is(TokenKind::kFloat)) return Value(-Advance().float_value);
+      return ErrorHere("expected number after '-'");
+    }
+    case TokenKind::kIdentifier:
+      if (t.IsIdent("true")) {
+        Advance();
+        return Value(true);
+      }
+      if (t.IsIdent("false")) {
+        Advance();
+        return Value(false);
+      }
+      // Bare identifiers act as strings (the paper writes `agentid = xxx`).
+      return Value(Advance().text);
+    default:
+      return ErrorHere("expected literal value, got " + t.ToString());
+  }
+}
+
+Status Parser::ParseEventPattern(Query* query) {
+  SourceLoc loc = Peek().loc;
+  SAQL_ASSIGN_OR_RETURN(EntityPattern subject, ParseEntityPattern());
+  if (subject.type != EntityType::kProcess) {
+    return Status::ParseError(loc.ToString() +
+                              ": event subject must be a process");
+  }
+  SAQL_ASSIGN_OR_RETURN(OpMask ops, ParseOps());
+  SAQL_ASSIGN_OR_RETURN(EntityPattern object, ParseEntityPattern());
+
+  EventPatternDecl decl;
+  decl.subject = std::move(subject);
+  decl.ops = ops;
+  decl.object = std::move(object);
+  decl.loc = loc;
+  if (CheckIdent("as")) {
+    Advance();
+    SAQL_ASSIGN_OR_RETURN(Token alias, ExpectIdent("after 'as'"));
+    decl.alias = alias.text;
+  } else {
+    decl.alias = "_evt" + std::to_string(query->patterns.size());
+  }
+  query->patterns.push_back(std::move(decl));
+  return Status::Ok();
+}
+
+Result<EntityPattern> Parser::ParseEntityPattern() {
+  SAQL_ASSIGN_OR_RETURN(Token type_tok, ExpectIdent("entity type"));
+  SAQL_ASSIGN_OR_RETURN(EntityType type, ParseEntityType(type_tok.text));
+
+  EntityPattern pattern;
+  pattern.type = type;
+  pattern.loc = type_tok.loc;
+
+  // An identifier after the type is the variable, unless it reads as an
+  // operation followed by another entity type (`proc read file f1`, an
+  // anonymous subject).
+  if (Check(TokenKind::kIdentifier) && !CheckIdent("as")) {
+    bool is_anonymous_subject =
+        LooksLikeOp(0) &&
+        (Peek(1).IsIdent("proc") || Peek(1).IsIdent("process") ||
+         Peek(1).IsIdent("file") || Peek(1).IsIdent("ip") ||
+         Peek(1).Is(TokenKind::kOrOr));
+    if (!is_anonymous_subject) {
+      pattern.var = Advance().text;
+    }
+  }
+  if (pattern.var.empty()) {
+    pattern.var = "_e" + std::to_string(anon_counter_++);
+  }
+  if (Check(TokenKind::kLBracket)) {
+    Advance();
+    SAQL_ASSIGN_OR_RETURN(pattern.constraints, ParseConstraintList(type));
+    SAQL_RETURN_IF_ERROR(
+        Expect(TokenKind::kRBracket, "closing entity constraints").status());
+  }
+  return pattern;
+}
+
+Result<std::vector<AttrConstraint>> Parser::ParseConstraintList(
+    EntityType type) {
+  std::vector<AttrConstraint> out;
+  // Shorthand: a lone string constrains the default field with LIKE
+  // semantics (`proc p1["%cmd.exe"]`).
+  if (Check(TokenKind::kString) && Peek(1).Is(TokenKind::kRBracket)) {
+    Token s = Advance();
+    AttrConstraint c;
+    c.field = DefaultFieldForEntity(type);
+    c.op = ConstraintOp::kEq;
+    c.value = Value(s.text);
+    c.loc = s.loc;
+    out.push_back(std::move(c));
+    return out;
+  }
+  while (true) {
+    SAQL_ASSIGN_OR_RETURN(Token field, ExpectIdent("constraint field"));
+    ConstraintOp op;
+    if (Match(TokenKind::kAssign) || Match(TokenKind::kEq)) {
+      op = ConstraintOp::kEq;
+    } else if (Match(TokenKind::kNe)) {
+      op = ConstraintOp::kNe;
+    } else if (Match(TokenKind::kLt)) {
+      op = ConstraintOp::kLt;
+    } else if (Match(TokenKind::kLe)) {
+      op = ConstraintOp::kLe;
+    } else if (Match(TokenKind::kGt)) {
+      op = ConstraintOp::kGt;
+    } else if (Match(TokenKind::kGe)) {
+      op = ConstraintOp::kGe;
+    } else {
+      return ErrorHere("expected comparison operator in constraint");
+    }
+    SAQL_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+    AttrConstraint c;
+    c.field = ToLower(field.text);
+    c.op = op;
+    c.value = std::move(v);
+    c.loc = field.loc;
+    out.push_back(std::move(c));
+    if (!Match(TokenKind::kComma) && !Match(TokenKind::kAndAnd)) break;
+  }
+  return out;
+}
+
+Result<OpMask> Parser::ParseOps() {
+  OpMask mask = 0;
+  while (true) {
+    SAQL_ASSIGN_OR_RETURN(Token op_tok, ExpectIdent("event operation"));
+    SAQL_ASSIGN_OR_RETURN(EventOp op, ParseEventOp(op_tok.text));
+    mask |= OpBit(op);
+    if (!Match(TokenKind::kOrOr)) break;
+  }
+  return mask;
+}
+
+Result<Duration> Parser::ParseDurationTokens() {
+  const Token& num = Peek();
+  double count = 0;
+  if (num.Is(TokenKind::kInteger)) {
+    count = static_cast<double>(Advance().int_value);
+  } else if (num.Is(TokenKind::kFloat)) {
+    count = Advance().float_value;
+  } else {
+    return ErrorHere("expected a number in duration");
+  }
+  Duration unit = kSecond;
+  if (Check(TokenKind::kIdentifier)) {
+    SAQL_ASSIGN_OR_RETURN(unit, ParseTimeUnit(Peek().text));
+    Advance();
+  }
+  return static_cast<Duration>(count * static_cast<double>(unit));
+}
+
+Status Parser::ParseWindow(Query* query) {
+  SourceLoc loc = Peek().loc;
+  Advance();  // '#'
+  SAQL_ASSIGN_OR_RETURN(Token kind_tok, ExpectIdent("after '#'"));
+  WindowSpec spec;
+  spec.loc = loc;
+  SAQL_RETURN_IF_ERROR(
+      Expect(TokenKind::kLParen, "after window kind").status());
+  if (kind_tok.IsIdent("time")) {
+    spec.kind = WindowSpec::Kind::kTime;
+    SAQL_ASSIGN_OR_RETURN(spec.length, ParseDurationTokens());
+    if (Match(TokenKind::kComma)) {
+      SAQL_ASSIGN_OR_RETURN(spec.slide, ParseDurationTokens());
+    }
+    if (spec.length <= 0) {
+      return Status::ParseError(loc.ToString() +
+                                ": window length must be positive");
+    }
+  } else if (kind_tok.IsIdent("count")) {
+    spec.kind = WindowSpec::Kind::kCount;
+    SAQL_ASSIGN_OR_RETURN(Token n, Expect(TokenKind::kInteger,
+                                          "count window size"));
+    spec.count = n.int_value;
+    if (spec.count <= 0) {
+      return Status::ParseError(loc.ToString() +
+                                ": count window size must be positive");
+    }
+  } else {
+    return Status::ParseError(loc.ToString() + ": unknown window kind '" +
+                              kind_tok.text + "' (expected time or count)");
+  }
+  SAQL_RETURN_IF_ERROR(
+      Expect(TokenKind::kRParen, "closing window spec").status());
+  if (query->window.has_value()) {
+    return Status::ParseError(loc.ToString() +
+                              ": duplicate window specification");
+  }
+  query->window = spec;
+  return Status::Ok();
+}
+
+Status Parser::ParseTemporal(Query* query) {
+  SourceLoc loc = Peek().loc;
+  Advance();  // 'with'
+  TemporalRelation rel;
+  rel.loc = loc;
+  SAQL_ASSIGN_OR_RETURN(Token first, ExpectIdent("event alias after 'with'"));
+  rel.sequence.push_back(first.text);
+  while (Match(TokenKind::kArrow)) {
+    Duration gap = 0;
+    if (Match(TokenKind::kLBracket)) {
+      SAQL_ASSIGN_OR_RETURN(gap, ParseDurationTokens());
+      SAQL_RETURN_IF_ERROR(
+          Expect(TokenKind::kRBracket, "closing gap bound").status());
+    }
+    SAQL_ASSIGN_OR_RETURN(Token next, ExpectIdent("event alias after '->'"));
+    rel.sequence.push_back(next.text);
+    rel.max_gaps.push_back(gap);
+  }
+  if (rel.sequence.size() < 2) {
+    return Status::ParseError(loc.ToString() +
+                              ": temporal relation needs at least 2 events");
+  }
+  if (query->temporal.has_value()) {
+    return Status::ParseError(loc.ToString() +
+                              ": duplicate temporal relation");
+  }
+  query->temporal = std::move(rel);
+  return Status::Ok();
+}
+
+Result<GroupKey> Parser::ParseGroupKey() {
+  SAQL_ASSIGN_OR_RETURN(Token base, ExpectIdent("group-by key"));
+  GroupKey key;
+  key.base = base.text;
+  key.loc = base.loc;
+  if (Match(TokenKind::kDot)) {
+    SAQL_ASSIGN_OR_RETURN(Token field, ExpectIdent("field after '.'"));
+    key.field = ToLower(field.text);
+  }
+  return key;
+}
+
+Status Parser::ParseStateBlock(Query* query) {
+  SourceLoc loc = Peek().loc;
+  Advance();  // 'state'
+  StateBlock block;
+  block.loc = loc;
+  if (Match(TokenKind::kLBracket)) {
+    SAQL_ASSIGN_OR_RETURN(Token n,
+                          Expect(TokenKind::kInteger, "state history size"));
+    block.history = static_cast<int>(n.int_value);
+    if (block.history < 1) {
+      return Status::ParseError(loc.ToString() +
+                                ": state history must be >= 1");
+    }
+    SAQL_RETURN_IF_ERROR(
+        Expect(TokenKind::kRBracket, "closing state history").status());
+  }
+  SAQL_ASSIGN_OR_RETURN(Token var, ExpectIdent("state variable name"));
+  block.var = var.text;
+  SAQL_RETURN_IF_ERROR(
+      Expect(TokenKind::kLBrace, "opening state block").status());
+  while (!Check(TokenKind::kRBrace)) {
+    SAQL_ASSIGN_OR_RETURN(Token name, ExpectIdent("state field name"));
+    SAQL_RETURN_IF_ERROR(
+        Expect(TokenKind::kColonAssign, "after state field name").status());
+    SAQL_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+    StateField field;
+    field.name = name.text;
+    field.expr = std::move(expr);
+    field.loc = name.loc;
+    block.fields.push_back(std::move(field));
+  }
+  Advance();  // '}'
+  if (CheckIdent("group")) {
+    Advance();
+    if (!CheckIdent("by")) return ErrorHere("expected 'by' after 'group'");
+    Advance();
+    while (true) {
+      SAQL_ASSIGN_OR_RETURN(GroupKey key, ParseGroupKey());
+      block.group_by.push_back(std::move(key));
+      if (!Match(TokenKind::kComma)) break;
+    }
+  }
+  if (block.fields.empty()) {
+    return Status::ParseError(loc.ToString() +
+                              ": state block declares no fields");
+  }
+  if (query->state.has_value()) {
+    return Status::ParseError(loc.ToString() + ": duplicate state block");
+  }
+  query->state = std::move(block);
+  return Status::Ok();
+}
+
+Status Parser::ParseInvariantBlock(Query* query) {
+  SourceLoc loc = Peek().loc;
+  Advance();  // 'invariant'
+  InvariantBlock block;
+  block.loc = loc;
+  SAQL_RETURN_IF_ERROR(
+      Expect(TokenKind::kLBracket, "invariant training window count")
+          .status());
+  SAQL_ASSIGN_OR_RETURN(Token n,
+                        Expect(TokenKind::kInteger, "training window count"));
+  block.training_windows = static_cast<int>(n.int_value);
+  SAQL_RETURN_IF_ERROR(
+      Expect(TokenKind::kRBracket, "closing training count").status());
+  if (Match(TokenKind::kLBracket)) {
+    SAQL_ASSIGN_OR_RETURN(Token mode, ExpectIdent("invariant mode"));
+    if (mode.IsIdent("offline")) {
+      block.offline = true;
+    } else if (mode.IsIdent("online")) {
+      block.offline = false;
+    } else {
+      return Status::ParseError(mode.loc.ToString() +
+                                ": invariant mode must be offline or online");
+    }
+    SAQL_RETURN_IF_ERROR(
+        Expect(TokenKind::kRBracket, "closing invariant mode").status());
+  }
+  SAQL_RETURN_IF_ERROR(
+      Expect(TokenKind::kLBrace, "opening invariant block").status());
+  while (!Check(TokenKind::kRBrace)) {
+    SAQL_ASSIGN_OR_RETURN(Token var, ExpectIdent("invariant variable"));
+    InvariantStmt stmt;
+    stmt.var = var.text;
+    stmt.loc = var.loc;
+    if (Match(TokenKind::kColonAssign)) {
+      stmt.is_init = true;
+    } else if (Match(TokenKind::kAssign)) {
+      stmt.is_init = false;
+    } else {
+      return ErrorHere("expected ':=' (init) or '=' (update) in invariant");
+    }
+    SAQL_ASSIGN_OR_RETURN(stmt.expr, ParseExpr());
+    block.stmts.push_back(std::move(stmt));
+  }
+  Advance();  // '}'
+  if (block.stmts.empty()) {
+    return Status::ParseError(loc.ToString() + ": empty invariant block");
+  }
+  if (query->invariant.has_value()) {
+    return Status::ParseError(loc.ToString() + ": duplicate invariant block");
+  }
+  query->invariant = std::move(block);
+  return Status::Ok();
+}
+
+Status Parser::ParseClusterSpec(Query* query) {
+  SourceLoc loc = Peek().loc;
+  Advance();  // 'cluster'
+  SAQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after 'cluster'").status());
+  ClusterSpec spec;
+  spec.loc = loc;
+  bool saw_points = false;
+  while (!Check(TokenKind::kRParen)) {
+    SAQL_ASSIGN_OR_RETURN(Token key, ExpectIdent("cluster argument name"));
+    SAQL_RETURN_IF_ERROR(
+        Expect(TokenKind::kAssign, "after cluster argument name").status());
+    if (key.IsIdent("points")) {
+      SAQL_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+      // `points=all(ss.amt, ss.cnt)` — unwrap the `all(...)` call so each
+      // argument becomes one dimension of the cluster points.
+      if (expr->kind == ExprKind::kCall &&
+          ToLower(expr->callee) == "all") {
+        for (ExprPtr& arg : expr->args) {
+          spec.points.push_back(std::move(arg));
+        }
+      } else {
+        spec.points.push_back(std::move(expr));
+      }
+      saw_points = true;
+    } else if (key.IsIdent("distance")) {
+      SAQL_ASSIGN_OR_RETURN(Token v,
+                            Expect(TokenKind::kString, "distance metric"));
+      spec.distance = ToLower(v.text);
+    } else if (key.IsIdent("method")) {
+      SAQL_ASSIGN_OR_RETURN(Token v,
+                            Expect(TokenKind::kString, "cluster method"));
+      spec.method = v.text;
+    } else {
+      return Status::ParseError(key.loc.ToString() +
+                                ": unknown cluster argument '" + key.text +
+                                "'");
+    }
+    if (!Match(TokenKind::kComma)) break;
+  }
+  SAQL_RETURN_IF_ERROR(
+      Expect(TokenKind::kRParen, "closing cluster spec").status());
+  if (!saw_points) {
+    return Status::ParseError(loc.ToString() +
+                              ": cluster spec requires points=...");
+  }
+  if (spec.method.empty()) {
+    return Status::ParseError(loc.ToString() +
+                              ": cluster spec requires method=...");
+  }
+  if (query->cluster.has_value()) {
+    return Status::ParseError(loc.ToString() + ": duplicate cluster spec");
+  }
+  query->cluster = std::move(spec);
+  return Status::Ok();
+}
+
+Status Parser::ParseAlert(Query* query) {
+  SourceLoc loc = Peek().loc;
+  Advance();  // 'alert'
+  if (query->alert) {
+    return Status::ParseError(loc.ToString() + ": duplicate alert clause");
+  }
+  SAQL_ASSIGN_OR_RETURN(query->alert, ParseExpr());
+  return Status::Ok();
+}
+
+Status Parser::ParseReturn(Query* query) {
+  SourceLoc loc = Peek().loc;
+  Advance();  // 'return'
+  if (!query->returns.empty()) {
+    return Status::ParseError(loc.ToString() + ": duplicate return clause");
+  }
+  if (CheckIdent("distinct")) {
+    Advance();
+    query->return_distinct = true;
+  }
+  while (true) {
+    SourceLoc item_loc = Peek().loc;
+    SAQL_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+    ReturnItem item;
+    item.label = expr->ToString();
+    item.expr = std::move(expr);
+    item.loc = item_loc;
+    if (CheckIdent("as")) {
+      Advance();
+      SAQL_ASSIGN_OR_RETURN(Token label, ExpectIdent("return item label"));
+      item.label = label.text;
+    }
+    query->returns.push_back(std::move(item));
+    if (!Match(TokenKind::kComma)) break;
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+Result<ExprPtr> Parser::ParseExpr() { return ParseOrExpr(); }
+
+Result<ExprPtr> Parser::ParseOrExpr() {
+  SAQL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAndExpr());
+  while (Check(TokenKind::kOrOr)) {
+    SourceLoc loc = Advance().loc;
+    SAQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAndExpr());
+    lhs = Expr::MakeBinary(BinOp::kOr, std::move(lhs), std::move(rhs), loc);
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAndExpr() {
+  SAQL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseCmpExpr());
+  while (Check(TokenKind::kAndAnd)) {
+    SourceLoc loc = Advance().loc;
+    SAQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseCmpExpr());
+    lhs = Expr::MakeBinary(BinOp::kAnd, std::move(lhs), std::move(rhs), loc);
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseCmpExpr() {
+  SAQL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseSetExpr());
+  BinOp op;
+  if (Check(TokenKind::kEq) || Check(TokenKind::kAssign)) {
+    op = BinOp::kEq;
+  } else if (Check(TokenKind::kNe)) {
+    op = BinOp::kNe;
+  } else if (Check(TokenKind::kLt)) {
+    op = BinOp::kLt;
+  } else if (Check(TokenKind::kLe)) {
+    op = BinOp::kLe;
+  } else if (Check(TokenKind::kGt)) {
+    op = BinOp::kGt;
+  } else if (Check(TokenKind::kGe)) {
+    op = BinOp::kGe;
+  } else if (CheckIdent("in")) {
+    op = BinOp::kIn;
+  } else {
+    return lhs;
+  }
+  SourceLoc loc = Advance().loc;
+  SAQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseSetExpr());
+  return Expr::MakeBinary(op, std::move(lhs), std::move(rhs), loc);
+}
+
+Result<ExprPtr> Parser::ParseSetExpr() {
+  SAQL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAddExpr());
+  while (CheckIdent("union") || CheckIdent("diff") ||
+         CheckIdent("intersect")) {
+    Token op_tok = Advance();
+    BinOp op = op_tok.IsIdent("union")
+                   ? BinOp::kUnion
+                   : (op_tok.IsIdent("diff") ? BinOp::kDiff
+                                             : BinOp::kIntersect);
+    SAQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAddExpr());
+    lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs), op_tok.loc);
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAddExpr() {
+  SAQL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMulExpr());
+  while (Check(TokenKind::kPlus) || Check(TokenKind::kMinus)) {
+    Token op_tok = Advance();
+    BinOp op = op_tok.Is(TokenKind::kPlus) ? BinOp::kAdd : BinOp::kSub;
+    SAQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMulExpr());
+    lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs), op_tok.loc);
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseMulExpr() {
+  SAQL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnaryExpr());
+  while (Check(TokenKind::kStar) || Check(TokenKind::kSlash) ||
+         Check(TokenKind::kPercent)) {
+    Token op_tok = Advance();
+    BinOp op = op_tok.Is(TokenKind::kStar)
+                   ? BinOp::kMul
+                   : (op_tok.Is(TokenKind::kSlash) ? BinOp::kDiv
+                                                   : BinOp::kMod);
+    SAQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnaryExpr());
+    lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs), op_tok.loc);
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseUnaryExpr() {
+  if (Check(TokenKind::kBang)) {
+    SourceLoc loc = Advance().loc;
+    SAQL_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnaryExpr());
+    return Expr::MakeUnary(UnOp::kNot, std::move(operand), loc);
+  }
+  if (Check(TokenKind::kMinus)) {
+    SourceLoc loc = Advance().loc;
+    SAQL_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnaryExpr());
+    return Expr::MakeUnary(UnOp::kNeg, std::move(operand), loc);
+  }
+  if (CheckIdent("not")) {
+    SourceLoc loc = Advance().loc;
+    SAQL_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnaryExpr());
+    return Expr::MakeUnary(UnOp::kNot, std::move(operand), loc);
+  }
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  switch (t.kind) {
+    case TokenKind::kInteger: {
+      Token tok = Advance();
+      return Expr::MakeLiteral(Value(tok.int_value), tok.loc);
+    }
+    case TokenKind::kFloat: {
+      Token tok = Advance();
+      return Expr::MakeLiteral(Value(tok.float_value), tok.loc);
+    }
+    case TokenKind::kString: {
+      Token tok = Advance();
+      return Expr::MakeLiteral(Value(tok.text), tok.loc);
+    }
+    case TokenKind::kLParen: {
+      Advance();
+      SAQL_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      SAQL_RETURN_IF_ERROR(
+          Expect(TokenKind::kRParen, "closing parenthesis").status());
+      return inner;
+    }
+    case TokenKind::kPipe: {
+      SourceLoc loc = Advance().loc;
+      SAQL_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      SAQL_RETURN_IF_ERROR(
+          Expect(TokenKind::kPipe, "closing '|' of size expression")
+              .status());
+      return Expr::MakeUnary(UnOp::kSize, std::move(inner), loc);
+    }
+    case TokenKind::kIdentifier:
+      break;  // handled below
+    default:
+      return ErrorHere("expected expression, got " + t.ToString());
+  }
+
+  Token ident = Advance();
+  if (ident.IsIdent("true")) {
+    return Expr::MakeLiteral(Value(true), ident.loc);
+  }
+  if (ident.IsIdent("false")) {
+    return Expr::MakeLiteral(Value(false), ident.loc);
+  }
+  if (ident.IsIdent("empty_set")) {
+    return Expr::MakeLiteral(Value(StringSet{}), ident.loc);
+  }
+  // Call: `avg(evt.amount)`.
+  if (Check(TokenKind::kLParen)) {
+    Advance();
+    std::vector<ExprPtr> args;
+    if (!Check(TokenKind::kRParen)) {
+      while (true) {
+        SAQL_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+        args.push_back(std::move(arg));
+        if (!Match(TokenKind::kComma)) break;
+      }
+    }
+    SAQL_RETURN_IF_ERROR(
+        Expect(TokenKind::kRParen, "closing call arguments").status());
+    return Expr::MakeCall(ident.text, std::move(args), ident.loc);
+  }
+  // State history: `ss[1].avg_amount`.
+  if (Check(TokenKind::kLBracket)) {
+    Advance();
+    SAQL_ASSIGN_OR_RETURN(Token idx,
+                          Expect(TokenKind::kInteger, "state history index"));
+    SAQL_RETURN_IF_ERROR(
+        Expect(TokenKind::kRBracket, "closing history index").status());
+    std::string field;
+    if (Match(TokenKind::kDot)) {
+      SAQL_ASSIGN_OR_RETURN(Token f, ExpectIdent("field after '.'"));
+      field = f.text;
+    }
+    return Expr::MakeRef(ident.text, static_cast<int>(idx.int_value),
+                         std::move(field), ident.loc);
+  }
+  // Qualified field: `p1.exe_name`.
+  if (Check(TokenKind::kDot)) {
+    Advance();
+    SAQL_ASSIGN_OR_RETURN(Token f, ExpectIdent("field after '.'"));
+    return Expr::MakeRef(ident.text, std::nullopt, f.text, ident.loc);
+  }
+  // Bare reference.
+  return Expr::MakeRef(ident.text, std::nullopt, "", ident.loc);
+}
+
+Result<Query> ParseSaql(const std::string& text) {
+  SAQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, TokenizeSaql(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery(text);
+}
+
+}  // namespace saql

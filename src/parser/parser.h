@@ -1,0 +1,86 @@
+#ifndef SAQL_PARSER_PARSER_H_
+#define SAQL_PARSER_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "parser/ast.h"
+#include "parser/token.h"
+
+namespace saql {
+
+/// Recursive-descent parser for the SAQL language (§II-B of the paper).
+/// Accepts the paper's Queries 1–4 verbatim; see DESIGN.md §3 for the full
+/// construct list. All errors carry `line:col` positions.
+///
+/// Keywords are contextual: `proc`, `file`, `ip`, `as`, `with`, `state`,
+/// `group`, `by`, `invariant`, `cluster`, `alert`, `return`, `distinct` are
+/// recognized by position, so they remain usable as ordinary identifiers in
+/// expressions.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens);
+
+  /// Parses a complete query. `text` is retained in `Query::text`.
+  Result<Query> ParseQuery(const std::string& text);
+
+ private:
+  // Clause parsers.
+  Status ParseGlobalConstraint(Query* query);
+  Status ParseEventPattern(Query* query);
+  Result<EntityPattern> ParseEntityPattern();
+  Result<std::vector<AttrConstraint>> ParseConstraintList(EntityType type);
+  Result<OpMask> ParseOps();
+  Status ParseWindow(Query* query);
+  Status ParseTemporal(Query* query);
+  Status ParseStateBlock(Query* query);
+  Status ParseInvariantBlock(Query* query);
+  Status ParseClusterSpec(Query* query);
+  Status ParseAlert(Query* query);
+  Status ParseReturn(Query* query);
+
+  // Expression parsers (precedence climbing).
+  Result<ExprPtr> ParseExpr();
+  Result<ExprPtr> ParseOrExpr();
+  Result<ExprPtr> ParseAndExpr();
+  Result<ExprPtr> ParseCmpExpr();
+  Result<ExprPtr> ParseSetExpr();
+  Result<ExprPtr> ParseAddExpr();
+  Result<ExprPtr> ParseMulExpr();
+  Result<ExprPtr> ParseUnaryExpr();
+  Result<ExprPtr> ParsePrimary();
+
+  Result<Value> ParseLiteralValue();
+  Result<Duration> ParseDurationTokens();
+  Result<GroupKey> ParseGroupKey();
+
+  // Token helpers.
+  const Token& Peek(int ahead = 0) const;
+  const Token& Advance();
+  bool Check(TokenKind kind) const { return Peek().Is(kind); }
+  bool CheckIdent(const std::string& spelling) const {
+    return Peek().IsIdent(spelling);
+  }
+  bool Match(TokenKind kind);
+  Result<Token> Expect(TokenKind kind, const std::string& context);
+  Result<Token> ExpectIdent(const std::string& context);
+  Status ErrorHere(const std::string& msg) const;
+
+  /// True when the current token begins an entity pattern.
+  bool AtEntityType() const;
+  /// True when the current identifier names a valid event operation and is
+  /// followed by an entity-type keyword (used to allow anonymous patterns).
+  bool LooksLikeOp(int ahead) const;
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int anon_counter_ = 0;
+};
+
+/// Parses `text` into a query AST (lex + parse).
+Result<Query> ParseSaql(const std::string& text);
+
+}  // namespace saql
+
+#endif  // SAQL_PARSER_PARSER_H_

@@ -1,0 +1,80 @@
+#ifndef SAQL_PARSER_TOKEN_H_
+#define SAQL_PARSER_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace saql {
+
+/// Lexical token kinds of the SAQL language.
+enum class TokenKind {
+  kEof,
+  kIdentifier,  // proc, p1, avg, agentid — keywords resolved by the parser
+  kInteger,     // 10, 1000000
+  kFloat,       // 1.5
+  kString,      // "%cmd.exe"
+  // Punctuation / operators.
+  kLParen,      // (
+  kRParen,      // )
+  kLBracket,    // [
+  kRBracket,    // ]
+  kLBrace,      // {
+  kRBrace,      // }
+  kComma,       // ,
+  kDot,         // .
+  kHash,        // #
+  kPipe,        // |
+  kOrOr,        // ||
+  kAndAnd,      // &&
+  kArrow,       // ->
+  kAssign,      // =
+  kColonAssign, // :=
+  kEq,          // ==
+  kNe,          // !=
+  kLt,          // <
+  kLe,          // <=
+  kGt,          // >
+  kGe,          // >=
+  kPlus,        // +
+  kMinus,       // -
+  kStar,        // *
+  kSlash,       // /
+  kPercent,     // %
+  kBang,        // !
+};
+
+/// Printable token-kind name for diagnostics.
+const char* TokenKindName(TokenKind kind);
+
+/// Position of a token in the query text (1-based), carried through to
+/// parse/semantic error messages the way ANTLR reports them.
+struct SourceLoc {
+  int line = 1;
+  int col = 1;
+
+  std::string ToString() const {
+    return std::to_string(line) + ":" + std::to_string(col);
+  }
+};
+
+/// One lexical token. `text` holds the identifier spelling or the unescaped
+/// string contents; numeric values are pre-parsed into `int_value` /
+/// `float_value`.
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  SourceLoc loc;
+
+  bool Is(TokenKind k) const { return kind == k; }
+  /// True for an identifier with the given spelling (case-insensitive, as
+  /// SAQL keywords are).
+  bool IsIdent(const std::string& spelling) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace saql
+
+#endif  // SAQL_PARSER_TOKEN_H_

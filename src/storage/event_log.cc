@@ -1,0 +1,251 @@
+#include "storage/event_log.h"
+
+#include <cstring>
+
+namespace saql {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'A', 'Q', 'L', 'L', 'O', 'G', '1'};
+constexpr uint32_t kVersion = 1;
+
+void PutU32(std::string* buf, uint32_t v) {
+  buf->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutU64(std::string* buf, uint64_t v) {
+  buf->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutI64(std::string* buf, int64_t v) {
+  buf->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutU8(std::string* buf, uint8_t v) {
+  buf->push_back(static_cast<char>(v));
+}
+
+void PutString(std::string* buf, const std::string& s) {
+  PutU32(buf, static_cast<uint32_t>(s.size()));
+  buf->append(s);
+}
+
+class PayloadReader {
+ public:
+  PayloadReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool GetU32(uint32_t* v) { return Copy(v, sizeof(*v)); }
+  bool GetU64(uint64_t* v) { return Copy(v, sizeof(*v)); }
+  bool GetI64(int64_t* v) { return Copy(v, sizeof(*v)); }
+  bool GetU8(uint8_t* v) { return Copy(v, sizeof(*v)); }
+
+  bool GetString(std::string* s) {
+    uint32_t len = 0;
+    if (!GetU32(&len)) return false;
+    if (pos_ + len > size_) return false;
+    s->assign(data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+ private:
+  bool Copy(void* dst, size_t n) {
+    if (pos_ + n > size_) return false;
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+void SerializeProcess(std::string* buf, const ProcessEntity& p) {
+  PutI64(buf, p.pid);
+  PutString(buf, p.exe_name);
+  PutString(buf, p.user);
+}
+
+bool DeserializeProcess(PayloadReader* r, ProcessEntity* p) {
+  return r->GetI64(&p->pid) && r->GetString(&p->exe_name) &&
+         r->GetString(&p->user);
+}
+
+void SerializeEvent(std::string* buf, const Event& e) {
+  PutU64(buf, e.id);
+  PutI64(buf, e.ts);
+  PutString(buf, e.agent_id);
+  SerializeProcess(buf, e.subject);
+  PutU8(buf, static_cast<uint8_t>(e.op));
+  PutU8(buf, static_cast<uint8_t>(e.object_type));
+  switch (e.object_type) {
+    case EntityType::kProcess:
+      SerializeProcess(buf, e.obj_proc);
+      break;
+    case EntityType::kFile:
+      PutString(buf, e.obj_file.path);
+      break;
+    case EntityType::kNetwork:
+      PutString(buf, e.obj_net.src_ip);
+      PutString(buf, e.obj_net.dst_ip);
+      PutI64(buf, e.obj_net.src_port);
+      PutI64(buf, e.obj_net.dst_port);
+      PutString(buf, e.obj_net.protocol);
+      break;
+  }
+  PutI64(buf, e.amount);
+  PutU8(buf, e.failed ? 1 : 0);
+}
+
+bool DeserializeEvent(PayloadReader* r, Event* e) {
+  uint8_t op = 0, obj_type = 0, failed = 0;
+  if (!(r->GetU64(&e->id) && r->GetI64(&e->ts) &&
+        r->GetString(&e->agent_id) &&
+        DeserializeProcess(r, &e->subject) && r->GetU8(&op) &&
+        r->GetU8(&obj_type))) {
+    return false;
+  }
+  if (op >= kNumEventOps || obj_type > 2) return false;
+  e->op = static_cast<EventOp>(op);
+  e->object_type = static_cast<EntityType>(obj_type);
+  switch (e->object_type) {
+    case EntityType::kProcess:
+      if (!DeserializeProcess(r, &e->obj_proc)) return false;
+      break;
+    case EntityType::kFile:
+      if (!r->GetString(&e->obj_file.path)) return false;
+      break;
+    case EntityType::kNetwork:
+      if (!(r->GetString(&e->obj_net.src_ip) &&
+            r->GetString(&e->obj_net.dst_ip) &&
+            r->GetI64(&e->obj_net.src_port) &&
+            r->GetI64(&e->obj_net.dst_port) &&
+            r->GetString(&e->obj_net.protocol))) {
+        return false;
+      }
+      break;
+  }
+  if (!r->GetI64(&e->amount) || !r->GetU8(&failed)) return false;
+  e->failed = failed != 0;
+  return true;
+}
+
+}  // namespace
+
+EventLogWriter::EventLogWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) {
+    status_ = Status::IoError("cannot open '" + path + "' for writing");
+    return;
+  }
+  out_.write(kMagic, sizeof(kMagic));
+  uint32_t version = kVersion;
+  out_.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  if (!out_) status_ = Status::IoError("failed writing log header");
+}
+
+Status EventLogWriter::Append(const Event& event) {
+  SAQL_RETURN_IF_ERROR(status_);
+  buffer_.clear();
+  SerializeEvent(&buffer_, event);
+  uint32_t size = static_cast<uint32_t>(buffer_.size());
+  out_.write(reinterpret_cast<const char*>(&size), sizeof(size));
+  out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  if (!out_) {
+    status_ = Status::IoError("failed appending event record");
+    return status_;
+  }
+  ++events_written_;
+  return Status::Ok();
+}
+
+Status EventLogWriter::AppendBatch(const EventBatch& events) {
+  for (const Event& e : events) {
+    SAQL_RETURN_IF_ERROR(Append(e));
+  }
+  return Status::Ok();
+}
+
+Status EventLogWriter::Close() {
+  if (out_.is_open()) {
+    out_.flush();
+    out_.close();
+    if (!out_ && status_.ok()) {
+      status_ = Status::IoError("failed closing event log");
+    }
+  }
+  return status_;
+}
+
+EventLogReader::EventLogReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) {
+    status_ = Status::IoError("cannot open '" + path + "' for reading");
+    return;
+  }
+  char magic[sizeof(kMagic)];
+  uint32_t version = 0;
+  in_.read(magic, sizeof(magic));
+  in_.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in_ || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    status_ = Status::IoError("'" + path + "' is not a SAQL event log");
+    return;
+  }
+  if (version != kVersion) {
+    status_ = Status::IoError("unsupported event log version " +
+                              std::to_string(version));
+  }
+}
+
+Result<Event> EventLogReader::Next() {
+  SAQL_RETURN_IF_ERROR(status_);
+  uint32_t size = 0;
+  in_.read(reinterpret_cast<char*>(&size), sizeof(size));
+  if (in_.eof()) return Status::NotFound("end of log");
+  if (!in_ || size > (64u << 20)) {
+    status_ = Status::IoError("corrupt record header");
+    return status_;
+  }
+  std::string payload(size, '\0');
+  in_.read(payload.data(), size);
+  if (!in_) {
+    // Truncated final record: treat as end of log (crash-consistent tail).
+    return Status::NotFound("end of log (truncated tail)");
+  }
+  Event e;
+  PayloadReader r(payload.data(), payload.size());
+  if (!DeserializeEvent(&r, &e)) {
+    status_ = Status::IoError("corrupt event record");
+    return status_;
+  }
+  return e;
+}
+
+Result<EventBatch> EventLogReader::ReadAll() {
+  EventBatch out;
+  while (true) {
+    Result<Event> e = Next();
+    if (!e.ok()) {
+      if (e.status().code() == StatusCode::kNotFound) break;
+      return e.status();
+    }
+    out.push_back(std::move(*e));
+  }
+  return out;
+}
+
+Status WriteEventLog(const std::string& path, const EventBatch& events) {
+  EventLogWriter writer(path);
+  SAQL_RETURN_IF_ERROR(writer.status());
+  SAQL_RETURN_IF_ERROR(writer.AppendBatch(events));
+  return writer.Close();
+}
+
+Result<EventBatch> ReadEventLog(const std::string& path) {
+  EventLogReader reader(path);
+  SAQL_RETURN_IF_ERROR(reader.status());
+  return reader.ReadAll();
+}
+
+}  // namespace saql

@@ -1,0 +1,77 @@
+#ifndef SAQL_STORAGE_EVENT_LOG_H_
+#define SAQL_STORAGE_EVENT_LOG_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/event.h"
+#include "core/result.h"
+
+namespace saql {
+
+/// Append-only binary log of system events — the databases the paper
+/// stores collected monitoring data in so the demo can replay attacks
+/// (§III: "we additionally store the data in databases").
+///
+/// Format (little-endian):
+///   header:  magic "SAQLLOG1", u32 version
+///   record:  u32 payload_size, payload (fields in fixed order; strings are
+///            u32 length + bytes)
+///
+/// Writers produce a footer-free stream, so logs survive process kills up
+/// to the last complete record; the reader stops at the first truncated
+/// record.
+class EventLogWriter {
+ public:
+  /// Creates/truncates `path`. Check `status()` before use.
+  explicit EventLogWriter(const std::string& path);
+
+  Status status() const { return status_; }
+
+  /// Appends one event.
+  Status Append(const Event& event);
+
+  /// Appends a batch.
+  Status AppendBatch(const EventBatch& events);
+
+  /// Flushes and closes. Called by the destructor too.
+  Status Close();
+
+  uint64_t events_written() const { return events_written_; }
+
+ private:
+  std::ofstream out_;
+  Status status_;
+  uint64_t events_written_ = 0;
+  std::string buffer_;
+};
+
+/// Reads an event log sequentially.
+class EventLogReader {
+ public:
+  explicit EventLogReader(const std::string& path);
+
+  Status status() const { return status_; }
+
+  /// Reads the next event; returns NotFound at end of log.
+  Result<Event> Next();
+
+  /// Reads all remaining events.
+  Result<EventBatch> ReadAll();
+
+ private:
+  std::ifstream in_;
+  Status status_;
+};
+
+/// Convenience: writes `events` to `path`.
+Status WriteEventLog(const std::string& path, const EventBatch& events);
+
+/// Convenience: reads the whole log at `path`.
+Result<EventBatch> ReadEventLog(const std::string& path);
+
+}  // namespace saql
+
+#endif  // SAQL_STORAGE_EVENT_LOG_H_

@@ -1,0 +1,73 @@
+#include "storage/replayer.h"
+
+#include <chrono>
+#include <thread>
+
+namespace saql {
+
+namespace {
+
+int64_t WallNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+StreamReplayer::StreamReplayer(const std::string& path, Filter filter)
+    : reader_(std::make_unique<EventLogReader>(path)),
+      filter_(std::move(filter)) {
+  status_ = reader_->status();
+}
+
+bool StreamReplayer::Accept(const Event& e) const {
+  if (e.ts < filter_.start_ts || e.ts >= filter_.end_ts) return false;
+  if (!filter_.hosts.empty() &&
+      filter_.hosts.find(e.agent_id) == filter_.hosts.end()) {
+    return false;
+  }
+  return true;
+}
+
+void StreamReplayer::PaceTo(Timestamp ts) {
+  if (filter_.speed <= 0.0) return;
+  if (first_event_ts_ == INT64_MIN) {
+    first_event_ts_ = ts;
+    wall_start_ns_ = WallNowNs();
+    return;
+  }
+  double event_elapsed = static_cast<double>(ts - first_event_ts_);
+  int64_t target_wall_ns =
+      wall_start_ns_ +
+      static_cast<int64_t>(event_elapsed / filter_.speed);
+  int64_t now = WallNowNs();
+  if (target_wall_ns > now) {
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(target_wall_ns - now));
+  }
+}
+
+bool StreamReplayer::NextBatch(size_t max_events, EventBatch* batch) {
+  batch->clear();
+  if (!status_.ok()) return false;
+  while (batch->size() < max_events) {
+    Result<Event> e = reader_->Next();
+    if (!e.ok()) {
+      if (e.status().code() != StatusCode::kNotFound) {
+        status_ = e.status();
+      }
+      break;
+    }
+    if (!Accept(*e)) {
+      ++filtered_out_;
+      continue;
+    }
+    PaceTo(e->ts);
+    ++replayed_;
+    batch->push_back(std::move(*e));
+  }
+  return !batch->empty();
+}
+
+}  // namespace saql

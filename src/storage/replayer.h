@@ -1,0 +1,61 @@
+#ifndef SAQL_STORAGE_REPLAYER_H_
+#define SAQL_STORAGE_REPLAYER_H_
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "core/event.h"
+#include "core/result.h"
+#include "storage/event_log.h"
+#include "stream/event_source.h"
+
+namespace saql {
+
+/// The paper's stream replayer (Fig. 4): replays stored monitoring data as
+/// a live stream so attacks can be reproduced against different queries.
+/// The web UI's controls — host selection and start/end time — are the
+/// filter options here; `speed` controls pacing:
+///
+///  - speed == 0: as fast as possible (benchmarks, tests);
+///  - speed == 1: real time (1s of event time per wall second);
+///  - speed == N: N× faster than real time.
+class StreamReplayer : public EventSource {
+ public:
+  struct Filter {
+    /// Empty = all hosts.
+    std::set<std::string> hosts;
+    /// Half-open event-time range; 0/INT64_MAX = unbounded.
+    Timestamp start_ts = 0;
+    Timestamp end_ts = INT64_MAX;
+    /// Replay speed multiplier; 0 disables pacing.
+    double speed = 0.0;
+  };
+
+  /// Opens `path`; check `status()` before use.
+  StreamReplayer(const std::string& path, Filter filter);
+
+  Status status() const { return status_; }
+
+  bool NextBatch(size_t max_events, EventBatch* batch) override;
+
+  /// Events skipped by the filter so far.
+  uint64_t filtered_out() const { return filtered_out_; }
+  uint64_t replayed() const { return replayed_; }
+
+ private:
+  bool Accept(const Event& e) const;
+  void PaceTo(Timestamp ts);
+
+  std::unique_ptr<EventLogReader> reader_;
+  Filter filter_;
+  Status status_;
+  uint64_t filtered_out_ = 0;
+  uint64_t replayed_ = 0;
+  Timestamp first_event_ts_ = INT64_MIN;
+  int64_t wall_start_ns_ = 0;
+};
+
+}  // namespace saql
+
+#endif  // SAQL_STORAGE_REPLAYER_H_

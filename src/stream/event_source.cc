@@ -1,0 +1,82 @@
+#include "stream/event_source.h"
+
+#include <algorithm>
+
+namespace saql {
+
+VectorEventSource::VectorEventSource(EventBatch events)
+    : events_(std::move(events)) {}
+
+bool VectorEventSource::NextBatch(size_t max_events, EventBatch* batch) {
+  batch->clear();
+  if (pos_ >= events_.size()) return false;
+  size_t n = std::min(max_events, events_.size() - pos_);
+  batch->insert(batch->end(), events_.begin() + static_cast<long>(pos_),
+                events_.begin() + static_cast<long>(pos_ + n));
+  pos_ += n;
+  return true;
+}
+
+CallbackEventSource::CallbackEventSource(Generator gen)
+    : gen_(std::move(gen)) {}
+
+bool CallbackEventSource::NextBatch(size_t max_events, EventBatch* batch) {
+  batch->clear();
+  if (done_) return false;
+  for (size_t i = 0; i < max_events; ++i) {
+    Event e;
+    if (!gen_(&e)) {
+      done_ = true;
+      break;
+    }
+    batch->push_back(std::move(e));
+  }
+  return !batch->empty();
+}
+
+MergingEventSource::MergingEventSource(
+    std::vector<std::unique_ptr<EventSource>> inputs) {
+  cursors_.reserve(inputs.size());
+  for (auto& in : inputs) {
+    Cursor c;
+    c.source = std::move(in);
+    cursors_.push_back(std::move(c));
+  }
+  for (size_t i = 0; i < cursors_.size(); ++i) Refill(i);
+}
+
+void MergingEventSource::Refill(size_t i) {
+  Cursor& c = cursors_[i];
+  if (c.pos < c.buffer.size() || c.exhausted) return;
+  c.buffer.clear();
+  c.pos = 0;
+  if (!c.source->NextBatch(4096, &c.buffer)) {
+    c.exhausted = true;
+  }
+}
+
+bool MergingEventSource::NextBatch(size_t max_events, EventBatch* batch) {
+  batch->clear();
+  while (batch->size() < max_events) {
+    // Pick the cursor with the smallest current timestamp. The fan-in here
+    // (one agent feed per host) is small, so a linear scan beats a heap.
+    size_t best = cursors_.size();
+    Timestamp best_ts = 0;
+    for (size_t i = 0; i < cursors_.size(); ++i) {
+      Refill(i);
+      Cursor& c = cursors_[i];
+      if (c.exhausted || c.pos >= c.buffer.size()) continue;
+      Timestamp ts = c.buffer[c.pos].ts;
+      if (best == cursors_.size() || ts < best_ts) {
+        best = i;
+        best_ts = ts;
+      }
+    }
+    if (best == cursors_.size()) break;  // all exhausted
+    batch->push_back(cursors_[best].buffer[cursors_[best].pos]);
+    ++cursors_[best].pos;
+  }
+  return !batch->empty();
+}
+
+}  // namespace saql

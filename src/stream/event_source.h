@@ -1,0 +1,87 @@
+#ifndef SAQL_STREAM_EVENT_SOURCE_H_
+#define SAQL_STREAM_EVENT_SOURCE_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/event.h"
+
+namespace saql {
+
+/// Pull-based producer of the system event stream. In the paper events flow
+/// from per-host data collection agents to a central server; here sources
+/// are the synthetic enterprise simulator (src/collect) or the stored-event
+/// replayer (src/storage).
+///
+/// Sources produce events in non-decreasing timestamp order unless stated
+/// otherwise; a `ReorderBuffer` can repair bounded disorder.
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+
+  /// Fills `batch` with up to `max_events` next events (append, batch is
+  /// cleared first). Returns false when the stream is exhausted and no
+  /// events were produced.
+  virtual bool NextBatch(size_t max_events, EventBatch* batch) = 0;
+};
+
+/// Source over a pre-materialized vector of events; used by tests and by
+/// benchmarks that want the generation cost out of the measured loop.
+class VectorEventSource : public EventSource {
+ public:
+  explicit VectorEventSource(EventBatch events);
+
+  bool NextBatch(size_t max_events, EventBatch* batch) override;
+
+  /// Rewinds to the beginning (benchmarks reuse one materialized stream).
+  void Reset() { pos_ = 0; }
+
+  size_t size() const { return events_.size(); }
+
+ private:
+  EventBatch events_;
+  size_t pos_ = 0;
+};
+
+/// Adapts a generator function into a source. The function returns false to
+/// signal end of stream.
+class CallbackEventSource : public EventSource {
+ public:
+  using Generator = std::function<bool(Event*)>;
+
+  explicit CallbackEventSource(Generator gen);
+
+  bool NextBatch(size_t max_events, EventBatch* batch) override;
+
+ private:
+  Generator gen_;
+  bool done_ = false;
+};
+
+/// Merges several timestamp-ordered sources into one ordered stream — the
+/// central server's view over all per-host agent feeds.
+class MergingEventSource : public EventSource {
+ public:
+  explicit MergingEventSource(std::vector<std::unique_ptr<EventSource>> inputs);
+
+  bool NextBatch(size_t max_events, EventBatch* batch) override;
+
+ private:
+  struct Cursor {
+    std::unique_ptr<EventSource> source;
+    EventBatch buffer;
+    size_t pos = 0;
+    bool exhausted = false;
+  };
+
+  /// Ensures cursor `i` has a current event or is marked exhausted.
+  void Refill(size_t i);
+
+  std::vector<Cursor> cursors_;
+};
+
+}  // namespace saql
+
+#endif  // SAQL_STREAM_EVENT_SOURCE_H_

@@ -1,0 +1,62 @@
+#include "stream/reorder_buffer.h"
+
+namespace saql {
+
+ReorderBuffer::ReorderBuffer(Duration max_delay)
+    : max_delay_(max_delay < 0 ? 0 : max_delay) {}
+
+void ReorderBuffer::Push(const Event& event, EventBatch* out) {
+  if (max_ts_seen_ != INT64_MIN &&
+      event.ts < max_ts_seen_ - max_delay_) {
+    // Beyond the reordering horizon: emit immediately rather than breaking
+    // the order of already-released events further.
+    ++late_count_;
+    out->push_back(event);
+    return;
+  }
+  if (event.ts > max_ts_seen_) max_ts_seen_ = event.ts;
+  pending_.emplace(event.ts, event);
+  ++buffered_;
+  Timestamp horizon = max_ts_seen_ - max_delay_;
+  while (!pending_.empty() && pending_.begin()->first <= horizon) {
+    out->push_back(std::move(pending_.begin()->second));
+    pending_.erase(pending_.begin());
+    --buffered_;
+  }
+}
+
+void ReorderBuffer::Flush(EventBatch* out) {
+  for (auto& [ts, e] : pending_) {
+    out->push_back(std::move(e));
+  }
+  pending_.clear();
+  buffered_ = 0;
+}
+
+ReorderingEventSource::ReorderingEventSource(EventSource* inner,
+                                             Duration max_delay)
+    : inner_(inner), buffer_(max_delay) {}
+
+bool ReorderingEventSource::NextBatch(size_t max_events, EventBatch* batch) {
+  batch->clear();
+  while (batch->size() < max_events) {
+    if (staged_pos_ < staged_.size()) {
+      batch->push_back(std::move(staged_[staged_pos_++]));
+      continue;
+    }
+    staged_.clear();
+    staged_pos_ = 0;
+    if (inner_done_) break;
+    if (!inner_->NextBatch(max_events, &scratch_)) {
+      inner_done_ = true;
+      buffer_.Flush(&staged_);
+      continue;
+    }
+    for (const Event& e : scratch_) {
+      buffer_.Push(e, &staged_);
+    }
+  }
+  return !batch->empty();
+}
+
+}  // namespace saql

@@ -1,0 +1,70 @@
+#ifndef SAQL_STREAM_REORDER_BUFFER_H_
+#define SAQL_STREAM_REORDER_BUFFER_H_
+
+#include <map>
+#include <vector>
+
+#include "core/event.h"
+#include "core/time_util.h"
+#include "stream/event_source.h"
+
+namespace saql {
+
+/// Repairs bounded event-time disorder in a stream. Per-host agent feeds
+/// are ordered, but network delivery to the central server can interleave
+/// slightly stale events; the buffer holds events for `max_delay` of event
+/// time and releases them in timestamp order.
+///
+/// An event older than the current watermark minus `max_delay` is released
+/// immediately (flagged as late via `late_count`), matching the
+/// best-effort semantics a real-time detector needs — dropping data would
+/// hide attacks.
+class ReorderBuffer {
+ public:
+  explicit ReorderBuffer(Duration max_delay);
+
+  /// Inserts `event` and appends any events that are now safe to release
+  /// (older than max event time seen minus max_delay) to `out` in order.
+  void Push(const Event& event, EventBatch* out);
+
+  /// Releases everything left, in order.
+  void Flush(EventBatch* out);
+
+  /// Events that arrived older than the reordering horizon.
+  size_t late_count() const { return late_count_; }
+
+  /// Events currently buffered.
+  size_t buffered() const { return buffered_; }
+
+ private:
+  Duration max_delay_;
+  Timestamp max_ts_seen_ = INT64_MIN;
+  std::multimap<Timestamp, Event> pending_;
+  size_t late_count_ = 0;
+  size_t buffered_ = 0;
+};
+
+/// EventSource adapter that repairs bounded disorder of an inner source
+/// before it reaches the engine: place between a network-delivered agent
+/// feed and `SaqlEngine::Run` when event order is not guaranteed.
+class ReorderingEventSource : public EventSource {
+ public:
+  /// `inner` is not owned and must outlive this source.
+  ReorderingEventSource(EventSource* inner, Duration max_delay);
+
+  bool NextBatch(size_t max_events, EventBatch* batch) override;
+
+  size_t late_count() const { return buffer_.late_count(); }
+
+ private:
+  EventSource* inner_;
+  ReorderBuffer buffer_;
+  EventBatch staged_;   ///< released events not yet handed out
+  size_t staged_pos_ = 0;
+  EventBatch scratch_;  ///< raw batch pulled from the inner source
+  bool inner_done_ = false;
+};
+
+}  // namespace saql
+
+#endif  // SAQL_STREAM_REORDER_BUFFER_H_

@@ -1,0 +1,38 @@
+#include "stream/stream_executor.h"
+
+namespace saql {
+
+void StreamExecutor::Subscribe(EventProcessor* processor) {
+  processors_.push_back(processor);
+}
+
+void StreamExecutor::Reset() {
+  processors_.clear();
+  stats_ = ExecutorStats{};
+}
+
+void StreamExecutor::Run(EventSource* source, size_t batch_size) {
+  EventBatch batch;
+  Timestamp watermark = INT64_MIN;
+  while (source->NextBatch(batch_size, &batch)) {
+    ++stats_.batches;
+    for (const Event& e : batch) {
+      ++stats_.events;
+      for (EventProcessor* p : processors_) {
+        ++stats_.deliveries;
+        p->OnEvent(e);
+      }
+      if (e.ts > watermark) watermark = e.ts;
+    }
+    if (watermark != INT64_MIN) {
+      for (EventProcessor* p : processors_) {
+        p->OnWatermark(watermark);
+      }
+    }
+  }
+  for (EventProcessor* p : processors_) {
+    p->OnFinish();
+  }
+}
+
+}  // namespace saql

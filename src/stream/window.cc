@@ -1,0 +1,33 @@
+#include "stream/window.h"
+
+namespace saql {
+
+std::string TimeWindow::ToString() const {
+  return "[" + FormatTimestamp(start) + ", " + FormatTimestamp(end) + ")";
+}
+
+WindowAssigner::WindowAssigner(const WindowSpec& spec)
+    : length_(spec.length), slide_(spec.EffectiveSlide()) {
+  if (length_ <= 0) length_ = kSecond;
+  if (slide_ <= 0) slide_ = length_;
+}
+
+std::vector<TimeWindow> WindowAssigner::Assign(Timestamp ts) const {
+  std::vector<TimeWindow> out;
+  // Newest window start containing ts, aligned to the slide grid.
+  Timestamp last_start = ts - ((ts % slide_) + slide_) % slide_;
+  for (Timestamp start = last_start; start > ts - length_;
+       start -= slide_) {
+    out.push_back(TimeWindow{start, start + length_});
+  }
+  // Earliest first.
+  std::vector<TimeWindow> ordered(out.rbegin(), out.rend());
+  return ordered;
+}
+
+TimeWindow WindowAssigner::NewestFor(Timestamp ts) const {
+  Timestamp last_start = ts - ((ts % slide_) + slide_) % slide_;
+  return TimeWindow{last_start, last_start + length_};
+}
+
+}  // namespace saql

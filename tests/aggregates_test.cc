@@ -1,0 +1,153 @@
+#include "engine/aggregates.h"
+
+#include <gtest/gtest.h>
+
+namespace saql {
+namespace {
+
+std::unique_ptr<Aggregator> Make(const std::string& name) {
+  Result<std::unique_ptr<Aggregator>> r = MakeAggregator(name);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+TEST(AggregatesTest, Sum) {
+  auto agg = Make("sum");
+  agg->Add(Value(int64_t{10}));
+  agg->Add(Value(int64_t{32}));
+  Value v = agg->Finish();
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), 42);
+}
+
+TEST(AggregatesTest, SumPromotesToFloatOnFloatInput) {
+  auto agg = Make("sum");
+  agg->Add(Value(1.5));
+  agg->Add(Value(int64_t{2}));
+  Value v = agg->Finish();
+  EXPECT_TRUE(v.is_float());
+  EXPECT_DOUBLE_EQ(v.AsFloat(), 3.5);
+}
+
+TEST(AggregatesTest, EmptySumIsZero) {
+  EXPECT_EQ(Make("sum")->Finish().AsInt(), 0);
+}
+
+TEST(AggregatesTest, Avg) {
+  auto agg = Make("avg");
+  for (int i = 1; i <= 4; ++i) agg->Add(Value(static_cast<int64_t>(i)));
+  EXPECT_DOUBLE_EQ(agg->Finish().AsFloat(), 2.5);
+}
+
+TEST(AggregatesTest, EmptyAvgIsNull) {
+  EXPECT_TRUE(Make("avg")->Finish().is_null());
+}
+
+TEST(AggregatesTest, CountCountsNonNull) {
+  auto agg = Make("count");
+  agg->Add(Value(int64_t{1}));
+  agg->Add(Value("x"));
+  agg->Add(Value::Null());
+  EXPECT_EQ(agg->Finish().AsInt(), 2);
+}
+
+TEST(AggregatesTest, MinMax) {
+  auto min = Make("min");
+  auto max = Make("max");
+  for (int64_t v : {5, 2, 9, 3}) {
+    min->Add(Value(v));
+    max->Add(Value(v));
+  }
+  EXPECT_EQ(min->Finish().AsInt(), 2);
+  EXPECT_EQ(max->Finish().AsInt(), 9);
+}
+
+TEST(AggregatesTest, MinMaxOnStrings) {
+  auto min = Make("min");
+  min->Add(Value("banana"));
+  min->Add(Value("apple"));
+  EXPECT_EQ(min->Finish().AsString(), "apple");
+}
+
+TEST(AggregatesTest, EmptyMinIsNull) {
+  EXPECT_TRUE(Make("min")->Finish().is_null());
+}
+
+TEST(AggregatesTest, StdDev) {
+  auto agg = Make("stddev");
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    agg->Add(Value(v));
+  }
+  EXPECT_DOUBLE_EQ(agg->Finish().AsFloat(), 2.0);
+}
+
+TEST(AggregatesTest, StdDevOfSingleSampleIsZero) {
+  auto agg = Make("stddev");
+  agg->Add(Value(7.0));
+  EXPECT_DOUBLE_EQ(agg->Finish().AsFloat(), 0.0);
+}
+
+TEST(AggregatesTest, SetCollectsDistinct) {
+  auto agg = Make("set");
+  agg->Add(Value("php.exe"));
+  agg->Add(Value("logger.exe"));
+  agg->Add(Value("php.exe"));
+  EXPECT_EQ(agg->Finish().AsSet(), (StringSet{"php.exe", "logger.exe"}));
+}
+
+TEST(AggregatesTest, EmptySetIsEmpty) {
+  EXPECT_TRUE(Make("set")->Finish().AsSet().empty());
+}
+
+TEST(AggregatesTest, CountDistinct) {
+  auto agg = Make("count_distinct");
+  agg->Add(Value("a"));
+  agg->Add(Value("b"));
+  agg->Add(Value("a"));
+  EXPECT_EQ(agg->Finish().AsInt(), 2);
+}
+
+TEST(AggregatesTest, NullInputsIgnored) {
+  auto agg = Make("avg");
+  agg->Add(Value::Null());
+  agg->Add(Value(int64_t{10}));
+  EXPECT_DOUBLE_EQ(agg->Finish().AsFloat(), 10.0);
+}
+
+TEST(AggregatesTest, NonNumericInputsIgnoredByNumericAggs) {
+  auto agg = Make("sum");
+  agg->Add(Value("not a number"));
+  agg->Add(Value(int64_t{5}));
+  EXPECT_EQ(agg->Finish().AsInt(), 5);
+}
+
+TEST(AggregatesTest, Median) {
+  auto agg = Make("median");
+  for (int64_t v : {9, 1, 5}) agg->Add(Value(v));
+  EXPECT_DOUBLE_EQ(agg->Finish().AsFloat(), 5.0);
+  agg->Add(Value(int64_t{7}));  // even count -> mean of middle two
+  EXPECT_DOUBLE_EQ(agg->Finish().AsFloat(), 6.0);
+}
+
+TEST(AggregatesTest, EmptyMedianIsNull) {
+  EXPECT_TRUE(Make("median")->Finish().is_null());
+}
+
+TEST(AggregatesTest, TopPicksMostFrequent) {
+  auto agg = Make("top");
+  for (const char* v : {"a", "b", "b", "c", "b", "a"}) agg->Add(Value(v));
+  EXPECT_EQ(agg->Finish().AsString(), "b");
+}
+
+TEST(AggregatesTest, TopTieBreaksToSmallest) {
+  auto agg = Make("top");
+  for (const char* v : {"b", "a"}) agg->Add(Value(v));
+  EXPECT_EQ(agg->Finish().AsString(), "a");
+}
+
+TEST(AggregatesTest, UnknownNameRejected) {
+  EXPECT_FALSE(MakeAggregator("harmonic_mean").ok());
+}
+
+}  // namespace
+}  // namespace saql

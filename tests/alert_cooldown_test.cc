@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "engine/compiled_query.h"
+#include "test_util.h"
+
+namespace saql {
+namespace {
+
+using testing::EventBuilder;
+
+Event NetWrite(const std::string& exe, int64_t amount, Timestamp ts,
+               int64_t pid = 100) {
+  return EventBuilder()
+      .At(ts)
+      .OnHost("h1")
+      .Subject(exe, pid)
+      .Op(EventOp::kWrite)
+      .NetObject("1.2.3.4")
+      .Amount(amount)
+      .Build();
+}
+
+std::unique_ptr<CompiledQuery> Compile(const std::string& text,
+                                       Duration cooldown) {
+  CompiledQuery::Options opts;
+  opts.alert_cooldown = cooldown;
+  Result<std::unique_ptr<CompiledQuery>> q =
+      CompiledQuery::Create(CompileSaql(text).value(), "q", opts);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return std::move(q).value();
+}
+
+const char* kWindowQuery =
+    "proc p write ip i as e #time(10 s) "
+    "state ss { amt := sum(e.amount) } group by p "
+    "alert ss.amt > 100 return p, ss.amt";
+
+TEST(AlertCooldownTest, SuppressesRepeatedGroupAlerts) {
+  auto q = Compile(kWindowQuery, /*cooldown=*/kMinute);
+  std::vector<Alert> alerts;
+  q->SetAlertSink([&](const Alert& a) { alerts.push_back(a); });
+  // Six consecutive 10s windows all above the threshold.
+  for (int w = 0; w < 6; ++w) {
+    q->OnEvent(NetWrite("noisy.exe", 500, w * 10 * kSecond + kSecond));
+  }
+  q->OnFinish();
+  // Windows end at 10s..60s; only 10s and the 70s-later... with a 60s
+  // cooldown the first (end=10s) fires, the rest (20..60s) are within
+  // cooldown. One alert total.
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].ts, 10 * kSecond);
+}
+
+TEST(AlertCooldownTest, FiresAgainAfterCooldownElapses) {
+  auto q = Compile(kWindowQuery, /*cooldown=*/30 * kSecond);
+  std::vector<Alert> alerts;
+  q->SetAlertSink([&](const Alert& a) { alerts.push_back(a); });
+  for (int w = 0; w < 6; ++w) {
+    q->OnEvent(NetWrite("noisy.exe", 500, w * 10 * kSecond + kSecond));
+  }
+  q->OnFinish();
+  // Window ends: 10,20,30,40,50,60s. Fire at 10s; 20/30s suppressed
+  // (<30s); fire at 40s; 50/60s suppressed.
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_EQ(alerts[0].ts, 10 * kSecond);
+  EXPECT_EQ(alerts[1].ts, 40 * kSecond);
+}
+
+TEST(AlertCooldownTest, GroupsCooldownIndependently) {
+  auto q = Compile(kWindowQuery, /*cooldown=*/kMinute);
+  std::vector<Alert> alerts;
+  q->SetAlertSink([&](const Alert& a) { alerts.push_back(a); });
+  q->OnEvent(NetWrite("a.exe", 500, kSecond, 1));
+  q->OnEvent(NetWrite("b.exe", 500, 2 * kSecond, 2));
+  q->OnEvent(NetWrite("a.exe", 500, 11 * kSecond, 1));  // suppressed later
+  q->OnEvent(NetWrite("b.exe", 500, 12 * kSecond, 2));  // suppressed later
+  q->OnFinish();
+  // Each group fires once (first window), second window suppressed.
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_NE(alerts[0].group, alerts[1].group);
+}
+
+TEST(AlertCooldownTest, DisabledByDefault) {
+  auto q = Compile(kWindowQuery, /*cooldown=*/0);
+  std::vector<Alert> alerts;
+  q->SetAlertSink([&](const Alert& a) { alerts.push_back(a); });
+  for (int w = 0; w < 4; ++w) {
+    q->OnEvent(NetWrite("noisy.exe", 500, w * 10 * kSecond + kSecond));
+  }
+  q->OnFinish();
+  EXPECT_EQ(alerts.size(), 4u);
+}
+
+TEST(AlertCooldownTest, AppliesToRuleQueriesGlobally) {
+  auto q = Compile(
+      "proc p[\"%m.exe\"] write ip i as e alert e.amount > 10 return p, i",
+      /*cooldown=*/kMinute);
+  std::vector<Alert> alerts;
+  q->SetAlertSink([&](const Alert& a) { alerts.push_back(a); });
+  q->OnEvent(NetWrite("m.exe", 100, kSecond));
+  q->OnEvent(NetWrite("m.exe", 100, 2 * kSecond));   // suppressed
+  q->OnEvent(NetWrite("m.exe", 100, 2 * kMinute));   // past cooldown
+  q->OnFinish();
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_EQ(alerts[0].ts, kSecond);
+  EXPECT_EQ(alerts[1].ts, 2 * kMinute);
+}
+
+}  // namespace
+}  // namespace saql

@@ -1,0 +1,302 @@
+#include "parser/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace saql {
+namespace {
+
+AnalyzedQueryPtr MustCompile(const std::string& text) {
+  Result<AnalyzedQueryPtr> r = CompileSaql(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() ? r.value() : nullptr;
+}
+
+Status CompileError(const std::string& text) {
+  Result<AnalyzedQueryPtr> r = CompileSaql(text);
+  EXPECT_FALSE(r.ok()) << "expected semantic failure for: " << text;
+  return r.ok() ? Status::Ok() : r.status();
+}
+
+// ---------------------------------------------------------------------------
+// The paper queries must analyze cleanly.
+// ---------------------------------------------------------------------------
+
+TEST(PaperQueriesAnalysis, Query1Bindings) {
+  AnalyzedQueryPtr aq =
+      MustCompile(testing::ReadQueryFile("query1_rule.saql"));
+  ASSERT_TRUE(aq);
+  // f1 occurs in two patterns (written by evt2, read by evt3) — the shared
+  // variable that ties the dump file together.
+  ASSERT_EQ(aq->entity_vars.at("f1").size(), 2u);
+  EXPECT_EQ(aq->entity_vars.at("f1")[0].pattern_index, 1);
+  EXPECT_EQ(aq->entity_vars.at("f1")[1].pattern_index, 2);
+  // p4 likewise (reads dump, sends it out).
+  ASSERT_EQ(aq->entity_vars.at("p4").size(), 2u);
+  EXPECT_TRUE(aq->ordered);
+  EXPECT_EQ(aq->temporal_order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(PaperQueriesAnalysis, Query2StateAndGroups) {
+  AnalyzedQueryPtr aq =
+      MustCompile(testing::ReadQueryFile("query2_timeseries.saql"));
+  ASSERT_TRUE(aq);
+  EXPECT_TRUE(aq->IsStateful());
+  EXPECT_EQ(aq->state_field_index.at("avg_amount"), 0);
+  ASSERT_EQ(aq->group_keys.size(), 1u);
+  EXPECT_EQ(aq->group_keys[0].field, "exe_name");  // default field of proc
+  EXPECT_EQ(aq->group_keys[0].source, ResolvedGroupKey::Source::kSubject);
+}
+
+TEST(PaperQueriesAnalysis, Query3Invariant) {
+  AnalyzedQueryPtr aq =
+      MustCompile(testing::ReadQueryFile("query3_invariant.saql"));
+  ASSERT_TRUE(aq);
+  EXPECT_TRUE(aq->HasInvariant());
+  ASSERT_EQ(aq->invariant_vars.size(), 1u);
+  EXPECT_EQ(aq->invariant_vars[0], "a");
+}
+
+TEST(PaperQueriesAnalysis, Query4Cluster) {
+  AnalyzedQueryPtr aq =
+      MustCompile(testing::ReadQueryFile("query4_outlier.saql"));
+  ASSERT_TRUE(aq);
+  EXPECT_TRUE(aq->HasCluster());
+  EXPECT_EQ(aq->cluster_method.kind, ClusterMethod::Kind::kDbscan);
+  EXPECT_DOUBLE_EQ(aq->cluster_method.eps, 100000.0);
+  EXPECT_EQ(aq->cluster_method.min_pts, 5);
+  EXPECT_TRUE(aq->cluster_method.euclidean);
+  ASSERT_EQ(aq->group_keys.size(), 1u);
+  EXPECT_EQ(aq->group_keys[0].field, "dstip");
+  EXPECT_EQ(aq->group_keys[0].source, ResolvedGroupKey::Source::kObject);
+}
+
+// ---------------------------------------------------------------------------
+// Validation rules.
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzerTest, DuplicateAliasRejected) {
+  Status s = CompileError(
+      "proc a read file f as e proc b read file g as e return a");
+  EXPECT_NE(s.message().find("duplicate"), std::string::npos);
+}
+
+TEST(AnalyzerTest, ConflictingVariableTypesRejected) {
+  Status s = CompileError(
+      "proc p read file x as e1 proc p read ip x as e2 return p");
+  EXPECT_NE(s.message().find("conflicting"), std::string::npos);
+}
+
+TEST(AnalyzerTest, SharedVariableAcrossPatternsAllowed) {
+  AnalyzedQueryPtr aq = MustCompile(
+      "proc p write file f as e1 proc q read file f as e2 return p, q, f");
+  ASSERT_TRUE(aq);
+  EXPECT_EQ(aq->entity_vars.at("f").size(), 2u);
+}
+
+TEST(AnalyzerTest, UnknownConstraintFieldRejected) {
+  Status s = CompileError("proc p[dstip=\"1.2.3.4\"] read file f as e return p");
+  EXPECT_NE(s.message().find("no attribute"), std::string::npos);
+}
+
+TEST(AnalyzerTest, UnknownGlobalConstraintRejected) {
+  CompileError("colour = red proc p read file f as e return p");
+}
+
+TEST(AnalyzerTest, AgentIdGlobalConstraintAccepted) {
+  EXPECT_TRUE(MustCompile(
+      "agentid = \"host-1\" proc p read file f as e return p"));
+}
+
+TEST(AnalyzerTest, TemporalUndeclaredAliasRejected) {
+  Status s = CompileError(
+      "proc p read file f as e1 proc q read file g as e2 "
+      "with e1 -> e9 return p");
+  EXPECT_NE(s.message().find("undeclared"), std::string::npos);
+}
+
+TEST(AnalyzerTest, TemporalDuplicateAliasRejected) {
+  Status s = CompileError(
+      "proc p read file f as e1 proc q read file g as e2 "
+      "with e1 -> e1 return p");
+  EXPECT_NE(s.message().find("twice"), std::string::npos);
+}
+
+TEST(AnalyzerTest, StatefulQueryRequiresWindow) {
+  Status s = CompileError(
+      "proc p read file f as e "
+      "state ss { c := count() } group by p "
+      "return p, ss.c");
+  EXPECT_NE(s.message().find("window"), std::string::npos);
+}
+
+TEST(AnalyzerTest, InvariantRequiresState) {
+  Status s = CompileError(
+      "proc p read file f as e #time(1 min) "
+      "invariant[5] { a := empty_set } return p");
+  EXPECT_NE(s.message().find("state"), std::string::npos);
+}
+
+TEST(AnalyzerTest, ClusterRequiresState) {
+  Status s = CompileError(
+      "proc p read file f as e #time(1 min) "
+      "cluster(points=all(e.amount), distance=\"ed\", "
+      "method=\"DBSCAN(1,2)\") return p");
+  EXPECT_NE(s.message().find("state"), std::string::npos);
+}
+
+TEST(AnalyzerTest, DuplicateStateFieldRejected) {
+  CompileError(
+      "proc p read file f as e #time(1 min) "
+      "state ss { c := count() c := count() } group by p return ss.c");
+}
+
+TEST(AnalyzerTest, StateFieldWithoutAggregateRejected) {
+  Status s = CompileError(
+      "proc p read file f as e #time(1 min) "
+      "state ss { c := e.amount + 1 } group by p return ss.c");
+  EXPECT_NE(s.message().find("aggregate"), std::string::npos);
+}
+
+TEST(AnalyzerTest, NestedAggregatesRejected) {
+  Status s = CompileError(
+      "proc p read file f as e #time(1 min) "
+      "state ss { c := avg(sum(e.amount)) } group by p return ss.c");
+  EXPECT_NE(s.message().find("nested"), std::string::npos);
+}
+
+TEST(AnalyzerTest, AggregateOutsideStateRejected) {
+  Status s = CompileError(
+      "proc p read file f as e alert avg(e.amount) > 1 return p");
+  EXPECT_NE(s.message().find("state field"), std::string::npos);
+}
+
+TEST(AnalyzerTest, UnknownGroupKeyRejected) {
+  CompileError(
+      "proc p read file f as e #time(1 min) "
+      "state ss { c := count() } group by zz return ss.c");
+}
+
+TEST(AnalyzerTest, GroupByEventAliasFieldAllowed) {
+  AnalyzedQueryPtr aq = MustCompile(
+      "proc p read file f as e #time(1 min) "
+      "state ss { c := count() } group by e.agentid "
+      "return e.agentid, ss.c");
+  ASSERT_TRUE(aq);
+  EXPECT_EQ(aq->group_keys[0].source, ResolvedGroupKey::Source::kEvent);
+  EXPECT_EQ(aq->group_keys[0].field, "agentid");
+}
+
+TEST(AnalyzerTest, StateHistoryOutOfRangeRejected) {
+  Status s = CompileError(
+      "proc p write ip i as e #time(1 min) "
+      "state[2] ss { a := avg(e.amount) } group by p "
+      "alert ss[2].a > 0 return p");
+  EXPECT_NE(s.message().find("out of range"), std::string::npos);
+}
+
+TEST(AnalyzerTest, UnknownStateFieldRejected) {
+  Status s = CompileError(
+      "proc p write ip i as e #time(1 min) "
+      "state ss { a := avg(e.amount) } group by p "
+      "alert ss.b > 0 return p");
+  EXPECT_NE(s.message().find("no field"), std::string::npos);
+}
+
+TEST(AnalyzerTest, NonGroupKeyEntityRefInStatefulAlertRejected) {
+  // `i` is not a group key, so its per-event value is unavailable at alert
+  // time.
+  Status s = CompileError(
+      "proc p write ip i as e #time(1 min) "
+      "state ss { a := avg(e.amount) } group by p "
+      "alert ss.a > 0 && i.dstip == \"1.1.1.1\" return p");
+  EXPECT_NE(s.message().find("group-by"), std::string::npos);
+}
+
+TEST(AnalyzerTest, InvariantUpdateOfUndeclaredVarRejected) {
+  Status s = CompileError(
+      "proc p start proc c as e #time(10 s) "
+      "state ss { s := set(c.exe_name) } group by p "
+      "invariant[5] { b = b union ss.s } "
+      "alert |ss.s| > 0 return p");
+  EXPECT_NE(s.message().find("undeclared"), std::string::npos);
+}
+
+TEST(AnalyzerTest, ClusterUnknownDistanceRejected) {
+  Status s = CompileError(
+      "proc p write ip i as e #time(1 min) "
+      "state ss { amt := sum(e.amount) } group by i.dstip "
+      "cluster(points=all(ss.amt), distance=\"cosine\", "
+      "method=\"DBSCAN(1,2)\") "
+      "alert cluster.outlier return i.dstip");
+  EXPECT_NE(s.message().find("distance"), std::string::npos);
+}
+
+TEST(AnalyzerTest, ClusterMalformedMethodRejected) {
+  CompileError(
+      "proc p write ip i as e #time(1 min) "
+      "state ss { amt := sum(e.amount) } group by i.dstip "
+      "cluster(points=all(ss.amt), distance=\"ed\", method=\"DBSCAN\") "
+      "alert cluster.outlier return i.dstip");
+}
+
+TEST(AnalyzerTest, ClusterUnknownMethodRejected) {
+  Status s = CompileError(
+      "proc p write ip i as e #time(1 min) "
+      "state ss { amt := sum(e.amount) } group by i.dstip "
+      "cluster(points=all(ss.amt), distance=\"ed\", method=\"KMEANS(3)\") "
+      "alert cluster.outlier return i.dstip");
+  EXPECT_NE(s.message().find("unknown cluster method"), std::string::npos);
+}
+
+TEST(AnalyzerTest, ClusterAttrWithoutClusterSpecRejected) {
+  Status s = CompileError(
+      "proc p write ip i as e #time(1 min) "
+      "state ss { amt := sum(e.amount) } group by i.dstip "
+      "alert cluster.outlier return i.dstip");
+  // `cluster` resolves as an unknown name since no cluster spec exists.
+  EXPECT_EQ(s.code(), StatusCode::kSemanticError);
+}
+
+TEST(AnalyzerTest, UnknownNameInAlertRejected) {
+  Status s = CompileError(
+      "proc p read file f as e alert zz > 1 return p");
+  EXPECT_NE(s.message().find("unknown name"), std::string::npos);
+}
+
+TEST(AnalyzerTest, UnknownFunctionRejected) {
+  Status s = CompileError(
+      "proc p read file f as e alert frobnicate(1) > 1 return p");
+  EXPECT_NE(s.message().find("unknown function"), std::string::npos);
+}
+
+TEST(AnalyzerTest, RuleQueryEntityRefsAllowedInAlert) {
+  EXPECT_TRUE(MustCompile(
+      "proc p read file f as e "
+      "alert e.amount > 100 && p.exe_name == \"x.exe\" return p, f"));
+}
+
+TEST(AnalyzerTest, MathFunctionsAccepted) {
+  EXPECT_TRUE(MustCompile(
+      "proc p read file f as e alert abs(e.amount) > sqrt(100) return p"));
+}
+
+TEST(AnalyzerTest, AggregateArgumentCannotReadState) {
+  Status s = CompileError(
+      "proc p write ip i as e #time(1 min) "
+      "state ss { a := avg(e.amount) b := sum(ss.a) } group by p "
+      "return ss.a");
+  EXPECT_EQ(s.code(), StatusCode::kSemanticError);
+}
+
+TEST(AnalyzerTest, IsAggregateFunctionTable) {
+  EXPECT_TRUE(IsAggregateFunction("avg"));
+  EXPECT_TRUE(IsAggregateFunction("set"));
+  EXPECT_TRUE(IsAggregateFunction("count_distinct"));
+  EXPECT_FALSE(IsAggregateFunction("all"));
+  EXPECT_FALSE(IsAggregateFunction("abs"));
+}
+
+}  // namespace
+}  // namespace saql

@@ -1,0 +1,143 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cli/shell.h"
+#include "cli/table.h"
+#include "test_util.h"
+
+namespace saql {
+namespace {
+
+TEST(TextTableTest, RendersHeadersAndRows) {
+  TextTable t({"query", "alerts"});
+  t.AddRow({"q1", "3"});
+  t.AddRow({"a-much-longer-name", "12"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("| query"), std::string::npos);
+  EXPECT_NE(out.find("| a-much-longer-name"), std::string::npos);
+  EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"only-one"});
+  std::string out = t.Render();
+  EXPECT_EQ(t.num_rows(), 1u);
+  // Renders without crashing and keeps the column count.
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+class ShellHarness {
+ public:
+  ShellHarness() : shell_(in_, out_) {}
+
+  std::string Run(const std::string& command) {
+    out_.str("");
+    shell_.Execute(command);
+    return out_.str();
+  }
+
+  QueryShell& shell() { return shell_; }
+
+ private:
+  std::istringstream in_;
+  std::ostringstream out_;
+  QueryShell shell_{in_, out_};
+};
+
+TEST(QueryShellTest, HelpListsCommands) {
+  ShellHarness h;
+  std::string out = h.Run("help");
+  EXPECT_NE(out.find("simulate"), std::string::npos);
+  EXPECT_NE(out.find("replay"), std::string::npos);
+}
+
+TEST(QueryShellTest, UnknownCommandSuggestsHelp) {
+  ShellHarness h;
+  EXPECT_NE(h.Run("frobnicate").find("help"), std::string::npos);
+}
+
+TEST(QueryShellTest, InlineQueryRegistration) {
+  ShellHarness h;
+  std::string out =
+      h.Run("query exfil proc p write ip i as e return p, i");
+  EXPECT_NE(out.find("registered"), std::string::npos);
+  EXPECT_EQ(h.shell().queries().count("exfil"), 1u);
+}
+
+TEST(QueryShellTest, InvalidInlineQueryRejected) {
+  ShellHarness h;
+  std::string out = h.Run("query broken this is not saql");
+  EXPECT_NE(out.find("rejected"), std::string::npos);
+  EXPECT_TRUE(h.shell().queries().empty());
+}
+
+TEST(QueryShellTest, LoadQueryFile) {
+  ShellHarness h;
+  std::string path = std::string(SAQL_QUERY_DIR) + "/query1_rule.saql";
+  std::string out = h.Run("load " + path + " q1");
+  EXPECT_NE(out.find("loaded"), std::string::npos);
+  EXPECT_EQ(h.shell().queries().count("q1"), 1u);
+}
+
+TEST(QueryShellTest, LoadMissingFileFails) {
+  ShellHarness h;
+  EXPECT_NE(h.Run("load /no/such/file.saql").find("cannot open"),
+            std::string::npos);
+}
+
+TEST(QueryShellTest, SimulateWithoutQueriesWarns) {
+  ShellHarness h;
+  EXPECT_NE(h.Run("simulate 1").find("no queries"), std::string::npos);
+}
+
+TEST(QueryShellTest, SimulateRunsAndReportsAlerts) {
+  ShellHarness h;
+  h.Run("query exfil proc p[\"%sbblv.exe\"] write ip i as e "
+        "return distinct p, i");
+  std::string out = h.Run("simulate 16");
+  EXPECT_NE(out.find("run complete"), std::string::npos);
+  EXPECT_FALSE(h.shell().alerts().empty());
+  // Alerts table works afterwards.
+  std::string alerts = h.Run("alerts");
+  EXPECT_NE(alerts.find("exfil"), std::string::npos);
+}
+
+TEST(QueryShellTest, StatsAvailableAfterRun) {
+  ShellHarness h;
+  EXPECT_NE(h.Run("stats").find("no run yet"), std::string::npos);
+  h.Run("query q proc p read file f as e alert e.amount > 999999999 "
+        "return p");
+  h.Run("simulate 1");
+  std::string stats = h.Run("stats");
+  EXPECT_NE(stats.find("events="), std::string::npos);
+  EXPECT_NE(stats.find("q:"), std::string::npos);
+}
+
+TEST(QueryShellTest, RecordAndReplayRoundTrip) {
+  ShellHarness h;
+  std::string log = ::testing::TempDir() + "/shell_demo.saqllog";
+  std::string out = h.Run("record " + log + " 1");
+  EXPECT_NE(out.find("recorded"), std::string::npos);
+  h.Run("query any proc p write ip i as e alert e.amount > 100000000 "
+        "return p");
+  out = h.Run("replay " + log);
+  EXPECT_NE(out.find("run complete"), std::string::npos);
+}
+
+TEST(QueryShellTest, QuitStopsLoop) {
+  std::istringstream in("help\nquit\n");
+  std::ostringstream out;
+  QueryShell shell(in, out);
+  shell.Run();  // must terminate
+  EXPECT_NE(out.str().find("bye"), std::string::npos);
+}
+
+TEST(QueryShellTest, AlertsEmptyBeforeRun) {
+  ShellHarness h;
+  EXPECT_NE(h.Run("alerts").find("no alerts"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace saql

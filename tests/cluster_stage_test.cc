@@ -1,0 +1,129 @@
+#include "engine/cluster_stage.h"
+
+#include <gtest/gtest.h>
+
+#include "anomaly/dbscan.h"
+#include "parser/analyzer.h"
+
+namespace saql {
+namespace {
+
+/// Builds the analyzed Query-4-style query and synthetic group inputs with
+/// a single state field `amt`.
+class ClusterStageHarness {
+ public:
+  ClusterStageHarness() {
+    aq_ = CompileSaql(
+              "proc p write ip i as e #time(10 min) "
+              "state ss { amt := sum(e.amount) } group by i.dstip "
+              "cluster(points=all(ss.amt), distance=\"ed\", "
+              "method=\"DBSCAN(1000, 3)\") "
+              "alert cluster.outlier return i.dstip, ss.amt")
+              .value();
+  }
+
+  /// Adds a group whose ss.amt is `amount` (null when `has_value` false).
+  void AddGroup(double amount, bool has_value = true) {
+    auto history = std::make_unique<std::deque<WindowState>>();
+    WindowState ws;
+    ws.window = TimeWindow{0, 10 * kMinute};
+    ws.fields.push_back(has_value ? Value(amount) : Value::Null());
+    history->push_front(std::move(ws));
+    auto keys = std::make_unique<std::vector<Value>>();
+    keys->push_back(Value("10.0.0." + std::to_string(groups_.size())));
+    ClusterGroupInput input;
+    input.history = history.get();
+    input.key_values = keys.get();
+    histories_.push_back(std::move(history));
+    keys_.push_back(std::move(keys));
+    groups_.push_back(input);
+  }
+
+  std::vector<ClusterOutcome> Run() {
+    errors_.clear();
+    return RunClusterStage(*aq_, groups_, [this](const Status& s) {
+      errors_.push_back(s);
+    });
+  }
+
+  const std::vector<Status>& errors() const { return errors_; }
+
+ private:
+  AnalyzedQueryPtr aq_;
+  std::vector<std::unique_ptr<std::deque<WindowState>>> histories_;
+  std::vector<std::unique_ptr<std::vector<Value>>> keys_;
+  std::vector<ClusterGroupInput> groups_;
+  std::vector<Status> errors_;
+};
+
+TEST(ClusterStageTest, FlagsFarGroupAsOutlier) {
+  ClusterStageHarness h;
+  for (int i = 0; i < 5; ++i) h.AddGroup(10000 + i * 100);
+  h.AddGroup(9'000'000);
+  auto outcomes = h.Run();
+  ASSERT_EQ(outcomes.size(), 6u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(outcomes[static_cast<size_t>(i)].valid);
+    EXPECT_FALSE(outcomes[static_cast<size_t>(i)].outlier);
+  }
+  EXPECT_TRUE(outcomes[5].valid);
+  EXPECT_TRUE(outcomes[5].outlier);
+  EXPECT_EQ(outcomes[5].cluster_id, DbscanResult::kNoise);
+}
+
+TEST(ClusterStageTest, ClusterSizeReported) {
+  ClusterStageHarness h;
+  for (int i = 0; i < 4; ++i) h.AddGroup(5000 + i * 10);
+  auto outcomes = h.Run();
+  for (const ClusterOutcome& o : outcomes) {
+    EXPECT_TRUE(o.valid);
+    EXPECT_EQ(o.cluster_id, 0);
+    EXPECT_EQ(o.cluster_size, 4);
+  }
+}
+
+TEST(ClusterStageTest, NullPointExcludesGroupSilently) {
+  ClusterStageHarness h;
+  for (int i = 0; i < 4; ++i) h.AddGroup(5000 + i * 10);
+  h.AddGroup(0.0, /*has_value=*/false);  // null amt (empty window)
+  auto outcomes = h.Run();
+  ASSERT_EQ(outcomes.size(), 5u);
+  EXPECT_FALSE(outcomes[4].valid);  // excluded, cluster.* reads null
+  EXPECT_TRUE(h.errors().empty());  // nulls are not errors
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(outcomes[static_cast<size_t>(i)].valid);
+  }
+}
+
+TEST(ClusterStageTest, EmptyGroupsYieldNoOutcomes) {
+  ClusterStageHarness h;
+  auto outcomes = h.Run();
+  EXPECT_TRUE(outcomes.empty());
+}
+
+TEST(ClusterStageTest, AllGroupsNullYieldsAllInvalid) {
+  ClusterStageHarness h;
+  h.AddGroup(0, false);
+  h.AddGroup(0, false);
+  auto outcomes = h.Run();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_FALSE(outcomes[0].valid);
+  EXPECT_FALSE(outcomes[1].valid);
+}
+
+TEST(ClusterStageTest, SparsePeersAllNoise) {
+  ClusterStageHarness h;
+  h.AddGroup(1000);
+  h.AddGroup(100000);
+  h.AddGroup(900000);
+  auto outcomes = h.Run();
+  // min_pts=3, all mutually > eps apart: everything is noise.
+  for (const ClusterOutcome& o : outcomes) {
+    EXPECT_TRUE(o.valid);
+    EXPECT_TRUE(o.outlier);
+    EXPECT_EQ(o.cluster_size, 0);
+  }
+}
+
+}  // namespace
+}  // namespace saql

@@ -1,0 +1,232 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "collect/apt_scenario.h"
+#include "collect/benign_workload.h"
+#include "collect/enterprise_sim.h"
+#include "collect/entity_factory.h"
+
+namespace saql {
+namespace {
+
+TEST(EntityFactoryTest, StablePidsPerExecutable) {
+  EntityFactory f(HostProfile{"h1", HostRole::kDatabaseServer, "10.0.0.9"},
+                  7);
+  ProcessEntity a = f.ProcessByName("sqlservr.exe");
+  ProcessEntity b = f.ProcessByName("sqlservr.exe");
+  EXPECT_EQ(a.pid, b.pid);
+  ProcessEntity c = f.ProcessByName("cmd.exe");
+  EXPECT_NE(a.pid, c.pid);
+}
+
+TEST(EntityFactoryTest, RoleExecutablesMatchRole) {
+  EntityFactory db(HostProfile{"db", HostRole::kDatabaseServer, "1.1.1.1"},
+                   1);
+  EntityFactory web(HostProfile{"web", HostRole::kWebServer, "1.1.1.2"}, 1);
+  auto has = [](const std::vector<std::string>& v, const std::string& s) {
+    return std::find(v.begin(), v.end(), s) != v.end();
+  };
+  EXPECT_TRUE(has(db.role_executables(), "sqlservr.exe"));
+  EXPECT_TRUE(has(web.role_executables(), "apache.exe"));
+  EXPECT_FALSE(has(web.role_executables(), "sqlservr.exe"));
+}
+
+TEST(EntityFactoryTest, PeersComeFromStablePool) {
+  EntityFactory f(HostProfile{"h", HostRole::kWorkstation, "10.10.1.10"},
+                  11);
+  std::mt19937_64 rng(3);
+  std::set<std::string> ips;
+  for (int i = 0; i < 200; ++i) {
+    ips.insert(f.RandomPeer(&rng).dst_ip);
+  }
+  // Bounded peer pool (12 intranet + 8 internet).
+  EXPECT_LE(ips.size(), 20u);
+  EXPECT_GE(ips.size(), 5u);
+}
+
+TEST(MakeEnterpriseHostsTest, TopologyMatchesPaperDemo) {
+  auto hosts = MakeEnterpriseHosts(3);
+  ASSERT_EQ(hosts.size(), 7u);  // 3 workstations + 4 servers
+  int servers = 0;
+  for (const HostProfile& h : hosts) {
+    if (h.role != HostRole::kWorkstation) ++servers;
+  }
+  EXPECT_EQ(servers, 4);
+}
+
+TEST(BenignWorkloadTest, EventsAreOrderedAndInRange) {
+  BenignWorkload w(HostProfile{"h1", HostRole::kWorkstation, "10.10.1.10"},
+                   5);
+  EventBatch out;
+  Timestamp start = 1000 * kSecond;
+  w.Generate(start, kMinute, &out);
+  ASSERT_GT(out.size(), 100u);  // ~20/s for 60s
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_GE(out[i].ts, start);
+    EXPECT_LT(out[i].ts, start + kMinute);
+    if (i > 0) {
+      EXPECT_LE(out[i - 1].ts, out[i].ts);
+    }
+    EXPECT_EQ(out[i].agent_id, "h1");
+  }
+}
+
+TEST(BenignWorkloadTest, DeterministicForFixedSeed) {
+  HostProfile p{"h1", HostRole::kWorkstation, "10.10.1.10"};
+  EventBatch a, b;
+  BenignWorkload(p, 99).Generate(0, 10 * kSecond, &a);
+  BenignWorkload(p, 99).Generate(0, 10 * kSecond, &b);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ts, b[i].ts);
+    EXPECT_EQ(a[i].subject.exe_name, b[i].subject.exe_name);
+  }
+}
+
+TEST(BenignWorkloadTest, WebServerSpawnsApacheWorkers) {
+  BenignWorkload w(HostProfile{"web", HostRole::kWebServer, "10.10.0.7"},
+                   5);
+  EventBatch out;
+  w.Generate(0, 5 * kMinute, &out);
+  std::set<std::string> apache_children;
+  for (const Event& e : out) {
+    if (e.op == EventOp::kStart && e.subject.exe_name == "apache.exe") {
+      apache_children.insert(e.obj_proc.exe_name);
+    }
+  }
+  // Exactly the benign worker set — the invariant Query 3 learns.
+  EXPECT_EQ(apache_children, (std::set<std::string>{"php.exe",
+                                                    "logger.exe"}));
+}
+
+TEST(AptScenarioTest, FiveStepsInOrder) {
+  auto steps = GenerateAptScenario(AptScenarioConfig{});
+  ASSERT_EQ(steps.size(), 5u);
+  for (size_t i = 0; i < steps.size(); ++i) {
+    EXPECT_EQ(steps[i].step, static_cast<int>(i + 1));
+    EXPECT_FALSE(steps[i].events.empty());
+    EXPECT_FALSE(steps[i].description.empty());
+  }
+  EventBatch flat = FlattenAptScenario(steps);
+  for (size_t i = 1; i < flat.size(); ++i) {
+    EXPECT_LE(flat[i - 1].ts, flat[i].ts);
+  }
+}
+
+TEST(AptScenarioTest, Step5ContainsQuery1Sequence) {
+  AptScenarioConfig cfg;
+  auto steps = GenerateAptScenario(cfg);
+  const EventBatch& c5 = steps[4].events;
+  bool cmd_starts_osql = false, sqlservr_writes_dump = false,
+       malware_reads_dump = false, malware_exfil = false;
+  for (const Event& e : c5) {
+    if (e.op == EventOp::kStart && e.subject.exe_name == "cmd.exe" &&
+        e.obj_proc.exe_name == "osql.exe") {
+      cmd_starts_osql = true;
+    }
+    if (e.op == EventOp::kWrite && e.subject.exe_name == "sqlservr.exe" &&
+        IsFileEvent(e) &&
+        e.obj_file.path.find("backup1.dmp") != std::string::npos) {
+      sqlservr_writes_dump = true;
+    }
+    if (e.op == EventOp::kRead && e.subject.exe_name == "sbblv.exe" &&
+        IsFileEvent(e)) {
+      malware_reads_dump = true;
+    }
+    if (e.op == EventOp::kWrite && e.subject.exe_name == "sbblv.exe" &&
+        IsNetworkEvent(e) && e.obj_net.dst_ip == cfg.attacker_ip) {
+      malware_exfil = true;
+    }
+  }
+  EXPECT_TRUE(cmd_starts_osql);
+  EXPECT_TRUE(sqlservr_writes_dump);
+  EXPECT_TRUE(malware_reads_dump);
+  EXPECT_TRUE(malware_exfil);
+}
+
+TEST(AptScenarioTest, ExfilVolumeMatchesConfig) {
+  AptScenarioConfig cfg;
+  cfg.dump_bytes = 10'000'000;
+  cfg.exfil_chunks = 10;
+  auto steps = GenerateAptScenario(cfg);
+  // Both the malware's copy and sqlservr's client-connection stream carry
+  // the full dump volume.
+  int64_t malware_total = 0, sqlservr_total = 0;
+  for (const Event& e : steps[4].events) {
+    if (IsNetworkEvent(e) && e.obj_net.dst_ip == cfg.attacker_ip &&
+        e.op == EventOp::kWrite) {
+      if (e.subject.exe_name == "sbblv.exe") malware_total += e.amount;
+      if (e.subject.exe_name == "sqlservr.exe") sqlservr_total += e.amount;
+    }
+  }
+  EXPECT_EQ(malware_total, cfg.dump_bytes);
+  EXPECT_EQ(sqlservr_total, cfg.dump_bytes);
+}
+
+TEST(AptScenarioTest, PortScanHitsConfiguredCount) {
+  AptScenarioConfig cfg;
+  cfg.scan_ports = 17;
+  auto steps = GenerateAptScenario(cfg);
+  int connects_to_db = 0;
+  for (const Event& e : steps[2].events) {
+    if (e.op == EventOp::kConnect && IsNetworkEvent(e) &&
+        e.obj_net.dst_ip == cfg.db_ip) {
+      ++connects_to_db;
+    }
+  }
+  EXPECT_EQ(connects_to_db, cfg.scan_ports + 1);  // scan + the 1433 hit
+}
+
+TEST(EnterpriseSimTest, GeneratesOrderedStreamWithIds) {
+  EnterpriseSimulator::Options opts;
+  opts.num_workstations = 2;
+  opts.duration = 2 * kMinute;
+  opts.events_per_host_per_second = 5;
+  EnterpriseSimulator sim(opts);
+  EventBatch events = sim.Generate();
+  ASSERT_GT(events.size(), 500u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].id, i + 1);
+    if (i > 0) EXPECT_LE(events[i - 1].ts, events[i].ts);
+  }
+}
+
+TEST(EnterpriseSimTest, AttackInjectedAtOffset) {
+  EnterpriseSimulator::Options opts;
+  opts.num_workstations = 1;
+  opts.duration = 20 * kMinute;
+  opts.attack_offset = 5 * kMinute;
+  opts.events_per_host_per_second = 2;
+  EnterpriseSimulator sim(opts);
+  EventBatch events = sim.Generate();
+  ASSERT_EQ(sim.attack_steps().size(), 5u);
+  // Find the first attack artifact (outlook recv from attacker IP).
+  bool found = false;
+  for (const Event& e : events) {
+    if (IsNetworkEvent(e) &&
+        e.obj_net.dst_ip == opts.attack.attacker_ip) {
+      EXPECT_GE(e.ts, opts.start + opts.attack_offset);
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EnterpriseSimTest, AttackCanBeDisabled) {
+  EnterpriseSimulator::Options opts;
+  opts.include_attack = false;
+  opts.duration = kMinute;
+  opts.num_workstations = 1;
+  EnterpriseSimulator sim(opts);
+  EventBatch events = sim.Generate();
+  EXPECT_TRUE(sim.attack_steps().empty());
+  for (const Event& e : events) {
+    EXPECT_NE(e.subject.exe_name, "sbblv.exe");
+  }
+}
+
+}  // namespace
+}  // namespace saql

@@ -1,0 +1,171 @@
+#include "anomaly/dbscan.h"
+
+#include <algorithm>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace saql {
+namespace {
+
+std::vector<ClusterPoint> Points1D(std::initializer_list<double> xs) {
+  std::vector<ClusterPoint> out;
+  for (double x : xs) out.push_back({x});
+  return out;
+}
+
+TEST(DistanceTest, EuclideanAndManhattan) {
+  ClusterPoint a{0.0, 0.0};
+  ClusterPoint b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(PointDistance(a, b, DistanceMetric::kEuclidean), 5.0);
+  EXPECT_DOUBLE_EQ(PointDistance(a, b, DistanceMetric::kManhattan), 7.0);
+}
+
+TEST(DbscanTest, EmptyInput) {
+  Dbscan d(1.0, 2);
+  DbscanResult r = d.Run({});
+  EXPECT_TRUE(r.labels.empty());
+  EXPECT_EQ(r.num_clusters, 0);
+}
+
+TEST(DbscanTest, SingleDenseClusterNoOutliers) {
+  Dbscan d(2.0, 3);
+  DbscanResult r = d.Run(Points1D({1, 2, 3, 4, 5}));
+  EXPECT_EQ(r.num_clusters, 1);
+  for (size_t i = 0; i < 5; ++i) EXPECT_FALSE(r.IsOutlier(i));
+}
+
+TEST(DbscanTest, FarPointIsOutlier) {
+  // Mirrors the paper's Query 4: peer hosts move similar volumes; the
+  // exfiltration IP's volume is far away.
+  Dbscan d(100000, 5);
+  std::vector<ClusterPoint> pts =
+      Points1D({500000, 510000, 495000, 505000, 502000, 498000,
+                25000000});  // the dump target
+  DbscanResult r = d.Run(pts);
+  EXPECT_EQ(r.num_clusters, 1);
+  for (size_t i = 0; i + 1 < pts.size(); ++i) EXPECT_FALSE(r.IsOutlier(i));
+  EXPECT_TRUE(r.IsOutlier(pts.size() - 1));
+}
+
+TEST(DbscanTest, TwoSeparatedClusters) {
+  Dbscan d(1.5, 2);
+  DbscanResult r = d.Run(Points1D({0, 1, 2, 100, 101, 102}));
+  EXPECT_EQ(r.num_clusters, 2);
+  EXPECT_EQ(r.labels[0], r.labels[1]);
+  EXPECT_EQ(r.labels[1], r.labels[2]);
+  EXPECT_EQ(r.labels[3], r.labels[4]);
+  EXPECT_NE(r.labels[0], r.labels[3]);
+}
+
+TEST(DbscanTest, AllNoiseWhenSparse) {
+  Dbscan d(0.1, 2);
+  DbscanResult r = d.Run(Points1D({0, 10, 20, 30}));
+  EXPECT_EQ(r.num_clusters, 0);
+  for (size_t i = 0; i < 4; ++i) EXPECT_TRUE(r.IsOutlier(i));
+}
+
+TEST(DbscanTest, MinPtsCountsThePointItself) {
+  // Two points within eps: each neighbourhood has size 2, so min_pts=2
+  // makes both core.
+  Dbscan d(1.0, 2);
+  DbscanResult r = d.Run(Points1D({0.0, 0.5}));
+  EXPECT_EQ(r.num_clusters, 1);
+  EXPECT_FALSE(r.IsOutlier(0));
+  EXPECT_FALSE(r.IsOutlier(1));
+}
+
+TEST(DbscanTest, BorderPointJoinsCluster) {
+  // 0,1,2 are mutually close (core with min_pts=3); 3.5 is within eps of 2
+  // only -> border point, not core, but joins the cluster.
+  Dbscan d(1.6, 3);
+  DbscanResult r = d.Run(Points1D({0, 1, 2, 3.5}));
+  EXPECT_EQ(r.num_clusters, 1);
+  EXPECT_FALSE(r.IsOutlier(3));
+  EXPECT_EQ(r.labels[3], r.labels[2]);
+}
+
+TEST(DbscanTest, TwoDimensionalClusters) {
+  Dbscan d(1.5, 3, DistanceMetric::kEuclidean);
+  std::vector<ClusterPoint> pts = {
+      {0, 0}, {1, 0}, {0, 1},      // cluster A
+      {10, 10}, {11, 10}, {10, 11},  // cluster B
+      {100, -50},                  // outlier
+  };
+  DbscanResult r = d.Run(pts);
+  EXPECT_EQ(r.num_clusters, 2);
+  EXPECT_TRUE(r.IsOutlier(6));
+  EXPECT_EQ(r.labels[0], r.labels[1]);
+  EXPECT_NE(r.labels[0], r.labels[3]);
+}
+
+TEST(DbscanTest, ManhattanMetricChangesNeighbourhoods) {
+  // Points at L1 distance 2, L2 distance sqrt(2) ~ 1.41.
+  std::vector<ClusterPoint> pts = {{0, 0}, {1, 1}, {2, 2}};
+  Dbscan euclid(1.5, 2, DistanceMetric::kEuclidean);
+  Dbscan manhattan(1.5, 2, DistanceMetric::kManhattan);
+  EXPECT_EQ(euclid.Run(pts).num_clusters, 1);
+  EXPECT_EQ(manhattan.Run(pts).num_clusters, 0);
+}
+
+TEST(DbscanTest, OneDFastPathAgreesWithGeneric) {
+  // Cross-validate the sorted 1-D sweep against the generic O(n^2) path by
+  // lifting the same values into 2-D with a constant second coordinate.
+  std::mt19937_64 rng(123);
+  std::uniform_real_distribution<double> dist(0.0, 1000.0);
+  std::vector<ClusterPoint> pts1d, pts2d;
+  for (int i = 0; i < 300; ++i) {
+    double x = dist(rng);
+    pts1d.push_back({x});
+    pts2d.push_back({x, 0.0});
+  }
+  Dbscan d(25.0, 4);
+  DbscanResult a = d.Run(pts1d);
+  DbscanResult b = d.Run(pts2d);
+  ASSERT_EQ(a.labels.size(), b.labels.size());
+  EXPECT_EQ(a.num_clusters, b.num_clusters);
+  for (size_t i = 0; i < a.labels.size(); ++i) {
+    EXPECT_EQ(a.IsOutlier(i), b.IsOutlier(i)) << "point " << i;
+  }
+  // Labels must be identical after first-appearance renumbering.
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(DbscanTest, DeterministicAcrossRuns) {
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> dist(0.0, 100.0);
+  std::vector<ClusterPoint> pts;
+  for (int i = 0; i < 200; ++i) pts.push_back({dist(rng)});
+  Dbscan d(3.0, 4);
+  DbscanResult r1 = d.Run(pts);
+  DbscanResult r2 = d.Run(pts);
+  EXPECT_EQ(r1.labels, r2.labels);
+}
+
+/// Property sweep over eps: growing eps can only merge clusters, never
+/// create new outliers.
+class DbscanEpsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DbscanEpsSweep, LargerEpsNeverIncreasesOutliers) {
+  std::mt19937_64 rng(42);
+  std::normal_distribution<double> cluster_a(100.0, 5.0);
+  std::normal_distribution<double> cluster_b(500.0, 5.0);
+  std::vector<ClusterPoint> pts;
+  for (int i = 0; i < 50; ++i) pts.push_back({cluster_a(rng)});
+  for (int i = 0; i < 50; ++i) pts.push_back({cluster_b(rng)});
+
+  double eps = GetParam();
+  Dbscan small(eps, 4);
+  Dbscan bigger(eps * 2, 4);
+  auto outliers = [](const DbscanResult& r) {
+    return std::count(r.labels.begin(), r.labels.end(),
+                      DbscanResult::kNoise);
+  };
+  EXPECT_GE(outliers(small.Run(pts)), outliers(bigger.Run(pts)));
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsValues, DbscanEpsSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 5.0, 10.0, 50.0));
+
+}  // namespace
+}  // namespace saql

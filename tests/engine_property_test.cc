@@ -1,0 +1,177 @@
+// System-level properties that must hold regardless of configuration:
+// batch size cannot change results, scheduler grouping cannot change
+// results, window overlap multiplies aggregate mass exactly, and stateful
+// queries compose with multi-pattern sequences.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "collect/enterprise_sim.h"
+#include "engine/engine.h"
+#include "test_util.h"
+
+namespace saql {
+namespace {
+
+using testing::EventBuilder;
+
+EventBatch SimStream() {
+  static const EventBatch* events = [] {
+    EnterpriseSimulator::Options opts;
+    opts.num_workstations = 2;
+    opts.duration = 16 * kMinute;
+    opts.events_per_host_per_second = 5;
+    opts.attack_offset = 6 * kMinute;
+    EnterpriseSimulator sim(opts);
+    return new EventBatch(sim.Generate());
+  }();
+  return *events;
+}
+
+/// Renders alerts into a canonical multiset for comparisons.
+std::multiset<std::string> AlertFingerprints(const std::vector<Alert>& alerts) {
+  std::multiset<std::string> out;
+  for (const Alert& a : alerts) {
+    std::string fp = a.query_name + "|" + std::to_string(a.ts) + "|" +
+                     a.group;
+    for (const auto& [label, value] : a.values) {
+      fp += "|" + label + "=" + value.ToString();
+    }
+    out.insert(fp);
+  }
+  return out;
+}
+
+std::vector<Alert> RunWith(size_t batch_size, bool grouping) {
+  SaqlEngine::Options opts;
+  opts.batch_size = batch_size;
+  opts.enable_grouping = grouping;
+  SaqlEngine engine(opts);
+  const char* const queries[] = {
+      "proc p[\"%sbblv.exe\"] write ip i as e return distinct p, i",
+      "proc p write ip i as e #time(2 min) "
+      "state ss { amt := sum(e.amount) } group by p "
+      "alert ss.amt > 2000000 return p, ss.amt",
+      "proc p1[\"%excel.exe\"] start proc p2 as e #time(30 s) "
+      "state ss { s := set(p2.exe_name) } group by p1 "
+      "invariant[5][offline] { a := empty_set a = a union ss.s } "
+      "alert |ss.s diff a| > 0 return p1, ss.s",
+  };
+  int i = 0;
+  for (const char* q : queries) {
+    Status st = engine.AddQuery(q, "q" + std::to_string(i++));
+    EXPECT_TRUE(st.ok()) << st;
+  }
+  VectorEventSource source(SimStream());
+  Status st = engine.Run(&source);
+  EXPECT_TRUE(st.ok()) << st;
+  return engine.alerts();
+}
+
+class BatchSizeProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BatchSizeProperty, BatchSizeDoesNotChangeAlerts) {
+  static const std::multiset<std::string>* reference =
+      new std::multiset<std::string>(
+          AlertFingerprints(RunWith(1024, true)));
+  std::multiset<std::string> got =
+      AlertFingerprints(RunWith(GetParam(), true));
+  EXPECT_EQ(got, *reference) << "batch size " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchSizeProperty,
+                         ::testing::Values(1, 17, 256, 100000));
+
+TEST(EngineProperty, GroupingDoesNotChangeAlerts) {
+  EXPECT_EQ(AlertFingerprints(RunWith(1024, true)),
+            AlertFingerprints(RunWith(1024, false)));
+}
+
+TEST(EngineProperty, WindowOverlapMultipliesAggregateMass) {
+  // Sum of per-window counts over the whole run equals events x overlap
+  // (every event lands in `overlap` windows), up to stream-edge windows
+  // which Finish() also flushes.
+  EventBatch events;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    events.push_back(EventBuilder()
+                         .At(i * kSecond)
+                         .OnHost("h")
+                         .Subject("p.exe", 1)
+                         .Op(EventOp::kWrite)
+                         .NetObject("1.1.1.1")
+                         .Amount(1)
+                         .Build());
+  }
+  for (int overlap : {1, 2, 5}) {
+    SaqlEngine engine;
+    std::string q =
+        "proc p write ip i as e #time(10 s, " +
+        std::to_string(10 / overlap) +
+        " s) state ss { c := count() } group by p "
+        "alert ss.c > 0 return p, ss.c";
+    ASSERT_TRUE(engine.AddQuery(q, "q").ok());
+    VectorEventSource source(events);
+    ASSERT_TRUE(engine.Run(&source).ok());
+    int64_t total = 0;
+    for (const Alert& a : engine.alerts()) {
+      total += a.values[1].second.AsInt();
+    }
+    EXPECT_EQ(total, static_cast<int64_t>(n) * overlap)
+        << "overlap " << overlap;
+  }
+}
+
+TEST(EngineProperty, MultiPatternSequenceFeedsStatefulWindow) {
+  // A stateful query over a two-step sequence: count completed
+  // write->read handoffs of the same file per writer, per minute.
+  EventBatch events;
+  Timestamp ts = 0;
+  for (int i = 0; i < 6; ++i) {
+    ts += 5 * kSecond;
+    events.push_back(EventBuilder()
+                         .At(ts)
+                         .OnHost("h")
+                         .Subject("writer.exe", 1)
+                         .Op(EventOp::kWrite)
+                         .FileObject("/spool/item" + std::to_string(i))
+                         .Amount(10)
+                         .Build());
+    ts += kSecond;
+    events.push_back(EventBuilder()
+                         .At(ts)
+                         .OnHost("h")
+                         .Subject("reader.exe", 2)
+                         .Op(EventOp::kRead)
+                         .FileObject("/spool/item" + std::to_string(i))
+                         .Amount(10)
+                         .Build());
+  }
+  SaqlEngine engine;
+  ASSERT_TRUE(engine
+                  .AddQuery(
+                      "proc w[\"%writer.exe\"] write file f as e1 "
+                      "proc r[\"%reader.exe\"] read file f as e2 "
+                      "with e1 ->[2 s] e2 #time(1 min) "
+                      "state ss { handoffs := count() } group by w "
+                      "alert ss.handoffs >= 6 "
+                      "return w, ss.handoffs",
+                      "handoffs")
+                  .ok());
+  VectorEventSource source(events);
+  ASSERT_TRUE(engine.Run(&source).ok());
+  ASSERT_EQ(engine.alerts().size(), 1u);
+  EXPECT_EQ(engine.alerts()[0].values[1].second.AsInt(), 6);
+  EXPECT_EQ(engine.alerts()[0].group, "writer.exe");
+}
+
+TEST(EngineProperty, SimulatorDeterminismEndToEnd) {
+  // Same seed, same queries, same alerts — the whole pipeline is
+  // deterministic (required for reproducible experiments).
+  EXPECT_EQ(AlertFingerprints(RunWith(1024, true)),
+            AlertFingerprints(RunWith(1024, true)));
+}
+
+}  // namespace
+}  // namespace saql

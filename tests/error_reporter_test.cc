@@ -1,0 +1,78 @@
+#include "engine/error_reporter.h"
+
+#include <gtest/gtest.h>
+
+namespace saql {
+namespace {
+
+TEST(ErrorReporterTest, StartsEmpty) {
+  ErrorReporter r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.total(), 0u);
+  EXPECT_EQ(r.ToString(), "(no errors)");
+}
+
+TEST(ErrorReporterTest, RecordsDistinctErrors) {
+  ErrorReporter r;
+  r.Report("q1", Status::RuntimeError("division by zero"));
+  r.Report("q2", Status::NotFound("field missing"));
+  EXPECT_EQ(r.total(), 2u);
+  auto entries = r.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].query, "q1");
+  EXPECT_EQ(entries[1].query, "q2");
+}
+
+TEST(ErrorReporterTest, DeduplicatesIdenticalErrors) {
+  ErrorReporter r;
+  for (int i = 0; i < 5; ++i) {
+    r.Report("q", Status::RuntimeError("same message"));
+  }
+  EXPECT_EQ(r.total(), 5u);
+  ASSERT_EQ(r.entries().size(), 1u);
+  EXPECT_EQ(r.entries()[0].count, 5u);
+}
+
+TEST(ErrorReporterTest, SameMessageDifferentQueryIsDistinct) {
+  ErrorReporter r;
+  r.Report("q1", Status::RuntimeError("x"));
+  r.Report("q2", Status::RuntimeError("x"));
+  EXPECT_EQ(r.entries().size(), 2u);
+}
+
+TEST(ErrorReporterTest, IgnoresOkStatus) {
+  ErrorReporter r;
+  r.Report("q", Status::Ok());
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ErrorReporterTest, BoundedEntries) {
+  ErrorReporter r(/*max_entries=*/3);
+  for (int i = 0; i < 10; ++i) {
+    r.Report("q", Status::RuntimeError("err " + std::to_string(i)));
+  }
+  EXPECT_EQ(r.entries().size(), 3u);
+  EXPECT_EQ(r.total(), 10u);
+  EXPECT_NE(r.ToString().find("more distinct errors"), std::string::npos);
+}
+
+TEST(ErrorReporterTest, ToStringShowsCounts) {
+  ErrorReporter r;
+  r.Report("q", Status::RuntimeError("boom"));
+  r.Report("q", Status::RuntimeError("boom"));
+  std::string s = r.ToString();
+  EXPECT_NE(s.find("[q]"), std::string::npos);
+  EXPECT_NE(s.find("boom"), std::string::npos);
+  EXPECT_NE(s.find("(x2)"), std::string::npos);
+}
+
+TEST(ErrorReporterTest, ClearResets) {
+  ErrorReporter r;
+  r.Report("q", Status::RuntimeError("boom"));
+  r.Clear();
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(r.entries().empty());
+}
+
+}  // namespace
+}  // namespace saql

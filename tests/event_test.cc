@@ -1,0 +1,142 @@
+#include "core/event.h"
+
+#include <gtest/gtest.h>
+
+#include "core/field_access.h"
+#include "test_util.h"
+
+namespace saql {
+namespace {
+
+using testing::EventBuilder;
+
+TEST(EntityTypeTest, ParseRoundTrip) {
+  EXPECT_EQ(ParseEntityType("proc").value(), EntityType::kProcess);
+  EXPECT_EQ(ParseEntityType("file").value(), EntityType::kFile);
+  EXPECT_EQ(ParseEntityType("ip").value(), EntityType::kNetwork);
+  EXPECT_FALSE(ParseEntityType("socket").ok());
+  EXPECT_STREQ(EntityTypeName(EntityType::kNetwork), "ip");
+}
+
+TEST(EventOpTest, ParseAllSpellings) {
+  EXPECT_EQ(ParseEventOp("read").value(), EventOp::kRead);
+  EXPECT_EQ(ParseEventOp("WRITE").value(), EventOp::kWrite);
+  EXPECT_EQ(ParseEventOp("start").value(), EventOp::kStart);
+  EXPECT_EQ(ParseEventOp("exec").value(), EventOp::kExecute);
+  EXPECT_EQ(ParseEventOp("unlink").value(), EventOp::kDelete);
+  EXPECT_EQ(ParseEventOp("connect").value(), EventOp::kConnect);
+  EXPECT_FALSE(ParseEventOp("teleport").ok());
+}
+
+TEST(OpMaskTest, BitOperations) {
+  OpMask mask = OpBit(EventOp::kRead) | OpBit(EventOp::kWrite);
+  EXPECT_TRUE(OpMaskContains(mask, EventOp::kRead));
+  EXPECT_TRUE(OpMaskContains(mask, EventOp::kWrite));
+  EXPECT_FALSE(OpMaskContains(mask, EventOp::kStart));
+}
+
+TEST(OpMaskTest, ToStringListsOps) {
+  OpMask mask = OpBit(EventOp::kRead) | OpBit(EventOp::kWrite);
+  EXPECT_EQ(OpMaskToString(mask), "read || write");
+}
+
+TEST(EventTest, ClassificationByObjectType) {
+  Event fe = EventBuilder().Subject("a.exe").FileObject("/x").Build();
+  Event pe = EventBuilder().Subject("a.exe").ProcObject("b.exe").Build();
+  Event ne = EventBuilder().Subject("a.exe").NetObject("1.2.3.4").Build();
+  EXPECT_TRUE(IsFileEvent(fe));
+  EXPECT_TRUE(IsProcessEvent(pe));
+  EXPECT_TRUE(IsNetworkEvent(ne));
+  EXPECT_FALSE(IsFileEvent(ne));
+}
+
+TEST(EventTest, ToStringMentionsKeyParts) {
+  Event e = EventBuilder()
+                .At(0)
+                .OnHost("host-1")
+                .Subject("cmd.exe", 42)
+                .Op(EventOp::kStart)
+                .ProcObject("osql.exe", 43)
+                .Build();
+  std::string s = e.ToString();
+  EXPECT_NE(s.find("cmd.exe"), std::string::npos);
+  EXPECT_NE(s.find("start"), std::string::npos);
+  EXPECT_NE(s.find("osql.exe"), std::string::npos);
+  EXPECT_NE(s.find("host-1"), std::string::npos);
+}
+
+TEST(FieldAccessTest, SubjectFields) {
+  Event e = EventBuilder().Subject("cmd.exe", 42).FileObject("/tmp/x").Build();
+  EXPECT_EQ(GetEntityField(e, EntityRole::kSubject, "exe_name")
+                .value().AsString(),
+            "cmd.exe");
+  EXPECT_EQ(GetEntityField(e, EntityRole::kSubject, "pid").value().AsInt(),
+            42);
+}
+
+TEST(FieldAccessTest, FileObjectFields) {
+  Event e = EventBuilder().Subject("a").FileObject("/tmp/dump.bin").Build();
+  EXPECT_EQ(GetEntityField(e, EntityRole::kObject, "name").value().AsString(),
+            "/tmp/dump.bin");
+  EXPECT_EQ(GetEntityField(e, EntityRole::kObject, "path").value().AsString(),
+            "/tmp/dump.bin");
+}
+
+TEST(FieldAccessTest, NetworkObjectFields) {
+  Event e = EventBuilder().Subject("a").NetObject("8.8.4.4", 53).Build();
+  EXPECT_EQ(GetEntityField(e, EntityRole::kObject, "dstip")
+                .value().AsString(),
+            "8.8.4.4");
+  EXPECT_EQ(GetEntityField(e, EntityRole::kObject, "dport").value().AsInt(),
+            53);
+  EXPECT_EQ(GetEntityField(e, EntityRole::kObject, "protocol")
+                .value().AsString(),
+            "tcp");
+}
+
+TEST(FieldAccessTest, UnknownFieldIsNotFound) {
+  Event e = EventBuilder().Subject("a").FileObject("/x").Build();
+  Result<Value> r = GetEntityField(e, EntityRole::kObject, "dstip");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FieldAccessTest, EventFields) {
+  Event e = EventBuilder()
+                .At(55)
+                .OnHost("h1")
+                .Subject("p.exe")
+                .NetObject("1.1.1.1")
+                .Amount(1234)
+                .Op(EventOp::kWrite)
+                .Build();
+  EXPECT_EQ(GetEventField(e, "amount").value().AsInt(), 1234);
+  EXPECT_EQ(GetEventField(e, "agentid").value().AsString(), "h1");
+  EXPECT_EQ(GetEventField(e, "ts").value().AsInt(), 55);
+  EXPECT_EQ(GetEventField(e, "op").value().AsString(), "write");
+  EXPECT_EQ(GetEventField(e, "failed").value().AsBool(), false);
+}
+
+TEST(FieldAccessTest, EventSubjectPassthrough) {
+  Event e = EventBuilder().Subject("p.exe", 9).FileObject("/x").Build();
+  EXPECT_EQ(GetEventField(e, "subject_exe_name").value().AsString(), "p.exe");
+  EXPECT_EQ(GetEventField(e, "object_name").value().AsString(), "/x");
+}
+
+TEST(FieldAccessTest, DefaultFields) {
+  EXPECT_STREQ(DefaultFieldForEntity(EntityType::kProcess), "exe_name");
+  EXPECT_STREQ(DefaultFieldForEntity(EntityType::kFile), "name");
+  EXPECT_STREQ(DefaultFieldForEntity(EntityType::kNetwork), "dstip");
+}
+
+TEST(FieldAccessTest, ValidityChecks) {
+  EXPECT_TRUE(IsValidEntityField(EntityType::kProcess, "exe_name"));
+  EXPECT_FALSE(IsValidEntityField(EntityType::kProcess, "dstip"));
+  EXPECT_TRUE(IsValidEntityField(EntityType::kNetwork, "dport"));
+  EXPECT_TRUE(IsValidEventField("amount"));
+  EXPECT_TRUE(IsValidEventField("subject_pid"));
+  EXPECT_FALSE(IsValidEventField("colour"));
+}
+
+}  // namespace
+}  // namespace saql

@@ -1,0 +1,113 @@
+#include "anomaly/invariant_set.h"
+
+#include <gtest/gtest.h>
+
+namespace saql {
+namespace {
+
+TEST(InvariantSetTest, TrainingAccumulatesWithoutAlerts) {
+  InvariantSet inv(3, InvariantSet::Mode::kOffline);
+  EXPECT_TRUE(inv.Observe({"a"}).empty());
+  EXPECT_TRUE(inv.Observe({"b"}).empty());
+  EXPECT_TRUE(inv.Observe({"c"}).empty());
+  EXPECT_EQ(inv.invariant(), (StringSet{"a", "b", "c"}));
+  EXPECT_FALSE(inv.InTraining());
+}
+
+TEST(InvariantSetTest, OfflineDetectsUnseenValue) {
+  // The paper's Query 3: child processes of Apache; a new child after
+  // training is a violation.
+  InvariantSet inv(2, InvariantSet::Mode::kOffline);
+  inv.Observe({"php.exe", "logger.exe"});
+  inv.Observe({"php.exe"});
+  StringSet v = inv.Observe({"php.exe", "sbblv.exe"});
+  EXPECT_EQ(v, (StringSet{"sbblv.exe"}));
+}
+
+TEST(InvariantSetTest, OfflineKeepsAlertingOnRepeat) {
+  InvariantSet inv(1, InvariantSet::Mode::kOffline);
+  inv.Observe({"good"});
+  EXPECT_EQ(inv.Observe({"bad"}), (StringSet{"bad"}));
+  EXPECT_EQ(inv.Observe({"bad"}), (StringSet{"bad"}));  // still violating
+}
+
+TEST(InvariantSetTest, OnlineAbsorbsViolations) {
+  InvariantSet inv(1, InvariantSet::Mode::kOnline);
+  inv.Observe({"good"});
+  EXPECT_EQ(inv.Observe({"bad"}), (StringSet{"bad"}));
+  EXPECT_TRUE(inv.Observe({"bad"}).empty());  // learned now
+  EXPECT_EQ(inv.invariant(), (StringSet{"good", "bad"}));
+}
+
+TEST(InvariantSetTest, EmptyObservationNeverViolates) {
+  InvariantSet inv(1, InvariantSet::Mode::kOffline);
+  inv.Observe({"a"});
+  EXPECT_TRUE(inv.Observe({}).empty());
+}
+
+TEST(InvariantSetTest, KnownSubsetNeverViolates) {
+  InvariantSet inv(2, InvariantSet::Mode::kOffline);
+  inv.Observe({"a", "b", "c"});
+  inv.Observe({"d"});
+  EXPECT_TRUE(inv.Observe({"a", "d"}).empty());
+}
+
+TEST(InvariantSetTest, WindowCounting) {
+  InvariantSet inv(5, InvariantSet::Mode::kOffline);
+  EXPECT_EQ(inv.windows_seen(), 0u);
+  inv.Observe({"x"});
+  EXPECT_EQ(inv.windows_seen(), 1u);
+  EXPECT_TRUE(inv.InTraining());
+  for (int i = 0; i < 4; ++i) inv.Observe({"x"});
+  EXPECT_FALSE(inv.InTraining());
+}
+
+TEST(InvariantSetTest, ResetRestartsTraining) {
+  InvariantSet inv(1, InvariantSet::Mode::kOffline);
+  inv.Observe({"a"});
+  EXPECT_FALSE(inv.Observe({"b"}).empty());
+  inv.Reset();
+  EXPECT_TRUE(inv.InTraining());
+  EXPECT_TRUE(inv.Observe({"b"}).empty());  // training again
+  EXPECT_TRUE(inv.invariant().count("b"));
+}
+
+TEST(InvariantSetTest, ZeroTrainingWindowsAlertsImmediately) {
+  InvariantSet inv(0, InvariantSet::Mode::kOffline);
+  EXPECT_EQ(inv.Observe({"a"}), (StringSet{"a"}));
+}
+
+/// Property: under offline mode, the invariant after training never changes.
+class InvariantTrainingSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(InvariantTrainingSweep, OfflineInvariantFrozenAfterTraining) {
+  size_t training = GetParam();
+  InvariantSet inv(training, InvariantSet::Mode::kOffline);
+  for (size_t i = 0; i < training; ++i) {
+    inv.Observe({"w" + std::to_string(i)});
+  }
+  StringSet frozen = inv.invariant();
+  for (int i = 0; i < 5; ++i) {
+    inv.Observe({"new" + std::to_string(i)});
+    EXPECT_EQ(inv.invariant(), frozen);
+  }
+}
+
+TEST_P(InvariantTrainingSweep, ViolationsAreExactSetDifference) {
+  size_t training = GetParam();
+  InvariantSet inv(training, InvariantSet::Mode::kOffline);
+  for (size_t i = 0; i < training; ++i) inv.Observe({"a", "b"});
+  StringSet observed{"a", "c", "d"};
+  StringSet violations = inv.Observe(observed);
+  if (training == 0) {
+    EXPECT_EQ(violations, observed);
+  } else {
+    EXPECT_EQ(violations, (StringSet{"c", "d"}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TrainingWindows, InvariantTrainingSweep,
+                         ::testing::Values(0, 1, 2, 10, 100));
+
+}  // namespace
+}  // namespace saql

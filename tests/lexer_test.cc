@@ -1,0 +1,133 @@
+#include "parser/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace saql {
+namespace {
+
+std::vector<Token> MustLex(const std::string& text) {
+  Result<std::vector<Token>> r = TokenizeSaql(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() ? r.value() : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  std::vector<Token> t = MustLex("");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t[0].Is(TokenKind::kEof));
+}
+
+TEST(LexerTest, Identifiers) {
+  std::vector<Token> t = MustLex("proc p1 exe_name");
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0].text, "proc");
+  EXPECT_EQ(t[1].text, "p1");
+  EXPECT_EQ(t[2].text, "exe_name");
+}
+
+TEST(LexerTest, Numbers) {
+  std::vector<Token> t = MustLex("10 1.5 1e6 2E-3");
+  EXPECT_TRUE(t[0].Is(TokenKind::kInteger));
+  EXPECT_EQ(t[0].int_value, 10);
+  EXPECT_TRUE(t[1].Is(TokenKind::kFloat));
+  EXPECT_DOUBLE_EQ(t[1].float_value, 1.5);
+  EXPECT_TRUE(t[2].Is(TokenKind::kFloat));
+  EXPECT_DOUBLE_EQ(t[2].float_value, 1e6);
+  EXPECT_TRUE(t[3].Is(TokenKind::kFloat));
+  EXPECT_DOUBLE_EQ(t[3].float_value, 2e-3);
+}
+
+TEST(LexerTest, Strings) {
+  std::vector<Token> t = MustLex(R"("%cmd.exe" "a\"b" "tab\there")");
+  EXPECT_EQ(t[0].text, "%cmd.exe");
+  EXPECT_EQ(t[1].text, "a\"b");
+  EXPECT_EQ(t[2].text, "tab\there");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  Result<std::vector<Token>> r = TokenizeSaql("\"oops");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, OperatorsTwoCharBeforeOneChar) {
+  std::vector<Token> t = MustLex("|| | && -> - := = == != <= < >= >");
+  std::vector<TokenKind> kinds;
+  for (const Token& tok : t) kinds.push_back(tok.kind);
+  std::vector<TokenKind> expected{
+      TokenKind::kOrOr, TokenKind::kPipe,  TokenKind::kAndAnd,
+      TokenKind::kArrow, TokenKind::kMinus, TokenKind::kColonAssign,
+      TokenKind::kAssign, TokenKind::kEq,   TokenKind::kNe,
+      TokenKind::kLe,    TokenKind::kLt,    TokenKind::kGe,
+      TokenKind::kGt,    TokenKind::kEof};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, PunctuationAndHash) {
+  std::vector<Token> t = MustLex("#time(10 min)");
+  EXPECT_TRUE(t[0].Is(TokenKind::kHash));
+  EXPECT_EQ(t[1].text, "time");
+  EXPECT_TRUE(t[2].Is(TokenKind::kLParen));
+  EXPECT_EQ(t[3].int_value, 10);
+  EXPECT_EQ(t[4].text, "min");
+  EXPECT_TRUE(t[5].Is(TokenKind::kRParen));
+}
+
+TEST(LexerTest, LineCommentsIgnored) {
+  std::vector<Token> t = MustLex("a // comment with proc file\nb");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0].text, "a");
+  EXPECT_EQ(t[1].text, "b");
+}
+
+TEST(LexerTest, BlockCommentsIgnored) {
+  std::vector<Token> t = MustLex("a /* multi\nline */ b");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[1].text, "b");
+}
+
+TEST(LexerTest, UnterminatedBlockCommentFails) {
+  EXPECT_FALSE(TokenizeSaql("a /* no end").ok());
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  std::vector<Token> t = MustLex("a\n  bb\n    c");
+  EXPECT_EQ(t[0].loc.line, 1);
+  EXPECT_EQ(t[0].loc.col, 1);
+  EXPECT_EQ(t[1].loc.line, 2);
+  EXPECT_EQ(t[1].loc.col, 3);
+  EXPECT_EQ(t[2].loc.line, 3);
+  EXPECT_EQ(t[2].loc.col, 5);
+}
+
+TEST(LexerTest, LoneAmpersandFails) {
+  Result<std::vector<Token>> r = TokenizeSaql("a & b");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("&&"), std::string::npos);
+}
+
+TEST(LexerTest, UnexpectedCharacterReportsPosition) {
+  Result<std::vector<Token>> r = TokenizeSaql("a\n@");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("2:1"), std::string::npos);
+}
+
+TEST(LexerTest, IsIdentCaseInsensitive) {
+  std::vector<Token> t = MustLex("PROC");
+  EXPECT_TRUE(t[0].IsIdent("proc"));
+  EXPECT_TRUE(t[0].IsIdent("Proc"));
+  EXPECT_FALSE(t[0].IsIdent("file"));
+}
+
+TEST(LexerTest, PaperQuery1Tokenizes) {
+  const char* q =
+      "proc p1[\"%cmd.exe\"] start proc p2[\"%osql.exe\"] as evt1\n"
+      "with evt1 -> evt2\n"
+      "return distinct p1, p2";
+  std::vector<Token> t = MustLex(q);
+  EXPECT_GT(t.size(), 15u);
+  EXPECT_TRUE(t.back().Is(TokenKind::kEof));
+}
+
+}  // namespace
+}  // namespace saql

@@ -1,0 +1,82 @@
+#include "core/like_matcher.h"
+
+#include <gtest/gtest.h>
+
+namespace saql {
+namespace {
+
+TEST(LikeMatcherTest, ExactMatchIsCaseInsensitive) {
+  LikeMatcher m("cmd.exe");
+  EXPECT_TRUE(m.is_exact());
+  EXPECT_TRUE(m.Matches("cmd.exe"));
+  EXPECT_TRUE(m.Matches("CMD.EXE"));
+  EXPECT_FALSE(m.Matches("cmd.exe.bak"));
+}
+
+TEST(LikeMatcherTest, SuffixPattern) {
+  // The paper's queries constrain executables with a leading %:
+  // proc p1["%cmd.exe"].
+  LikeMatcher m("%cmd.exe");
+  EXPECT_TRUE(m.Matches("cmd.exe"));
+  EXPECT_TRUE(m.Matches("C:\\Windows\\System32\\cmd.exe"));
+  EXPECT_FALSE(m.Matches("cmd.exe.txt"));
+}
+
+TEST(LikeMatcherTest, PrefixPattern) {
+  LikeMatcher m("C:\\Windows\\%");
+  EXPECT_TRUE(m.Matches("C:\\Windows\\notepad.exe"));
+  EXPECT_TRUE(m.Matches("c:\\windows\\"));
+  EXPECT_FALSE(m.Matches("D:\\Windows\\notepad.exe"));
+}
+
+TEST(LikeMatcherTest, ContainsPattern) {
+  LikeMatcher m("%temp%");
+  EXPECT_TRUE(m.Matches("C:\\Users\\bob\\AppData\\Temp\\x.dll"));
+  EXPECT_TRUE(m.Matches("temp"));
+  EXPECT_FALSE(m.Matches("tmp"));
+}
+
+TEST(LikeMatcherTest, UnderscoreMatchesOneChar) {
+  LikeMatcher m("backup_.dmp");
+  EXPECT_TRUE(m.Matches("backup1.dmp"));
+  EXPECT_TRUE(m.Matches("backup2.dmp"));
+  EXPECT_FALSE(m.Matches("backup12.dmp"));
+  EXPECT_FALSE(m.Matches("backup.dmp"));
+}
+
+TEST(LikeMatcherTest, GeneralPatternWithMiddlePercent) {
+  LikeMatcher m("osql%.exe");
+  EXPECT_TRUE(m.Matches("osql.exe"));
+  EXPECT_TRUE(m.Matches("osql64.exe"));
+  EXPECT_FALSE(m.Matches("osql.exe.bak"));
+}
+
+TEST(LikeMatcherTest, MultiplePercents) {
+  LikeMatcher m("%sql%serv%");
+  EXPECT_TRUE(m.Matches("sqlservr.exe"));
+  EXPECT_TRUE(m.Matches("C:\\mssql\\sqlserver"));
+  EXPECT_FALSE(m.Matches("mysql.exe"));
+}
+
+TEST(LikeMatcherTest, PercentAloneMatchesEverything) {
+  LikeMatcher m("%");
+  EXPECT_TRUE(m.Matches(""));
+  EXPECT_TRUE(m.Matches("anything"));
+}
+
+TEST(LikeMatcherTest, EmptyPatternMatchesOnlyEmpty) {
+  LikeMatcher m("");
+  EXPECT_TRUE(m.Matches(""));
+  EXPECT_FALSE(m.Matches("a"));
+}
+
+TEST(LikeMatcherTest, BacktrackingCase) {
+  LikeMatcher m("%ab%ab");
+  EXPECT_TRUE(m.Matches("abab"));
+  EXPECT_TRUE(m.Matches("xxabyyab"));
+  EXPECT_TRUE(m.Matches("ababab"));
+  EXPECT_FALSE(m.Matches("abba"));
+}
+
+}  // namespace
+}  // namespace saql

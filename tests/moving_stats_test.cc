@@ -1,0 +1,161 @@
+#include "anomaly/moving_stats.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace saql {
+namespace {
+
+TEST(SmaTest, EmptyMeanIsZero) {
+  SimpleMovingAverage sma(3);
+  EXPECT_DOUBLE_EQ(sma.Mean(), 0.0);
+  EXPECT_EQ(sma.Count(), 0u);
+  EXPECT_FALSE(sma.Full());
+}
+
+TEST(SmaTest, PartialWindowAveragesWhatItHas) {
+  SimpleMovingAverage sma(3);
+  sma.Push(10);
+  sma.Push(20);
+  EXPECT_DOUBLE_EQ(sma.Mean(), 15.0);
+  EXPECT_FALSE(sma.Full());
+}
+
+TEST(SmaTest, EvictsOldestWhenFull) {
+  SimpleMovingAverage sma(3);
+  sma.Push(1);
+  sma.Push(2);
+  sma.Push(3);
+  EXPECT_TRUE(sma.Full());
+  EXPECT_DOUBLE_EQ(sma.Mean(), 2.0);
+  sma.Push(10);  // evicts 1
+  EXPECT_DOUBLE_EQ(sma.Mean(), 5.0);
+  EXPECT_EQ(sma.Count(), 3u);
+}
+
+TEST(SmaTest, AtIndexesFromNewest) {
+  SimpleMovingAverage sma(3);
+  sma.Push(1);
+  sma.Push(2);
+  sma.Push(3);
+  EXPECT_DOUBLE_EQ(sma.At(0), 3.0);
+  EXPECT_DOUBLE_EQ(sma.At(1), 2.0);
+  EXPECT_DOUBLE_EQ(sma.At(2), 1.0);
+}
+
+TEST(SmaTest, Query2SpikeDetectionShape) {
+  // Mirrors the paper's Query 2 alert: current window exceeds the 3-window
+  // moving average AND an absolute floor.
+  SimpleMovingAverage sma(3);
+  sma.Push(9000);
+  sma.Push(9500);
+  sma.Push(50000);  // spike window
+  double current = sma.At(0);
+  bool alert = current > sma.Mean() && current > 10000;
+  EXPECT_TRUE(alert);
+}
+
+TEST(SmaTest, ZeroWindowClampedToOne) {
+  SimpleMovingAverage sma(0);
+  sma.Push(4);
+  sma.Push(8);
+  EXPECT_DOUBLE_EQ(sma.Mean(), 8.0);
+}
+
+TEST(SmaTest, ResetClears) {
+  SimpleMovingAverage sma(2);
+  sma.Push(5);
+  sma.Reset();
+  EXPECT_EQ(sma.Count(), 0u);
+  EXPECT_DOUBLE_EQ(sma.Mean(), 0.0);
+}
+
+TEST(EmaTest, FirstSampleSetsMean) {
+  ExponentialMovingAverage ema(0.5);
+  ema.Push(10);
+  EXPECT_DOUBLE_EQ(ema.Mean(), 10.0);
+}
+
+TEST(EmaTest, Converges) {
+  ExponentialMovingAverage ema(0.5);
+  ema.Push(0);
+  for (int i = 0; i < 50; ++i) ema.Push(100);
+  EXPECT_NEAR(ema.Mean(), 100.0, 1e-9);
+}
+
+TEST(EmaTest, AlphaOneTracksLastSample) {
+  ExponentialMovingAverage ema(1.0);
+  ema.Push(5);
+  ema.Push(42);
+  EXPECT_DOUBLE_EQ(ema.Mean(), 42.0);
+}
+
+TEST(EmaTest, InvalidAlphaClamped) {
+  ExponentialMovingAverage bad_low(-3);
+  bad_low.Push(10);
+  bad_low.Push(20);
+  EXPECT_GT(bad_low.Mean(), 10.0);  // still averaging, no NaN/garbage
+  EXPECT_LT(bad_low.Mean(), 20.0);
+}
+
+TEST(OnlineVarianceTest, MatchesClosedForm) {
+  OnlineVariance ov;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) ov.Push(x);
+  EXPECT_DOUBLE_EQ(ov.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(ov.Variance(), 4.0);
+  EXPECT_DOUBLE_EQ(ov.StdDev(), 2.0);
+}
+
+TEST(OnlineVarianceTest, SingleSampleHasZeroVariance) {
+  OnlineVariance ov;
+  ov.Push(3.0);
+  EXPECT_DOUBLE_EQ(ov.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(ov.ZScore(100.0), 0.0);  // degenerate -> no signal
+}
+
+TEST(OnlineVarianceTest, ZScore) {
+  OnlineVariance ov;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) ov.Push(x);
+  EXPECT_DOUBLE_EQ(ov.ZScore(9.0), 2.0);
+  EXPECT_DOUBLE_EQ(ov.ZScore(1.0), -2.0);
+}
+
+TEST(OnlineVarianceTest, NumericalStabilityWithLargeOffset) {
+  // Welford stays stable with a large common offset where the naive
+  // sum-of-squares approach catastrophically cancels.
+  OnlineVariance ov;
+  std::mt19937_64 rng(7);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  for (int i = 0; i < 10000; ++i) ov.Push(1e12 + noise(rng));
+  EXPECT_NEAR(ov.Variance(), 1.0, 0.1);
+}
+
+/// Property sweep: SMA over a constant series equals the constant for any
+/// window size.
+class SmaWindowSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SmaWindowSweep, ConstantSeriesMeanIsConstant) {
+  SimpleMovingAverage sma(GetParam());
+  for (int i = 0; i < 100; ++i) sma.Push(42.0);
+  EXPECT_DOUBLE_EQ(sma.Mean(), 42.0);
+  EXPECT_LE(sma.Count(), GetParam());
+}
+
+TEST_P(SmaWindowSweep, MeanWithinSampleRange) {
+  SimpleMovingAverage sma(GetParam());
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> dist(-50.0, 50.0);
+  for (int i = 0; i < 200; ++i) {
+    sma.Push(dist(rng));
+    EXPECT_GE(sma.Mean(), -50.0);
+    EXPECT_LE(sma.Mean(), 50.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, SmaWindowSweep,
+                         ::testing::Values(1, 2, 3, 5, 10, 64, 1000));
+
+}  // namespace
+}  // namespace saql

@@ -1,0 +1,153 @@
+// Robustness: the parser must return ParseError (never crash, hang, or
+// mis-report) on arbitrary junk — truncations, random token soups, and
+// mutations of valid queries. A query system exposed to analysts sees a
+// lot of malformed input.
+
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "parser/analyzer.h"
+#include "parser/parser.h"
+#include "test_util.h"
+
+namespace saql {
+namespace {
+
+TEST(ParserFuzzTest, EveryPrefixOfPaperQueriesIsHandled) {
+  for (const char* file :
+       {"query1_rule.saql", "query2_timeseries.saql",
+        "query3_invariant.saql", "query4_outlier.saql"}) {
+    std::string text = testing::ReadQueryFile(file);
+    for (size_t len = 0; len <= text.size(); len += 7) {
+      std::string prefix = text.substr(0, len);
+      // Must terminate and produce either a valid query or a clean error.
+      Result<Query> r = ParseSaql(prefix);
+      if (!r.ok()) {
+        EXPECT_EQ(r.status().code(), StatusCode::kParseError) << prefix;
+      }
+    }
+  }
+}
+
+TEST(ParserFuzzTest, RandomTokenSoup) {
+  const char* fragments[] = {
+      "proc",    "file",  "ip",     "p1",     "[",      "]",    "{",
+      "}",       "(",     ")",      "\"%x\"", "10",     "min",  "as",
+      "evt",     "with",  "->",     "state",  "ss",     ":=",   "=",
+      "group",   "by",    "alert",  "return", "||",     "&&",   "cluster",
+      "invariant", "|",   ".",      ",",      "read",   "write", "start",
+      "#time",   "#count", "1.5",   "distinct", "union", "diff", "empty_set",
+  };
+  std::mt19937_64 rng(2020);
+  std::uniform_int_distribution<size_t> pick(0, std::size(fragments) - 1);
+  std::uniform_int_distribution<int> len(1, 60);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text;
+    int n = len(rng);
+    for (int i = 0; i < n; ++i) {
+      text += fragments[pick(rng)];
+      text += ' ';
+    }
+    Result<Query> r = ParseSaql(text);
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kParseError)
+          << "trial " << trial << ": " << text;
+      EXPECT_FALSE(r.status().message().empty());
+    }
+  }
+}
+
+TEST(ParserFuzzTest, RandomBytes) {
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<int> byte(1, 255);
+  std::uniform_int_distribution<int> len(1, 200);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    int n = len(rng);
+    for (int i = 0; i < n; ++i) {
+      text += static_cast<char>(byte(rng));
+    }
+    Result<Query> r = ParseSaql(text);
+    // Random bytes virtually never form a valid query; either way the
+    // parser must terminate with a definite result.
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST(ParserFuzzTest, SingleCharacterDeletionsOfQuery1) {
+  std::string text = testing::ReadQueryFile("query1_rule.saql");
+  for (size_t i = 0; i < text.size(); i += 3) {
+    std::string mutated = text;
+    mutated.erase(i, 1);
+    Result<Query> parsed = ParseSaql(mutated);
+    if (parsed.ok()) {
+      // Some deletions keep the query valid (e.g., inside a comment); it
+      // must then also analyze without crashing.
+      Result<AnalyzedQueryPtr> analyzed =
+          AnalyzeQuery(std::move(parsed).value());
+      if (!analyzed.ok()) {
+        EXPECT_EQ(analyzed.status().code(), StatusCode::kSemanticError);
+      }
+    } else {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST(ParserFuzzTest, DeeplyNestedParenthesesDoNotOverflowQuickly) {
+  // 200 levels is far beyond real queries but must not crash.
+  std::string expr(200, '(');
+  expr += "1";
+  expr += std::string(200, ')');
+  Result<Query> r =
+      ParseSaql("proc p read file f as e alert " + expr + " > 0 return p");
+  EXPECT_TRUE(r.ok()) << r.status();
+}
+
+TEST(ParserFuzzTest, VeryLongIdentifier) {
+  std::string name(10000, 'a');
+  Result<Query> r =
+      ParseSaql("proc " + name + " read file f as e return " + name);
+  EXPECT_TRUE(r.ok()) << r.status();
+}
+
+TEST(ParserFuzzTest, ManyReturnItems) {
+  std::string q = "proc p read file f as e return p";
+  for (int i = 0; i < 500; ++i) q += ", p";
+  Result<Query> r = ParseSaql(q);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->returns.size(), 501u);
+}
+
+/// Expression round-trip property: unparse(parse(e)) reparses to the same
+/// rendering (fixed point after one round).
+class ExprRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExprRoundTrip, UnparseReparseIsStable) {
+  std::string wrapper = "proc p read file f as e alert ";
+  Result<Query> q1 = ParseSaql(wrapper + GetParam() + " return p");
+  ASSERT_TRUE(q1.ok()) << q1.status();
+  std::string rendered = q1->alert->ToString();
+  Result<Query> q2 = ParseSaql(wrapper + rendered + " return p");
+  ASSERT_TRUE(q2.ok()) << "rendering '" << rendered << "' failed to parse: "
+                       << q2.status();
+  EXPECT_EQ(q2->alert->ToString(), rendered);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Exprs, ExprRoundTrip,
+    ::testing::Values(
+        "1 + 2 * 3 == 7",
+        "e.amount > 10 && !e.failed || p.exe_name == \"%cmd.exe\"",
+        "|f.name union f.name| >= 1",
+        "(e.amount + 1) * 2 - 3 / 4 % 5 != 0",
+        "p.exe_name in f.name union f.name",
+        "abs(e.amount) > sqrt(100) && pow(2, 3) < max2(9, 10)",
+        "-e.amount < - 1"));
+
+}  // namespace
+}  // namespace saql

@@ -1,0 +1,66 @@
+// Every checked-in .saql file (the paper's Queries 1-4 and the demo's 8
+// detection queries) must lex, parse, analyze, and compile into an
+// executable query — guarding the corpus against language regressions.
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "engine/compiled_query.h"
+#include "parser/analyzer.h"
+
+namespace saql {
+namespace {
+
+std::vector<std::string> CorpusFiles() {
+  std::vector<std::string> out;
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(
+           SAQL_QUERY_DIR)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".saql") {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class QueryCorpusTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(QueryCorpusTest, CompilesEndToEnd) {
+  std::ifstream in(GetParam());
+  ASSERT_TRUE(in.good()) << GetParam();
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  Result<AnalyzedQueryPtr> aq = CompileSaql(text.str());
+  ASSERT_TRUE(aq.ok()) << GetParam() << ": " << aq.status();
+
+  Result<std::unique_ptr<CompiledQuery>> q =
+      CompiledQuery::Create(aq.value(), "corpus");
+  ASSERT_TRUE(q.ok()) << GetParam() << ": " << q.status();
+
+  // Structural sanity: every query returns something and declares at least
+  // one pattern.
+  EXPECT_FALSE(aq.value()->query->returns.empty());
+  EXPECT_GE(aq.value()->NumPatterns(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCheckedInQueries, QueryCorpusTest,
+    ::testing::ValuesIn(CorpusFiles()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = std::filesystem::path(info.param).stem().string();
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(QueryCorpusTest, CorpusIsNonEmpty) {
+  EXPECT_GE(CorpusFiles().size(), 11u);  // 4 paper + 7 demo queries
+}
+
+}  // namespace
+}  // namespace saql

@@ -1,0 +1,73 @@
+#include "anomaly/robust_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace saql {
+namespace {
+
+TEST(PercentileTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(PercentileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 0), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 50), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 100), 7.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenRanks) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 17.5);
+}
+
+TEST(PercentileTest, UnsortedInputHandled) {
+  std::vector<double> v{40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 25.0);
+}
+
+TEST(MedianTest, OddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(MadTest, KnownValue) {
+  // median = 2, deviations {1,0,0,1,2} -> MAD = 1.
+  EXPECT_DOUBLE_EQ(Mad({1, 2, 2, 3, 4}), 1.0);
+}
+
+TEST(MadTest, ConstantSeriesHasZeroMad) {
+  EXPECT_DOUBLE_EQ(Mad({5, 5, 5, 5}), 0.0);
+}
+
+TEST(RobustZScoreTest, OutlierScoresHigh) {
+  std::vector<double> v{10, 11, 9, 10, 12, 10, 9, 11};
+  EXPECT_GT(RobustZScore(v, 100.0), 10.0);
+  EXPECT_LT(RobustZScore(v, 10.0), 1.0);
+}
+
+TEST(RobustZScoreTest, ZeroMadGivesZero) {
+  EXPECT_DOUBLE_EQ(RobustZScore({5, 5, 5}, 100.0), 0.0);
+}
+
+TEST(IqrOutlierTest, DetectsFarPoint) {
+  std::vector<double> v{10, 11, 12, 13, 14, 15, 16, 17};
+  EXPECT_TRUE(IqrOutlier(v, 100.0));
+  EXPECT_FALSE(IqrOutlier(v, 13.0));
+}
+
+TEST(IqrOutlierTest, TooFewSamplesNeverOutlier) {
+  EXPECT_FALSE(IqrOutlier({1, 2, 3}, 1000.0));
+}
+
+TEST(IqrOutlierTest, WiderFenceAdmitsMore) {
+  std::vector<double> v{10, 11, 12, 13, 14, 15, 16, 17};
+  double x = 22.0;
+  EXPECT_TRUE(IqrOutlier(v, x, 1.0));
+  EXPECT_FALSE(IqrOutlier(v, x, 3.0));
+}
+
+}  // namespace
+}  // namespace saql

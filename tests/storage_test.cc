@@ -1,0 +1,212 @@
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "collect/enterprise_sim.h"
+#include "storage/event_log.h"
+#include "storage/replayer.h"
+#include "test_util.h"
+
+namespace saql {
+namespace {
+
+using testing::EventBuilder;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+EventBatch SampleEvents() {
+  EventBatch out;
+  out.push_back(EventBuilder()
+                    .Id(1)
+                    .At(10 * kSecond)
+                    .OnHost("h1")
+                    .Subject("cmd.exe", 42)
+                    .Op(EventOp::kStart)
+                    .ProcObject("osql.exe", 43)
+                    .Build());
+  out.push_back(EventBuilder()
+                    .Id(2)
+                    .At(20 * kSecond)
+                    .OnHost("h2")
+                    .Subject("sqlservr.exe", 50)
+                    .Op(EventOp::kWrite)
+                    .FileObject("C:\\MSSQL\\backup1.dmp")
+                    .Amount(5000000)
+                    .Build());
+  out.push_back(EventBuilder()
+                    .Id(3)
+                    .At(30 * kSecond)
+                    .OnHost("h1")
+                    .Subject("sbblv.exe", 60)
+                    .Op(EventOp::kWrite)
+                    .NetObject("66.77.88.129", 443)
+                    .Amount(123456)
+                    .Build());
+  return out;
+}
+
+TEST(EventLogTest, RoundTripPreservesAllFields) {
+  std::string path = TempPath("roundtrip.saqllog");
+  EventBatch original = SampleEvents();
+  ASSERT_TRUE(WriteEventLog(path, original).ok());
+  Result<EventBatch> loaded = ReadEventLog(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    const Event& a = original[i];
+    const Event& b = (*loaded)[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.ts, b.ts);
+    EXPECT_EQ(a.agent_id, b.agent_id);
+    EXPECT_EQ(a.subject, b.subject);
+    EXPECT_EQ(a.op, b.op);
+    EXPECT_EQ(a.object_type, b.object_type);
+    EXPECT_EQ(a.obj_proc, b.obj_proc);
+    EXPECT_EQ(a.obj_file, b.obj_file);
+    EXPECT_EQ(a.obj_net, b.obj_net);
+    EXPECT_EQ(a.amount, b.amount);
+    EXPECT_EQ(a.failed, b.failed);
+  }
+}
+
+TEST(EventLogTest, EmptyLogReadsEmpty) {
+  std::string path = TempPath("empty.saqllog");
+  ASSERT_TRUE(WriteEventLog(path, {}).ok());
+  Result<EventBatch> loaded = ReadEventLog(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST(EventLogTest, MissingFileFails) {
+  EXPECT_EQ(ReadEventLog("/nonexistent/nope.saqllog").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(EventLogTest, RejectsNonLogFile) {
+  std::string path = TempPath("not_a_log.txt");
+  std::ofstream(path) << "hello world, definitely not a SAQL log";
+  EXPECT_EQ(ReadEventLog(path).status().code(), StatusCode::kIoError);
+}
+
+TEST(EventLogTest, TruncatedTailIsCrashConsistent) {
+  std::string path = TempPath("truncated.saqllog");
+  ASSERT_TRUE(WriteEventLog(path, SampleEvents()).ok());
+  // Chop off the last 5 bytes (mid-record).
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  auto size = static_cast<long>(in.tellg());
+  in.close();
+  std::ifstream src(path, std::ios::binary);
+  std::string data(static_cast<size_t>(size - 5), '\0');
+  src.read(data.data(), size - 5);
+  src.close();
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << data;
+
+  Result<EventBatch> loaded = ReadEventLog(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->size(), 2u);  // last record dropped, others intact
+}
+
+TEST(EventLogTest, WriterCountsEvents) {
+  std::string path = TempPath("count.saqllog");
+  EventLogWriter w(path);
+  ASSERT_TRUE(w.status().ok());
+  ASSERT_TRUE(w.AppendBatch(SampleEvents()).ok());
+  EXPECT_EQ(w.events_written(), 3u);
+  EXPECT_TRUE(w.Close().ok());
+}
+
+TEST(ReplayerTest, ReplaysEverythingWithoutFilter) {
+  std::string path = TempPath("replay_all.saqllog");
+  ASSERT_TRUE(WriteEventLog(path, SampleEvents()).ok());
+  StreamReplayer r(path, StreamReplayer::Filter{});
+  ASSERT_TRUE(r.status().ok());
+  EventBatch batch;
+  size_t total = 0;
+  while (r.NextBatch(2, &batch)) total += batch.size();
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(r.replayed(), 3u);
+  EXPECT_EQ(r.filtered_out(), 0u);
+}
+
+TEST(ReplayerTest, HostFilter) {
+  std::string path = TempPath("replay_host.saqllog");
+  ASSERT_TRUE(WriteEventLog(path, SampleEvents()).ok());
+  StreamReplayer::Filter f;
+  f.hosts = {"h1"};
+  StreamReplayer r(path, f);
+  EventBatch batch;
+  size_t total = 0;
+  while (r.NextBatch(10, &batch)) {
+    for (const Event& e : batch) EXPECT_EQ(e.agent_id, "h1");
+    total += batch.size();
+  }
+  EXPECT_EQ(total, 2u);
+  EXPECT_EQ(r.filtered_out(), 1u);
+}
+
+TEST(ReplayerTest, TimeRangeFilter) {
+  std::string path = TempPath("replay_time.saqllog");
+  ASSERT_TRUE(WriteEventLog(path, SampleEvents()).ok());
+  StreamReplayer::Filter f;
+  f.start_ts = 15 * kSecond;
+  f.end_ts = 25 * kSecond;
+  StreamReplayer r(path, f);
+  EventBatch batch;
+  size_t total = 0;
+  while (r.NextBatch(10, &batch)) total += batch.size();
+  EXPECT_EQ(total, 1u);  // only the 20s event
+}
+
+TEST(ReplayerTest, SimulatorRoundTripThroughLog) {
+  // The demo's record/replay loop: simulate, store, replay, compare.
+  EnterpriseSimulator::Options opts;
+  opts.num_workstations = 1;
+  opts.duration = kMinute;
+  opts.events_per_host_per_second = 5;
+  EnterpriseSimulator sim(opts);
+  EventBatch events = sim.Generate();
+  std::string path = TempPath("sim_roundtrip.saqllog");
+  ASSERT_TRUE(WriteEventLog(path, events).ok());
+  StreamReplayer r(path, StreamReplayer::Filter{});
+  EventBatch batch, all;
+  while (r.NextBatch(512, &batch)) {
+    all.insert(all.end(), batch.begin(), batch.end());
+  }
+  ASSERT_EQ(all.size(), events.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].id, events[i].id);
+    EXPECT_EQ(all[i].ts, events[i].ts);
+  }
+}
+
+TEST(ReplayerTest, PacedReplayTakesWallTime) {
+  // 2 events 1 second of event time apart at 20x speed: >= ~50ms wall.
+  std::string path = TempPath("paced.saqllog");
+  EventBatch events;
+  events.push_back(
+      EventBuilder().Id(1).At(0).OnHost("h").Subject("p").Build());
+  events.push_back(EventBuilder()
+                       .Id(2)
+                       .At(kSecond)
+                       .OnHost("h")
+                       .Subject("p")
+                       .Build());
+  ASSERT_TRUE(WriteEventLog(path, events).ok());
+  StreamReplayer::Filter f;
+  f.speed = 20.0;
+  StreamReplayer r(path, f);
+  auto start = std::chrono::steady_clock::now();
+  EventBatch batch;
+  while (r.NextBatch(10, &batch)) {
+  }
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_GE(elapsed, 45);
+}
+
+}  // namespace
+}  // namespace saql

@@ -1,0 +1,77 @@
+#ifndef SAQL_TESTS_TEST_UTIL_H_
+#define SAQL_TESTS_TEST_UTIL_H_
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/event.h"
+
+namespace saql {
+namespace testing {
+
+/// Reads one of the checked-in paper queries (queries/*.saql).
+inline std::string ReadQueryFile(const std::string& filename) {
+  std::ifstream in(std::string(SAQL_QUERY_DIR) + "/" + filename);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Fluent builder for events in tests.
+class EventBuilder {
+ public:
+  EventBuilder& Id(uint64_t id) {
+    event_.id = id;
+    return *this;
+  }
+  EventBuilder& At(Timestamp ts) {
+    event_.ts = ts;
+    return *this;
+  }
+  EventBuilder& OnHost(std::string agent) {
+    event_.agent_id = std::move(agent);
+    return *this;
+  }
+  EventBuilder& Subject(std::string exe, int64_t pid = 100) {
+    event_.subject.exe_name = std::move(exe);
+    event_.subject.pid = pid;
+    return *this;
+  }
+  EventBuilder& Op(EventOp op) {
+    event_.op = op;
+    return *this;
+  }
+  EventBuilder& FileObject(std::string path) {
+    event_.object_type = EntityType::kFile;
+    event_.obj_file.path = std::move(path);
+    return *this;
+  }
+  EventBuilder& ProcObject(std::string exe, int64_t pid = 200) {
+    event_.object_type = EntityType::kProcess;
+    event_.obj_proc.exe_name = std::move(exe);
+    event_.obj_proc.pid = pid;
+    return *this;
+  }
+  EventBuilder& NetObject(std::string dst_ip, int64_t dst_port = 443) {
+    event_.object_type = EntityType::kNetwork;
+    event_.obj_net.dst_ip = std::move(dst_ip);
+    event_.obj_net.dst_port = dst_port;
+    event_.obj_net.src_ip = "10.0.0.1";
+    event_.obj_net.src_port = 50000;
+    return *this;
+  }
+  EventBuilder& Amount(int64_t amount) {
+    event_.amount = amount;
+    return *this;
+  }
+  Event Build() const { return event_; }
+
+ private:
+  Event event_{};
+};
+
+}  // namespace testing
+}  // namespace saql
+
+#endif  // SAQL_TESTS_TEST_UTIL_H_

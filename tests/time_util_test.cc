@@ -1,0 +1,66 @@
+#include "core/time_util.h"
+
+#include <gtest/gtest.h>
+
+namespace saql {
+namespace {
+
+TEST(TimeUnitTest, ParsesAllUnits) {
+  EXPECT_EQ(ParseTimeUnit("ns").value(), kNanosecond);
+  EXPECT_EQ(ParseTimeUnit("us").value(), kMicrosecond);
+  EXPECT_EQ(ParseTimeUnit("ms").value(), kMillisecond);
+  EXPECT_EQ(ParseTimeUnit("s").value(), kSecond);
+  EXPECT_EQ(ParseTimeUnit("sec").value(), kSecond);
+  EXPECT_EQ(ParseTimeUnit("seconds").value(), kSecond);
+  EXPECT_EQ(ParseTimeUnit("min").value(), kMinute);
+  EXPECT_EQ(ParseTimeUnit("minutes").value(), kMinute);
+  EXPECT_EQ(ParseTimeUnit("h").value(), kHour);
+  EXPECT_EQ(ParseTimeUnit("day").value(), kDay);
+}
+
+TEST(TimeUnitTest, CaseInsensitive) {
+  EXPECT_EQ(ParseTimeUnit("MIN").value(), kMinute);
+  EXPECT_EQ(ParseTimeUnit("Sec").value(), kSecond);
+}
+
+TEST(TimeUnitTest, RejectsUnknownUnit) {
+  EXPECT_FALSE(ParseTimeUnit("fortnight").ok());
+}
+
+TEST(DurationTest, ParsesNumberWithUnit) {
+  EXPECT_EQ(ParseDuration("10 min").value(), 10 * kMinute);
+  EXPECT_EQ(ParseDuration("30 s").value(), 30 * kSecond);
+  EXPECT_EQ(ParseDuration("1.5 s").value(), kSecond + 500 * kMillisecond);
+}
+
+TEST(DurationTest, DefaultsToSeconds) {
+  EXPECT_EQ(ParseDuration("5").value(), 5 * kSecond);
+}
+
+TEST(DurationTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDuration("lots").ok());
+}
+
+TEST(FormatDurationTest, PicksNaturalUnit) {
+  EXPECT_EQ(FormatDuration(10 * kMinute), "10min");
+  EXPECT_EQ(FormatDuration(2 * kHour), "2h");
+  EXPECT_EQ(FormatDuration(30 * kSecond), "30s");
+  EXPECT_EQ(FormatDuration(250 * kMillisecond), "250ms");
+  EXPECT_EQ(FormatDuration(5 * kMicrosecond), "5us");
+  EXPECT_EQ(FormatDuration(7), "7ns");
+}
+
+TEST(FormatTimestampTest, RendersUtc) {
+  // 2020-02-27 00:00:00 UTC.
+  Timestamp ts = 1582761600LL * kSecond;
+  EXPECT_EQ(FormatTimestamp(ts), "2020-02-27 00:00:00.000");
+  EXPECT_EQ(FormatTimestamp(ts + 123 * kMillisecond),
+            "2020-02-27 00:00:00.123");
+}
+
+TEST(FormatTimestampTest, EpochIsZero) {
+  EXPECT_EQ(FormatTimestamp(0), "1970-01-01 00:00:00.000");
+}
+
+}  // namespace
+}  // namespace saql

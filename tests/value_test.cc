@@ -1,0 +1,166 @@
+#include "core/value.h"
+
+#include <gtest/gtest.h>
+
+namespace saql {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.Truthy());
+  EXPECT_EQ(v.ToString(), "null");
+}
+
+TEST(ValueTest, KindAccessors) {
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(int64_t{7}).is_int());
+  EXPECT_TRUE(Value(3.5).is_float());
+  EXPECT_TRUE(Value("abc").is_string());
+  EXPECT_TRUE(Value(StringSet{"a"}).is_set());
+  EXPECT_TRUE(Value(int64_t{7}).is_numeric());
+  EXPECT_TRUE(Value(3.5).is_numeric());
+  EXPECT_FALSE(Value("abc").is_numeric());
+}
+
+TEST(ValueTest, ToDoubleCoercions) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{4}).ToDouble().value(), 4.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).ToDouble().value(), 2.5);
+  EXPECT_DOUBLE_EQ(Value(true).ToDouble().value(), 1.0);
+  EXPECT_FALSE(Value("x").ToDouble().ok());
+  EXPECT_FALSE(Value(StringSet{}).ToDouble().ok());
+}
+
+TEST(ValueTest, Truthiness) {
+  EXPECT_TRUE(Value(int64_t{1}).Truthy());
+  EXPECT_FALSE(Value(int64_t{0}).Truthy());
+  EXPECT_TRUE(Value(0.5).Truthy());
+  EXPECT_FALSE(Value(0.0).Truthy());
+  EXPECT_TRUE(Value("x").Truthy());
+  EXPECT_FALSE(Value("").Truthy());
+  EXPECT_TRUE(Value(StringSet{"a"}).Truthy());
+  EXPECT_FALSE(Value(StringSet{}).Truthy());
+}
+
+TEST(ValueTest, NumericEqualityAcrossKinds) {
+  EXPECT_TRUE(Value(int64_t{1}).Equals(Value(1.0)));
+  EXPECT_FALSE(Value(int64_t{1}).Equals(Value(1.5)));
+  EXPECT_FALSE(Value(int64_t{1}).Equals(Value("1")));
+}
+
+TEST(ValueTest, SetEquality) {
+  EXPECT_TRUE(Value(StringSet{"a", "b"}).Equals(Value(StringSet{"b", "a"})));
+  EXPECT_FALSE(Value(StringSet{"a"}).Equals(Value(StringSet{"b"})));
+}
+
+TEST(ValueTest, CompareNumbers) {
+  EXPECT_EQ(Value(int64_t{1}).Compare(Value(2.0)).value(), -1);
+  EXPECT_EQ(Value(3.0).Compare(Value(int64_t{3})).value(), 0);
+  EXPECT_EQ(Value(int64_t{5}).Compare(Value(int64_t{4})).value(), 1);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_EQ(Value("a").Compare(Value("b")).value(), -1);
+  EXPECT_EQ(Value("b").Compare(Value("b")).value(), 0);
+}
+
+TEST(ValueTest, CompareIncompatibleKindsFails) {
+  EXPECT_FALSE(Value("a").Compare(Value(int64_t{1})).ok());
+  EXPECT_FALSE(Value(StringSet{}).Compare(Value(StringSet{})).ok());
+}
+
+TEST(ValueArithmeticTest, IntAdd) {
+  Value r = ValueAdd(Value(int64_t{2}), Value(int64_t{3})).value();
+  EXPECT_TRUE(r.is_int());
+  EXPECT_EQ(r.AsInt(), 5);
+}
+
+TEST(ValueArithmeticTest, MixedAddPromotesToFloat) {
+  Value r = ValueAdd(Value(int64_t{2}), Value(0.5)).value();
+  EXPECT_TRUE(r.is_float());
+  EXPECT_DOUBLE_EQ(r.AsFloat(), 2.5);
+}
+
+TEST(ValueArithmeticTest, StringConcat) {
+  Value r = ValueAdd(Value("ab"), Value("cd")).value();
+  EXPECT_EQ(r.AsString(), "abcd");
+}
+
+TEST(ValueArithmeticTest, IntDivisionProducesFloat) {
+  Value r = ValueDiv(Value(int64_t{7}), Value(int64_t{2})).value();
+  EXPECT_TRUE(r.is_float());
+  EXPECT_DOUBLE_EQ(r.AsFloat(), 3.5);
+}
+
+TEST(ValueArithmeticTest, DivisionByZeroFails) {
+  EXPECT_FALSE(ValueDiv(Value(int64_t{1}), Value(int64_t{0})).ok());
+  EXPECT_FALSE(ValueDiv(Value(1.0), Value(0.0)).ok());
+}
+
+TEST(ValueArithmeticTest, ModuloIntAndFloat) {
+  EXPECT_EQ(ValueMod(Value(int64_t{7}), Value(int64_t{3})).value().AsInt(), 1);
+  EXPECT_DOUBLE_EQ(
+      ValueMod(Value(7.5), Value(int64_t{2})).value().AsFloat(), 1.5);
+  EXPECT_FALSE(ValueMod(Value(int64_t{1}), Value(int64_t{0})).ok());
+}
+
+TEST(ValueArithmeticTest, NonNumericOperandError) {
+  Result<Value> r = ValueMul(Value("a"), Value(int64_t{1}));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kRuntimeError);
+}
+
+TEST(ValueSetOpsTest, Union) {
+  Value r = ValueUnion(Value(StringSet{"a"}), Value(StringSet{"b"})).value();
+  EXPECT_EQ(r.AsSet(), (StringSet{"a", "b"}));
+}
+
+TEST(ValueSetOpsTest, UnionWithNullActsAsEmptySet) {
+  Value r = ValueUnion(Value::Null(), Value(StringSet{"x"})).value();
+  EXPECT_EQ(r.AsSet(), (StringSet{"x"}));
+}
+
+TEST(ValueSetOpsTest, UnionWithStringActsAsSingleton) {
+  Value r = ValueUnion(Value(StringSet{"a"}), Value("b")).value();
+  EXPECT_EQ(r.AsSet(), (StringSet{"a", "b"}));
+}
+
+TEST(ValueSetOpsTest, Diff) {
+  Value r = ValueDiff(Value(StringSet{"a", "b", "c"}),
+                      Value(StringSet{"b"})).value();
+  EXPECT_EQ(r.AsSet(), (StringSet{"a", "c"}));
+}
+
+TEST(ValueSetOpsTest, DiffEmptyResult) {
+  Value r = ValueDiff(Value(StringSet{"a"}), Value(StringSet{"a"})).value();
+  EXPECT_TRUE(r.AsSet().empty());
+}
+
+TEST(ValueSetOpsTest, Intersect) {
+  Value r = ValueIntersect(Value(StringSet{"a", "b"}),
+                           Value(StringSet{"b", "c"})).value();
+  EXPECT_EQ(r.AsSet(), (StringSet{"b"}));
+}
+
+TEST(ValueSetOpsTest, InMembership) {
+  EXPECT_TRUE(ValueIn(Value("a"), Value(StringSet{"a", "b"}))
+                  .value().AsBool());
+  EXPECT_FALSE(ValueIn(Value("z"), Value(StringSet{"a", "b"}))
+                   .value().AsBool());
+  EXPECT_FALSE(ValueIn(Value(int64_t{1}), Value(StringSet{"1"})).ok());
+}
+
+TEST(ValueSetOpsTest, SizeOfSetStringAndNumber) {
+  EXPECT_EQ(ValueSize(Value(StringSet{"a", "b"})).value().AsInt(), 2);
+  EXPECT_EQ(ValueSize(Value("abc")).value().AsInt(), 3);
+  EXPECT_EQ(ValueSize(Value(int64_t{-5})).value().AsInt(), 5);
+  EXPECT_DOUBLE_EQ(ValueSize(Value(-2.5)).value().AsFloat(), 2.5);
+  EXPECT_EQ(ValueSize(Value::Null()).value().AsInt(), 0);
+}
+
+TEST(ValueTest, SetRendering) {
+  EXPECT_EQ(Value(StringSet{"b", "a"}).ToString(), "{a, b}");
+}
+
+}  // namespace
+}  // namespace saql
