@@ -92,6 +92,19 @@ struct NetworkEntity {
   bool operator==(const NetworkEntity&) const = default;
 };
 
+/// Interned symbol ids for an event's hot string attributes. All slots are
+/// 0 ("not interned") until the event passes through `InternEventStrings`
+/// (core/interner.h); the stream executor does this once per batch so that
+/// equality predicates across all subscribed queries compare 32-bit ids.
+struct EventSymbols {
+  uint32_t agent = 0;      ///< agent_id
+  uint32_t subj_exe = 0;   ///< subject.exe_name
+  uint32_t subj_user = 0;  ///< subject.user
+  uint32_t obj_exe = 0;    ///< obj_proc.exe_name (process objects)
+  uint32_t obj_user = 0;   ///< obj_proc.user (process objects)
+  uint32_t obj_path = 0;   ///< obj_file.path (file objects)
+};
+
 /// One system monitoring event: the SVO triple 〈subject, operation, object〉
 /// stamped with host and time, as collected by the (simulated) kernel
 /// agents. Events are immutable once emitted into the stream.
@@ -115,6 +128,8 @@ struct Event {
   int64_t amount = 0;
   /// True when the kernel reported the operation as failed.
   bool failed = false;
+  /// Interned ids of the hot string attributes; 0 until interned.
+  EventSymbols syms;
 
   /// Human-readable one-line rendering for logs and the CLI.
   std::string ToString() const;

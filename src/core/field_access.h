@@ -1,6 +1,7 @@
 #ifndef SAQL_CORE_FIELD_ACCESS_H_
 #define SAQL_CORE_FIELD_ACCESS_H_
 
+#include <cstdint>
 #include <string>
 
 #include "core/event.h"
@@ -16,6 +17,100 @@ enum class EntityRole : uint8_t {
   kSubject = 0,
   kObject = 1,
 };
+
+/// Compiled identity of an event attribute. Field *names* are resolved to a
+/// `FieldId` exactly once — during query analysis or constraint compilation
+/// — so the per-event hot path reads attributes through a switch on a small
+/// integer instead of string comparison chains.
+///
+/// Entity attributes (used with an `EntityRole`) come first; `kName` is the
+/// polymorphic spelling that reads `exe_name` for processes and `path` for
+/// files. Whole-event attributes and the `subject_*` / `object_*`
+/// passthroughs follow.
+enum class FieldId : uint8_t {
+  kInvalid = 0,
+
+  // Entity attributes.
+  kExeName,   // process
+  kPid,       // process
+  kUser,      // process
+  kPath,      // file
+  kSrcIp,     // network
+  kDstIp,     // network
+  kSrcPort,   // network
+  kDstPort,   // network
+  kProtocol,  // network
+  kName,      // polymorphic: process exe_name / file path
+
+  // Whole-event attributes.
+  kAmount,
+  kTs,
+  kAgentId,
+  kOp,
+  kFailed,
+  kId,
+
+  // Whole-event passthrough of subject attributes (subject is always a
+  // process).
+  kSubjectExeName,
+  kSubjectPid,
+  kSubjectUser,
+
+  // Whole-event passthrough of object attributes; resolved against the
+  // event's object type at read time.
+  kObjectExeName,
+  kObjectPid,
+  kObjectUser,
+  kObjectPath,
+  kObjectName,
+  kObjectSrcIp,
+  kObjectDstIp,
+  kObjectSrcPort,
+  kObjectDstPort,
+  kObjectProtocol,
+};
+
+/// Resolves an entity attribute spelling (including aliases such as
+/// `image`, `dst_ip`, `port`) against `type`. Returns kInvalid for an
+/// attribute the entity type does not have. Compile-time only.
+FieldId ResolveEntityFieldId(EntityType type, const std::string& field);
+
+/// Resolves a whole-event attribute spelling, including the `subject_*` and
+/// `object_*` passthrough forms. Returns kInvalid when unknown.
+FieldId ResolveEventFieldId(const std::string& field);
+
+// ---------------------------------------------------------------------------
+// Compiled fast path — zero string-keyed lookups.
+// ---------------------------------------------------------------------------
+
+/// Reads the entity attribute `id` of the entity playing `role`. Returns
+/// NotFound when the event's entity type does not carry `id` (e.g. a file
+/// object asked for kDstIp).
+Result<Value> GetEntityField(const Event& event, EntityRole role, FieldId id);
+
+/// Reads the whole-event attribute `id`.
+Result<Value> GetEventField(const Event& event, FieldId id);
+
+/// Zero-copy read of a string-typed entity attribute; nullptr when `id` is
+/// not a string attribute of the entity playing `role` in this event.
+const std::string* GetEntityStringFieldPtr(const Event& event,
+                                           EntityRole role, FieldId id);
+
+/// Zero-copy read of a string-typed whole-event attribute; nullptr when
+/// `id` is not string-typed for this event. (`op` is excluded: its string
+/// form is derived, not stored.)
+const std::string* GetEventStringFieldPtr(const Event& event, FieldId id);
+
+/// Interned symbol of a string-typed entity attribute, or Interner::kUnset
+/// (0) when the attribute is not interned for this event.
+uint32_t GetEntitySymbol(const Event& event, EntityRole role, FieldId id);
+
+/// Interned symbol of a string-typed whole-event attribute, or 0.
+uint32_t GetEventSymbol(const Event& event, FieldId id);
+
+// ---------------------------------------------------------------------------
+// String-keyed path — compile time, diagnostics, and back-compat only.
+// ---------------------------------------------------------------------------
 
 /// Reads attribute `field` of the entity playing `role` in `event`.
 ///
@@ -33,6 +128,13 @@ Result<Value> GetEntityField(const Event& event, EntityRole role,
 /// `amount`, `ts`, `agentid`, `op` (as string), `failed`, plus passthrough
 /// of subject fields prefixed `subject_` and object fields `object_`.
 Result<Value> GetEventField(const Event& event, const std::string& field);
+
+/// Number of string-keyed GetEntityField/GetEventField calls since process
+/// start (or the last reset). Analyzed queries must evaluate through the
+/// FieldId fast path only; tests assert this counter stays flat across an
+/// engine run.
+uint64_t StringKeyedFieldLookups();
+void ResetStringKeyedFieldLookups();
 
 /// The field an entity variable denotes when used bare, mirroring the
 /// paper's context-aware shortcut (`return p1` means `p1.exe_name`,

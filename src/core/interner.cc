@@ -1,0 +1,106 @@
+#include "core/interner.h"
+
+#include <cctype>
+#include <mutex>
+
+namespace saql {
+
+namespace {
+
+inline unsigned char LowerByte(char c) {
+  return static_cast<unsigned char>(
+      std::tolower(static_cast<unsigned char>(c)));
+}
+
+std::string NormalizeAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(LowerByte(c));
+  return out;
+}
+
+}  // namespace
+
+size_t Interner::CiHash::operator()(std::string_view s) const {
+  // FNV-1a over the lowercased bytes; must agree with CiEq.
+  uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= LowerByte(c);
+    h *= 1099511628211ull;
+  }
+  return static_cast<size_t>(h);
+}
+
+bool Interner::CiEq::operator()(std::string_view a, std::string_view b) const {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (LowerByte(a[i]) != LowerByte(b[i])) return false;
+  }
+  return true;
+}
+
+Interner& Interner::Global() {
+  static Interner* instance = new Interner();
+  return *instance;
+}
+
+Interner::Interner() {
+  names_.push_back("");  // id 0 = kUnset, never assigned
+}
+
+uint32_t Interner::Intern(std::string_view s) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;  // raced with another writer
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.push_back(NormalizeAscii(s));
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+uint32_t Interner::Find(std::string_view s) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = ids_.find(s);
+  return it == ids_.end() ? kUnset : it->second;
+}
+
+const std::string& Interner::NameOf(uint32_t id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return names_[id];
+}
+
+size_t Interner::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return names_.size();
+}
+
+void InternEventStrings(Event* event) {
+  Interner& interner = Interner::Global();
+  event->syms.agent = interner.Intern(event->agent_id);
+  event->syms.subj_exe = interner.Intern(event->subject.exe_name);
+  event->syms.subj_user = interner.Intern(event->subject.user);
+  switch (event->object_type) {
+    case EntityType::kProcess:
+      event->syms.obj_exe = interner.Intern(event->obj_proc.exe_name);
+      event->syms.obj_user = interner.Intern(event->obj_proc.user);
+      break;
+    case EntityType::kFile:
+      event->syms.obj_path = interner.Intern(event->obj_file.path);
+      break;
+    case EntityType::kNetwork:
+      break;
+  }
+}
+
+void InternEventSpan(Event* events, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    if (events[i].syms.agent != Interner::kUnset) continue;
+    InternEventStrings(&events[i]);
+  }
+}
+
+}  // namespace saql

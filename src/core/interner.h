@@ -1,0 +1,87 @@
+#ifndef SAQL_CORE_INTERNER_H_
+#define SAQL_CORE_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/event.h"
+
+namespace saql {
+
+/// Symbol table mapping hot strings (executable names, users, agent ids,
+/// file paths) to dense 32-bit ids so equality predicates on the per-event
+/// hot path compare integers instead of strings.
+///
+/// Strings are normalized to ASCII lowercase before interning, matching
+/// SAQL's case-insensitive entity-name semantics (`LikeMatcher`,
+/// `ValuesEqual`): two strings receive the same id iff an exact (wildcard
+/// free) SAQL equality would consider them equal.
+///
+/// Id 0 (`kUnset`) is reserved and never assigned; an `Event` whose symbol
+/// slots are 0 simply has not passed through `InternEventStrings`, and
+/// consumers fall back to string comparison.
+///
+/// The table is guarded by a shared mutex: lookups of already-interned
+/// strings (the steady state — entity names repeat heavily in monitoring
+/// data) take the shared lock only, so future sharded executors can intern
+/// concurrently.
+class Interner {
+ public:
+  static constexpr uint32_t kUnset = 0;
+
+  /// Process-wide table shared by compiled queries and stream executors.
+  static Interner& Global();
+
+  Interner();
+
+  /// Returns the id for `s`, assigning the next free id on first sight.
+  /// The hit path (string already interned) allocates nothing: lookup is
+  /// case-insensitive, so no normalized copy is materialized.
+  uint32_t Intern(std::string_view s);
+
+  /// Returns the id for `s`, or `kUnset` when it was never interned.
+  uint32_t Find(std::string_view s) const;
+
+  /// The normalized spelling behind `id`. Precondition: id < size().
+  const std::string& NameOf(uint32_t id) const;
+
+  /// Number of ids assigned, including the reserved id 0.
+  size_t size() const;
+
+ private:
+  /// Case-insensitive transparent hashing so lookups run directly on the
+  /// caller's string_view.
+  struct CiHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const;
+  };
+  struct CiEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const;
+  };
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, uint32_t, CiHash, CiEq> ids_;
+  /// Deque: NameOf hands out references that must survive later growth.
+  std::deque<std::string> names_;
+};
+
+/// Fills `event->syms` from the global interner: agent id, subject
+/// exe_name/user, and the object's exe_name/user (process) or path (file).
+/// Network endpoint strings are deliberately not interned — their
+/// cardinality is unbounded and equality on them is rare.
+void InternEventStrings(Event* event);
+
+/// Interns a contiguous span in place, skipping events interned earlier
+/// (their agent slot is already set — every event is interned agent-first,
+/// so 0 means "never seen"). Zero-copy sources that replay one buffer thus
+/// pay the interning cost once, not once per run.
+void InternEventSpan(Event* events, size_t count);
+
+}  // namespace saql
+
+#endif  // SAQL_CORE_INTERNER_H_

@@ -1,5 +1,6 @@
 #include "engine/compiled_pattern.h"
 
+#include "core/interner.h"
 #include "core/string_util.h"
 
 namespace saql {
@@ -7,9 +8,26 @@ namespace saql {
 CompiledConstraint::CompiledConstraint(std::string field, ConstraintOp op,
                                        Value value)
     : field_(std::move(field)), op_(op), value_(std::move(value)) {
+  field_id_ = ResolveEventFieldId(field_);
+  CompileValue();
+}
+
+CompiledConstraint::CompiledConstraint(std::string field, ConstraintOp op,
+                                       Value value, EntityType entity_type)
+    : field_(std::move(field)), op_(op), value_(std::move(value)) {
+  field_id_ = ResolveEntityFieldId(entity_type, field_);
+  CompileValue();
+}
+
+void CompiledConstraint::CompileValue() {
   if (value_.is_string() &&
       (op_ == ConstraintOp::kEq || op_ == ConstraintOp::kNe)) {
     like_.emplace(value_.AsString());
+    // Wildcard-free equality on an internable attribute: capture the
+    // expected symbol so interned events compare ids, not strings.
+    if (like_->is_exact()) {
+      sym_ = Interner::Global().Intern(value_.AsString());
+    }
   }
 }
 
@@ -47,15 +65,55 @@ bool CompiledConstraint::CompareResolved(const Value& actual) const {
   return false;
 }
 
+bool CompiledConstraint::CompareString(const std::string& actual) const {
+  if (op_ == ConstraintOp::kEq) return like_->Matches(actual);
+  return !like_->Matches(actual);
+}
+
 bool CompiledConstraint::MatchesEntity(const Event& event,
                                        EntityRole role) const {
-  Result<Value> v = GetEntityField(event, role, field_);
+  if (field_id_ == FieldId::kInvalid) {
+    // Field unknown for the bound entity type (or unbound constraint from a
+    // hand-built pattern): the string-keyed read reports NotFound → false.
+    Result<Value> v = GetEntityField(event, role, field_);
+    if (!v.ok()) return false;
+    return CompareResolved(*v);
+  }
+  if (sym_ != 0) {
+    uint32_t actual = GetEntitySymbol(event, role, field_id_);
+    if (actual != 0) {
+      return op_ == ConstraintOp::kEq ? actual == sym_ : actual != sym_;
+    }
+  }
+  if (like_.has_value()) {
+    if (const std::string* s =
+            GetEntityStringFieldPtr(event, role, field_id_)) {
+      return CompareString(*s);
+    }
+  }
+  Result<Value> v = GetEntityField(event, role, field_id_);
   if (!v.ok()) return false;
   return CompareResolved(*v);
 }
 
 bool CompiledConstraint::MatchesEvent(const Event& event) const {
-  Result<Value> v = GetEventField(event, field_);
+  if (field_id_ == FieldId::kInvalid) {
+    Result<Value> v = GetEventField(event, field_);
+    if (!v.ok()) return false;
+    return CompareResolved(*v);
+  }
+  if (sym_ != 0) {
+    uint32_t actual = GetEventSymbol(event, field_id_);
+    if (actual != 0) {
+      return op_ == ConstraintOp::kEq ? actual == sym_ : actual != sym_;
+    }
+  }
+  if (like_.has_value()) {
+    if (const std::string* s = GetEventStringFieldPtr(event, field_id_)) {
+      return CompareString(*s);
+    }
+  }
+  Result<Value> v = GetEventField(event, field_id_);
   if (!v.ok()) return false;
   return CompareResolved(*v);
 }
@@ -63,10 +121,12 @@ bool CompiledConstraint::MatchesEvent(const Event& event) const {
 CompiledPattern::CompiledPattern(const EventPatternDecl& decl)
     : ops_(decl.ops), object_type_(decl.object.type) {
   for (const AttrConstraint& c : decl.subject.constraints) {
-    subject_constraints_.emplace_back(c.field, c.op, c.value);
+    subject_constraints_.emplace_back(c.field, c.op, c.value,
+                                      EntityType::kProcess);
   }
   for (const AttrConstraint& c : decl.object.constraints) {
-    object_constraints_.emplace_back(c.field, c.op, c.value);
+    object_constraints_.emplace_back(c.field, c.op, c.value,
+                                     decl.object.type);
   }
 }
 

@@ -13,12 +13,22 @@
 
 namespace saql {
 
-/// One compiled attribute predicate: `field op value`, with string equality
-/// pre-compiled to a `LikeMatcher` so the per-event hot path avoids pattern
-/// re-parsing.
+/// One compiled attribute predicate: `field op value`. Compilation
+/// front-loads everything the per-event hot path would otherwise redo:
+///  - the field name resolves to a `FieldId` (no string-keyed lookups),
+///  - string equality pre-compiles to a `LikeMatcher`,
+///  - exact (wildcard-free) equality on an interned attribute additionally
+///    captures the expected symbol, so matching interned events is a
+///    32-bit integer compare.
 class CompiledConstraint {
  public:
+  /// Whole-event constraint (global constraint lines such as
+  /// `agentid = server1`); the field resolves as an event attribute.
   CompiledConstraint(std::string field, ConstraintOp op, Value value);
+
+  /// Entity constraint bound to the entity type it applies to.
+  CompiledConstraint(std::string field, ConstraintOp op, Value value,
+                     EntityType entity_type);
 
   /// Evaluates against the entity playing `role` in `event`.
   bool MatchesEntity(const Event& event, EntityRole role) const;
@@ -27,14 +37,20 @@ class CompiledConstraint {
   bool MatchesEvent(const Event& event) const;
 
   const std::string& field() const { return field_; }
+  FieldId field_id() const { return field_id_; }
 
  private:
+  void CompileValue();
+
   bool CompareResolved(const Value& actual) const;
+  bool CompareString(const std::string& actual) const;
 
   std::string field_;
   ConstraintOp op_;
   Value value_;
   std::optional<LikeMatcher> like_;  ///< set for string eq/ne constraints
+  FieldId field_id_ = FieldId::kInvalid;
+  uint32_t sym_ = 0;  ///< interned expected value for exact string equality
 };
 
 /// A fully compiled event pattern: structural shape (subject/object entity

@@ -69,6 +69,14 @@ bool CompiledQuery::StructuralMatchAny(const Event& event) const {
   return false;
 }
 
+RoutingInterest CompiledQuery::Interest() const {
+  RoutingInterest interest;
+  for (const CompiledPattern& p : patterns_) {
+    interest.Add(p.object_type(), p.ops());
+  }
+  return interest;
+}
+
 std::string CompiledQuery::GroupSignature() const {
   std::vector<std::string> sigs;
   sigs.reserve(patterns_.size());

@@ -24,7 +24,7 @@ namespace saql {
 /// trainer, cluster stage, and alert evaluation behind the
 /// `EventProcessor` interface so it can subscribe to a `StreamExecutor`
 /// directly or through a scheduler group.
-class CompiledQuery : public EventProcessor {
+class CompiledQuery final : public EventProcessor {
  public:
   struct Options {
     /// Horizon for rule-query partial matches without a window.
@@ -66,10 +66,20 @@ class CompiledQuery : public EventProcessor {
   void OnEvent(const Event& event) override;
   void OnWatermark(Timestamp ts) override;
   void OnFinish() override;
+  /// Structural envelope for the executor's dispatch index: the union of
+  /// this query's pattern shapes (same shapes a scheduler group built from
+  /// this query would declare).
+  RoutingInterest Interest() const override;
+  /// Keeps `QueryStats::events_in` comparable to broadcast delivery when
+  /// the query subscribes to a routed executor directly (without a group).
+  void OnRoutedSkip(uint64_t count) override { stats_.events_in += count; }
 
   /// True when `event` matches the structural shape of any pattern (used by
   /// the concurrent-query scheduler's shared master filter).
   bool StructuralMatchAny(const Event& event) const;
+
+  /// The compiled patterns, in declaration order.
+  const std::vector<CompiledPattern>& patterns() const { return patterns_; }
 
   const std::string& name() const { return name_; }
   const AnalyzedQuery& analyzed() const { return *aq_; }

@@ -6,8 +6,9 @@ namespace saql {
 
 SaqlEngine::SaqlEngine(Options options)
     : options_(options),
-      scheduler_(ConcurrentQueryScheduler::Options{
-          options.enable_grouping}) {
+      scheduler_(ConcurrentQueryScheduler::Options{options.enable_grouping}),
+      executor_(StreamExecutor::Options{options.enable_routing,
+                                        options.intern_strings}) {
   sink_ = [this](const Alert& a) { alerts_.push_back(a); };
 }
 

@@ -30,6 +30,12 @@ class SaqlEngine {
   struct Options {
     /// Group compatible queries under the master-dependent-query scheme.
     bool enable_grouping = true;
+    /// Route events through the executor's (object type, op) dispatch
+    /// index so groups only see events their master pattern can match;
+    /// disabled = broadcast delivery (the ablation baseline).
+    bool enable_routing = true;
+    /// Intern hot event strings once per batch before dispatch.
+    bool intern_strings = true;
     /// Compiled-query tuning.
     CompiledQuery::Options query_options;
     /// Events pulled from the source per batch.

@@ -8,6 +8,27 @@
 namespace saql {
 
 Result<Value> MatchEvalContext::ResolveRef(const Expr& ref) const {
+  // Analyzed references carry their binding: matched-event index + FieldId.
+  switch (ref.ref_kind) {
+    case RefKind::kEntity: {
+      const Event& e = match_.events[static_cast<size_t>(ref.ref_index)];
+      Result<Value> v = GetEntityField(e, ref.ref_role, ref.ref_field);
+      if (!v.ok()) return Value::Null();
+      return v;
+    }
+    case RefKind::kEvent: {
+      const Event& e = match_.events[static_cast<size_t>(ref.ref_index)];
+      Result<Value> v = ref.ref_field != FieldId::kInvalid
+                            ? GetEventField(e, ref.ref_field)
+                            : GetEventField(e, ref.field);
+      if (!v.ok()) return Value::Null();
+      return v;
+    }
+    case RefKind::kUnresolved:
+      break;  // hand-built AST: resolve by name below
+    default:
+      return Value::Null();  // state/group/cluster refs have no match context
+  }
   // Entity variable: read the matched event it binds to.
   auto ent = aq_.entity_vars.find(ref.base);
   if (ent != aq_.entity_vars.end()) {
@@ -31,6 +52,31 @@ Result<Value> MatchEvalContext::ResolveRef(const Expr& ref) const {
 }
 
 Result<Value> WindowEvalContext::ResolveRef(const Expr& ref) const {
+  // Analyzed references resolve by index, no name lookups.
+  switch (ref.ref_kind) {
+    case RefKind::kState: {
+      size_t k = static_cast<size_t>(ref.history.value_or(0));
+      if (history_ == nullptr || k >= history_->size()) return Value::Null();
+      return (*history_)[k].fields[static_cast<size_t>(ref.ref_index)];
+    }
+    case RefKind::kGroupKey: {
+      size_t i = static_cast<size_t>(ref.ref_index);
+      if (group_key_values_ == nullptr || i >= group_key_values_->size()) {
+        return Value::Null();
+      }
+      return (*group_key_values_)[i];
+    }
+    case RefKind::kInvariant: {
+      size_t i = static_cast<size_t>(ref.ref_index);
+      if (invariant_env_ == nullptr || i >= invariant_env_->size()) {
+        return Value::Null();
+      }
+      return (*invariant_env_)[i];
+    }
+    default:
+      break;  // cluster refs and unresolved nodes take the name path
+  }
+
   const Query& q = *aq_.query;
 
   // State history: ss[k].field.

@@ -15,6 +15,36 @@ void QueryGroup::OnEvent(const Event& event) {
   }
 }
 
+void QueryGroup::OnBatch(const EventRefs& events) {
+  stats_.events_in += events.size();
+  if (members_.empty()) return;
+  // Run the shared master filter over the whole batch first, then hand the
+  // surviving slice to each member in one batched call.
+  const CompiledQuery* master = members_.front();
+  forward_scratch_.clear();
+  for (const Event* e : events) {
+    if (master->StructuralMatchAny(*e)) forward_scratch_.push_back(e);
+  }
+  if (forward_scratch_.empty()) return;
+  stats_.events_forwarded += forward_scratch_.size();
+  for (CompiledQuery* q : members_) {
+    stats_.member_deliveries += forward_scratch_.size();
+    q->OnBatch(forward_scratch_);
+  }
+}
+
+RoutingInterest QueryGroup::Interest() const {
+  RoutingInterest interest;
+  if (members_.empty()) return interest;  // default: everything (harmless)
+  // The envelope is the union of the master's per-pattern shapes — exactly
+  // the set of (object type, op) pairs StructuralMatchAny can accept, so
+  // routed delivery forwards the same events the master filter would.
+  for (const CompiledPattern& p : members_.front()->patterns()) {
+    interest.Add(p.object_type(), p.ops());
+  }
+  return interest;
+}
+
 void QueryGroup::OnWatermark(Timestamp ts) {
   for (CompiledQuery* q : members_) {
     q->OnWatermark(ts);

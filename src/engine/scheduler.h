@@ -21,11 +21,16 @@ namespace saql {
 ///
 /// This is where the scheme's saving comes from: N compatible queries cost
 /// one stream subscription and one structural match per event instead of
-/// N full evaluations of irrelevant events.
-class QueryGroup : public EventProcessor {
+/// N full evaluations of irrelevant events. The group additionally exports
+/// the master's op-mask × object-type envelope as its `RoutingInterest`,
+/// so the executor's dispatch index skips the group entirely for events
+/// that could never pass the master filter; skipped events are still
+/// accounted in `events_in` to keep the stats comparable to broadcast
+/// delivery.
+class QueryGroup final : public EventProcessor {
  public:
   struct GroupStats {
-    uint64_t events_in = 0;
+    uint64_t events_in = 0;  ///< delivered + routed-away events
     uint64_t events_forwarded = 0;   ///< passed the shared master filter
     uint64_t member_deliveries = 0;  ///< events handed to member queries
   };
@@ -38,8 +43,11 @@ class QueryGroup : public EventProcessor {
   void AddMember(CompiledQuery* query) { members_.push_back(query); }
 
   void OnEvent(const Event& event) override;
+  void OnBatch(const EventRefs& events) override;
   void OnWatermark(Timestamp ts) override;
   void OnFinish() override;
+  RoutingInterest Interest() const override;
+  void OnRoutedSkip(uint64_t count) override { stats_.events_in += count; }
 
   const std::string& signature() const { return signature_; }
   size_t size() const { return members_.size(); }
@@ -52,6 +60,8 @@ class QueryGroup : public EventProcessor {
   std::string signature_;
   std::vector<CompiledQuery*> members_;
   GroupStats stats_;
+  /// Scratch for batched member forwarding, reused across batches.
+  EventRefs forward_scratch_;
 };
 
 /// The paper's concurrent query scheduler: divides registered queries into
@@ -82,6 +92,8 @@ class ConcurrentQueryScheduler {
 
   /// Events forwarded to members across groups / events seen — the measure
   /// of how much stream data the scheme filtered out before per-query work.
+  /// Events withheld by the executor's dispatch index count as seen, so the
+  /// ratio is comparable whether routing is on or off.
   double ForwardRatio() const;
 
  private:

@@ -52,14 +52,17 @@ bool StateMaintainer::ResolveGroupKeys(const PatternMatch& match,
   key->clear();
   for (const ResolvedGroupKey& k : aq_->group_keys) {
     const Event& e = match.events[static_cast<size_t>(k.pattern_index)];
+    EntityRole role = k.source == ResolvedGroupKey::Source::kSubject
+                          ? EntityRole::kSubject
+                          : EntityRole::kObject;
     Result<Value> v =
-        k.source == ResolvedGroupKey::Source::kEvent
-            ? GetEventField(e, k.field)
-            : GetEntityField(e,
-                             k.source == ResolvedGroupKey::Source::kSubject
-                                 ? EntityRole::kSubject
-                                 : EntityRole::kObject,
-                             k.field);
+        k.field_id != FieldId::kInvalid
+            ? (k.source == ResolvedGroupKey::Source::kEvent
+                   ? GetEventField(e, k.field_id)
+                   : GetEntityField(e, role, k.field_id))
+            : (k.source == ResolvedGroupKey::Source::kEvent
+                   ? GetEventField(e, k.field)
+                   : GetEntityField(e, role, k.field));
     if (!v.ok()) {
       ++stats_.eval_errors;
       return false;

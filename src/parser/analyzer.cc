@@ -48,6 +48,10 @@ class AnalyzerImpl {
 
  private:
   const Query& query() const { return *owned_; }
+  /// Expression checks run on the mutable tree: besides validating, they
+  /// record each reference's resolution (RefKind + FieldId / index) on the
+  /// node so evaluation never repeats the string-keyed lookups.
+  Query& mutable_query() { return *owned_; }
 
   Status CollectBindings() {
     std::set<std::string> seen_aliases;
@@ -190,6 +194,7 @@ class AnalyzerImpl {
                                    EntityTypeName(b.type) +
                                    "' has no attribute '" + out->field + "'");
       }
+      out->field_id = ResolveEntityFieldId(b.type, out->field);
       return Status::Ok();
     }
     auto alias = aq_->alias_to_pattern.find(key.base);
@@ -205,6 +210,7 @@ class AnalyzerImpl {
       out->pattern_index = alias->second;
       out->source = ResolvedGroupKey::Source::kEvent;
       out->field = key.field;
+      out->field_id = ResolveEventFieldId(key.field);
       return Status::Ok();
     }
     return SemErr(key.loc, "unknown group-by key '" + key.base + "'");
@@ -231,7 +237,7 @@ class AnalyzerImpl {
     ExprContext ctx;
     ctx.aq = aq_;
     ctx.in_state_field = true;
-    for (const StateField& f : st.fields) {
+    for (StateField& f : mutable_query().state->fields) {
       SAQL_RETURN_IF_ERROR(CheckExpr(*f.expr, ctx, /*agg_depth=*/0));
       if (!ContainsAggregate(*f.expr)) {
         return SemErr(f.loc, "state field '" + f.name +
@@ -265,7 +271,7 @@ class AnalyzerImpl {
     ExprContext ctx;
     ctx.aq = aq_;
     ctx.in_invariant = true;
-    for (const InvariantStmt& s : inv.stmts) {
+    for (InvariantStmt& s : mutable_query().invariant->stmts) {
       SAQL_RETURN_IF_ERROR(CheckExpr(*s.expr, ctx, 0));
     }
     return Status::Ok();
@@ -316,7 +322,7 @@ class AnalyzerImpl {
     ExprContext ctx;
     ctx.aq = aq_;
     ctx.in_alert = true;  // cluster points read window state like alerts do
-    for (const ExprPtr& p : spec.points) {
+    for (ExprPtr& p : mutable_query().cluster->points) {
       SAQL_RETURN_IF_ERROR(CheckExpr(*p, ctx, 0));
     }
     return Status::Ok();
@@ -326,10 +332,10 @@ class AnalyzerImpl {
     ExprContext ctx;
     ctx.aq = aq_;
     ctx.in_alert = true;
-    if (query().alert) {
-      SAQL_RETURN_IF_ERROR(CheckExpr(*query().alert, ctx, 0));
+    if (mutable_query().alert) {
+      SAQL_RETURN_IF_ERROR(CheckExpr(*mutable_query().alert, ctx, 0));
     }
-    for (const ReturnItem& item : query().returns) {
+    for (ReturnItem& item : mutable_query().returns) {
       SAQL_RETURN_IF_ERROR(CheckExpr(*item.expr, ctx, 0));
     }
     return Status::Ok();
@@ -347,8 +353,9 @@ class AnalyzerImpl {
     return false;
   }
 
-  /// Validates one reference expression against the query's symbol tables.
-  Status CheckRef(const Expr& e, const ExprContext& ctx) {
+  /// Validates one reference expression against the query's symbol tables
+  /// and records its resolution on the node.
+  Status CheckRef(Expr& e, const ExprContext& ctx) {
     const Query& q = query();
     const std::string& base = e.base;
 
@@ -358,8 +365,8 @@ class AnalyzerImpl {
         return SemErr(e.loc, "state reference needs a field (e.g. " + base +
                                  ".field)");
       }
-      if (aq_->state_field_index.find(e.field) ==
-          aq_->state_field_index.end()) {
+      auto idx = aq_->state_field_index.find(e.field);
+      if (idx == aq_->state_field_index.end()) {
         return SemErr(e.loc, "state block has no field '" + e.field + "'");
       }
       int h = e.history.value_or(0);
@@ -372,6 +379,8 @@ class AnalyzerImpl {
         return SemErr(e.loc,
                       "state fields cannot reference other state fields");
       }
+      e.ref_kind = RefKind::kState;
+      e.ref_index = idx->second;
       return Status::Ok();
     }
 
@@ -386,16 +395,21 @@ class AnalyzerImpl {
         return SemErr(e.loc, "cluster attributes are only available in "
                              "alert/return expressions");
       }
+      e.ref_kind = RefKind::kCluster;
       return Status::Ok();
     }
 
     // Invariant variable.
-    if (std::find(aq_->invariant_vars.begin(), aq_->invariant_vars.end(),
-                  base) != aq_->invariant_vars.end()) {
+    auto inv = std::find(aq_->invariant_vars.begin(),
+                         aq_->invariant_vars.end(), base);
+    if (inv != aq_->invariant_vars.end()) {
       if (!e.field.empty()) {
         return SemErr(e.loc, "invariant variable '" + base +
                                  "' has no attributes");
       }
+      e.ref_kind = RefKind::kInvariant;
+      e.ref_index =
+          static_cast<int32_t>(inv - aq_->invariant_vars.begin());
       return Status::Ok();
     }
 
@@ -413,20 +427,23 @@ class AnalyzerImpl {
       // In stateful alert/return context an entity reference must match a
       // group-by key: per-event values are gone once the window aggregates.
       if (q.IsStateful() && (ctx.in_alert || ctx.in_invariant)) {
-        bool is_group_key = false;
-        for (const ResolvedGroupKey& k : aq_->group_keys) {
+        for (size_t i = 0; i < aq_->group_keys.size(); ++i) {
+          const ResolvedGroupKey& k = aq_->group_keys[i];
           if (k.base == base &&
               (e.field.empty() || ToLower(e.field) == k.field)) {
-            is_group_key = true;
-            break;
+            e.ref_kind = RefKind::kGroupKey;
+            e.ref_index = static_cast<int32_t>(i);
+            return Status::Ok();
           }
         }
-        if (!is_group_key) {
-          return SemErr(e.loc,
-                        "reference '" + e.ToString() +
-                            "' in a stateful query must be a group-by key");
-        }
+        return SemErr(e.loc,
+                      "reference '" + e.ToString() +
+                          "' in a stateful query must be a group-by key");
       }
+      e.ref_kind = RefKind::kEntity;
+      e.ref_index = b.pattern_index;
+      e.ref_role = b.role;
+      e.ref_field = ResolveEntityFieldId(b.type, field);
       return Status::Ok();
     }
 
@@ -441,26 +458,30 @@ class AnalyzerImpl {
         return SemErr(e.loc, "event has no attribute '" + e.field + "'");
       }
       if (q.IsStateful() && (ctx.in_alert || ctx.in_invariant)) {
-        bool is_group_key = false;
-        for (const ResolvedGroupKey& k : aq_->group_keys) {
+        for (size_t i = 0; i < aq_->group_keys.size(); ++i) {
+          const ResolvedGroupKey& k = aq_->group_keys[i];
           if (k.base == base && ToLower(e.field) == k.field) {
-            is_group_key = true;
-            break;
+            e.ref_kind = RefKind::kGroupKey;
+            e.ref_index = static_cast<int32_t>(i);
+            return Status::Ok();
           }
         }
-        if (!is_group_key) {
-          return SemErr(e.loc,
-                        "reference '" + e.ToString() +
-                            "' in a stateful query must be a group-by key");
-        }
+        return SemErr(e.loc,
+                      "reference '" + e.ToString() +
+                          "' in a stateful query must be a group-by key");
       }
+      e.ref_kind = RefKind::kEvent;
+      e.ref_index = alias->second;
+      // kInvalid is possible for object_* spellings that only resolve per
+      // event; evaluation falls back to the string-keyed read for those.
+      e.ref_field = ResolveEventFieldId(e.field);
       return Status::Ok();
     }
 
     return SemErr(e.loc, "unknown name '" + base + "'");
   }
 
-  Status CheckExpr(const Expr& e, const ExprContext& ctx, int agg_depth) {
+  Status CheckExpr(Expr& e, const ExprContext& ctx, int agg_depth) {
     switch (e.kind) {
       case ExprKind::kLiteral:
         return Status::Ok();
@@ -484,7 +505,7 @@ class AnalyzerImpl {
             return SemErr(e.loc, "aggregate '" + e.callee +
                                      "' takes exactly one argument");
           }
-          for (const ExprPtr& a : e.args) {
+          for (ExprPtr& a : e.args) {
             SAQL_RETURN_IF_ERROR(CheckAggArg(*a, ctx));
           }
           return Status::Ok();
@@ -520,7 +541,7 @@ class AnalyzerImpl {
 
   /// Inside an aggregate argument only event/entity references, literals,
   /// and arithmetic are allowed.
-  Status CheckAggArg(const Expr& e, const ExprContext& ctx) {
+  Status CheckAggArg(Expr& e, const ExprContext& ctx) {
     switch (e.kind) {
       case ExprKind::kLiteral:
         return Status::Ok();
@@ -539,7 +560,7 @@ class AnalyzerImpl {
         if (IsAggregateFunction(ToLower(e.callee))) {
           return SemErr(e.loc, "aggregates cannot be nested");
         }
-        for (const ExprPtr& a : e.args) {
+        for (ExprPtr& a : e.args) {
           SAQL_RETURN_IF_ERROR(CheckAggArg(*a, ctx));
         }
         return Status::Ok();

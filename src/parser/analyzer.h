@@ -28,6 +28,10 @@ struct ResolvedGroupKey {
   std::string field;     ///< concrete attribute name (never empty)
   std::string base;      ///< original variable / alias spelling
   std::string spelling;  ///< `base` or `base.field` as written
+  /// Compiled attribute id; kInvalid only for event attributes that resolve
+  /// per event (unknown object_* suffixes), which fall back to the
+  /// string-keyed read.
+  FieldId field_id = FieldId::kInvalid;
 };
 
 /// Clustering configuration extracted from the raw `method=` string.

@@ -130,6 +130,10 @@ ExprPtr Expr::Clone() const {
   e->base = base;
   e->history = history;
   e->field = field;
+  e->ref_kind = ref_kind;
+  e->ref_field = ref_field;
+  e->ref_role = ref_role;
+  e->ref_index = ref_index;
   e->callee = callee;
   for (const ExprPtr& a : args) e->args.push_back(a->Clone());
   e->bin_op = bin_op;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/event.h"
+#include "core/field_access.h"
 #include "core/time_util.h"
 #include "core/value.h"
 #include "parser/token.h"
@@ -52,6 +53,20 @@ const char* UnOpName(UnOp op);
 class Expr;
 using ExprPtr = std::unique_ptr<Expr>;
 
+/// How a kRef node was resolved by the analyzer. Evaluation contexts switch
+/// on this to reach the referenced slot directly — matched event + FieldId,
+/// state-field index, group-key index — instead of re-running string-keyed
+/// symbol-table and attribute lookups for every event.
+enum class RefKind : uint8_t {
+  kUnresolved = 0,  ///< not analyzed (hand-built AST): resolve by name
+  kEntity,          ///< entity variable: pattern index + role + field id
+  kEvent,           ///< event alias: pattern index + field id
+  kState,           ///< state variable: field index (history on the node)
+  kGroupKey,        ///< group-by key: index into the group's key values
+  kInvariant,       ///< invariant variable: index into the invariant env
+  kCluster,         ///< cluster.* attribute (cold; resolved by name)
+};
+
 /// Expression node kinds (closed set; the evaluator switches on this rather
 /// than using virtual dispatch so nodes stay simple aggregates).
 enum class ExprKind {
@@ -80,6 +95,14 @@ class Expr {
   std::string base;
   std::optional<int> history;  ///< state history index from `ss[k]`
   std::string field;           ///< empty for a bare reference
+
+  // kRef resolution, filled by the analyzer (see RefKind). `ref_index` is
+  // the pattern index (kEntity/kEvent), state-field index (kState),
+  // group-key index (kGroupKey), or invariant-variable index (kInvariant).
+  RefKind ref_kind = RefKind::kUnresolved;
+  FieldId ref_field = FieldId::kInvalid;
+  EntityRole ref_role = EntityRole::kSubject;
+  int32_t ref_index = -1;
 
   // kCall — `avg(evt.amount)`, `set(p2.exe_name)`, `all(ss.amt)`, ...
   std::string callee;

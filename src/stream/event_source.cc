@@ -17,6 +17,16 @@ bool VectorEventSource::NextBatch(size_t max_events, EventBatch* batch) {
   return true;
 }
 
+Event* VectorEventSource::NextBatchZeroCopy(size_t max_events,
+                                            size_t* count) {
+  if (pos_ >= events_.size()) return nullptr;
+  size_t n = std::min(max_events, events_.size() - pos_);
+  Event* begin = events_.data() + pos_;
+  pos_ += n;
+  *count = n;
+  return begin;
+}
+
 CallbackEventSource::CallbackEventSource(Generator gen)
     : gen_(std::move(gen)) {}
 

@@ -25,6 +25,28 @@ class EventSource {
   /// cleared first). Returns false when the stream is exhausted and no
   /// events were produced.
   virtual bool NextBatch(size_t max_events, EventBatch* batch) = 0;
+
+  /// Zero-copy pull: returns a pointer to the next run of up to
+  /// `max_events` events and stores its length in `count`, or nullptr at
+  /// end of stream. The events stay owned by the source and remain valid
+  /// until the next pull; callers may annotate them in place (the executor
+  /// fills interned symbol ids). Sources backed by contiguous storage
+  /// override this to hand out their buffer directly; the default adapter
+  /// copies through `NextBatch` into a scratch batch.
+  virtual Event* NextBatchZeroCopy(size_t max_events, size_t* count) {
+    // Tolerate sources that (out of contract) report progress with an
+    // empty batch; an empty scratch must not read as end-of-stream.
+    do {
+      if (!NextBatch(max_events, &zero_copy_scratch_)) return nullptr;
+    } while (zero_copy_scratch_.empty());
+    *count = zero_copy_scratch_.size();
+    return zero_copy_scratch_.data();
+  }
+
+ private:
+  /// Scratch buffer for the default (copying) zero-copy adapter. Named to
+  /// avoid colliding with subclasses' own scratch buffers.
+  EventBatch zero_copy_scratch_;
 };
 
 /// Source over a pre-materialized vector of events; used by tests and by
@@ -34,6 +56,11 @@ class VectorEventSource : public EventSource {
   explicit VectorEventSource(EventBatch events);
 
   bool NextBatch(size_t max_events, EventBatch* batch) override;
+
+  /// Hands out slices of the owned vector — no per-event copies. Interned
+  /// symbol annotations persist across `Reset`, so replays (benchmarks)
+  /// intern each event at most once.
+  Event* NextBatchZeroCopy(size_t max_events, size_t* count) override;
 
   /// Rewinds to the beginning (benchmarks reuse one materialized stream).
   void Reset() { pos_ = 0; }

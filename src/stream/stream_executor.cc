@@ -1,5 +1,7 @@
 #include "stream/stream_executor.h"
 
+#include "core/interner.h"
+
 namespace saql {
 
 void StreamExecutor::Subscribe(EventProcessor* processor) {
@@ -11,20 +13,65 @@ void StreamExecutor::Reset() {
   stats_ = ExecutorStats{};
 }
 
-void StreamExecutor::Run(EventSource* source, size_t batch_size) {
-  EventBatch batch;
-  Timestamp watermark = INT64_MIN;
-  while (source->NextBatch(batch_size, &batch)) {
-    ++stats_.batches;
-    for (const Event& e : batch) {
-      ++stats_.events;
-      for (EventProcessor* p : processors_) {
-        ++stats_.deliveries;
-        p->OnEvent(e);
+void StreamExecutor::BuildRoutingTable() {
+  for (auto& by_op : table_) {
+    for (auto& bucket : by_op) bucket.clear();
+  }
+  for (size_t i = 0; i < processors_.size(); ++i) {
+    RoutingInterest interest = processors_[i]->Interest();
+    for (size_t type = 0; type < 3; ++type) {
+      for (int op = 0; op < kNumEventOps; ++op) {
+        if (interest.Wants(static_cast<EntityType>(type),
+                           static_cast<EventOp>(op))) {
+          table_[type][op].push_back(static_cast<uint32_t>(i));
+        }
       }
-      if (e.ts > watermark) watermark = e.ts;
     }
-    if (watermark != INT64_MIN) {
+  }
+}
+
+void StreamExecutor::Run(EventSource* source, size_t batch_size) {
+  if (options_.enable_routing) BuildRoutingTable();
+  const size_t n = processors_.size();
+  // Per-subscriber slice of the current batch, reused across batches.
+  std::vector<EventRefs> routed(n);
+  Timestamp watermark = INT64_MIN;
+  Timestamp emitted_watermark = INT64_MIN;
+  size_t count = 0;
+  while (Event* batch = source->NextBatchZeroCopy(batch_size, &count)) {
+    ++stats_.batches;
+    if (options_.intern_strings) InternEventSpan(batch, count);
+    for (EventRefs& r : routed) r.clear();
+    for (size_t k = 0; k < count; ++k) {
+      const Event& e = batch[k];
+      ++stats_.events;
+      if (e.ts > watermark) watermark = e.ts;
+      if (options_.enable_routing) {
+        const std::vector<uint32_t>& bucket =
+            table_[static_cast<size_t>(e.object_type)]
+                  [static_cast<size_t>(e.op)];
+        for (uint32_t idx : bucket) routed[idx].push_back(&e);
+      } else {
+        for (EventRefs& r : routed) r.push_back(&e);
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (!routed[i].empty()) {
+        stats_.deliveries += routed[i].size();
+        processors_[i]->OnBatch(routed[i]);
+      }
+      uint64_t skipped = count - routed[i].size();
+      if (skipped > 0) {
+        stats_.routed_skips += skipped;
+        processors_[i]->OnRoutedSkip(skipped);
+      }
+    }
+    // Emit the watermark only when it advanced; re-broadcasting an
+    // unchanged watermark would make every stateful query rescan its open
+    // windows for nothing.
+    if (watermark != INT64_MIN && watermark > emitted_watermark) {
+      emitted_watermark = watermark;
+      ++stats_.watermarks;
       for (EventProcessor* p : processors_) {
         p->OnWatermark(watermark);
       }

@@ -11,6 +11,34 @@
 
 namespace saql {
 
+/// References to events of one pulled batch, in stream order; the unit of
+/// batched delivery (`EventProcessor::OnBatch`).
+using EventRefs = std::vector<const Event*>;
+
+/// The structural envelope of events a processor can possibly act on: one
+/// operation mask per object entity type. The executor's dispatch index
+/// routes each event only to processors whose envelope covers the event's
+/// (object type, operation) pair; everything else is skipped wholesale.
+struct RoutingInterest {
+  /// Deliver every event regardless of shape (default for processors that
+  /// do not declare an envelope).
+  bool all = true;
+  /// Operation mask per `EntityType` (indexed by its numeric value); only
+  /// consulted when `all` is false.
+  OpMask ops_by_type[3] = {0, 0, 0};
+
+  /// Narrows the interest to declared shapes and adds one combination.
+  void Add(EntityType type, OpMask ops) {
+    all = false;
+    ops_by_type[static_cast<size_t>(type)] |= ops;
+  }
+
+  bool Wants(EntityType type, EventOp op) const {
+    return all ||
+           OpMaskContains(ops_by_type[static_cast<size_t>(type)], op);
+  }
+};
+
 /// Consumer interface over the event stream. Compiled queries (and query
 /// groups under the master-dependent scheme) implement this.
 class EventProcessor {
@@ -20,13 +48,31 @@ class EventProcessor {
   /// Called once per stream event, in timestamp order.
   virtual void OnEvent(const Event& event) = 0;
 
+  /// Batch-level entry point: the events of one pulled batch routed to this
+  /// processor, in stream order. The executor calls this once per batch per
+  /// processor — one virtual dispatch amortized over the whole batch — and
+  /// the default implementation degrades to per-event `OnEvent`.
+  virtual void OnBatch(const EventRefs& events) {
+    for (const Event* e : events) OnEvent(*e);
+  }
+
   /// Event time has advanced to `ts`; windows ending at or before `ts` can
-  /// be finalized. Called after each batch.
+  /// be finalized. Called after a batch whose events moved the watermark.
   virtual void OnWatermark(Timestamp ts) = 0;
 
   /// The stream ended; flush remaining state (open windows, partial
   /// matches).
   virtual void OnFinish() = 0;
+
+  /// The structural envelope this processor wants. Declared once, read by
+  /// the executor when `Run` builds its dispatch index. Default: all
+  /// events.
+  virtual RoutingInterest Interest() const { return RoutingInterest{}; }
+
+  /// `count` events of the current batch were withheld by the dispatch
+  /// index because they fall outside `Interest()`. Lets processors keep
+  /// their ingress accounting identical to broadcast delivery.
+  virtual void OnRoutedSkip(uint64_t count) { (void)count; }
 };
 
 /// Execution statistics, the accounting behind the concurrent-query
@@ -37,20 +83,44 @@ struct ExecutorStats {
   uint64_t events = 0;
   /// Event deliveries = sum over events of subscribers it was handed to.
   /// With N independent queries this is N * events; with grouped queries it
-  /// is (#groups) * events.
+  /// is (#groups) * events; with routing enabled, only eligible groups
+  /// count.
   uint64_t deliveries = 0;
   /// Batches pulled.
   uint64_t batches = 0;
+  /// Deliveries avoided by the dispatch index (event shape outside the
+  /// subscriber's interest). deliveries + routed_skips equals what a
+  /// broadcast executor would have delivered.
+  uint64_t routed_skips = 0;
+  /// Watermarks emitted (suppressed when the watermark did not advance).
+  uint64_t watermarks = 0;
 };
 
 /// Single-threaded push loop: pulls batches from a source and delivers each
-/// event to every subscribed processor, followed by a watermark at the
-/// batch boundary. (The paper's deployment parallelizes across hosts before
-/// the central feed; the engine itself observes one totally-ordered feed,
-/// which this models.)
+/// event to the subscribed processors, followed by a watermark at the batch
+/// boundary. (The paper's deployment parallelizes across hosts before the
+/// central feed; the engine itself observes one totally-ordered feed, which
+/// this models.)
+///
+/// Delivery is routed, not broadcast: at `Run` start the executor indexes
+/// subscribers by the (object type, operation) combinations they declare
+/// via `Interest()`, and each event is pushed only to the eligible
+/// subscribers — the op/entity dispatch index that makes the shared pass
+/// scale with the number of *matching* queries instead of all of them.
+/// Batches are interned (`core/interner.h`) before dispatch so equality
+/// predicates downstream compare symbol ids.
 class StreamExecutor {
  public:
+  struct Options {
+    /// Route events through the dispatch index; disabled = broadcast to
+    /// every subscriber (the ablation baseline).
+    bool enable_routing = true;
+    /// Intern hot event strings before dispatch.
+    bool intern_strings = true;
+  };
+
   StreamExecutor() = default;
+  explicit StreamExecutor(Options options) : options_(options) {}
 
   /// Registers a processor. Subscribers must outlive `Run`.
   void Subscribe(EventProcessor* processor);
@@ -58,14 +128,20 @@ class StreamExecutor {
   /// Removes all subscribers and resets statistics.
   void Reset();
 
-  /// Pulls `source` to exhaustion, delivering to all subscribers, then
+  /// Pulls `source` to exhaustion, delivering to eligible subscribers, then
   /// calls OnFinish on each.
   void Run(EventSource* source, size_t batch_size = 1024);
 
   const ExecutorStats& stats() const { return stats_; }
 
  private:
+  /// Builds table_[type][op] → subscriber indices from the subscribers'
+  /// declared interests.
+  void BuildRoutingTable();
+
+  Options options_;
   std::vector<EventProcessor*> processors_;
+  std::vector<uint32_t> table_[3][kNumEventOps];
   ExecutorStats stats_;
 };
 

@@ -1,3 +1,4 @@
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 
