@@ -6,14 +6,23 @@
 //   A3 Reorder buffer — cost of tolerating out-of-order agent feeds.
 //   A4 1-D DBSCAN fast path — covered in bench_dbscan (1D vs 2D).
 //   A5 Op/entity dispatch routing — events reach only groups whose master
-//      pattern can match them vs broadcast to every group. Baseline file:
-//      run with
-//        --benchmark_filter=Routing
-//        --benchmark_out=BENCH_throughput.json --benchmark_out_format=json
-//      to refresh the checked-in throughput baseline.
+//      pattern can match them vs broadcast to every group.
+//   A6 Shard scaling — the hash-partitioned executor at 1/2/4/8 lanes over
+//      the 8-query stateful workload (per-shard replicas + cross-shard
+//      window merge). The 1-lane point runs the full sharded pipeline
+//      (force_sharded_executor), so the sweep isolates scaling from
+//      splitter overhead; compare BM_RoutingEnabled/8 for the plain
+//      single-threaded executor. Interpret events/s against the `cores`
+//      counter — on a 1-core container the sweep can only show queueing
+//      overhead, not speedup.
+//   Baseline file: run with
+//     --benchmark_filter='Routing|ShardScaling'
+//     --benchmark_out=BENCH_throughput.json --benchmark_out_format=json
+//   to refresh the checked-in throughput baseline.
 
 #include <random>
 #include <string>
+#include <thread>
 
 #include <benchmark/benchmark.h>
 
@@ -320,6 +329,75 @@ BENCHMARK(BM_RoutingDisabledBroadcast)
     ->Arg(16)
     ->Arg(32)
     ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// A6: shard scaling (hash-partitioned executor, 1/2/4/8 lanes).
+// ---------------------------------------------------------------------------
+
+/// 8 stateful single-pattern queries, one per structural shape of the
+/// concurrent workload: per-process sum of op volume in 10-second tumbling
+/// windows. Stateful + time-windowed = the shard-mergeable class, so every
+/// query runs replicated across all lanes with cross-shard window merging
+/// (no global lane in this sweep).
+std::vector<std::string> ShardScalingQueries() {
+  static const char* const kShapes[][2] = {
+      {"write", "ip i"},    {"connect", "ip i"},  {"recv", "ip i"},
+      {"read", "file f"},   {"write", "file f"},  {"delete", "file f"},
+      {"start", "proc q"},  {"kill", "proc q"},
+  };
+  std::vector<std::string> out;
+  out.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    const auto& shape = kShapes[i];
+    out.push_back(std::string("proc p ") + shape[0] + " " + shape[1] +
+                  " as e #time(10 s) "
+                  "state ss { amt := sum(e.amount) } group by p "
+                  "alert ss.amt > 1000000000000 return p, ss.amt");
+  }
+  return out;
+}
+
+void BM_ShardScaling(benchmark::State& state) {
+  size_t shards = static_cast<size_t>(state.range(0));
+  static VectorEventSource* source =
+      new VectorEventSource(ConcurrentWorkloadStream());
+  const size_t stream_size = source->size();
+  std::vector<std::string> queries = ShardScalingQueries();
+  for (auto _ : state) {
+    SaqlEngine::Options opts;
+    opts.num_shards = shards;
+    // 1 lane still runs the splitter/lane/merge pipeline so the sweep
+    // measures scaling, not pipeline-vs-direct overhead.
+    opts.force_sharded_executor = true;
+    SaqlEngine engine(opts);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      Status st = engine.AddQuery(queries[i], "q" + std::to_string(i));
+      if (!st.ok()) {
+        state.SkipWithError(st.ToString().c_str());
+        return;
+      }
+    }
+    engine.SetAlertSink([](const Alert&) {});
+    source->Reset();
+    Status st = engine.Run(source);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stream_size));
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["cores"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+BENCHMARK(BM_ShardScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace saql

@@ -1,18 +1,39 @@
 // The SAQL command-line UI (Fig. 3 of the paper): interactively register
 // queries, simulate or replay monitoring data, and inspect alerts.
 //
-//   $ ./saql_shell
+//   $ ./saql_shell [--shards=N]
 //   saql> load queries/query1_rule.saql exfil
 //   saql> simulate 30
 //   saql> alerts
 //   saql> quit
+//
+// --shards=N runs every simulate/replay on N hash-partitioned executor
+// lanes (also settable per session with the `shards` command).
 
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "cli/shell.h"
 
-int main() {
+int main(int argc, char** argv) {
   saql::QueryShell shell(std::cin, std::cout);
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--shards=", 0) == 0) {
+      char* end = nullptr;
+      long n = std::strtol(arg.c_str() + 9, &end, 10);
+      if (n <= 0 || end == nullptr || *end != '\0') {
+        std::cerr << "invalid value in '" << arg
+                  << "' (expected --shards=N with N >= 1)\n";
+        return 2;
+      }
+      shell.SetNumShards(static_cast<size_t>(n));
+    } else {
+      std::cerr << "unknown flag '" << arg << "' (supported: --shards=N)\n";
+      return 2;
+    }
+  }
   shell.Run();
   return 0;
 }

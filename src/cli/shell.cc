@@ -61,6 +61,8 @@ bool QueryShell::Execute(const std::string& line) {
     CmdRecord(args);
   } else if (cmd == "alerts") {
     CmdAlerts(args);
+  } else if (cmd == "shards") {
+    CmdShards(args);
   } else if (cmd == "stats") {
     CmdStats();
   } else if (cmd == "errors") {
@@ -80,6 +82,7 @@ void QueryShell::CmdHelp() {
        << "  replay <log> [host...]  replay a stored event log\n"
        << "  record <log> [minutes]  simulate and store events to a log\n"
        << "  alerts [n]              show last n alerts\n"
+       << "  shards [n]              show or set executor shard lanes\n"
        << "  stats                   last run statistics\n"
        << "  errors                  last run error reports\n"
        << "  quit                    exit\n";
@@ -137,12 +140,38 @@ void QueryShell::CmdList() {
   }
 }
 
-void QueryShell::RunEngine(EventSource* source) {
+size_t QueryShell::ConsumeShardsFlag(std::vector<std::string>* args) {
+  size_t shards = num_shards_;
+  for (auto it = args->begin(); it != args->end();) {
+    if (it->rfind("--shards=", 0) == 0) {
+      char* end = nullptr;
+      long n = std::strtol(it->c_str() + 9, &end, 10);
+      if (n <= 0 || end == nullptr || *end != '\0') {
+        out_ << "ignoring '" << *it
+             << "' (expected --shards=N with N >= 1); using " << shards
+             << "\n";
+      } else {
+        shards = static_cast<size_t>(n);
+      }
+      it = args->erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return shards;
+}
+
+void QueryShell::RunEngine(EventSource* source, size_t num_shards) {
   if (queries_.empty()) {
     out_ << "no queries registered — use 'load' or 'query' first\n";
     return;
   }
-  SaqlEngine engine;
+  SaqlEngine::Options opts;
+  opts.num_shards = num_shards;
+  SaqlEngine engine(opts);
+  if (num_shards > 1) {
+    out_ << "executing on " << num_shards << " shard lanes\n";
+  }
   for (const auto& [name, text] : queries_) {
     Status st = engine.AddQuery(text, name);
     if (!st.ok()) {
@@ -176,31 +205,35 @@ void QueryShell::RunEngine(EventSource* source) {
 }
 
 void QueryShell::CmdSimulate(const std::vector<std::string>& args) {
+  std::vector<std::string> rest = args;
+  size_t shards = ConsumeShardsFlag(&rest);
   EnterpriseSimulator::Options opts;
-  if (!args.empty()) {
-    opts.duration = std::strtol(args[0].c_str(), nullptr, 10) * kMinute;
+  if (!rest.empty()) {
+    opts.duration = std::strtol(rest[0].c_str(), nullptr, 10) * kMinute;
     if (opts.duration <= 0) opts.duration = 30 * kMinute;
   }
   EnterpriseSimulator sim(opts);
   auto source = sim.MakeSource();
   out_ << "simulating " << FormatDuration(opts.duration) << " across "
        << sim.hosts().size() << " hosts (APT attack injected)...\n";
-  RunEngine(source.get());
+  RunEngine(source.get(), shards);
 }
 
 void QueryShell::CmdReplay(const std::vector<std::string>& args) {
-  if (args.empty()) {
-    out_ << "usage: replay <log> [host...]\n";
+  std::vector<std::string> rest = args;
+  size_t shards = ConsumeShardsFlag(&rest);
+  if (rest.empty()) {
+    out_ << "usage: replay <log> [host...] [--shards=N]\n";
     return;
   }
   StreamReplayer::Filter filter;
-  for (size_t i = 1; i < args.size(); ++i) filter.hosts.insert(args[i]);
-  StreamReplayer replayer(args[0], filter);
+  for (size_t i = 1; i < rest.size(); ++i) filter.hosts.insert(rest[i]);
+  StreamReplayer replayer(rest[0], filter);
   if (!replayer.status().ok()) {
     out_ << "replay failed: " << replayer.status() << "\n";
     return;
   }
-  RunEngine(&replayer);
+  RunEngine(&replayer, shards);
 }
 
 void QueryShell::CmdRecord(const std::vector<std::string>& args) {
@@ -245,6 +278,22 @@ void QueryShell::CmdAlerts(const std::vector<std::string>& args) {
     table.AddRow({FormatTimestamp(a.ts), a.query_name, a.group, values});
   }
   out_ << table.Render();
+}
+
+void QueryShell::CmdShards(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    out_ << "shards = " << num_shards_
+         << (num_shards_ == 1 ? " (single-threaded)\n" : "\n");
+    return;
+  }
+  char* end = nullptr;
+  long n = std::strtol(args[0].c_str(), &end, 10);
+  if (n <= 0 || end == nullptr || *end != '\0') {
+    out_ << "usage: shards <n>  (n >= 1)\n";
+    return;
+  }
+  SetNumShards(static_cast<size_t>(n));
+  out_ << "shards = " << num_shards_ << "\n";
 }
 
 void QueryShell::CmdStats() {

@@ -26,10 +26,14 @@ namespace saql {
 ///                            subset), at maximum speed
 ///   record <log> [minutes]   simulate and store events into a log file
 ///   alerts [n]               show the last n alerts (default 10)
+///   shards [n]               show or set executor shard lanes (1 = off)
 ///   stats                    engine statistics of the last run
 ///   errors                   error-reporter contents of the last run
 ///   help                     command summary
 ///   quit                     leave the shell
+///
+/// `simulate` and `replay` also accept a `--shards=N` flag to override the
+/// lane count for that run only.
 class QueryShell {
  public:
   QueryShell(std::istream& in, std::ostream& out);
@@ -39,6 +43,11 @@ class QueryShell {
 
   /// Executes one command line; returns false when the shell should exit.
   bool Execute(const std::string& line);
+
+  /// Sets the default number of executor shard lanes (the `--shards=N`
+  /// flag of the `saql_shell` binary; 1 = single-threaded).
+  void SetNumShards(size_t n) { num_shards_ = n == 0 ? 1 : n; }
+  size_t num_shards() const { return num_shards_; }
 
   /// Alerts collected by the last simulate/replay command.
   const std::vector<Alert>& alerts() const { return alerts_; }
@@ -57,11 +66,17 @@ class QueryShell {
   void CmdReplay(const std::vector<std::string>& args);
   void CmdRecord(const std::vector<std::string>& args);
   void CmdAlerts(const std::vector<std::string>& args);
+  void CmdShards(const std::vector<std::string>& args);
   void CmdStats();
   void CmdErrors();
 
+  /// Strips a `--shards=N` flag out of `args`, returning the lane count to
+  /// use for this run (the session default when absent; malformed values
+  /// are reported and ignored).
+  size_t ConsumeShardsFlag(std::vector<std::string>* args);
+
   /// Runs all registered queries against `source`, capturing alerts.
-  void RunEngine(class EventSource* source);
+  void RunEngine(class EventSource* source, size_t num_shards);
 
   std::istream& in_;
   std::ostream& out_;
@@ -69,6 +84,7 @@ class QueryShell {
   std::vector<Alert> alerts_;
   std::string last_stats_;
   std::string last_errors_;
+  size_t num_shards_ = 1;
 };
 
 }  // namespace saql

@@ -103,6 +103,10 @@ struct EventSymbols {
   uint32_t obj_exe = 0;    ///< obj_proc.exe_name (process objects)
   uint32_t obj_user = 0;   ///< obj_proc.user (process objects)
   uint32_t obj_path = 0;   ///< obj_file.path (file objects)
+  /// Interner generation these ids were issued under; 0 = never interned.
+  /// `InternEventSpan` re-interns events whose generation is stale, so
+  /// replayed buffers survive an `Interner::Rotate`.
+  uint32_t gen = 0;
 };
 
 /// One system monitoring event: the SVO triple 〈subject, operation, object〉

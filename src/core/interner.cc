@@ -58,8 +58,27 @@ uint32_t Interner::Intern(std::string_view s) {
   if (it != ids_.end()) return it->second;  // raced with another writer
   uint32_t id = static_cast<uint32_t>(names_.size());
   names_.push_back(NormalizeAscii(s));
+  bytes_ += names_.back().size();
   ids_.emplace(names_.back(), id);
   return id;
+}
+
+Interner::Stats Interner::stats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  Stats st;
+  st.entries = names_.size() - 1;  // reserved id 0
+  st.bytes = bytes_;
+  st.generation = generation();
+  return st;
+}
+
+void Interner::Rotate() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  ids_.clear();
+  names_.clear();
+  names_.push_back("");  // id 0 = kUnset, never assigned
+  bytes_ = 0;
+  generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 uint32_t Interner::Find(std::string_view s) const {
@@ -80,6 +99,8 @@ size_t Interner::size() const {
 
 void InternEventStrings(Event* event) {
   Interner& interner = Interner::Global();
+  uint32_t gen = static_cast<uint32_t>(interner.generation());
+  event->syms = EventSymbols{};  // drop stale ids from older generations
   event->syms.agent = interner.Intern(event->agent_id);
   event->syms.subj_exe = interner.Intern(event->subject.exe_name);
   event->syms.subj_user = interner.Intern(event->subject.user);
@@ -94,11 +115,17 @@ void InternEventStrings(Event* event) {
     case EntityType::kNetwork:
       break;
   }
+  event->syms.gen = gen;
 }
 
 void InternEventSpan(Event* events, size_t count) {
+  uint32_t gen = static_cast<uint32_t>(Interner::Global().generation());
   for (size_t i = 0; i < count; ++i) {
-    if (events[i].syms.agent != Interner::kUnset) continue;
+    // Interned under the current generation already (memoized replay)?
+    if (events[i].syms.agent != Interner::kUnset &&
+        events[i].syms.gen == gen) {
+      continue;
+    }
     InternEventStrings(&events[i]);
   }
 }

@@ -1,6 +1,7 @@
 #ifndef SAQL_CORE_INTERNER_H_
 #define SAQL_CORE_INTERNER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <shared_mutex>
@@ -52,6 +53,36 @@ class Interner {
   /// Number of ids assigned, including the reserved id 0.
   size_t size() const;
 
+  /// Size accounting, for bounding growth on high-cardinality fields
+  /// (file paths, user names): `bytes` is the sum of the normalized
+  /// spelling lengths currently held — the table's payload footprint,
+  /// excluding hash/deque overhead. Poll it from an operational loop and
+  /// call `Rotate` when it crosses the deployment's budget.
+  struct Stats {
+    size_t entries = 0;      ///< ids assigned (reserved id 0 excluded)
+    size_t bytes = 0;        ///< total normalized spelling bytes
+    uint64_t generation = 1; ///< bumped by every Rotate
+  };
+  Stats stats() const;
+
+  /// Current rotation generation, lock-free (read once per event on the
+  /// interning hot path).
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Rotation hook for long-running deployments: drops every interned
+  /// spelling, resets accounting, and bumps the generation. Previously
+  /// issued ids become meaningless, so rotation is only safe at a run
+  /// boundary — after the executor finished a stream and before the next
+  /// set of queries is compiled. Event buffers may survive a rotation:
+  /// `Event::syms` carries the generation it was interned under, and
+  /// `InternEventSpan` re-interns events stamped with an older generation
+  /// instead of trusting their stale ids. Compiled queries do NOT survive
+  /// (their constraints captured symbol ids at compile time); recompile
+  /// them after rotating.
+  void Rotate();
+
  private:
   /// Case-insensitive transparent hashing so lookups run directly on the
   /// caller's string_view.
@@ -68,6 +99,9 @@ class Interner {
   std::unordered_map<std::string, uint32_t, CiHash, CiEq> ids_;
   /// Deque: NameOf hands out references that must survive later growth.
   std::deque<std::string> names_;
+  /// Sum of normalized spelling bytes in `names_` (reserved id 0 is "").
+  size_t bytes_ = 0;
+  std::atomic<uint64_t> generation_{1};
 };
 
 /// Fills `event->syms` from the global interner: agent id, subject

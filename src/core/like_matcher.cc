@@ -13,6 +13,34 @@ bool ContainsWildcard(const std::string& s) {
          s.find('_') != std::string::npos;
 }
 
+inline char LowerByte(char c) {
+  return static_cast<char>(
+      std::tolower(static_cast<unsigned char>(c)));
+}
+
+/// text (any case) == needle (pre-lowered), without copying text.
+bool CiEquals(std::string_view text, std::string_view needle) {
+  if (text.size() != needle.size()) return false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (LowerByte(text[i]) != needle[i]) return false;
+  }
+  return true;
+}
+
+/// needle (pre-lowered) occurs in text (any case).
+bool CiContains(std::string_view text, std::string_view needle) {
+  if (needle.empty()) return true;
+  if (text.size() < needle.size()) return false;
+  for (size_t start = 0; start + needle.size() <= text.size(); ++start) {
+    size_t i = 0;
+    while (i < needle.size() && LowerByte(text[start + i]) == needle[i]) {
+      ++i;
+    }
+    if (i == needle.size()) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 LikeMatcher::LikeMatcher(const std::string& pattern)
@@ -47,31 +75,33 @@ LikeMatcher::LikeMatcher(const std::string& pattern)
   kind_ = Kind::kGeneral;
 }
 
-bool LikeMatcher::Matches(const std::string& text) const {
-  std::string t = ToLower(text);
+bool LikeMatcher::Matches(std::string_view text) const {
   switch (kind_) {
     case Kind::kExact:
-      return t == needle_;
+      return CiEquals(text, needle_);
     case Kind::kSuffix:
-      return EndsWith(t, needle_);
+      return text.size() >= needle_.size() &&
+             CiEquals(text.substr(text.size() - needle_.size()), needle_);
     case Kind::kPrefix:
-      return StartsWith(t, needle_);
+      return text.size() >= needle_.size() &&
+             CiEquals(text.substr(0, needle_.size()), needle_);
     case Kind::kContains:
-      return t.find(needle_) != std::string::npos;
+      return CiContains(text, needle_);
     case Kind::kGeneral:
-      return GeneralMatch(t);
+      return GeneralMatch(text);
   }
   return false;
 }
 
-bool LikeMatcher::GeneralMatch(const std::string& text) const {
+bool LikeMatcher::GeneralMatch(std::string_view text) const {
   const std::string& p = lowered_;
   // Classic iterative wildcard matching with backtracking on the most
-  // recent '%' (linear in |text| for typical patterns).
+  // recent '%' (linear in |text| for typical patterns). The pattern is
+  // pre-lowered; text bytes lower on the fly.
   size_t ti = 0, pi = 0;
   size_t star_p = std::string::npos, star_t = 0;
   while (ti < text.size()) {
-    if (pi < p.size() && (p[pi] == '_' || p[pi] == text[ti])) {
+    if (pi < p.size() && (p[pi] == '_' || p[pi] == LowerByte(text[ti]))) {
       ++ti;
       ++pi;
     } else if (pi < p.size() && p[pi] == '%') {

@@ -2,6 +2,7 @@
 #define SAQL_CORE_LIKE_MATCHER_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace saql {
@@ -21,7 +22,16 @@ class LikeMatcher {
   explicit LikeMatcher(const std::string& pattern);
 
   /// Returns true when `text` matches the compiled pattern.
-  bool Matches(const std::string& text) const;
+  ///
+  /// Matching is allocation-free: the comparison lowercases `text` byte by
+  /// byte in place against the pre-lowered pattern instead of materializing
+  /// a lowered copy per call (this sits on the per-event hot path — one
+  /// call per string constraint per candidate event; see the A1 ablation in
+  /// bench_ablation.cc and the allocation regression test in
+  /// tests/like_matcher_test.cc). Exact (wildcard-free) equality on
+  /// interned attributes is cheaper still — CompiledConstraint short-
+  /// circuits those to a symbol-id compare before ever calling this.
+  bool Matches(std::string_view text) const;
 
   const std::string& pattern() const { return pattern_; }
 
@@ -32,7 +42,7 @@ class LikeMatcher {
   enum class Kind { kExact, kPrefix, kSuffix, kContains, kGeneral };
 
   /// Generic two-pointer LIKE matcher with backtracking over `%`.
-  bool GeneralMatch(const std::string& text) const;
+  bool GeneralMatch(std::string_view text) const;
 
   std::string pattern_;         // original pattern
   std::string lowered_;         // lowercase pattern for fast paths

@@ -21,6 +21,12 @@ class SumAggregator : public Aggregator {
     all_int_ = all_int_ && v.is_int();
     ++count_;
   }
+  void Merge(const Aggregator& other) override {
+    const auto& o = static_cast<const SumAggregator&>(other);
+    sum_ += o.sum_;
+    all_int_ = all_int_ && o.all_int_;
+    count_ += o.count_;
+  }
   Value Finish() const override {
     if (all_int_) return Value(static_cast<int64_t>(sum_));
     return Value(sum_);
@@ -40,6 +46,11 @@ class AvgAggregator : public Aggregator {
     sum_ += *d;
     ++count_;
   }
+  void Merge(const Aggregator& other) override {
+    const auto& o = static_cast<const AvgAggregator&>(other);
+    sum_ += o.sum_;
+    count_ += o.count_;
+  }
   Value Finish() const override {
     if (count_ == 0) return Value::Null();
     return Value(sum_ / static_cast<double>(count_));
@@ -54,6 +65,9 @@ class CountAggregator : public Aggregator {
  public:
   void Add(const Value& v) override {
     if (!v.is_null()) ++count_;
+  }
+  void Merge(const Aggregator& other) override {
+    count_ += static_cast<const CountAggregator&>(other).count_;
   }
   Value Finish() const override {
     return Value(static_cast<int64_t>(count_));
@@ -74,6 +88,9 @@ class MinAggregator : public Aggregator {
     Result<int> c = v.Compare(best_);
     if (c.ok() && *c < 0) best_ = v;
   }
+  void Merge(const Aggregator& other) override {
+    Add(static_cast<const MinAggregator&>(other).best_);
+  }
   Value Finish() const override { return best_; }
 
  private:
@@ -91,6 +108,9 @@ class MaxAggregator : public Aggregator {
     Result<int> c = v.Compare(best_);
     if (c.ok() && *c > 0) best_ = v;
   }
+  void Merge(const Aggregator& other) override {
+    Add(static_cast<const MaxAggregator&>(other).best_);
+  }
   Value Finish() const override { return best_; }
 
  private:
@@ -106,6 +126,22 @@ class StdDevAggregator : public Aggregator {
     double delta = *d - mean_;
     mean_ += delta / static_cast<double>(count_);
     m2_ += delta * (*d - mean_);
+  }
+  void Merge(const Aggregator& other) override {
+    // Chan et al. parallel Welford combine.
+    const auto& o = static_cast<const StdDevAggregator&>(other);
+    if (o.count_ == 0) return;
+    if (count_ == 0) {
+      *this = o;
+      return;
+    }
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(o.count_);
+    double delta = o.mean_ - mean_;
+    double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += o.m2_ + delta * delta * na * nb / n;
+    count_ += o.count_;
   }
   Value Finish() const override {
     if (count_ < 2) return Value(0.0);
@@ -124,6 +160,10 @@ class SetAggregator : public Aggregator {
     if (v.is_null()) return;
     set_.insert(v.ToString());
   }
+  void Merge(const Aggregator& other) override {
+    const auto& o = static_cast<const SetAggregator&>(other);
+    set_.insert(o.set_.begin(), o.set_.end());
+  }
   Value Finish() const override { return Value(set_); }
 
  private:
@@ -135,6 +175,10 @@ class CountDistinctAggregator : public Aggregator {
   void Add(const Value& v) override {
     if (v.is_null()) return;
     set_.insert(v.ToString());
+  }
+  void Merge(const Aggregator& other) override {
+    const auto& o = static_cast<const CountDistinctAggregator&>(other);
+    set_.insert(o.set_.begin(), o.set_.end());
   }
   Value Finish() const override {
     return Value(static_cast<int64_t>(set_.size()));
@@ -150,6 +194,10 @@ class MedianAggregator : public Aggregator {
     Result<double> d = v.ToDouble();
     if (!d.ok()) return;
     samples_.push_back(*d);
+  }
+  void Merge(const Aggregator& other) override {
+    const auto& o = static_cast<const MedianAggregator&>(other);
+    samples_.insert(samples_.end(), o.samples_.begin(), o.samples_.end());
   }
   Value Finish() const override {
     if (samples_.empty()) return Value::Null();
@@ -175,6 +223,12 @@ class TopAggregator : public Aggregator {
   void Add(const Value& v) override {
     if (v.is_null()) return;
     ++counts_[v.ToString()];
+  }
+  void Merge(const Aggregator& other) override {
+    for (const auto& [value, count] :
+         static_cast<const TopAggregator&>(other).counts_) {
+      counts_[value] += count;
+    }
   }
   Value Finish() const override {
     if (counts_.empty()) return Value::Null();

@@ -36,6 +36,22 @@ class SaqlEngine {
     bool enable_routing = true;
     /// Intern hot event strings once per batch before dispatch.
     bool intern_strings = true;
+    /// Hash-partitioned parallel execution: with N > 1 the engine runs N
+    /// per-shard executor lanes (events partitioned by subject entity
+    /// key), replicating partitionable queries per shard and merging
+    /// stateful window aggregates across shards before alert evaluation;
+    /// queries whose semantics need the full ordered stream (multi-event
+    /// joins, count windows) run on a single global lane. Alerts from all
+    /// lanes funnel through one deterministically ordered sink. The alert
+    /// multiset is identical to a single-threaded run. 1 = the
+    /// single-threaded executor.
+    size_t num_shards = 1;
+    /// Routes even a 1-shard run through the full sharded pipeline
+    /// (splitter thread, lane thread, merge stage, ordered sink). For the
+    /// equivalence tests and as the honest 1-shard baseline of the
+    /// shard-scaling ablation; production single-threaded runs should
+    /// leave this off.
+    bool force_sharded_executor = false;
     /// Compiled-query tuning.
     CompiledQuery::Options query_options;
     /// Events pulled from the source per batch.
@@ -63,17 +79,31 @@ class SaqlEngine {
   const std::vector<Alert>& alerts() const { return alerts_; }
 
   const ErrorReporter& errors() const { return errors_; }
-  const ExecutorStats& executor_stats() const { return executor_.stats(); }
+  /// Executor accounting; in sharded mode, the element-wise sum over all
+  /// lanes (routed-skip parity holds lane by lane, so also for the sum).
+  const ExecutorStats& executor_stats() const {
+    return sharded_ran_ ? sharded_exec_stats_ : executor_.stats();
+  }
 
   size_t num_queries() const { return queries_.size(); }
-  size_t num_groups() const { return scheduler_.num_groups(); }
-  double forward_ratio() const { return scheduler_.ForwardRatio(); }
+  size_t num_groups() const {
+    return sharded_ran_ ? sharded_num_groups_ : scheduler_.num_groups();
+  }
+  double forward_ratio() const {
+    return sharded_ran_ ? sharded_forward_ratio_ : scheduler_.ForwardRatio();
+  }
 
-  /// Per-query statistics, by registration order.
+  /// Per-query statistics, by registration order. In sharded mode each
+  /// query's stats are summed over its shard replicas (plus its merge
+  /// replica for stateful queries); `alerts` counts centrally emitted
+  /// alerts, after cross-shard `return distinct` deduplication.
   std::vector<std::pair<std::string, CompiledQuery::QueryStats>>
   query_stats() const;
 
  private:
+  /// The N-lane partitioned run behind Options::num_shards > 1.
+  Status RunSharded(EventSource* source);
+
   Options options_;
   std::vector<std::unique_ptr<CompiledQuery>> queries_;
   ConcurrentQueryScheduler scheduler_;
@@ -82,6 +112,14 @@ class SaqlEngine {
   AlertSink sink_;
   std::vector<Alert> alerts_;
   bool ran_ = false;
+
+  // Aggregated results of a sharded run (see RunSharded).
+  bool sharded_ran_ = false;
+  ExecutorStats sharded_exec_stats_;
+  size_t sharded_num_groups_ = 0;
+  double sharded_forward_ratio_ = 0.0;
+  std::vector<std::pair<std::string, CompiledQuery::QueryStats>>
+      sharded_query_stats_;
 };
 
 }  // namespace saql

@@ -4,6 +4,7 @@ namespace saql {
 
 void ErrorReporter::Report(const std::string& query, const Status& status) {
   if (status.ok()) return;
+  std::lock_guard<std::mutex> lock(mu_);
   ++total_;
   std::string key = query + "\x1f" + status.ToString();
   auto it = index_.find(key);
@@ -20,11 +21,13 @@ void ErrorReporter::Report(const std::string& query, const Status& status) {
 }
 
 std::vector<ErrorReporter::Entry> ErrorReporter::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return entries_;
 }
 
 std::string ErrorReporter::ToString() const {
-  if (empty()) return "(no errors)";
+  std::lock_guard<std::mutex> lock(mu_);
+  if (total_ == 0) return "(no errors)";
   std::string out;
   for (const Entry& e : entries_) {
     out += "[" + e.query + "] " + e.status.ToString();
@@ -39,6 +42,7 @@ std::string ErrorReporter::ToString() const {
 }
 
 void ErrorReporter::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   total_ = 0;
   overflow_ = 0;
   index_.clear();

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,9 @@ namespace saql {
 /// errors during execution without interrupting the stream. Identical
 /// errors are deduplicated with a count; the table is bounded so a
 /// pathological query cannot exhaust memory with distinct messages.
+///
+/// Thread-safe: shard replicas running on different lanes of a sharded
+/// executor share one reporter.
 class ErrorReporter {
  public:
   struct Entry {
@@ -32,9 +36,12 @@ class ErrorReporter {
   std::vector<Entry> entries() const;
 
   /// Total reports, including deduplicated and overflowed ones.
-  uint64_t total() const { return total_; }
+  uint64_t total() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+  }
 
-  bool empty() const { return total_ == 0; }
+  bool empty() const { return total() == 0; }
 
   /// Multi-line rendering for the CLI.
   std::string ToString() const;
@@ -42,6 +49,7 @@ class ErrorReporter {
   void Clear();
 
  private:
+  mutable std::mutex mu_;
   size_t max_entries_;
   uint64_t total_ = 0;
   uint64_t overflow_ = 0;

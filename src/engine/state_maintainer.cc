@@ -175,8 +175,6 @@ void StateMaintainer::AddMatch(const PatternMatch& match) {
 }
 
 void StateMaintainer::CloseBucket(Bucket& bucket) {
-  std::vector<ClosedGroup> groups;
-  groups.reserve(bucket.cells.size());
   // Deterministic order: sort by group key.
   std::vector<std::pair<const std::string*, Cell*>> ordered;
   ordered.reserve(bucket.cells.size());
@@ -185,6 +183,25 @@ void StateMaintainer::CloseBucket(Bucket& bucket) {
   }
   std::sort(ordered.begin(), ordered.end(),
             [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  ++stats_.windows_closed;
+  stats_.groups_closed += ordered.size();
+  if (partial_cb_) {
+    // Sharded mode: hand off the live aggregators; the merge stage combines
+    // them with the other shards' partials before evaluating state fields.
+    std::vector<PartialGroup> partials;
+    partials.reserve(ordered.size());
+    for (auto& [key, cell] : ordered) {
+      PartialGroup pg;
+      pg.group_key = *key;
+      pg.key_values = std::move(cell->key_values);
+      pg.aggs = std::move(cell->aggs);
+      partials.push_back(std::move(pg));
+    }
+    partial_cb_(bucket.window, partials);
+    return;
+  }
+  std::vector<ClosedGroup> groups;
+  groups.reserve(ordered.size());
   for (auto& [key, cell] : ordered) {
     ClosedGroup g;
     g.group_key = *key;
@@ -192,9 +209,25 @@ void StateMaintainer::CloseBucket(Bucket& bucket) {
     g.state = FinishCell(bucket.window, *cell);
     groups.push_back(std::move(g));
   }
-  ++stats_.windows_closed;
-  stats_.groups_closed += groups.size();
   if (close_cb_) close_cb_(bucket.window, groups);
+}
+
+void StateMaintainer::MergePartial(PartialGroup* dst, PartialGroup& src) {
+  for (size_t i = 0; i < dst->aggs.size() && i < src.aggs.size(); ++i) {
+    dst->aggs[i]->Merge(*src.aggs[i]);
+  }
+}
+
+StateMaintainer::ClosedGroup StateMaintainer::FinishPartial(
+    const TimeWindow& window, PartialGroup& pg) {
+  Cell cell;
+  cell.aggs = std::move(pg.aggs);
+  cell.key_values = pg.key_values;
+  ClosedGroup g;
+  g.group_key = std::move(pg.group_key);
+  g.key_values = std::move(pg.key_values);
+  g.state = FinishCell(window, cell);
+  return g;
 }
 
 void StateMaintainer::AdvanceWatermark(Timestamp watermark) {

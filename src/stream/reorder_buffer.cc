@@ -1,5 +1,7 @@
 #include "stream/reorder_buffer.h"
 
+#include <algorithm>
+
 namespace saql {
 
 ReorderBuffer::ReorderBuffer(Duration max_delay)
@@ -37,16 +39,11 @@ ReorderingEventSource::ReorderingEventSource(EventSource* inner,
                                              Duration max_delay)
     : inner_(inner), buffer_(max_delay) {}
 
-bool ReorderingEventSource::NextBatch(size_t max_events, EventBatch* batch) {
-  batch->clear();
-  while (batch->size() < max_events) {
-    if (staged_pos_ < staged_.size()) {
-      batch->push_back(std::move(staged_[staged_pos_++]));
-      continue;
-    }
+bool ReorderingEventSource::RefillStaged(size_t max_events) {
+  while (staged_pos_ >= staged_.size()) {
     staged_.clear();
     staged_pos_ = 0;
-    if (inner_done_) break;
+    if (inner_done_) return false;
     if (!inner_->NextBatch(max_events, &scratch_)) {
       inner_done_ = true;
       buffer_.Flush(&staged_);
@@ -56,7 +53,26 @@ bool ReorderingEventSource::NextBatch(size_t max_events, EventBatch* batch) {
       buffer_.Push(e, &staged_);
     }
   }
+  return true;
+}
+
+bool ReorderingEventSource::NextBatch(size_t max_events, EventBatch* batch) {
+  batch->clear();
+  while (batch->size() < max_events) {
+    if (!RefillStaged(max_events)) break;
+    batch->push_back(std::move(staged_[staged_pos_++]));
+  }
   return !batch->empty();
+}
+
+Event* ReorderingEventSource::NextBatchZeroCopy(size_t max_events,
+                                                size_t* count) {
+  if (!RefillStaged(max_events)) return nullptr;
+  size_t n = std::min(max_events, staged_.size() - staged_pos_);
+  Event* begin = staged_.data() + staged_pos_;
+  staged_pos_ += n;
+  *count = n;
+  return begin;
 }
 
 }  // namespace saql

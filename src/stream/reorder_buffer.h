@@ -54,9 +54,22 @@ class ReorderingEventSource : public EventSource {
 
   bool NextBatch(size_t max_events, EventBatch* batch) override;
 
+  /// Drains the staging buffer in place: released events are handed out as
+  /// slices of the internal `staged_` vector — no per-event copies on the
+  /// way to the executor (the buffer repair itself still copies once from
+  /// the inner source into the reorder buffer, which is inherent). The
+  /// returned span stays valid until the next pull: `staged_` is only
+  /// refilled once fully drained.
+  Event* NextBatchZeroCopy(size_t max_events, size_t* count) override;
+
   size_t late_count() const { return buffer_.late_count(); }
 
  private:
+  /// Refills `staged_` from the inner source until it holds releasable
+  /// events or the stream (incl. the final flush) is exhausted. Returns
+  /// false when nothing is left.
+  bool RefillStaged(size_t max_events);
+
   EventSource* inner_;
   ReorderBuffer buffer_;
   EventBatch staged_;   ///< released events not yet handed out

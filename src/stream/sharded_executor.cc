@@ -1,0 +1,178 @@
+#include "stream/sharded_executor.h"
+
+#include <thread>
+
+#include "core/interner.h"
+
+namespace saql {
+
+ShardedStreamExecutor::ShardedStreamExecutor(Options options)
+    : options_(options), partitioner_(&SubjectKeyShard) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  if (options_.num_shards > kMaxShards) options_.num_shards = kMaxShards;
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  lanes_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    lanes_.push_back(std::make_unique<Lane>(options_.executor));
+  }
+}
+
+ShardedStreamExecutor::~ShardedStreamExecutor() = default;
+
+size_t ShardedStreamExecutor::SubjectKeyShard(const Event& event,
+                                              size_t num_shards) {
+  // FNV-1a over the subject entity key (agent id, subject pid) — the same
+  // identity `EntityKeyOf` uses for subjects, without building the string.
+  uint64_t h = 1469598103934665603ull;
+  for (char c : event.agent_id) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  uint64_t pid = static_cast<uint64_t>(event.subject.pid);
+  for (int i = 0; i < 8; ++i) {
+    h ^= (pid >> (i * 8)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return static_cast<size_t>(h % num_shards);
+}
+
+void ShardedStreamExecutor::SubscribeShard(size_t shard,
+                                           EventProcessor* processor) {
+  lanes_[shard]->executor.Subscribe(processor);
+}
+
+void ShardedStreamExecutor::SubscribeGlobal(EventProcessor* processor) {
+  EnsureGlobalLane()->executor.Subscribe(processor);
+}
+
+void ShardedStreamExecutor::SetPartitioner(Partitioner partitioner) {
+  partitioner_ = std::move(partitioner);
+}
+
+void ShardedStreamExecutor::SetProgressHooks(ProgressHooks hooks) {
+  hooks_ = std::move(hooks);
+}
+
+ShardedStreamExecutor::Lane* ShardedStreamExecutor::EnsureGlobalLane() {
+  if (!global_lane_) {
+    global_lane_ = std::make_unique<Lane>(options_.executor);
+  }
+  return global_lane_.get();
+}
+
+void ShardedStreamExecutor::Lane::Push(LaneBatch&& batch, size_t capacity) {
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    can_push.wait(lock, [&] { return queue.size() < capacity; });
+    queue.push_back(std::move(batch));
+  }
+  can_pop.notify_one();
+}
+
+void ShardedStreamExecutor::Lane::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    closed = true;
+  }
+  can_pop.notify_all();
+}
+
+void ShardedStreamExecutor::Lane::ThreadMain() {
+  executor.BeginStream();
+  LaneBatch batch;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      can_pop.wait(lock, [&] { return !queue.empty() || closed; });
+      if (queue.empty()) break;  // closed and drained
+      batch = std::move(queue.front());
+      queue.pop_front();
+    }
+    can_push.notify_one();
+    executor.ProcessBatch(batch.events.data(), batch.events.size());
+    // The *input* watermark, not the lane's own max event time — see the
+    // watermark rule in the class comment.
+    bool advanced = executor.AdvanceWatermark(batch.watermark);
+    if (advanced && hooks != nullptr && hooks->watermark) {
+      hooks->watermark(index, batch.watermark);
+    }
+  }
+  executor.FinishStream();
+  if (hooks != nullptr && hooks->finished) hooks->finished(index);
+}
+
+void ShardedStreamExecutor::Run(EventSource* source, size_t batch_size) {
+  if (ran_) return;
+  ran_ = true;
+  const size_t n = lanes_.size();
+
+  std::vector<std::thread> threads;
+  threads.reserve(n + 1);
+  for (size_t s = 0; s < n; ++s) {
+    lanes_[s]->index = s;
+    lanes_[s]->hooks = &hooks_;
+    threads.emplace_back([l = lanes_[s].get()] { l->ThreadMain(); });
+  }
+  if (global_lane_) {
+    threads.emplace_back([l = global_lane_.get()] { l->ThreadMain(); });
+  }
+
+  std::vector<EventBatch> staged(n);
+  Timestamp watermark = INT64_MIN;
+  size_t count = 0;
+  while (Event* batch = source->NextBatchZeroCopy(batch_size, &count)) {
+    ++splitter_stats_.input_batches;
+    splitter_stats_.input_events += count;
+    // Intern once, in the source's own buffer, before events fan out:
+    // replayed buffers (VectorEventSource) keep the memoization, and every
+    // copy below carries the symbol ids with it.
+    if (options_.executor.intern_strings) InternEventSpan(batch, count);
+    for (EventBatch& s : staged) s.clear();
+    for (size_t k = 0; k < count; ++k) {
+      const Event& e = batch[k];
+      if (e.ts > watermark) watermark = e.ts;
+      staged[partitioner_(e, n)].push_back(e);
+    }
+    // Every lane gets the advanced input watermark each input batch, even
+    // when it received no events — a quiet shard must keep closing windows
+    // so the merge stage's alignment can progress.
+    for (size_t s = 0; s < n; ++s) {
+      lanes_[s]->Push(LaneBatch{std::move(staged[s]), watermark},
+                      options_.queue_capacity);
+      staged[s] = EventBatch{};
+    }
+    if (global_lane_) {
+      LaneBatch gb;
+      gb.events.assign(batch, batch + count);
+      gb.watermark = watermark;
+      global_lane_->Push(std::move(gb), options_.queue_capacity);
+    }
+  }
+  for (auto& lane : lanes_) lane->Close();
+  if (global_lane_) global_lane_->Close();
+  for (std::thread& t : threads) t.join();
+}
+
+const ExecutorStats& ShardedStreamExecutor::shard_stats(size_t shard) const {
+  return lanes_[shard]->executor.stats();
+}
+
+const ExecutorStats* ShardedStreamExecutor::global_stats() const {
+  return global_lane_ ? &global_lane_->executor.stats() : nullptr;
+}
+
+ExecutorStats ShardedStreamExecutor::merged_stats() const {
+  ExecutorStats out;
+  auto add = [&out](const ExecutorStats& s) {
+    out.events += s.events;
+    out.deliveries += s.deliveries;
+    out.batches += s.batches;
+    out.routed_skips += s.routed_skips;
+    out.watermarks += s.watermarks;
+  };
+  for (const auto& lane : lanes_) add(lane->executor.stats());
+  if (global_lane_) add(global_lane_->executor.stats());
+  return out;
+}
+
+}  // namespace saql

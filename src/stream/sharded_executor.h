@@ -1,0 +1,173 @@
+#ifndef SAQL_STREAM_SHARDED_EXECUTOR_H_
+#define SAQL_STREAM_SHARDED_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/event.h"
+#include "core/time_util.h"
+#include "stream/event_source.h"
+#include "stream/stream_executor.h"
+
+namespace saql {
+
+/// Hash-partitioned parallel stream execution: one splitter thread pulls
+/// the (totally ordered) input stream, routes each event by its subject
+/// entity key to one of N shard lanes, and each lane runs its own
+/// `StreamExecutor` — with its own subscriber replicas — on a dedicated
+/// thread. An optional *global lane* additionally receives every event in
+/// input order, for subscribers whose semantics cannot be partitioned
+/// (multi-event joins across entities, count windows, alert cooldowns).
+///
+/// Watermark rule: every lane (shard and global) is advanced with the
+/// watermark of the *input* stream — the max event time the splitter has
+/// pulled — after each input batch, not with the lane's own max event time.
+/// Each shard substream is a timestamp-ordered subsequence of the input, so
+/// the input watermark is always ≥ any lane-local watermark and closes the
+/// same windows, just without lag on shards that go quiet. This is also
+/// what lets a downstream merge stage align per-shard window closes: when
+/// every lane has observed watermark W, every window ending at or before W
+/// has closed on every shard.
+///
+/// The splitter copies events into per-lane batches (the source's zero-copy
+/// buffer is only valid until the next pull, which happens while lanes are
+/// still draining earlier batches). Within a lane, delivery is the same
+/// routed zero-copy path as the single-threaded executor. Interning happens
+/// once, on the splitter, before partitioning.
+///
+/// Alert ordering and cross-shard aggregate merging are the subscriber
+/// layer's concern (see `SaqlEngine`'s sharded mode); this class only
+/// guarantees per-lane event order, the watermark rule above, and that each
+/// event reaches exactly one shard (plus the global lane when present).
+class ShardedStreamExecutor {
+ public:
+  /// Upper bound on lanes: each lane is a real thread; a runaway shard
+  /// count must not abort the process on thread exhaustion. Drivers
+  /// (engine, CLI) clamp with the same constant so replica wiring and
+  /// lane count always agree.
+  static constexpr size_t kMaxShards = 256;
+
+  struct Options {
+    /// Number of hash partitions (shard lanes); clamped to
+    /// [1, kMaxShards].
+    size_t num_shards = 2;
+    /// Per-lane executor options. `intern_strings` is honored once, on the
+    /// splitter; lanes inherit it only as a no-op safety (interned events
+    /// are skipped by `InternEventSpan`).
+    StreamExecutor::Options executor;
+    /// Max queued batches per lane before the splitter blocks
+    /// (backpressure, bounds memory when one shard lags).
+    size_t queue_capacity = 8;
+  };
+
+  /// Maps an event to a shard index in [0, num_shards). The default hashes
+  /// the subject entity key (agent id, subject pid) — all events *acted* by
+  /// one process land on one shard.
+  using Partitioner = std::function<size_t(const Event&, size_t num_shards)>;
+
+  explicit ShardedStreamExecutor(Options options);
+  ~ShardedStreamExecutor();
+
+  ShardedStreamExecutor(const ShardedStreamExecutor&) = delete;
+  ShardedStreamExecutor& operator=(const ShardedStreamExecutor&) = delete;
+
+  /// Registers a processor on shard `shard`'s lane. Processors must be
+  /// distinct per shard (they run on different threads) and outlive `Run`.
+  void SubscribeShard(size_t shard, EventProcessor* processor);
+
+  /// Registers a processor on the global lane (created on first use): it
+  /// sees every event, in input order, exactly like a single-threaded
+  /// executor would.
+  void SubscribeGlobal(EventProcessor* processor);
+
+  /// Replaces the default subject-entity-key partitioner.
+  void SetPartitioner(Partitioner partitioner);
+
+  /// Observers of shard-lane progress, both invoked on the lane's thread
+  /// *after* the subscribers' callbacks returned: `watermark(shard, ts)`
+  /// when a lane applied an advanced input watermark (every window close
+  /// for windows ≤ ts has already fired), `finished(shard)` after a lane
+  /// flushed end-of-stream. This is what a cross-shard merge stage aligns
+  /// on; hooks are not subscribers, so they never appear in the lanes'
+  /// delivery/skip accounting. Shard lanes only (the global lane is
+  /// single-threaded-semantics by construction and needs no alignment).
+  struct ProgressHooks {
+    std::function<void(size_t shard, Timestamp ts)> watermark;
+    std::function<void(size_t shard)> finished;
+  };
+  void SetProgressHooks(ProgressHooks hooks);
+
+  /// Pulls `source` to exhaustion through the splitter/lane pipeline and
+  /// joins all lane threads. May be called once per instance.
+  void Run(EventSource* source, size_t batch_size = 1024);
+
+  /// Default partitioner: FNV-1a over (agent_id, subject.pid).
+  static size_t SubjectKeyShard(const Event& event, size_t num_shards);
+
+  struct SplitterStats {
+    uint64_t input_events = 0;
+    uint64_t input_batches = 0;
+  };
+
+  const SplitterStats& splitter_stats() const { return splitter_stats_; }
+  size_t num_shards() const { return lanes_.size(); }
+  bool has_global_lane() const { return global_lane_ != nullptr; }
+
+  /// Per-lane executor statistics.
+  const ExecutorStats& shard_stats(size_t shard) const;
+  /// Global-lane statistics; null when no global processor subscribed.
+  const ExecutorStats* global_stats() const;
+
+  /// Element-wise sum over all lanes (shards + global). Routed-skip parity
+  /// holds lane by lane — deliveries + routed_skips equals what broadcast
+  /// delivery on that lane would have delivered — so it also holds for the
+  /// sum.
+  ExecutorStats merged_stats() const;
+
+ private:
+  /// One batch handed to a lane: the events (owned) and the input-stream
+  /// watermark as of the end of the batch.
+  struct LaneBatch {
+    EventBatch events;
+    Timestamp watermark = INT64_MIN;
+  };
+
+  /// A lane: bounded queue + executor. The thread pops batches until the
+  /// queue closes, then finishes the stream. `index`/`hooks` are set for
+  /// shard lanes only.
+  struct Lane {
+    explicit Lane(StreamExecutor::Options opts) : executor(opts) {}
+
+    void Push(LaneBatch&& batch, size_t capacity);
+    void Close();
+    void ThreadMain();
+
+    StreamExecutor executor;
+    std::mutex mu;
+    std::condition_variable can_push;
+    std::condition_variable can_pop;
+    std::deque<LaneBatch> queue;
+    bool closed = false;
+    size_t index = 0;
+    const ProgressHooks* hooks = nullptr;
+  };
+
+  Lane* EnsureGlobalLane();
+
+  Options options_;
+  Partitioner partitioner_;
+  ProgressHooks hooks_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::unique_ptr<Lane> global_lane_;
+  SplitterStats splitter_stats_;
+  bool ran_ = false;
+};
+
+}  // namespace saql
+
+#endif  // SAQL_STREAM_SHARDED_EXECUTOR_H_

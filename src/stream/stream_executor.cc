@@ -10,6 +10,9 @@ void StreamExecutor::Subscribe(EventProcessor* processor) {
 
 void StreamExecutor::Reset() {
   processors_.clear();
+  routed_.clear();
+  max_event_ts_ = INT64_MIN;
+  emitted_watermark_ = INT64_MIN;
   stats_ = ExecutorStats{};
 }
 
@@ -30,56 +33,72 @@ void StreamExecutor::BuildRoutingTable() {
   }
 }
 
-void StreamExecutor::Run(EventSource* source, size_t batch_size) {
+void StreamExecutor::BeginStream() {
   if (options_.enable_routing) BuildRoutingTable();
+  routed_.assign(processors_.size(), EventRefs{});
+  max_event_ts_ = INT64_MIN;
+  emitted_watermark_ = INT64_MIN;
+}
+
+void StreamExecutor::ProcessBatch(Event* batch, size_t count) {
+  if (count == 0) return;
   const size_t n = processors_.size();
-  // Per-subscriber slice of the current batch, reused across batches.
-  std::vector<EventRefs> routed(n);
-  Timestamp watermark = INT64_MIN;
-  Timestamp emitted_watermark = INT64_MIN;
-  size_t count = 0;
-  while (Event* batch = source->NextBatchZeroCopy(batch_size, &count)) {
-    ++stats_.batches;
-    if (options_.intern_strings) InternEventSpan(batch, count);
-    for (EventRefs& r : routed) r.clear();
-    for (size_t k = 0; k < count; ++k) {
-      const Event& e = batch[k];
-      ++stats_.events;
-      if (e.ts > watermark) watermark = e.ts;
-      if (options_.enable_routing) {
-        const std::vector<uint32_t>& bucket =
-            table_[static_cast<size_t>(e.object_type)]
-                  [static_cast<size_t>(e.op)];
-        for (uint32_t idx : bucket) routed[idx].push_back(&e);
-      } else {
-        for (EventRefs& r : routed) r.push_back(&e);
-      }
-    }
-    for (size_t i = 0; i < n; ++i) {
-      if (!routed[i].empty()) {
-        stats_.deliveries += routed[i].size();
-        processors_[i]->OnBatch(routed[i]);
-      }
-      uint64_t skipped = count - routed[i].size();
-      if (skipped > 0) {
-        stats_.routed_skips += skipped;
-        processors_[i]->OnRoutedSkip(skipped);
-      }
-    }
-    // Emit the watermark only when it advanced; re-broadcasting an
-    // unchanged watermark would make every stateful query rescan its open
-    // windows for nothing.
-    if (watermark != INT64_MIN && watermark > emitted_watermark) {
-      emitted_watermark = watermark;
-      ++stats_.watermarks;
-      for (EventProcessor* p : processors_) {
-        p->OnWatermark(watermark);
-      }
+  ++stats_.batches;
+  if (options_.intern_strings) InternEventSpan(batch, count);
+  for (EventRefs& r : routed_) r.clear();
+  for (size_t k = 0; k < count; ++k) {
+    const Event& e = batch[k];
+    ++stats_.events;
+    if (e.ts > max_event_ts_) max_event_ts_ = e.ts;
+    if (options_.enable_routing) {
+      const std::vector<uint32_t>& bucket =
+          table_[static_cast<size_t>(e.object_type)]
+                [static_cast<size_t>(e.op)];
+      for (uint32_t idx : bucket) routed_[idx].push_back(&e);
+    } else {
+      for (EventRefs& r : routed_) r.push_back(&e);
     }
   }
+  for (size_t i = 0; i < n; ++i) {
+    if (!routed_[i].empty()) {
+      stats_.deliveries += routed_[i].size();
+      processors_[i]->OnBatch(routed_[i]);
+    }
+    uint64_t skipped = count - routed_[i].size();
+    if (skipped > 0) {
+      stats_.routed_skips += skipped;
+      processors_[i]->OnRoutedSkip(skipped);
+    }
+  }
+}
+
+bool StreamExecutor::AdvanceWatermark(Timestamp ts) {
+  // Emit the watermark only when it advanced; re-broadcasting an unchanged
+  // watermark would make every stateful query rescan its open windows for
+  // nothing.
+  if (ts == INT64_MIN || ts <= emitted_watermark_) return false;
+  emitted_watermark_ = ts;
+  ++stats_.watermarks;
+  for (EventProcessor* p : processors_) {
+    p->OnWatermark(ts);
+  }
+  return true;
+}
+
+void StreamExecutor::FinishStream() {
   for (EventProcessor* p : processors_) {
     p->OnFinish();
   }
+}
+
+void StreamExecutor::Run(EventSource* source, size_t batch_size) {
+  BeginStream();
+  size_t count = 0;
+  while (Event* batch = source->NextBatchZeroCopy(batch_size, &count)) {
+    ProcessBatch(batch, count);
+    AdvanceWatermark(max_event_ts_);
+  }
+  FinishStream();
 }
 
 }  // namespace saql

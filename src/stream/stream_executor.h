@@ -129,8 +129,34 @@ class StreamExecutor {
   void Reset();
 
   /// Pulls `source` to exhaustion, delivering to eligible subscribers, then
-  /// calls OnFinish on each.
+  /// calls OnFinish on each. Equivalent to BeginStream + one ProcessBatch /
+  /// AdvanceWatermark pair per pulled batch + FinishStream.
   void Run(EventSource* source, size_t batch_size = 1024);
+
+  // Step-wise driving interface. `Run` is built from these; a sharded
+  // executor drives each per-shard instance directly so that watermarks can
+  // come from the *global* input stream (which every shard substream is a
+  // subsequence of) instead of the shard's own events.
+
+  /// Builds the dispatch index and resets per-run watermark state. Call
+  /// once after all Subscribe calls, before the first ProcessBatch.
+  void BeginStream();
+
+  /// Interns and delivers one batch to eligible subscribers. Does not emit
+  /// a watermark; the max event time seen so far is tracked internally.
+  void ProcessBatch(Event* batch, size_t count);
+
+  /// Emits `ts` to all subscribers if it advances the emitted watermark;
+  /// returns whether it did. `Run` passes the max event time seen;
+  /// external drivers may pass any value ≥ it (closing the same windows
+  /// earlier, never different ones).
+  bool AdvanceWatermark(Timestamp ts);
+
+  /// Calls OnFinish on all subscribers (end of stream).
+  void FinishStream();
+
+  /// Max event timestamp seen since BeginStream (INT64_MIN before any).
+  Timestamp max_event_ts() const { return max_event_ts_; }
 
   const ExecutorStats& stats() const { return stats_; }
 
@@ -142,6 +168,10 @@ class StreamExecutor {
   Options options_;
   std::vector<EventProcessor*> processors_;
   std::vector<uint32_t> table_[3][kNumEventOps];
+  /// Per-subscriber slice of the current batch, reused across batches.
+  std::vector<EventRefs> routed_;
+  Timestamp max_event_ts_ = INT64_MIN;
+  Timestamp emitted_watermark_ = INT64_MIN;
   ExecutorStats stats_;
 };
 

@@ -1,0 +1,97 @@
+// Interner lifecycle: size accounting for high-cardinality fields and the
+// rotation hook for long-running deployments.
+
+#include "core/interner.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace saql {
+namespace {
+
+using testing::EventBuilder;
+
+TEST(InternerTest, AccountingMatchesInsertedSpellings) {
+  Interner interner;
+  Interner::Stats empty = interner.stats();
+  EXPECT_EQ(empty.entries, 0u);
+  EXPECT_EQ(empty.bytes, 0u);
+
+  std::vector<std::string> spellings = {
+      "cmd.exe", "C:\\Windows\\Temp\\payload.bin", "alice", "db-server-01",
+      "/var/log/syslog"};
+  size_t expected_bytes = 0;
+  for (const std::string& s : spellings) {
+    interner.Intern(s);
+    expected_bytes += s.size();  // normalization only lowercases
+  }
+  Interner::Stats st = interner.stats();
+  EXPECT_EQ(st.entries, spellings.size());
+  EXPECT_EQ(st.bytes, expected_bytes);
+
+  // Re-interning (any case) adds nothing: same normalized spelling.
+  interner.Intern("CMD.EXE");
+  interner.Intern("Alice");
+  st = interner.stats();
+  EXPECT_EQ(st.entries, spellings.size());
+  EXPECT_EQ(st.bytes, expected_bytes);
+
+  // A genuinely new spelling is accounted at its normalized length.
+  interner.Intern("EVIL.dll");
+  st = interner.stats();
+  EXPECT_EQ(st.entries, spellings.size() + 1);
+  EXPECT_EQ(st.bytes, expected_bytes + std::string("evil.dll").size());
+}
+
+TEST(InternerTest, RotateResetsTableAndBumpsGeneration) {
+  Interner interner;
+  uint64_t gen0 = interner.stats().generation;
+  uint32_t id = interner.Intern("stale-path");
+  EXPECT_NE(id, Interner::kUnset);
+  EXPECT_EQ(interner.Find("stale-path"), id);
+
+  interner.Rotate();
+  Interner::Stats st = interner.stats();
+  EXPECT_EQ(st.entries, 0u);
+  EXPECT_EQ(st.bytes, 0u);
+  EXPECT_EQ(st.generation, gen0 + 1);
+  EXPECT_EQ(interner.Find("stale-path"), Interner::kUnset);
+
+  // Ids restart densely after rotation.
+  EXPECT_EQ(interner.Intern("fresh"), 1u);
+}
+
+TEST(InternerTest, EventSpanReinternsAfterGlobalRotation) {
+  // Event buffers survive a rotation: InternEventSpan re-interns events
+  // stamped with an older generation instead of trusting stale ids.
+  EventBatch events;
+  events.push_back(EventBuilder()
+                       .At(1)
+                       .OnHost("h1")
+                       .Subject("sqlservr.exe", 7)
+                       .Op(EventOp::kWrite)
+                       .FileObject("/backup1.dmp")
+                       .Build());
+  InternEventSpan(events.data(), events.size());
+  uint32_t gen_before = events[0].syms.gen;
+  uint32_t path_before = events[0].syms.obj_path;
+  ASSERT_NE(path_before, Interner::kUnset);
+  EXPECT_EQ(Interner::Global().NameOf(path_before), "/backup1.dmp");
+
+  // Memoized: a second pass does not re-stamp.
+  InternEventSpan(events.data(), events.size());
+  EXPECT_EQ(events[0].syms.gen, gen_before);
+
+  Interner::Global().Rotate();
+  InternEventSpan(events.data(), events.size());
+  EXPECT_EQ(events[0].syms.gen, gen_before + 1);
+  EXPECT_EQ(Interner::Global().NameOf(events[0].syms.obj_path),
+            "/backup1.dmp");
+}
+
+}  // namespace
+}  // namespace saql

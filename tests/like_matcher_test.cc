@@ -1,6 +1,31 @@
 #include "core/like_matcher.h"
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+
 #include <gtest/gtest.h>
+
+// Global allocation counter backing the MatchesDoesNotAllocate regression
+// below: LikeMatcher::Matches used to lower a copy of the text on every
+// call, taxing every string constraint on the per-event hot path. Counting
+// is relaxed-atomic so the replacement stays safe for the multi-threaded
+// tests sharing this binary.
+namespace {
+std::atomic<size_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace saql {
 namespace {
@@ -76,6 +101,42 @@ TEST(LikeMatcherTest, BacktrackingCase) {
   EXPECT_TRUE(m.Matches("xxabyyab"));
   EXPECT_TRUE(m.Matches("ababab"));
   EXPECT_FALSE(m.Matches("abba"));
+}
+
+TEST(LikeMatcherTest, MixedCaseTextAcrossAllKinds) {
+  // The in-place comparison lowers text bytes on the fly; every matcher
+  // kind must stay case-insensitive on the text side.
+  EXPECT_TRUE(LikeMatcher("cmd.exe").Matches("CmD.eXe"));
+  EXPECT_TRUE(LikeMatcher("%cmd.exe").Matches("C:\\SYS\\CMD.EXE"));
+  EXPECT_TRUE(LikeMatcher("c:\\win%").Matches("C:\\WINDOWS\\x"));
+  EXPECT_TRUE(LikeMatcher("%temp%").Matches("c:\\TEMP\\y"));
+  EXPECT_TRUE(LikeMatcher("osql%.exe").Matches("OSQL64.EXE"));
+  EXPECT_TRUE(LikeMatcher("backup_.dmp").Matches("BACKUP1.DMP"));
+}
+
+TEST(LikeMatcherTest, MatchesDoesNotAllocate) {
+  // Regression guard for the per-call lowered copy: matching must be
+  // allocation-free for every matcher kind. If this fails, something put
+  // a per-match string materialization back on the hot path.
+  LikeMatcher exact("cmd.exe");
+  LikeMatcher suffix("%cmd.exe");
+  LikeMatcher prefix("c:\\windows\\%");
+  LikeMatcher contains("%temp%");
+  LikeMatcher general("%c_d%.exe");
+  const std::string text = "C:\\Windows\\Temp\\System32\\cmd.exe";
+
+  size_t hits = 0;
+  size_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    hits += exact.Matches(text);
+    hits += suffix.Matches(text);
+    hits += prefix.Matches(text);
+    hits += contains.Matches(text);
+    hits += general.Matches(text);
+  }
+  size_t after = g_heap_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_EQ(hits, 4000u);  // all but exact match the deep path
 }
 
 }  // namespace
