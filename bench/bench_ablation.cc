@@ -15,8 +15,14 @@
 //      single-threaded executor. Interpret events/s against the `cores`
 //      counter — on a 1-core container the sweep can only show queueing
 //      overhead, not speedup.
+//   A7 Member-side matching — the shared per-group ConstraintIndex vs
+//      brute-force member loops at 8/32/128/512 queries over a
+//      multi-tenant few-shapes workload (exact-equality tenant
+//      constraints + shared numeric residuals). This is the regime the A5
+//      sweep exposed: with routing on, residual member matching dominates
+//      as queries grow.
 //   Baseline file: run with
-//     --benchmark_filter='Routing|ShardScaling'
+//     --benchmark_filter='Routing|ShardScaling|MemberIndex'
 //     --benchmark_out=BENCH_throughput.json --benchmark_out_format=json
 //   to refresh the checked-in throughput baseline.
 
@@ -328,6 +334,143 @@ BENCHMARK(BM_RoutingDisabledBroadcast)
     ->Arg(8)
     ->Arg(16)
     ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// A7: shared member-matching constraint index vs brute-force member loops.
+// ---------------------------------------------------------------------------
+
+/// Multi-tenant few-shapes workload: `n` stateless queries spread over 4
+/// structural shapes (so grouping yields 4 big groups of n/4 members).
+/// Each tenant watches its own executable with exact interned equality —
+/// the index resolves all of a group's tenants with one symbol probe per
+/// event — and every 4th tenant adds a shared numeric residual that the
+/// index evaluates once per event instead of once per member.
+std::vector<std::string> MemberIndexWorkloadQueries(int n) {
+  static const char* const kShapes[][2] = {
+      {"write", "ip i"},
+      {"read", "file f"},
+      {"write", "file f"},
+      {"start", "proc q"},
+  };
+  std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto& shape = kShapes[i % 4];
+    std::string subj =
+        "exe_name = \"tenant" + std::to_string(i / 4) + ".exe\"";
+    if (i % 4 == 1) subj += ", pid > 1000";
+    out.push_back("proc p[" + subj + "] " + shape[0] + " " + shape[1] +
+                  " as e return distinct p");
+  }
+  return out;
+}
+
+/// Every event hits one of the workload's 4 shapes (the dispatch index
+/// forwards nearly everything — member-side matching is the bottleneck
+/// under measurement). Subjects cycle over 160 tenant executables, so at
+/// 512 queries most events match exactly one member per group.
+const EventBatch& MemberIndexWorkloadStream() {
+  static const EventBatch* stream = [] {
+    constexpr size_t kN = 200000;
+    std::mt19937_64 rng(23);
+    std::uniform_int_distribution<int> tenant(0, 159);
+    std::uniform_int_distribution<int> pick4(0, 3);
+    std::uniform_int_distribution<int> pid(900, 1299);
+    static const std::pair<EventOp, EntityType> kShapes[4] = {
+        {EventOp::kWrite, EntityType::kNetwork},
+        {EventOp::kRead, EntityType::kFile},
+        {EventOp::kWrite, EntityType::kFile},
+        {EventOp::kStart, EntityType::kProcess},
+    };
+    auto* out = new EventBatch();
+    out->reserve(kN);
+    for (size_t i = 0; i < kN; ++i) {
+      Event e;
+      e.id = i + 1;
+      e.ts = static_cast<Timestamp>(i) * 10 * kMillisecond;
+      e.agent_id = "edge-" + std::to_string(i % 9);
+      e.subject.exe_name =
+          "tenant" + std::to_string(tenant(rng)) + ".exe";
+      e.subject.pid = pid(rng);
+      e.subject.user = (i % 2 == 0) ? "svc" : "alice";
+      const auto& [op, type] = kShapes[pick4(rng)];
+      e.op = op;
+      e.object_type = type;
+      switch (type) {
+        case EntityType::kProcess:
+          e.obj_proc.exe_name = "worker.exe";
+          e.obj_proc.pid = 4000 + static_cast<int64_t>(i % 50);
+          break;
+        case EntityType::kFile:
+          e.obj_file.path = "/srv/data/file" + std::to_string(i % 200);
+          break;
+        case EntityType::kNetwork:
+          e.obj_net.src_ip = "10.1.9.9";
+          e.obj_net.dst_ip = "10.1.0." + std::to_string(i % 40 + 1);
+          e.obj_net.dst_port = 443;
+          break;
+      }
+      e.amount = 512 + static_cast<int64_t>(i % 2048);
+      out->push_back(std::move(e));
+    }
+    return out;
+  }();
+  return *stream;
+}
+
+void RunMemberIndexAblation(benchmark::State& state, bool member_index) {
+  int num_queries = static_cast<int>(state.range(0));
+  static VectorEventSource* source =
+      new VectorEventSource(MemberIndexWorkloadStream());
+  const size_t stream_size = source->size();
+  std::vector<std::string> queries = MemberIndexWorkloadQueries(num_queries);
+  size_t indexed_groups = 0;
+  for (auto _ : state) {
+    SaqlEngine::Options opts;
+    opts.enable_member_index = member_index;
+    SaqlEngine engine(opts);
+    for (int i = 0; i < num_queries; ++i) {
+      Status st = engine.AddQuery(queries[static_cast<size_t>(i)],
+                                  "t" + std::to_string(i));
+      if (!st.ok()) {
+        state.SkipWithError(st.ToString().c_str());
+        return;
+      }
+    }
+    engine.SetAlertSink([](const Alert&) {});
+    source->Reset();
+    Status st = engine.Run(source);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    indexed_groups = engine.num_indexed_groups();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stream_size));
+  state.counters["queries"] = static_cast<double>(num_queries);
+  state.counters["indexed_groups"] = static_cast<double>(indexed_groups);
+}
+
+void BM_MemberIndexEnabled(benchmark::State& state) {
+  RunMemberIndexAblation(state, /*member_index=*/true);
+}
+BENCHMARK(BM_MemberIndexEnabled)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MemberIndexDisabledBrute(benchmark::State& state) {
+  RunMemberIndexAblation(state, /*member_index=*/false);
+}
+BENCHMARK(BM_MemberIndexDisabledBrute)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->Arg(512)
     ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------

@@ -1,7 +1,7 @@
 // The SAQL command-line UI (Fig. 3 of the paper): interactively register
 // queries, simulate or replay monitoring data, and inspect alerts.
 //
-//   $ ./saql_shell [--shards=N]
+//   $ ./saql_shell [--shards=N] [--member-index=on|off]
 //   saql> load queries/query1_rule.saql exfil
 //   saql> simulate 30
 //   saql> alerts
@@ -9,6 +9,8 @@
 //
 // --shards=N runs every simulate/replay on N hash-partitioned executor
 // lanes (also settable per session with the `shards` command).
+// --member-index=off falls back to brute-force member matching (the
+// ablation baseline; also settable per session with the `index` command).
 
 #include <cstdlib>
 #include <iostream>
@@ -29,8 +31,17 @@ int main(int argc, char** argv) {
         return 2;
       }
       shell.SetNumShards(static_cast<size_t>(n));
+    } else if (arg.rfind("--member-index=", 0) == 0) {
+      std::string v = arg.substr(15);
+      if (v != "on" && v != "off") {
+        std::cerr << "invalid value in '" << arg
+                  << "' (expected --member-index=on|off)\n";
+        return 2;
+      }
+      shell.SetMemberIndex(v == "on");
     } else {
-      std::cerr << "unknown flag '" << arg << "' (supported: --shards=N)\n";
+      std::cerr << "unknown flag '" << arg
+                << "' (supported: --shards=N, --member-index=on|off)\n";
       return 2;
     }
   }

@@ -63,6 +63,8 @@ bool QueryShell::Execute(const std::string& line) {
     CmdAlerts(args);
   } else if (cmd == "shards") {
     CmdShards(args);
+  } else if (cmd == "index") {
+    CmdIndex(args);
   } else if (cmd == "stats") {
     CmdStats();
   } else if (cmd == "errors") {
@@ -83,6 +85,7 @@ void QueryShell::CmdHelp() {
        << "  record <log> [minutes]  simulate and store events to a log\n"
        << "  alerts [n]              show last n alerts\n"
        << "  shards [n]              show or set executor shard lanes\n"
+       << "  index [on|off]          show or toggle member-match indexing\n"
        << "  stats                   last run statistics\n"
        << "  errors                  last run error reports\n"
        << "  quit                    exit\n";
@@ -168,6 +171,7 @@ void QueryShell::RunEngine(EventSource* source, size_t num_shards) {
   }
   SaqlEngine::Options opts;
   opts.num_shards = num_shards;
+  opts.enable_member_index = member_index_;
   SaqlEngine engine(opts);
   if (num_shards > 1) {
     out_ << "executing on " << num_shards << " shard lanes\n";
@@ -192,8 +196,10 @@ void QueryShell::RunEngine(EventSource* source, size_t num_shards) {
   stats << "events=" << engine.executor_stats().events
         << " deliveries=" << engine.executor_stats().deliveries
         << " queries=" << engine.num_queries()
-        << " groups=" << engine.num_groups() << " alerts=" << alerts_.size()
-        << "\n";
+        << " groups=" << engine.num_groups() << " indexed_groups="
+        << engine.num_indexed_groups() << " member_matching="
+        << (member_index_ ? "indexed" : "brute")
+        << " alerts=" << alerts_.size() << "\n";
   for (const auto& [name, qs] : engine.query_stats()) {
     stats << "  " << name << ": matched=" << qs.matches
           << " windows=" << qs.windows_closed << " alerts=" << qs.alerts
@@ -294,6 +300,25 @@ void QueryShell::CmdShards(const std::vector<std::string>& args) {
   }
   SetNumShards(static_cast<size_t>(n));
   out_ << "shards = " << num_shards_ << "\n";
+}
+
+void QueryShell::CmdIndex(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    out_ << "index = " << (member_index_ ? "on" : "off")
+         << (member_index_ ? " (shared member-match index)\n"
+                           : " (brute-force member loops)\n");
+    return;
+  }
+  std::string v = ToLower(args[0]);
+  if (v == "on") {
+    SetMemberIndex(true);
+  } else if (v == "off") {
+    SetMemberIndex(false);
+  } else {
+    out_ << "usage: index [on|off]\n";
+    return;
+  }
+  out_ << "index = " << (member_index_ ? "on" : "off") << "\n";
 }
 
 void QueryShell::CmdStats() {

@@ -27,6 +27,7 @@ namespace saql {
 ///   record <log> [minutes]   simulate and store events into a log file
 ///   alerts [n]               show the last n alerts (default 10)
 ///   shards [n]               show or set executor shard lanes (1 = off)
+///   index [on|off]           show or toggle shared member-match indexing
 ///   stats                    engine statistics of the last run
 ///   errors                   error-reporter contents of the last run
 ///   help                     command summary
@@ -49,6 +50,12 @@ class QueryShell {
   void SetNumShards(size_t n) { num_shards_ = n == 0 ? 1 : n; }
   size_t num_shards() const { return num_shards_; }
 
+  /// Enables/disables the shared member-matching ConstraintIndex for
+  /// subsequent runs (the `index on|off` command; on by default — off is
+  /// the brute-force ablation baseline).
+  void SetMemberIndex(bool on) { member_index_ = on; }
+  bool member_index() const { return member_index_; }
+
   /// Alerts collected by the last simulate/replay command.
   const std::vector<Alert>& alerts() const { return alerts_; }
 
@@ -67,6 +74,7 @@ class QueryShell {
   void CmdRecord(const std::vector<std::string>& args);
   void CmdAlerts(const std::vector<std::string>& args);
   void CmdShards(const std::vector<std::string>& args);
+  void CmdIndex(const std::vector<std::string>& args);
   void CmdStats();
   void CmdErrors();
 
@@ -85,6 +93,7 @@ class QueryShell {
   std::string last_stats_;
   std::string last_errors_;
   size_t num_shards_ = 1;
+  bool member_index_ = true;
 };
 
 }  // namespace saql

@@ -38,6 +38,11 @@ class CompiledConstraint {
 
   const std::string& field() const { return field_; }
   FieldId field_id() const { return field_id_; }
+  ConstraintOp op() const { return op_; }
+  const Value& value() const { return value_; }
+  /// Interned expected symbol; nonzero only for exact (wildcard-free)
+  /// string eq/ne constraints.
+  uint32_t symbol() const { return sym_; }
 
  private:
   void CompileValue();
@@ -73,6 +78,12 @@ class CompiledPattern {
 
   OpMask ops() const { return ops_; }
   EntityType object_type() const { return object_type_; }
+  const std::vector<CompiledConstraint>& subject_constraints() const {
+    return subject_constraints_;
+  }
+  const std::vector<CompiledConstraint>& object_constraints() const {
+    return object_constraints_;
+  }
 
   /// A stable signature of the structural shape, used to group compatible
   /// queries ("proc|start|proc").

@@ -154,6 +154,27 @@ void CompiledQuery::OnEvent(const Event& event) {
   }
 }
 
+void CompiledQuery::OnIndexedDelivery(uint64_t events_in,
+                                      uint64_t failed_global,
+                                      const EventRefs& matched) {
+  // Mirrors the single-pattern OnEvent path with the constraint evaluation
+  // hoisted into the group's shared index; the stats transitions must stay
+  // bit-identical to brute-force delivery.
+  stats_.events_in += events_in;
+  stats_.events_past_global += events_in - failed_global;
+  for (const Event* e : matched) {
+    ++stats_.matches;
+    PatternMatch m;
+    m.events.push_back(*e);
+    m.first_ts = m.last_ts = e->ts;
+    if (state_ != nullptr) {
+      state_->AddMatch(m);
+    } else {
+      EmitRuleMatch(m);
+    }
+  }
+}
+
 void CompiledQuery::OnWatermark(Timestamp ts) {
   if (matcher_ != nullptr) matcher_->Prune(ts);
   if (state_ != nullptr) state_->AdvanceWatermark(ts);

@@ -81,6 +81,22 @@ class CompiledQuery final : public EventProcessor {
   /// The compiled patterns, in declaration order.
   const std::vector<CompiledPattern>& patterns() const { return patterns_; }
 
+  /// The compiled whole-event (global) constraints — read by the group's
+  /// shared `ConstraintIndex` at BuildGroups time.
+  const std::vector<CompiledConstraint>& global_constraints() const {
+    return global_constraints_;
+  }
+
+  /// Index-driven delivery for single-pattern members of an indexed group:
+  /// the group evaluated this member's constraint conjunction through the
+  /// shared `ConstraintIndex` and hands over only the events that fully
+  /// matched, plus the counts needed to keep `QueryStats` identical to
+  /// brute-force delivery (`events_in` = events the member would have been
+  /// handed, `failed_global` = how many of those failed its global
+  /// constraints). Events in `matched` are in stream order.
+  void OnIndexedDelivery(uint64_t events_in, uint64_t failed_global,
+                         const EventRefs& matched);
+
   const std::string& name() const { return name_; }
   const AnalyzedQuery& analyzed() const { return *aq_; }
   const QueryStats& stats() const { return stats_; }

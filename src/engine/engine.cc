@@ -13,7 +13,8 @@ namespace saql {
 
 SaqlEngine::SaqlEngine(Options options)
     : options_(options),
-      scheduler_(ConcurrentQueryScheduler::Options{options.enable_grouping}),
+      scheduler_(ConcurrentQueryScheduler::Options{
+          options.enable_grouping, options.enable_member_index}),
       executor_(StreamExecutor::Options{options.enable_routing,
                                         options.intern_strings}) {
   sink_ = [this](const Alert& a) { alerts_.push_back(a); };
@@ -162,21 +163,40 @@ Status SaqlEngine::RunSharded(EventSource* source) {
 
   // One scheduler (query grouping) per shard lane over that shard's
   // replicas, plus one for the global lane over the original queries.
+  // The member-matching ConstraintIndex is built once, on lane 0; every
+  // other lane's groups adopt the same immutable index (lanes register the
+  // same queries in the same order, so groups correspond by position and
+  // member order, and Match is const — per-lane scratch lives in each
+  // lane's own QueryGroup).
   std::vector<std::unique_ptr<ConcurrentQueryScheduler>> schedulers;
   schedulers.reserve(n + 1);
+  std::vector<QueryGroup*> lane0_groups;
   for (size_t s = 0; s < n; ++s) {
     auto sched = std::make_unique<ConcurrentQueryScheduler>(
-        ConcurrentQueryScheduler::Options{options_.enable_grouping});
+        ConcurrentQueryScheduler::Options{
+            options_.enable_grouping,
+            options_.enable_member_index && s == 0});
     for (size_t qi = 0; qi < queries_.size(); ++qi) {
       if (!replicas[qi].empty()) sched->AddQuery(replicas[qi][s].get());
     }
     sched->BuildGroups();
-    for (QueryGroup* g : sched->groups()) sharded.SubscribeShard(s, g);
+    std::vector<QueryGroup*> groups = sched->groups();
+    if (s == 0) {
+      lane0_groups = groups;
+    } else if (options_.enable_member_index) {
+      for (size_t j = 0; j < groups.size() && j < lane0_groups.size(); ++j) {
+        if (groups[j]->signature() == lane0_groups[j]->signature()) {
+          groups[j]->AdoptIndex(lane0_groups[j]->shared_index());
+        }
+      }
+    }
+    for (QueryGroup* g : groups) sharded.SubscribeShard(s, g);
     schedulers.push_back(std::move(sched));
   }
   if (!global_queries.empty()) {
     auto sched = std::make_unique<ConcurrentQueryScheduler>(
-        ConcurrentQueryScheduler::Options{options_.enable_grouping});
+        ConcurrentQueryScheduler::Options{options_.enable_grouping,
+                                          options_.enable_member_index});
     for (CompiledQuery* q : global_queries) sched->AddQuery(q);
     sched->BuildGroups();
     for (QueryGroup* g : sched->groups()) sharded.SubscribeGlobal(g);
@@ -218,10 +238,13 @@ Status SaqlEngine::RunSharded(EventSource* source) {
   // Aggregate statistics across lanes.
   sharded_exec_stats_ = sharded.merged_stats();
   sharded_num_groups_ = 0;
+  sharded_indexed_groups_ = 0;
   if (!schedulers.empty()) {
     sharded_num_groups_ = schedulers.front()->num_groups();
+    sharded_indexed_groups_ = schedulers.front()->num_indexed_groups();
     if (!global_queries.empty()) {
       sharded_num_groups_ += schedulers.back()->num_groups();
+      sharded_indexed_groups_ += schedulers.back()->num_indexed_groups();
     }
   }
   uint64_t fr_in = 0, fr_forwarded = 0;

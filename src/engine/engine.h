@@ -36,6 +36,15 @@ class SaqlEngine {
     bool enable_routing = true;
     /// Intern hot event strings once per batch before dispatch.
     bool intern_strings = true;
+    /// Member-side matching through a shared per-group `ConstraintIndex`:
+    /// the group's member constraint conjunctions are factored into
+    /// deduplicated predicate slots at BuildGroups time (exact interned
+    /// equality collapses to one symbol probe per field, residuals
+    /// evaluate once per event instead of once per member). Disabled =
+    /// brute-force member loops (the differential-test and A7 ablation
+    /// baseline). Alert output and per-member stats are identical either
+    /// way.
+    bool enable_member_index = true;
     /// Hash-partitioned parallel execution: with N > 1 the engine runs N
     /// per-shard executor lanes (events partitioned by subject entity
     /// key), replicating partitionable queries per shard and merging
@@ -89,6 +98,12 @@ class SaqlEngine {
   size_t num_groups() const {
     return sharded_ran_ ? sharded_num_groups_ : scheduler_.num_groups();
   }
+  /// Groups whose member matching ran through a shared ConstraintIndex
+  /// (sharded mode counts each distinct index once, not per lane).
+  size_t num_indexed_groups() const {
+    return sharded_ran_ ? sharded_indexed_groups_
+                        : scheduler_.num_indexed_groups();
+  }
   double forward_ratio() const {
     return sharded_ran_ ? sharded_forward_ratio_ : scheduler_.ForwardRatio();
   }
@@ -117,6 +132,7 @@ class SaqlEngine {
   bool sharded_ran_ = false;
   ExecutorStats sharded_exec_stats_;
   size_t sharded_num_groups_ = 0;
+  size_t sharded_indexed_groups_ = 0;
   double sharded_forward_ratio_ = 0.0;
   std::vector<std::pair<std::string, CompiledQuery::QueryStats>>
       sharded_query_stats_;

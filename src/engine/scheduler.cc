@@ -9,6 +9,11 @@ void QueryGroup::OnEvent(const Event& event) {
   // first member's patterns decide for the whole group.
   if (!members_.front()->StructuralMatchAny(event)) return;
   ++stats_.events_forwarded;
+  if (index_ != nullptr) {
+    single_event_scratch_.assign(1, &event);
+    DeliverIndexed(single_event_scratch_);
+    return;
+  }
   for (CompiledQuery* q : members_) {
     ++stats_.member_deliveries;
     q->OnEvent(event);
@@ -27,9 +32,49 @@ void QueryGroup::OnBatch(const EventRefs& events) {
   }
   if (forward_scratch_.empty()) return;
   stats_.events_forwarded += forward_scratch_.size();
+  if (index_ != nullptr) {
+    DeliverIndexed(forward_scratch_);
+    return;
+  }
   for (CompiledQuery* q : members_) {
     stats_.member_deliveries += forward_scratch_.size();
     q->OnBatch(forward_scratch_);
+  }
+}
+
+void QueryGroup::DeliverIndexed(const EventRefs& forwarded) {
+  const size_t n = members_.size();
+  const std::vector<uint64_t>& all = index_->all_members();
+  member_matches_.resize(n);
+  for (EventRefs& m : member_matches_) m.clear();
+  member_failed_global_.assign(n, 0);
+  for (const Event* e : forwarded) {
+    index_->Match(*e, &match_scratch_);
+    // Per-member accounting iterates only the *exceptional* bits: global
+    // failures and full matches are both sparse in the many-query regime,
+    // so the common case costs a handful of word compares, not one
+    // counter update per member per event.
+    for (size_t w = 0; w < all.size(); ++w) {
+      uint64_t failed = all[w] & ~match_scratch_.passed_global[w];
+      while (failed != 0) {
+        size_t i = w * 64 + static_cast<size_t>(__builtin_ctzll(failed));
+        ++member_failed_global_[i];
+        failed &= failed - 1;
+      }
+      uint64_t matched = match_scratch_.matched[w];
+      while (matched != 0) {
+        size_t i = w * 64 + static_cast<size_t>(__builtin_ctzll(matched));
+        member_matches_[i].push_back(e);
+        matched &= matched - 1;
+      }
+    }
+  }
+  // Member-major delivery, exactly like the brute-force OnBatch loop, so
+  // alert emission order is identical with the index on or off.
+  for (size_t i = 0; i < n; ++i) {
+    stats_.member_deliveries += member_matches_[i].size();
+    members_[i]->OnIndexedDelivery(forwarded.size(), member_failed_global_[i],
+                                   member_matches_[i]);
   }
 }
 
@@ -69,7 +114,7 @@ void ConcurrentQueryScheduler::BuildGroups() {
       group->AddMember(q);
       groups_.push_back(std::move(group));
     }
-    return;
+    return;  // one member per group: nothing for an index to share
   }
   std::map<std::string, QueryGroup*> by_signature;
   for (CompiledQuery* q : queries_) {
@@ -82,6 +127,19 @@ void ConcurrentQueryScheduler::BuildGroups() {
     }
     it->second->AddMember(q);
   }
+  if (options_.enable_member_index) {
+    for (auto& g : groups_) {
+      if (g->size() >= options_.min_index_members) g->BuildIndex();
+    }
+  }
+}
+
+size_t ConcurrentQueryScheduler::num_indexed_groups() const {
+  size_t n = 0;
+  for (const auto& g : groups_) {
+    if (g->index() != nullptr) ++n;
+  }
+  return n;
 }
 
 std::vector<QueryGroup*> ConcurrentQueryScheduler::groups() {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "engine/compiled_query.h"
+#include "engine/constraint_index.h"
 #include "stream/stream_executor.h"
 
 namespace saql {
@@ -42,6 +43,26 @@ class QueryGroup final : public EventProcessor {
   /// shape drives the shared filter (all members share it by construction).
   void AddMember(CompiledQuery* query) { members_.push_back(query); }
 
+  /// Builds the shared member-matching `ConstraintIndex` over the current
+  /// members (BuildGroups time). No-op — brute-force member delivery — when
+  /// the group is not indexable (see ConstraintIndex::Build).
+  void BuildIndex() { index_ = ConstraintIndex::Build(members_); }
+
+  /// Adopts an index built for an identical member list (a sharded lane
+  /// reusing the first lane's immutable index). Ignores nullptr; rejects a
+  /// member-count mismatch by keeping brute-force delivery.
+  void AdoptIndex(std::shared_ptr<const ConstraintIndex> index) {
+    if (index != nullptr && index->num_members() == members_.size()) {
+      index_ = std::move(index);
+    }
+  }
+
+  /// The shared index, or nullptr when this group delivers brute-force.
+  const ConstraintIndex* index() const { return index_.get(); }
+  std::shared_ptr<const ConstraintIndex> shared_index() const {
+    return index_;
+  }
+
   void OnEvent(const Event& event) override;
   void OnBatch(const EventRefs& events) override;
   void OnWatermark(Timestamp ts) override;
@@ -57,11 +78,23 @@ class QueryGroup final : public EventProcessor {
   const GroupStats& stats() const { return stats_; }
 
  private:
+  /// Index-driven delivery of one forwarded slice: evaluates the shared
+  /// index per event and hands each member only its matching events, with
+  /// exact per-member stats accounting.
+  void DeliverIndexed(const EventRefs& forwarded);
+
   std::string signature_;
   std::vector<CompiledQuery*> members_;
   GroupStats stats_;
   /// Scratch for batched member forwarding, reused across batches.
   EventRefs forward_scratch_;
+  /// Shared constraint discrimination index (nullptr = brute force).
+  std::shared_ptr<const ConstraintIndex> index_;
+  // Reused index-delivery scratch.
+  ConstraintIndex::MatchResult match_scratch_;
+  std::vector<EventRefs> member_matches_;
+  std::vector<uint64_t> member_failed_global_;
+  EventRefs single_event_scratch_;
 };
 
 /// The paper's concurrent query scheduler: divides registered queries into
@@ -72,6 +105,17 @@ class ConcurrentQueryScheduler {
  public:
   struct Options {
     bool enable_grouping = true;
+    /// Build a shared `ConstraintIndex` per group at BuildGroups time so
+    /// member-side matching is one index walk per event instead of one
+    /// constraint-conjunction evaluation per member. Disabled = brute
+    /// force (the differential-test and ablation baseline).
+    bool enable_member_index = true;
+    /// Smallest group that gets an index. For tiny groups the per-event
+    /// bitset walk costs more than two or three direct conjunction
+    /// evaluations (the A7 ablation's 8-query point); brute force stays
+    /// faster until a few members share the walk. Tests drop this to 2
+    /// for coverage.
+    size_t min_index_members = 3;
   };
 
   ConcurrentQueryScheduler() : ConcurrentQueryScheduler(Options{}) {}
@@ -89,6 +133,8 @@ class ConcurrentQueryScheduler {
 
   size_t num_queries() const { return queries_.size(); }
   size_t num_groups() const { return groups_.size(); }
+  /// Groups whose member matching runs through a shared ConstraintIndex.
+  size_t num_indexed_groups() const;
 
   /// Events forwarded to members across groups / events seen — the measure
   /// of how much stream data the scheme filtered out before per-query work.

@@ -82,7 +82,7 @@ Result<Query> Parser::ParseQuery(const std::string& text) {
     } else if (CheckIdent("return")) {
       SAQL_RETURN_IF_ERROR(ParseReturn(&query));
     } else if (Check(TokenKind::kIdentifier) &&
-               Peek(1).Is(TokenKind::kAssign)) {
+               IsConstraintOpToken(Peek(1).kind)) {
       SAQL_RETURN_IF_ERROR(ParseGlobalConstraint(&query));
     } else {
       return ErrorHere("unexpected " + Peek().ToString() +
@@ -98,13 +98,43 @@ Result<Query> Parser::ParseQuery(const std::string& text) {
   return query;
 }
 
+bool Parser::IsConstraintOpToken(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kAssign:
+    case TokenKind::kEq:
+    case TokenKind::kNe:
+    case TokenKind::kLt:
+    case TokenKind::kLe:
+    case TokenKind::kGt:
+    case TokenKind::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<ConstraintOp> Parser::ParseConstraintOp(const std::string& context) {
+  if (Match(TokenKind::kAssign) || Match(TokenKind::kEq)) {
+    return ConstraintOp::kEq;
+  }
+  if (Match(TokenKind::kNe)) return ConstraintOp::kNe;
+  if (Match(TokenKind::kLt)) return ConstraintOp::kLt;
+  if (Match(TokenKind::kLe)) return ConstraintOp::kLe;
+  if (Match(TokenKind::kGt)) return ConstraintOp::kGt;
+  if (Match(TokenKind::kGe)) return ConstraintOp::kGe;
+  return ErrorHere("expected comparison operator in " + context);
+}
+
 Status Parser::ParseGlobalConstraint(Query* query) {
+  // Global lines accept the same operator set as entity constraints
+  // (`agentid = server1`, `agentid != lab-host`, `amount > 1000`).
   Token field = Advance();
-  Advance();  // '='
+  SAQL_ASSIGN_OR_RETURN(ConstraintOp op,
+                        ParseConstraintOp("global constraint"));
   SAQL_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
   AttrConstraint c;
   c.field = ToLower(field.text);
-  c.op = ConstraintOp::kEq;
+  c.op = op;
   c.value = std::move(v);
   c.loc = field.loc;
   query->global_constraints.push_back(std::move(c));
@@ -219,22 +249,7 @@ Result<std::vector<AttrConstraint>> Parser::ParseConstraintList(
   }
   while (true) {
     SAQL_ASSIGN_OR_RETURN(Token field, ExpectIdent("constraint field"));
-    ConstraintOp op;
-    if (Match(TokenKind::kAssign) || Match(TokenKind::kEq)) {
-      op = ConstraintOp::kEq;
-    } else if (Match(TokenKind::kNe)) {
-      op = ConstraintOp::kNe;
-    } else if (Match(TokenKind::kLt)) {
-      op = ConstraintOp::kLt;
-    } else if (Match(TokenKind::kLe)) {
-      op = ConstraintOp::kLe;
-    } else if (Match(TokenKind::kGt)) {
-      op = ConstraintOp::kGt;
-    } else if (Match(TokenKind::kGe)) {
-      op = ConstraintOp::kGe;
-    } else {
-      return ErrorHere("expected comparison operator in constraint");
-    }
+    SAQL_ASSIGN_OR_RETURN(ConstraintOp op, ParseConstraintOp("constraint"));
     SAQL_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
     AttrConstraint c;
     c.field = ToLower(field.text);

@@ -55,6 +55,14 @@ class Parser {
   Result<Duration> ParseDurationTokens();
   Result<GroupKey> ParseGroupKey();
 
+  /// True when `kind` is a constraint comparison operator token (`=`,
+  /// `==`, `!=`, `<`, `<=`, `>`, `>=`).
+  static bool IsConstraintOpToken(TokenKind kind);
+  /// Consumes one constraint comparison operator. Shared by entity
+  /// constraint lists and global constraint lines so the accepted
+  /// operator set cannot drift between the two.
+  Result<ConstraintOp> ParseConstraintOp(const std::string& context);
+
   // Token helpers.
   const Token& Peek(int ahead = 0) const;
   const Token& Advance();

@@ -1,0 +1,19 @@
+#ifndef SAQL_TESTS_ALLOC_COUNTER_H_
+#define SAQL_TESTS_ALLOC_COUNTER_H_
+
+#include <cstddef>
+
+namespace saql {
+namespace testing {
+
+/// Process-wide heap allocation count, backed by the test binary's global
+/// operator new replacement (tests/alloc_counter.cc). Allocation-free
+/// regression tests (`LikeMatcher::Matches`, the exact-equality
+/// un-interned fallback in `CompiledConstraint`) read it before and after
+/// the hot-path call and assert the delta is zero.
+std::size_t HeapAllocs();
+
+}  // namespace testing
+}  // namespace saql
+
+#endif  // SAQL_TESTS_ALLOC_COUNTER_H_

@@ -1,31 +1,15 @@
 #include "core/like_matcher.h"
 
-#include <atomic>
-#include <cstdlib>
-#include <new>
 #include <string>
 
 #include <gtest/gtest.h>
 
-// Global allocation counter backing the MatchesDoesNotAllocate regression
-// below: LikeMatcher::Matches used to lower a copy of the text on every
-// call, taxing every string constraint on the per-event hot path. Counting
-// is relaxed-atomic so the replacement stays safe for the multi-threaded
-// tests sharing this binary.
-namespace {
-std::atomic<size_t> g_heap_allocs{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// The process-wide allocation counter behind MatchesDoesNotAllocate lives
+// in tests/alloc_counter.cc (shared with the CompiledConstraint
+// un-interned-fallback regression): LikeMatcher::Matches used to lower a
+// copy of the text on every call, taxing every string constraint on the
+// per-event hot path.
+#include "alloc_counter.h"
 
 namespace saql {
 namespace {
@@ -126,7 +110,7 @@ TEST(LikeMatcherTest, MatchesDoesNotAllocate) {
   const std::string text = "C:\\Windows\\Temp\\System32\\cmd.exe";
 
   size_t hits = 0;
-  size_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  size_t before = testing::HeapAllocs();
   for (int i = 0; i < 1000; ++i) {
     hits += exact.Matches(text);
     hits += suffix.Matches(text);
@@ -134,7 +118,7 @@ TEST(LikeMatcherTest, MatchesDoesNotAllocate) {
     hits += contains.Matches(text);
     hits += general.Matches(text);
   }
-  size_t after = g_heap_allocs.load(std::memory_order_relaxed);
+  size_t after = testing::HeapAllocs();
   EXPECT_EQ(after - before, 0u);
   EXPECT_EQ(hits, 4000u);  // all but exact match the deep path
 }

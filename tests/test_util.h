@@ -1,11 +1,17 @@
 #ifndef SAQL_TESTS_TEST_UTIL_H_
 #define SAQL_TESTS_TEST_UTIL_H_
 
+#include <cstdint>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
 
 #include "core/event.h"
+#include "engine/compiled_query.h"
 
 namespace saql {
 namespace testing {
@@ -70,6 +76,45 @@ class EventBuilder {
  private:
   Event event_{};
 };
+
+/// Compiles a SAQL query, failing the current test (non-fatally) on
+/// error; returns null on failure.
+inline std::unique_ptr<CompiledQuery> CompileQuery(const std::string& text,
+                                                   const std::string& name) {
+  Result<AnalyzedQueryPtr> aq = CompileSaql(text);
+  EXPECT_TRUE(aq.ok()) << text << "\n" << aq.status();
+  if (!aq.ok()) return nullptr;
+  Result<std::unique_ptr<CompiledQuery>> q =
+      CompiledQuery::Create(aq.value(), name);
+  EXPECT_TRUE(q.ok()) << q.status();
+  if (!q.ok()) return nullptr;
+  return std::move(q).value();
+}
+
+// Brute-force member-matching oracle shared by the ConstraintIndex
+// differential and property suites: both must compare the index against
+// the SAME reference, or the two suites could silently disagree about
+// what "correct" means. Mirrors the single-pattern CompiledQuery::OnEvent
+// evaluation order (global constraints, then the pattern's constraints);
+// the structural shape is assumed already checked by the group master.
+
+inline bool BruteForcePassesGlobal(const CompiledQuery& q,
+                                   const Event& event) {
+  for (const CompiledConstraint& c : q.global_constraints()) {
+    if (!c.MatchesEvent(event)) return false;
+  }
+  return true;
+}
+
+inline bool BruteForceMatches(const CompiledQuery& q, const Event& event) {
+  return BruteForcePassesGlobal(q, event) &&
+         q.patterns()[0].Matches(event);
+}
+
+/// Reads member bit `i` of a ConstraintIndex::MatchResult bitset.
+inline bool BitAt(const std::vector<uint64_t>& bits, size_t i) {
+  return (bits[i / 64] >> (i % 64)) & 1;
+}
 
 }  // namespace testing
 }  // namespace saql
