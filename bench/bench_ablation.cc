@@ -21,8 +21,15 @@
 //      constraints + shared numeric residuals). This is the regime the A5
 //      sweep exposed: with routing on, residual member matching dominates
 //      as queries grow.
+//   A8 Dynamic query churn — the session API's mid-stream
+//      AddQuery/RemoveQuery (group patching + ConstraintIndex rebuild +
+//      dispatch re-registration) at K = 0/4/16/64 queries churned per
+//      stream chunk over a static 64-tenant base set. K=0 is the
+//      no-churn session baseline; the sweep prices what a live
+//      multi-tenant deployment pays for analysts joining and leaving
+//      mid-stream.
 //   Baseline file: run with
-//     --benchmark_filter='Routing|ShardScaling|MemberIndex'
+//     --benchmark_filter='Routing|ShardScaling|MemberIndex|DynamicChurn'
 //     --benchmark_out=BENCH_throughput.json --benchmark_out_format=json
 //   to refresh the checked-in throughput baseline.
 
@@ -471,6 +478,105 @@ BENCHMARK(BM_MemberIndexDisabledBrute)
     ->Arg(32)
     ->Arg(128)
     ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// A8: dynamic query churn through the session API.
+// ---------------------------------------------------------------------------
+
+/// A live session over the multi-tenant workload: 64 static tenant
+/// queries, the stream pushed in 8 chunks, and at each chunk boundary K
+/// fresh tenant queries attach while the previous boundary's K retract —
+/// the add path rebuilds the affected group's ConstraintIndex over the
+/// widened member list and the remove path tears membership back down, so
+/// the sweep isolates the cost of mid-stream query churn against the K=0
+/// no-churn session baseline.
+void BM_DynamicChurn(benchmark::State& state) {
+  const int churn = static_cast<int>(state.range(0));
+  constexpr int kBaseQueries = 64;
+  constexpr size_t kChunks = 8;
+  static EventBatch* stream = new EventBatch(MemberIndexWorkloadStream());
+  std::vector<std::string> base = MemberIndexWorkloadQueries(kBaseQueries);
+  // Churned query texts, generated outside the timed region: only the
+  // parse+compile+attach (and teardown) cost belongs to the measurement.
+  std::vector<std::string> fresh;
+  {
+    std::vector<std::string> all =
+        MemberIndexWorkloadQueries(kBaseQueries + churn);
+    fresh.assign(all.begin() + kBaseQueries, all.end());
+  }
+  const size_t chunk = stream->size() / kChunks;
+  uint64_t adds = 0, removes = 0;
+  for (auto _ : state) {
+    SaqlEngine engine;
+    engine.SetAlertSink([](const Alert&) {});
+    for (int i = 0; i < kBaseQueries; ++i) {
+      Status st = engine.AddQuery(base[static_cast<size_t>(i)],
+                                  "t" + std::to_string(i));
+      if (!st.ok()) {
+        state.SkipWithError(st.ToString().c_str());
+        return;
+      }
+    }
+    auto session = engine.OpenSession();
+    if (!session.ok()) {
+      state.SkipWithError(session.status().ToString().c_str());
+      return;
+    }
+    std::vector<std::string> last_added;
+    for (size_t c = 0; c < kChunks; ++c) {
+      size_t begin = c * chunk;
+      size_t n = c + 1 == kChunks ? stream->size() - begin : chunk;
+      Status st = (*session)->Push(stream->data() + begin, n);
+      if (st.ok()) {
+        st = (*session)->AdvanceWatermark((*session)->max_event_ts());
+      }
+      if (!st.ok()) {
+        state.SkipWithError(st.ToString().c_str());
+        return;
+      }
+      if (churn == 0 || c + 1 == kChunks) continue;
+      for (const std::string& name : last_added) {
+        st = (*session)->RemoveQuery(name);
+        if (!st.ok()) {
+          state.SkipWithError(st.ToString().c_str());
+          return;
+        }
+        ++removes;
+      }
+      last_added.clear();
+      // Fresh tenants in the workload's shapes; names are unique for the
+      // session's lifetime, so they carry the chunk number.
+      for (int j = 0; j < churn; ++j) {
+        std::string name =
+            "c" + std::to_string(c) + "_" + std::to_string(j);
+        auto h = (*session)->AddQuery(fresh[static_cast<size_t>(j)], name);
+        if (!h.ok()) {
+          state.SkipWithError(h.status().ToString().c_str());
+          return;
+        }
+        last_added.push_back(name);
+        ++adds;
+      }
+    }
+    Status st = (*session)->Close();
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stream->size()));
+  state.counters["churn_per_boundary"] = static_cast<double>(churn);
+  state.counters["adds"] = static_cast<double>(adds);
+  state.counters["removes"] = static_cast<double>(removes);
+  state.counters["base_queries"] = static_cast<double>(kBaseQueries);
+}
+BENCHMARK(BM_DynamicChurn)
+    ->Arg(0)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------

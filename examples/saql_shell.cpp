@@ -1,14 +1,22 @@
 // The SAQL command-line UI (Fig. 3 of the paper): interactively register
-// queries, simulate or replay monitoring data, and inspect alerts.
+// queries, simulate or replay monitoring data, and inspect alerts — either
+// as one-shot batch runs, or against a live push-driven engine session
+// that queries can join and leave mid-stream (the deployed-monitor mode).
 //
 //   $ ./saql_shell [--shards=N] [--member-index=on|off]
 //   saql> load queries/query1_rule.saql exfil
-//   saql> simulate 30
-//   saql> alerts
+//   saql> simulate 30                  # one-shot batch run
+//   saql> open --shards=2              # ... or go live
+//   saql> push 16                      # stream simulated traffic in
+//   saql> add lateral proc p["%osql.exe"] start proc q as e return p, q
+//   saql> push 16                      # 'lateral' sees only these events
+//   saql> remove exfil                 # retract; final stats retained
+//   saql> stats
+//   saql> close
 //   saql> quit
 //
-// --shards=N runs every simulate/replay on N hash-partitioned executor
-// lanes (also settable per session with the `shards` command).
+// --shards=N runs every simulate/replay/open on N hash-partitioned
+// executor lanes (also settable per session with the `shards` command).
 // --member-index=off falls back to brute-force member matching (the
 // ablation baseline; also settable per session with the `index` command).
 

@@ -6,7 +6,6 @@
 #include "cli/table.h"
 #include "collect/enterprise_sim.h"
 #include "core/string_util.h"
-#include "engine/engine.h"
 #include "storage/event_log.h"
 #include "storage/replayer.h"
 
@@ -26,6 +25,12 @@ std::vector<std::string> Tokenize(const std::string& line) {
 
 QueryShell::QueryShell(std::istream& in, std::ostream& out)
     : in_(in), out_(out) {}
+
+QueryShell::~QueryShell() {
+  // Session before engine: the session's teardown touches the engine.
+  live_session_.reset();
+  live_engine_.reset();
+}
 
 void QueryShell::Run() {
   out_ << "SAQL shell — type 'help' for commands.\n";
@@ -59,6 +64,18 @@ bool QueryShell::Execute(const std::string& line) {
     CmdReplay(args);
   } else if (cmd == "record") {
     CmdRecord(args);
+  } else if (cmd == "open") {
+    CmdOpen(args);
+  } else if (cmd == "push") {
+    CmdPush(args);
+  } else if (cmd == "add") {
+    CmdAdd(trimmed.substr(3));
+  } else if (cmd == "remove") {
+    CmdRemove(args);
+  } else if (cmd == "session") {
+    CmdSessionStatus();
+  } else if (cmd == "close") {
+    CmdClose();
   } else if (cmd == "alerts") {
     CmdAlerts(args);
   } else if (cmd == "shards") {
@@ -83,11 +100,19 @@ void QueryShell::CmdHelp() {
        << "  simulate [minutes]      run enterprise sim + APT attack\n"
        << "  replay <log> [host...]  replay a stored event log\n"
        << "  record <log> [minutes]  simulate and store events to a log\n"
+       << "  open [--shards=N]       open a live push-driven session\n"
+       << "  push [minutes]          push simulated traffic into the "
+          "session\n"
+       << "  add <name> <text>       attach a query mid-stream\n"
+       << "  remove <name>           retract a query\n"
+       << "  session                 live-session status\n"
+       << "  close                   close the live session\n"
        << "  alerts [n]              show last n alerts\n"
        << "  shards [n]              show or set executor shard lanes\n"
        << "  index [on|off]          show or toggle member-match indexing\n"
-       << "  stats                   last run statistics\n"
-       << "  errors                  last run error reports\n"
+       << "  stats                   statistics (live session or last "
+          "run)\n"
+       << "  errors                  error reports\n"
        << "  quit                    exit\n";
 }
 
@@ -111,6 +136,10 @@ void QueryShell::CmdLoad(const std::vector<std::string>& args) {
   }
   queries_[name] = text.str();
   out_ << "loaded query '" << name << "'\n";
+  if (session_open()) {
+    out_ << "note: the live session does not pick up 'load' — use 'add' "
+            "to attach mid-stream\n";
+  }
 }
 
 void QueryShell::CmdQueryInline(const std::string& rest) {
@@ -164,6 +193,25 @@ size_t QueryShell::ConsumeShardsFlag(std::vector<std::string>* args) {
   return shards;
 }
 
+std::string QueryShell::FormatStats(
+    const ExecutorStats& exec, size_t num_queries, size_t num_groups,
+    size_t indexed_groups, bool member_indexed, size_t num_alerts,
+    const std::vector<std::pair<std::string, CompiledQuery::QueryStats>>&
+        query_stats) const {
+  std::ostringstream stats;
+  stats << "events=" << exec.events << " deliveries=" << exec.deliveries
+        << " queries=" << num_queries << " groups=" << num_groups
+        << " indexed_groups=" << indexed_groups << " member_matching="
+        << (member_indexed ? "indexed" : "brute")
+        << " alerts=" << num_alerts << "\n";
+  for (const auto& [name, qs] : query_stats) {
+    stats << "  " << name << ": matched=" << qs.matches
+          << " windows=" << qs.windows_closed << " alerts=" << qs.alerts
+          << "\n";
+  }
+  return stats.str();
+}
+
 void QueryShell::RunEngine(EventSource* source, size_t num_shards) {
   if (queries_.empty()) {
     out_ << "no queries registered — use 'load' or 'query' first\n";
@@ -192,20 +240,10 @@ void QueryShell::RunEngine(EventSource* source, size_t num_shards) {
     out_ << "run failed: " << st << "\n";
     return;
   }
-  std::ostringstream stats;
-  stats << "events=" << engine.executor_stats().events
-        << " deliveries=" << engine.executor_stats().deliveries
-        << " queries=" << engine.num_queries()
-        << " groups=" << engine.num_groups() << " indexed_groups="
-        << engine.num_indexed_groups() << " member_matching="
-        << (member_index_ ? "indexed" : "brute")
-        << " alerts=" << alerts_.size() << "\n";
-  for (const auto& [name, qs] : engine.query_stats()) {
-    stats << "  " << name << ": matched=" << qs.matches
-          << " windows=" << qs.windows_closed << " alerts=" << qs.alerts
-          << "\n";
-  }
-  last_stats_ = stats.str();
+  last_stats_ = FormatStats(engine.executor_stats(), engine.num_queries(),
+                            engine.num_groups(), engine.num_indexed_groups(),
+                            member_index_, alerts_.size(),
+                            engine.query_stats());
   last_errors_ = engine.errors().ToString();
   out_ << "run complete: " << alerts_.size() << " alert(s)\n";
 }
@@ -262,6 +300,178 @@ void QueryShell::CmdRecord(const std::vector<std::string>& args) {
   out_ << "recorded " << events.size() << " events to " << args[0] << "\n";
 }
 
+// ---------------------------------------------------------------------
+// Live-session commands.
+
+void QueryShell::CmdOpen(const std::vector<std::string>& args) {
+  if (session_open()) {
+    out_ << "a live session is already open — 'close' it first\n";
+    return;
+  }
+  std::vector<std::string> rest = args;
+  size_t shards = ConsumeShardsFlag(&rest);
+  SaqlEngine::Options opts;
+  opts.num_shards = shards;
+  opts.enable_member_index = member_index_;
+  live_engine_ = std::make_unique<SaqlEngine>(opts);
+  for (const auto& [name, text] : queries_) {
+    Status st = live_engine_->AddQuery(text, name);
+    if (!st.ok()) out_ << "skipping '" << name << "': " << st << "\n";
+  }
+  alerts_.clear();
+  live_engine_->SetAlertSink([this](const Alert& a) {
+    alerts_.push_back(a);
+    out_ << a.ToString() << "\n";
+  });
+  auto session = live_engine_->OpenSession();
+  if (!session.ok()) {
+    out_ << "open failed: " << session.status() << "\n";
+    live_engine_.reset();
+    return;
+  }
+  live_session_ = std::move(session).value();
+  live_shards_ = shards;
+  live_member_index_ = member_index_;
+  live_clock_ = EnterpriseSimulator::Options{}.start;
+  live_pushes_ = 0;
+  live_events_ = 0;
+  out_ << "session open on " << shards << " shard lane"
+       << (shards == 1 ? "" : "s") << " with "
+       << live_session_->num_active_queries() << " quer"
+       << (live_session_->num_active_queries() == 1 ? "y" : "ies")
+       << " — 'push' streams data, 'add'/'remove' change the query set\n";
+}
+
+void QueryShell::CmdPush(const std::vector<std::string>& args) {
+  if (!session_open()) {
+    out_ << "no live session — 'open' one first\n";
+    return;
+  }
+  long minutes = 5;
+  if (!args.empty()) {
+    minutes = std::strtol(args[0].c_str(), nullptr, 10);
+    if (minutes <= 0) minutes = 5;
+  }
+  EnterpriseSimulator::Options opts;
+  opts.start = live_clock_;
+  opts.duration = minutes * kMinute;
+  // Vary the seed per push so repeated pushes produce fresh traffic.
+  opts.seed = 42 + live_pushes_;
+  EnterpriseSimulator sim(opts);
+  EventBatch events = sim.Generate();
+  size_t num_alerts_before = alerts_.size();
+  Status st = live_session_->Push(events);
+  if (st.ok()) {
+    st = live_session_->AdvanceWatermark(live_session_->max_event_ts());
+  }
+  if (st.ok()) st = live_session_->Flush();
+  if (!st.ok()) {
+    out_ << "push failed: " << st << "\n";
+    return;
+  }
+  live_clock_ += opts.duration;
+  ++live_pushes_;
+  live_events_ += events.size();
+  out_ << "pushed " << events.size() << " events ("
+       << FormatDuration(opts.duration) << " of traffic; session total "
+       << live_events_ << "), " << alerts_.size() - num_alerts_before
+       << " new alert(s)\n";
+}
+
+void QueryShell::CmdAdd(const std::string& rest) {
+  std::istringstream is(Trim(rest));
+  std::string name;
+  is >> name;
+  std::string text;
+  std::getline(is, text);
+  text = Trim(text);
+  if (name.empty() || text.empty()) {
+    out_ << "usage: add <name> <text>\n";
+    return;
+  }
+  if (!session_open()) {
+    // No live stream to attach to: behave like `query`.
+    CmdQueryInline(rest);
+    return;
+  }
+  auto handle = live_session_->AddQuery(text, name);
+  if (!handle.ok()) {
+    out_ << "add failed: " << handle.status() << "\n";
+    return;
+  }
+  queries_[name] = text;
+  out_ << "attached query '" << name
+       << "' mid-stream (sees events from this point on)\n";
+}
+
+void QueryShell::CmdRemove(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    out_ << "usage: remove <name>\n";
+    return;
+  }
+  const std::string& name = args[0];
+  if (session_open()) {
+    SaqlEngine::QueryHandle* h = live_session_->handle(name);
+    Status st = live_session_->RemoveQuery(name);
+    if (!st.ok()) {
+      out_ << "remove failed: " << st << "\n";
+      return;
+    }
+    queries_.erase(name);
+    out_ << "removed query '" << name << "' from the live session";
+    if (h != nullptr) {
+      CompiledQuery::QueryStats qs = h->stats();
+      out_ << " (final: matched=" << qs.matches
+           << " windows=" << qs.windows_closed << " alerts=" << qs.alerts
+           << ")";
+    }
+    out_ << "\n";
+    return;
+  }
+  if (queries_.erase(name) > 0) {
+    out_ << "unregistered query '" << name << "'\n";
+  } else {
+    out_ << "no query named '" << name << "'\n";
+  }
+}
+
+void QueryShell::CmdSessionStatus() {
+  if (!session_open()) {
+    out_ << "no live session — 'open' starts one\n";
+    return;
+  }
+  out_ << "session: open, " << live_shards_ << " shard lane"
+       << (live_shards_ == 1 ? "" : "s") << ", "
+       << live_session_->num_active_queries() << " active quer"
+       << (live_session_->num_active_queries() == 1 ? "y" : "ies") << ", "
+       << live_events_ << " events pushed, " << alerts_.size()
+       << " alert(s)";
+  if (live_session_->watermark() != INT64_MIN) {
+    out_ << ", watermark " << FormatTimestamp(live_session_->watermark());
+  }
+  out_ << "\n";
+}
+
+void QueryShell::CmdClose() {
+  if (!session_open()) {
+    out_ << "no live session to close\n";
+    return;
+  }
+  Status st = live_session_->Close();
+  if (!st.ok()) out_ << "close reported: " << st << "\n";
+  last_stats_ = FormatStats(
+      live_engine_->executor_stats(), live_engine_->num_queries(),
+      live_engine_->num_groups(), live_engine_->num_indexed_groups(),
+      live_member_index_, alerts_.size(), live_engine_->query_stats());
+  last_errors_ = live_engine_->errors().ToString();
+  live_session_.reset();
+  live_engine_.reset();
+  out_ << "session closed: " << alerts_.size() << " alert(s) total\n";
+}
+
+// ---------------------------------------------------------------------
+// Inspection.
+
 void QueryShell::CmdAlerts(const std::vector<std::string>& args) {
   size_t n = 10;
   if (!args.empty()) {
@@ -300,6 +510,13 @@ void QueryShell::CmdShards(const std::vector<std::string>& args) {
   }
   SetNumShards(static_cast<size_t>(n));
   out_ << "shards = " << num_shards_ << "\n";
+  if (session_open()) {
+    out_ << "note: the live session keeps running on " << live_shards_
+         << " lane" << (live_shards_ == 1 ? "" : "s")
+         << "; the new setting applies from the next 'open' or batch run\n";
+  } else {
+    out_ << "(applies to the next 'open' or batch run)\n";
+  }
 }
 
 void QueryShell::CmdIndex(const std::vector<std::string>& args) {
@@ -319,13 +536,32 @@ void QueryShell::CmdIndex(const std::vector<std::string>& args) {
     return;
   }
   out_ << "index = " << (member_index_ ? "on" : "off") << "\n";
+  if (session_open()) {
+    out_ << "note: the live session keeps its member-matching mode; the "
+            "new setting applies from the next 'open' or batch run\n";
+  } else {
+    out_ << "(applies to the next 'open' or batch run)\n";
+  }
 }
 
 void QueryShell::CmdStats() {
+  if (session_open()) {
+    out_ << FormatStats(live_session_->executor_stats(),
+                        live_session_->num_active_queries(),
+                        live_session_->num_groups(),
+                        live_session_->num_indexed_groups(),
+                        live_member_index_, alerts_.size(),
+                        live_session_->query_stats());
+    return;
+  }
   out_ << (last_stats_.empty() ? "(no run yet)\n" : last_stats_);
 }
 
 void QueryShell::CmdErrors() {
+  if (session_open()) {
+    out_ << live_engine_->errors().ToString() << "\n";
+    return;
+  }
   out_ << (last_errors_.empty() ? "(no run yet)\n" : last_errors_) << "\n";
 }
 

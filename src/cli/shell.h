@@ -3,11 +3,14 @@
 
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/result.h"
+#include "core/time_util.h"
 #include "engine/alert.h"
+#include "engine/engine.h"
 #include "parser/analyzer.h"
 
 namespace saql {
@@ -17,7 +20,7 @@ namespace saql {
 /// a library class so tests can drive it with string streams; the
 /// `saql_shell` example binds it to stdin/stdout.
 ///
-/// Commands:
+/// Batch commands:
 ///   load <file> [name]       load a .saql query file
 ///   query <name> <text...>   register an inline query (single line)
 ///   list                     list registered queries
@@ -25,19 +28,38 @@ namespace saql {
 ///   replay <log> [host...]   replay a stored event log (all hosts or a
 ///                            subset), at maximum speed
 ///   record <log> [minutes]   simulate and store events into a log file
+///
+/// Live-session commands (the deployed-monitor mode: a long-lived
+/// push-driven engine session that queries can join and leave mid-stream):
+///   open [--shards=N]        open a live session over the registered
+///                            queries
+///   push [minutes]           simulate a chunk of enterprise traffic and
+///                            push it into the live session (clock
+///                            continues across pushes)
+///   add <name> <text...>     attach a query mid-stream (falls back to
+///                            plain registration when no session is open)
+///   remove <name>            retract a query (live if a session is open)
+///   session                  live-session status
+///   close                    close the live session
+///
+/// Inspection:
 ///   alerts [n]               show the last n alerts (default 10)
 ///   shards [n]               show or set executor shard lanes (1 = off)
 ///   index [on|off]           show or toggle shared member-match indexing
-///   stats                    engine statistics of the last run
-///   errors                   error-reporter contents of the last run
+///   stats                    engine statistics (live session or last run)
+///   errors                   error-reporter contents
 ///   help                     command summary
 ///   quit                     leave the shell
 ///
 /// `simulate` and `replay` also accept a `--shards=N` flag to override the
-/// lane count for that run only.
+/// lane count for that run only. `shards`/`index` apply to the *next*
+/// engine build: batch runs pick them up immediately (each builds a fresh
+/// engine); an open live session keeps its configuration and the shell
+/// says so explicitly.
 class QueryShell {
  public:
   QueryShell(std::istream& in, std::ostream& out);
+  ~QueryShell();
 
   /// Runs the read-eval-print loop until quit/EOF.
   void Run();
@@ -56,13 +78,16 @@ class QueryShell {
   void SetMemberIndex(bool on) { member_index_ = on; }
   bool member_index() const { return member_index_; }
 
-  /// Alerts collected by the last simulate/replay command.
+  /// Alerts collected by the last simulate/replay command, or by the live
+  /// session since `open`.
   const std::vector<Alert>& alerts() const { return alerts_; }
 
   /// Registered (name, text) pairs.
   const std::map<std::string, std::string>& queries() const {
     return queries_;
   }
+
+  bool session_open() const { return live_session_ != nullptr; }
 
  private:
   void CmdHelp();
@@ -77,6 +102,21 @@ class QueryShell {
   void CmdIndex(const std::vector<std::string>& args);
   void CmdStats();
   void CmdErrors();
+
+  // Live-session commands.
+  void CmdOpen(const std::vector<std::string>& args);
+  void CmdPush(const std::vector<std::string>& args);
+  void CmdAdd(const std::string& rest);
+  void CmdRemove(const std::vector<std::string>& args);
+  void CmdSessionStatus();
+  void CmdClose();
+
+  /// Renders the engine/session statistics block shown by `stats`.
+  std::string FormatStats(
+      const ExecutorStats& exec, size_t num_queries, size_t num_groups,
+      size_t indexed_groups, bool member_indexed, size_t num_alerts,
+      const std::vector<std::pair<std::string, CompiledQuery::QueryStats>>&
+          query_stats) const;
 
   /// Strips a `--shards=N` flag out of `args`, returning the lane count to
   /// use for this run (the session default when absent; malformed values
@@ -94,6 +134,15 @@ class QueryShell {
   std::string last_errors_;
   size_t num_shards_ = 1;
   bool member_index_ = true;
+
+  // Live session state (session must die before its engine).
+  std::unique_ptr<SaqlEngine> live_engine_;
+  std::unique_ptr<SaqlEngine::Session> live_session_;
+  size_t live_shards_ = 1;       ///< lanes the open session runs on
+  bool live_member_index_ = true;  ///< member-matching mode at open time
+  Timestamp live_clock_ = 0;     ///< next push's simulator start time
+  uint64_t live_pushes_ = 0;     ///< varies the per-push simulator seed
+  uint64_t live_events_ = 0;     ///< events pushed so far
 };
 
 }  // namespace saql

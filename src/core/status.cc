@@ -8,6 +8,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Ok";
     case StatusCode::kInvalidArgument:
       return "InvalidArgument";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
     case StatusCode::kParseError:
       return "ParseError";
     case StatusCode::kSemanticError:

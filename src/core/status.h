@@ -14,6 +14,9 @@ enum class StatusCode {
   kOk = 0,
   /// The caller supplied an argument that violates the API contract.
   kInvalidArgument,
+  /// The operation is valid in principle but not in the object's current
+  /// lifecycle state (engine already ran, session closed, ...).
+  kFailedPrecondition,
   /// A query failed to lex/parse; message carries line:col context.
   kParseError,
   /// A query parsed but is semantically invalid (unknown field, type error,
@@ -47,6 +50,9 @@ class Status {
   static Status Ok() { return Status(); }
   static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));

@@ -1,24 +1,15 @@
 #include "engine/engine.h"
 
-#include <algorithm>
-#include <map>
-#include <mutex>
-#include <set>
-
-#include "engine/shard_merge.h"
+#include "core/interner.h"
 #include "parser/analyzer.h"
-#include "stream/sharded_executor.h"
 
 namespace saql {
 
-SaqlEngine::SaqlEngine(Options options)
-    : options_(options),
-      scheduler_(ConcurrentQueryScheduler::Options{
-          options.enable_grouping, options.enable_member_index}),
-      executor_(StreamExecutor::Options{options.enable_routing,
-                                        options.intern_strings}) {
+SaqlEngine::SaqlEngine(Options options) : options_(std::move(options)) {
   sink_ = [this](const Alert& a) { alerts_.push_back(a); };
 }
+
+SaqlEngine::~SaqlEngine() = default;
 
 Status SaqlEngine::AddQuery(const std::string& text,
                             const std::string& name) {
@@ -29,269 +20,96 @@ Status SaqlEngine::AddQuery(const std::string& text,
 Status SaqlEngine::AddAnalyzedQuery(AnalyzedQueryPtr aq,
                                     const std::string& name) {
   if (ran_) {
-    return Status::InvalidArgument(
-        "cannot add queries after the engine has run");
+    return Status::FailedPrecondition(
+        "engine already ran: Run() is one-shot; register queries before "
+        "Run, or use OpenSession() for long-lived deployments");
   }
-  for (const auto& q : queries_) {
-    if (q->name() == name) {
+  if (active_session_ != nullptr) {
+    return Status::FailedPrecondition(
+        "a session is open: use Session::AddQuery to attach a query "
+        "mid-stream");
+  }
+  for (const Registered& r : registered_) {
+    if (r.name == name) {
       return Status::AlreadyExists("query '" + name +
                                    "' is already registered");
     }
   }
+  // Compile now to validate (and to serve the first session without a
+  // recompile).
   SAQL_ASSIGN_OR_RETURN(
       std::unique_ptr<CompiledQuery> q,
-      CompiledQuery::Create(std::move(aq), name, options_.query_options));
-  q->SetErrorReporter(&errors_);
-  q->SetAlertSink([this](const Alert& a) { sink_(a); });
-  queries_.push_back(std::move(q));
+      CompiledQuery::Create(aq, name, options_.query_options));
+  registered_.push_back(Registered{name, std::move(aq), std::move(q)});
   return Status::Ok();
 }
 
 void SaqlEngine::SetAlertSink(AlertSink sink) { sink_ = std::move(sink); }
 
+Result<std::unique_ptr<SaqlEngine::Session>> SaqlEngine::OpenSession() {
+  if (ran_) {
+    return Status::FailedPrecondition(
+        "engine already ran: Run() is one-shot and final; use sessions "
+        "from the start for multi-run lifecycles");
+  }
+  if (active_session_ != nullptr) {
+    return Status::FailedPrecondition(
+        "a session is already open; close it before opening another");
+  }
+  // Interner rotation policy: only ever between sessions, never under a
+  // live stream. Rotation invalidates the symbol ids compiled constraints
+  // captured, so every cached compilation is discarded below.
+  bool rotated = false;
+  if (options_.interner_rotate_bytes > 0 &&
+      Interner::Global().stats().bytes >= options_.interner_rotate_bytes) {
+    Interner::Global().Rotate();
+    rotated = true;
+  }
+  for (Registered& reg : registered_) {
+    if (reg.compiled == nullptr || rotated) {
+      SAQL_ASSIGN_OR_RETURN(
+          reg.compiled,
+          CompiledQuery::Create(reg.aq, reg.name, options_.query_options));
+    }
+  }
+  auto session = std::unique_ptr<Session>(new Session(this));
+  Status st = session->OpenInternal();
+  if (!st.ok()) return st;
+  session->open_ = true;
+  active_session_ = session.get();
+  ++sessions_opened_;
+  return session;
+}
+
 Status SaqlEngine::Run(EventSource* source) {
   if (ran_) {
-    return Status::InvalidArgument("engine already ran");
+    return Status::FailedPrecondition(
+        "SaqlEngine::Run is one-shot and this engine already ran; use "
+        "OpenSession() for repeated or long-lived runs");
   }
-  if (queries_.empty()) {
+  if (active_session_ != nullptr) {
+    return Status::FailedPrecondition(
+        "a session is open; push events through it instead of Run");
+  }
+  if (sessions_opened_ > 0) {
+    return Status::FailedPrecondition(
+        "this engine is driven through sessions; Run's one-shot contract "
+        "applies to fresh engines only");
+  }
+  if (registered_.empty()) {
     return Status::InvalidArgument("no queries registered");
   }
+  SAQL_ASSIGN_OR_RETURN(std::unique_ptr<Session> session, OpenSession());
   ran_ = true;
-  if (options_.num_shards > 1 || options_.force_sharded_executor) {
-    return RunSharded(source);
+  size_t count = 0;
+  while (Event* batch =
+             source->NextBatchZeroCopy(options_.batch_size, &count)) {
+    Status st = session->Push(batch, count);
+    if (!st.ok()) return st;
+    st = session->AdvanceWatermark(session->max_event_ts());
+    if (!st.ok()) return st;
   }
-  for (auto& q : queries_) {
-    scheduler_.AddQuery(q.get());
-  }
-  scheduler_.BuildGroups();
-  for (QueryGroup* g : scheduler_.groups()) {
-    executor_.Subscribe(g);
-  }
-  executor_.Run(source, options_.batch_size);
-  return Status::Ok();
-}
-
-namespace {
-
-/// Serialization of an alert's return values; doubles as the `return
-/// distinct` row identity (matching CompiledQuery::EmitRuleMatch's key)
-/// and as the last ordering tie-breaker.
-std::string AlertValueKey(const Alert& alert) {
-  std::string key;
-  for (const auto& [label, value] : alert.values) {
-    key += value.ToString();
-    key += '\x1f';
-  }
-  return key;
-}
-
-}  // namespace
-
-Status SaqlEngine::RunSharded(EventSource* source) {
-  // Same clamp the executor applies, so replica wiring and lane count
-  // agree (num_shards=0 with force_sharded_executor must still mean one
-  // lane, and a runaway count must not spawn unbounded threads).
-  const size_t n = std::clamp<size_t>(options_.num_shards, 1,
-                                      ShardedStreamExecutor::kMaxShards);
-  sharded_ran_ = true;
-
-  ShardedStreamExecutor::Options sopts;
-  sopts.num_shards = n;
-  sopts.executor = StreamExecutor::Options{options_.enable_routing,
-                                           options_.intern_strings};
-  ShardedStreamExecutor sharded(sopts);
-  ShardMergeStage merge(n);
-
-  // All lanes and the merge stage funnel alerts here; ordering and
-  // cross-shard `return distinct` are applied once, after the run.
-  std::mutex alert_mu;
-  std::vector<Alert> collected;
-  AlertSink collect = [&alert_mu, &collected](const Alert& a) {
-    std::lock_guard<std::mutex> lock(alert_mu);
-    collected.push_back(a);
-  };
-
-  // Classify queries and build the per-shard replicas.
-  std::vector<CompiledQuery::ShardMode> modes;
-  modes.reserve(queries_.size());
-  std::vector<std::vector<std::unique_ptr<CompiledQuery>>> replicas(
-      queries_.size());
-  std::set<std::string> central_distinct;  // queries deduped centrally
-  std::vector<CompiledQuery*> global_queries;
-  for (size_t qi = 0; qi < queries_.size(); ++qi) {
-    CompiledQuery* q = queries_[qi].get();
-    CompiledQuery::ShardMode mode = q->shard_mode();
-    modes.push_back(mode);
-    if (mode == CompiledQuery::ShardMode::kGlobal) {
-      q->SetAlertSink(collect);
-      global_queries.push_back(q);
-      continue;
-    }
-    size_t handle = 0;
-    if (mode == CompiledQuery::ShardMode::kPartitionableWithMerge) {
-      // The original query becomes the merge replica: it holds the global
-      // group histories / invariants / cluster state and emits the alerts.
-      q->SetAlertSink(collect);
-      handle = merge.RegisterQuery(q);
-    } else if (q->return_distinct()) {
-      central_distinct.insert(q->name());
-    }
-    replicas[qi].reserve(n);
-    for (size_t s = 0; s < n; ++s) {
-      SAQL_ASSIGN_OR_RETURN(
-          std::unique_ptr<CompiledQuery> r,
-          CompiledQuery::Create(q->analyzed_ptr(), q->name(), q->options()));
-      r->SetErrorReporter(&errors_);
-      if (mode == CompiledQuery::ShardMode::kPartitionableWithMerge) {
-        r->ExportPartialWindows(
-            [&merge, handle](const TimeWindow& w,
-                             std::vector<StateMaintainer::PartialGroup>&
-                                 groups) { merge.AddPartials(handle, w, groups); });
-      } else {
-        r->SetAlertSink(collect);
-      }
-      replicas[qi].push_back(std::move(r));
-    }
-  }
-
-  // The merge stage aligns on lane progress: the hooks run on the lane
-  // thread after the groups' window closes, so partials always precede
-  // the watermark that covers them.
-  sharded.SetProgressHooks(ShardedStreamExecutor::ProgressHooks{
-      [&merge](size_t s, Timestamp ts) { merge.AdvanceShardWatermark(s, ts); },
-      [&merge](size_t s) { merge.FinishShard(s); }});
-
-  // One scheduler (query grouping) per shard lane over that shard's
-  // replicas, plus one for the global lane over the original queries.
-  // The member-matching ConstraintIndex is built once, on lane 0; every
-  // other lane's groups adopt the same immutable index (lanes register the
-  // same queries in the same order, so groups correspond by position and
-  // member order, and Match is const — per-lane scratch lives in each
-  // lane's own QueryGroup).
-  std::vector<std::unique_ptr<ConcurrentQueryScheduler>> schedulers;
-  schedulers.reserve(n + 1);
-  std::vector<QueryGroup*> lane0_groups;
-  for (size_t s = 0; s < n; ++s) {
-    auto sched = std::make_unique<ConcurrentQueryScheduler>(
-        ConcurrentQueryScheduler::Options{
-            options_.enable_grouping,
-            options_.enable_member_index && s == 0});
-    for (size_t qi = 0; qi < queries_.size(); ++qi) {
-      if (!replicas[qi].empty()) sched->AddQuery(replicas[qi][s].get());
-    }
-    sched->BuildGroups();
-    std::vector<QueryGroup*> groups = sched->groups();
-    if (s == 0) {
-      lane0_groups = groups;
-    } else if (options_.enable_member_index) {
-      for (size_t j = 0; j < groups.size() && j < lane0_groups.size(); ++j) {
-        if (groups[j]->signature() == lane0_groups[j]->signature()) {
-          groups[j]->AdoptIndex(lane0_groups[j]->shared_index());
-        }
-      }
-    }
-    for (QueryGroup* g : groups) sharded.SubscribeShard(s, g);
-    schedulers.push_back(std::move(sched));
-  }
-  if (!global_queries.empty()) {
-    auto sched = std::make_unique<ConcurrentQueryScheduler>(
-        ConcurrentQueryScheduler::Options{options_.enable_grouping,
-                                          options_.enable_member_index});
-    for (CompiledQuery* q : global_queries) sched->AddQuery(q);
-    sched->BuildGroups();
-    for (QueryGroup* g : sched->groups()) sharded.SubscribeGlobal(g);
-    schedulers.push_back(std::move(sched));
-  }
-
-  sharded.Run(source, options_.batch_size);
-
-  // Deterministic single-sink emission: order by (event time, query,
-  // group, rendered values), then apply cross-shard `return distinct`.
-  std::vector<std::pair<std::string, size_t>> order;
-  order.reserve(collected.size());
-  for (size_t i = 0; i < collected.size(); ++i) {
-    order.emplace_back(AlertValueKey(collected[i]), i);
-  }
-  std::stable_sort(order.begin(), order.end(),
-                   [&collected](const auto& a, const auto& b) {
-                     const Alert& x = collected[a.second];
-                     const Alert& y = collected[b.second];
-                     if (x.ts != y.ts) return x.ts < y.ts;
-                     if (x.query_name != y.query_name) {
-                       return x.query_name < y.query_name;
-                     }
-                     if (x.group != y.group) return x.group < y.group;
-                     return a.first < b.first;
-                   });
-  std::set<std::pair<std::string, std::string>> distinct_seen;
-  std::map<std::string, uint64_t> emitted_by_query;
-  for (const auto& [value_key, idx] : order) {
-    const Alert& a = collected[idx];
-    if (central_distinct.count(a.query_name) &&
-        !distinct_seen.emplace(a.query_name, value_key).second) {
-      continue;  // duplicate row another shard already produced
-    }
-    ++emitted_by_query[a.query_name];
-    sink_(a);
-  }
-
-  // Aggregate statistics across lanes.
-  sharded_exec_stats_ = sharded.merged_stats();
-  sharded_num_groups_ = 0;
-  sharded_indexed_groups_ = 0;
-  if (!schedulers.empty()) {
-    sharded_num_groups_ = schedulers.front()->num_groups();
-    sharded_indexed_groups_ = schedulers.front()->num_indexed_groups();
-    if (!global_queries.empty()) {
-      sharded_num_groups_ += schedulers.back()->num_groups();
-      sharded_indexed_groups_ += schedulers.back()->num_indexed_groups();
-    }
-  }
-  uint64_t fr_in = 0, fr_forwarded = 0;
-  for (auto& sched : schedulers) {
-    for (QueryGroup* g : sched->groups()) {
-      fr_in += g->stats().events_in;
-      fr_forwarded += g->stats().events_forwarded;
-    }
-  }
-  sharded_forward_ratio_ =
-      fr_in == 0 ? 0.0
-                 : static_cast<double>(fr_forwarded) /
-                       static_cast<double>(fr_in);
-
-  sharded_query_stats_.clear();
-  sharded_query_stats_.reserve(queries_.size());
-  for (size_t qi = 0; qi < queries_.size(); ++qi) {
-    CompiledQuery::QueryStats total = queries_[qi]->stats();
-    for (const auto& r : replicas[qi]) {
-      const CompiledQuery::QueryStats& rs = r->stats();
-      total.events_in += rs.events_in;
-      total.events_past_global += rs.events_past_global;
-      total.matches += rs.matches;
-      total.windows_closed += rs.windows_closed;
-      total.alerts += rs.alerts;
-      total.eval_errors += rs.eval_errors;
-    }
-    if (modes[qi] == CompiledQuery::ShardMode::kPartitionable) {
-      // Replicas count pre-deduplication emissions; report what actually
-      // reached the sink.
-      auto it = emitted_by_query.find(queries_[qi]->name());
-      total.alerts = it == emitted_by_query.end() ? 0 : it->second;
-    }
-    sharded_query_stats_.emplace_back(queries_[qi]->name(), total);
-  }
-  return Status::Ok();
-}
-
-std::vector<std::pair<std::string, CompiledQuery::QueryStats>>
-SaqlEngine::query_stats() const {
-  if (sharded_ran_) return sharded_query_stats_;
-  std::vector<std::pair<std::string, CompiledQuery::QueryStats>> out;
-  out.reserve(queries_.size());
-  for (const auto& q : queries_) {
-    out.emplace_back(q->name(), q->stats());
-  }
-  return out;
+  return session->Close();
 }
 
 }  // namespace saql

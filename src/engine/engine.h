@@ -18,13 +18,42 @@ namespace saql {
 /// tying together the parser, multievent matcher, state maintainer,
 /// concurrent query scheduler, and error reporter.
 ///
-/// Typical use:
+/// The engine is a *deployed* stream-querying service: monitoring events
+/// arrive continuously, and analysts submit, inspect, and retract anomaly
+/// queries against the live stream. The primary API is therefore a
+/// push-driven **session**:
+///
 /// ```
 ///   SaqlEngine engine;
 ///   engine.SetAlertSink([](const Alert& a) { std::cout << a.ToString(); });
-///   auto st = engine.AddQuery(query_text, "exfiltration");
-///   engine.Run(&source);
+///   engine.AddQuery(query_text, "exfiltration");           // before open
+///   auto session = engine.OpenSession().value();
+///   session->Push(batch.data(), batch.size());             // live events
+///   session->AdvanceWatermark(max_event_ts);               // close windows
+///   auto h = session->AddQuery(other_text, "lateral");     // mid-stream
+///   (*h)->SetAlertSink(per_query_sink);                    // per-query tap
+///   session->RemoveQuery("exfiltration");                  // retract
+///   session->Close();
 /// ```
+///
+/// Sessions honor every engine option: with `Options::num_shards > 1` a
+/// session runs the full hash-partitioned lane pipeline (pushes are split
+/// across lanes, watermark alignment and the cross-shard window merge work
+/// exactly as in a batch run, and dynamic add/remove is coordinated across
+/// all lane replicas plus the merge replica). Sessions are sequential —
+/// one open session per engine at a time, but a closed session may be
+/// followed by a new `OpenSession()`, which recompiles the registered
+/// queries with fresh stream state (and applies the
+/// `Options::interner_rotate_bytes` rotation policy, see below).
+///
+/// `Run(source)` is retained as a thin convenience wrapper: it opens a
+/// session, pushes the source to exhaustion (advancing the watermark to
+/// the max event time after each batch), and closes — alerts and
+/// per-query statistics are bit-identical to driving the session by hand
+/// with any batch split. `Run` keeps its historical one-shot contract:
+/// calling it twice, or calling it on an engine whose sessions are in
+/// use, returns `FailedPrecondition` (long-lived deployments use
+/// `OpenSession`).
 class SaqlEngine {
  public:
   struct Options {
@@ -43,7 +72,8 @@ class SaqlEngine {
     /// evaluate once per event instead of once per member). Disabled =
     /// brute-force member loops (the differential-test and A7 ablation
     /// baseline). Alert output and per-member stats are identical either
-    /// way.
+    /// way. Dynamic session add/remove rebuilds the affected group's
+    /// index.
     bool enable_member_index = true;
     /// Hash-partitioned parallel execution: with N > 1 the engine runs N
     /// per-shard executor lanes (events partitioned by subject entity
@@ -61,81 +91,257 @@ class SaqlEngine {
     /// shard-scaling ablation; production single-threaded runs should
     /// leave this off.
     bool force_sharded_executor = false;
+    /// Interner rotation policy for long-running deployments: when
+    /// `OpenSession` finds the global interner's payload bytes at or
+    /// above this threshold, it calls `Interner::Global().Rotate()` and
+    /// recompiles every registered query against the fresh table (symbol
+    /// ids captured at compile time do not survive a rotation). Rotation
+    /// only ever happens *between* sessions — never under a live stream.
+    /// 0 disables the policy.
+    size_t interner_rotate_bytes = 0;
     /// Compiled-query tuning.
     CompiledQuery::Options query_options;
-    /// Events pulled from the source per batch.
+    /// Events pulled from the source per batch (Run only; sessions batch
+    /// however the caller pushes).
     size_t batch_size = 1024;
+  };
+
+  class Session;
+
+  /// Live handle to one query of an open session, returned by
+  /// `Session::AddQuery` and `Session::handle`. Handles are owned by the
+  /// session and stay valid until the session object is destroyed —
+  /// including after the query was removed, when they keep serving the
+  /// final retained statistics (`active()` turns false).
+  class QueryHandle {
+   public:
+    const std::string& name() const { return name_; }
+
+    /// True until the query is removed (`Cancel`/`RemoveQuery`) or the
+    /// session is closed.
+    bool active() const;
+
+    /// Statistics for this query: live while active (in sharded mode the
+    /// sum over the query's lane replicas plus its merge replica, read at
+    /// a quiesced point), frozen at their final values after removal.
+    CompiledQuery::QueryStats stats() const;
+
+    /// Additional per-query alert tap: every alert this query emits is
+    /// delivered here *as well as* to the engine-wide sink, from the
+    /// session's thread. Pass nullptr to clear.
+    void SetAlertSink(AlertSink sink);
+
+    /// Removes the query from the session (same as
+    /// `Session::RemoveQuery(name())`): group membership, dispatch-index
+    /// and constraint-index slots, and partial window state are torn
+    /// down; final stats stay readable through this handle.
+    Status Cancel();
+
+   private:
+    friend class Session;
+    QueryHandle(Session* session, size_t slot, std::string name)
+        : session_(session), slot_(slot), name_(std::move(name)) {}
+
+    Session* session_;
+    size_t slot_;
+    std::string name_;
+  };
+
+  /// A push-driven run over the engine's query set. Obtained from
+  /// `OpenSession`; all methods must be called from one thread (the
+  /// session thread — in sharded mode it doubles as the splitter).
+  ///
+  /// Lifecycle: `Push`/`AdvanceWatermark` stream data in;
+  /// `AddQuery`/`RemoveQuery` change the live query set (a query added
+  /// mid-stream sees only events pushed after its attach point; a removed
+  /// query's state is torn down and its final stats retained); `Close`
+  /// flushes end-of-stream (open windows, partial matches), emits any
+  /// buffered sharded alerts, and publishes the run's statistics to the
+  /// engine accessors. The destructor closes an open session.
+  ///
+  /// Watermark contract: `AdvanceWatermark(ts)` finalizes windows ending
+  /// at or before `ts`. Callers must push events in non-decreasing
+  /// timestamp order and not push events older than an advanced
+  /// watermark; under that contract a sharded session's alert sequence is
+  /// identical to the batch `Run` ordering (alerts are released in
+  /// (ts, query, group, values) order once every lane has aligned past
+  /// them).
+  class Session {
+   public:
+    ~Session();
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    /// Delivers one batch of events to the live query set. Events are
+    /// annotated in place (interned symbol ids); the buffer may be reused
+    /// after the call returns. In sharded mode this blocks only on lane
+    /// backpressure.
+    Status Push(Event* events, size_t count);
+    Status Push(EventBatch& batch) {
+      return Push(batch.data(), batch.size());
+    }
+
+    /// Advances event time: windows ending at or before `ts` can close.
+    /// Values that do not advance the watermark are ignored.
+    Status AdvanceWatermark(Timestamp ts);
+
+    /// Sharded mode: blocks until every lane has drained its queue, then
+    /// releases every alert the advanced watermarks have finalized (alerts
+    /// are otherwise released opportunistically, with bounded lag, as
+    /// lanes report progress). No-op in single-threaded mode, where alerts
+    /// emit inline during Push.
+    Status Flush();
+
+    /// Parses, analyzes, compiles, and attaches a query mid-stream. The
+    /// query joins its compatibility group (or starts a new one, with the
+    /// dispatch index re-registered), the group's shared ConstraintIndex
+    /// is rebuilt over the widened member list, and — in sharded mode —
+    /// lane replicas plus (for stateful queries) a merge-stage
+    /// registration are created across all lanes at a quiesced point. The
+    /// query sees only events pushed after this call. The name must be
+    /// unique within the session (including removed queries). The query
+    /// is also registered with the engine, so later sessions include it.
+    Result<QueryHandle*> AddQuery(const std::string& text,
+                                  const std::string& name);
+    Result<QueryHandle*> AddAnalyzedQuery(AnalyzedQueryPtr aq,
+                                          const std::string& name);
+
+    /// Retracts a live query: its group membership, routing/constraint
+    /// index slots, lane replicas, and partial window state are torn down
+    /// (pending unmerged windows are dropped, not flushed); alerts it
+    /// already emitted stay queued for ordered delivery. Final
+    /// `QueryStats` remain readable via its handle and `query_stats()`.
+    Status RemoveQuery(const std::string& name);
+
+    /// The handle for `name`, or nullptr when no such query was ever part
+    /// of this session. Removed queries keep their (inactive) handle.
+    QueryHandle* handle(const std::string& name);
+
+    /// Ends the stream: every live query flushes end-of-stream state,
+    /// sharded lanes are joined and buffered alerts released, and the
+    /// run's statistics are published to the engine accessors. Idempotent
+    /// error: closing twice returns FailedPrecondition.
+    Status Close();
+
+    bool open() const { return open_; }
+
+    /// The highest watermark advanced so far (INT64_MIN before any).
+    Timestamp watermark() const;
+
+    /// Max timestamp of the events pushed so far (INT64_MIN before any) —
+    /// the natural `AdvanceWatermark` argument for in-order streams.
+    Timestamp max_event_ts() const;
+
+    // Live statistics. In sharded mode these quiesce the lane pipeline
+    // briefly to read consistent values.
+    ExecutorStats executor_stats() const;
+    size_t num_active_queries() const;
+    size_t num_groups() const;
+    size_t num_indexed_groups() const;
+    double forward_ratio() const;
+    /// Per-query statistics in registration order, including removed
+    /// queries (their final retained stats).
+    std::vector<std::pair<std::string, CompiledQuery::QueryStats>>
+    query_stats() const;
+
+   private:
+    friend class SaqlEngine;
+    friend class QueryHandle;
+
+    explicit Session(SaqlEngine* engine);
+
+    /// Builds the session's execution state (schedulers, executors, lane
+    /// replicas); called by OpenSession before the session is handed out.
+    Status OpenInternal();
+
+    struct Impl;
+
+    SaqlEngine* engine_;
+    bool open_ = false;
+    std::unique_ptr<Impl> impl_;
   };
 
   SaqlEngine() : SaqlEngine(Options{}) {}
   explicit SaqlEngine(Options options);
+  ~SaqlEngine();
 
-  /// Parses, analyzes, and registers a query. The name must be unique; it
-  /// labels alerts and error reports.
+  /// Parses, analyzes, and registers a query for the next session (or
+  /// `Run`). The name must be unique; it labels alerts and error reports.
+  /// Returns FailedPrecondition while a session is open (use
+  /// `Session::AddQuery` to attach mid-stream) or after `Run` was used.
   Status AddQuery(const std::string& text, const std::string& name);
 
-  /// Registers an already-analyzed query.
+  /// Registers an already-analyzed query (same contract as `AddQuery`).
   Status AddAnalyzedQuery(AnalyzedQueryPtr aq, const std::string& name);
 
   /// All alerts are delivered here. Defaults to buffering in `alerts()`.
   void SetAlertSink(AlertSink sink);
 
-  /// Runs the engine over `source` until exhaustion. May be called once
-  /// per engine instance (queries carry stream state).
+  /// Opens a push-driven session over the registered queries (the set may
+  /// be empty; queries can be added mid-stream). One session may be open
+  /// at a time; a later `OpenSession` recompiles the registered queries
+  /// with fresh stream state and applies the interner rotation policy.
+  /// The returned session must not outlive the engine.
+  Result<std::unique_ptr<Session>> OpenSession();
+
+  /// Convenience batch wrapper: opens a session, pushes `source` to
+  /// exhaustion, closes. One-shot — a second call (or a call after
+  /// `OpenSession` was used) returns FailedPrecondition, and at least one
+  /// query must be registered.
   Status Run(EventSource* source);
 
   /// Buffered alerts (only when no custom sink was installed).
   const std::vector<Alert>& alerts() const { return alerts_; }
 
   const ErrorReporter& errors() const { return errors_; }
-  /// Executor accounting; in sharded mode, the element-wise sum over all
-  /// lanes (routed-skip parity holds lane by lane, so also for the sum).
-  const ExecutorStats& executor_stats() const {
-    return sharded_ran_ ? sharded_exec_stats_ : executor_.stats();
-  }
 
-  size_t num_queries() const { return queries_.size(); }
-  size_t num_groups() const {
-    return sharded_ran_ ? sharded_num_groups_ : scheduler_.num_groups();
-  }
+  // Statistics of the last *closed* session (which `Run` wraps): executor
+  // accounting, group structure, and per-query stats. In sharded mode the
+  // executor stats are the element-wise sum over all lanes and each
+  // query's stats are summed over its replicas (alerts for partitionable
+  // queries count centrally emitted, post-deduplication alerts). While a
+  // session is open, read the live values from the session instead.
+  const ExecutorStats& executor_stats() const { return last_exec_stats_; }
+  size_t num_queries() const { return registered_.size(); }
+  size_t num_groups() const { return last_num_groups_; }
   /// Groups whose member matching ran through a shared ConstraintIndex
   /// (sharded mode counts each distinct index once, not per lane).
-  size_t num_indexed_groups() const {
-    return sharded_ran_ ? sharded_indexed_groups_
-                        : scheduler_.num_indexed_groups();
-  }
-  double forward_ratio() const {
-    return sharded_ran_ ? sharded_forward_ratio_ : scheduler_.ForwardRatio();
-  }
-
-  /// Per-query statistics, by registration order. In sharded mode each
-  /// query's stats are summed over its shard replicas (plus its merge
-  /// replica for stateful queries); `alerts` counts centrally emitted
-  /// alerts, after cross-shard `return distinct` deduplication.
+  size_t num_indexed_groups() const { return last_indexed_groups_; }
+  double forward_ratio() const { return last_forward_ratio_; }
   std::vector<std::pair<std::string, CompiledQuery::QueryStats>>
-  query_stats() const;
+  query_stats() const {
+    return last_query_stats_;
+  }
 
  private:
-  /// The N-lane partitioned run behind Options::num_shards > 1.
-  Status RunSharded(EventSource* source);
+  friend class Session;
+
+  /// One registered query. `compiled` holds the validated instance until
+  /// a session consumes it; later sessions recompile from `aq` (always
+  /// after an interner rotation — compiled constraints capture symbol
+  /// ids).
+  struct Registered {
+    std::string name;
+    AnalyzedQueryPtr aq;
+    std::unique_ptr<CompiledQuery> compiled;
+  };
 
   Options options_;
-  std::vector<std::unique_ptr<CompiledQuery>> queries_;
-  ConcurrentQueryScheduler scheduler_;
-  StreamExecutor executor_;
+  std::vector<Registered> registered_;
   ErrorReporter errors_;
   AlertSink sink_;
   std::vector<Alert> alerts_;
-  bool ran_ = false;
+  bool ran_ = false;  ///< Run() was used (its documented one-shot latch)
+  Session* active_session_ = nullptr;
+  uint64_t sessions_opened_ = 0;
 
-  // Aggregated results of a sharded run (see RunSharded).
-  bool sharded_ran_ = false;
-  ExecutorStats sharded_exec_stats_;
-  size_t sharded_num_groups_ = 0;
-  size_t sharded_indexed_groups_ = 0;
-  double sharded_forward_ratio_ = 0.0;
+  // Published by Session::Close (see the accessor comments).
+  ExecutorStats last_exec_stats_;
+  size_t last_num_groups_ = 0;
+  size_t last_indexed_groups_ = 0;
+  double last_forward_ratio_ = 0.0;
   std::vector<std::pair<std::string, CompiledQuery::QueryStats>>
-      sharded_query_stats_;
+      last_query_stats_;
 };
 
 }  // namespace saql

@@ -1,5 +1,7 @@
 #include "engine/scheduler.h"
 
+#include <algorithm>
+
 namespace saql {
 
 void QueryGroup::OnEvent(const Event& event) {
@@ -108,6 +110,7 @@ void ConcurrentQueryScheduler::AddQuery(CompiledQuery* query) {
 
 void ConcurrentQueryScheduler::BuildGroups() {
   groups_.clear();
+  by_signature_.clear();
   if (!options_.enable_grouping) {
     for (CompiledQuery* q : queries_) {
       auto group = std::make_unique<QueryGroup>(q->name());
@@ -116,13 +119,12 @@ void ConcurrentQueryScheduler::BuildGroups() {
     }
     return;  // one member per group: nothing for an index to share
   }
-  std::map<std::string, QueryGroup*> by_signature;
   for (CompiledQuery* q : queries_) {
     std::string sig = q->GroupSignature();
-    auto it = by_signature.find(sig);
-    if (it == by_signature.end()) {
+    auto it = by_signature_.find(sig);
+    if (it == by_signature_.end()) {
       auto group = std::make_unique<QueryGroup>(sig);
-      it = by_signature.emplace(sig, group.get()).first;
+      it = by_signature_.emplace(sig, group.get()).first;
       groups_.push_back(std::move(group));
     }
     it->second->AddMember(q);
@@ -132,6 +134,63 @@ void ConcurrentQueryScheduler::BuildGroups() {
       if (g->size() >= options_.min_index_members) g->BuildIndex();
     }
   }
+}
+
+void ConcurrentQueryScheduler::ReindexGroup(QueryGroup* group) {
+  if (options_.enable_member_index &&
+      group->size() >= options_.min_index_members) {
+    group->BuildIndex();
+  } else {
+    group->DropIndex();
+  }
+}
+
+QueryGroup* ConcurrentQueryScheduler::AddQueryDynamic(CompiledQuery* query,
+                                                      bool* created) {
+  queries_.push_back(query);
+  *created = false;
+  if (!options_.enable_grouping) {
+    auto group = std::make_unique<QueryGroup>(query->name());
+    group->AddMember(query);
+    groups_.push_back(std::move(group));
+    *created = true;
+    return groups_.back().get();
+  }
+  std::string sig = query->GroupSignature();
+  auto it = by_signature_.find(sig);
+  if (it == by_signature_.end()) {
+    auto group = std::make_unique<QueryGroup>(sig);
+    it = by_signature_.emplace(sig, group.get()).first;
+    groups_.push_back(std::move(group));
+    *created = true;
+  }
+  it->second->AddMember(query);
+  ReindexGroup(it->second);
+  return it->second;
+}
+
+bool ConcurrentQueryScheduler::RemoveQuery(
+    CompiledQuery* query, std::unique_ptr<QueryGroup>* emptied,
+    QueryGroup** patched) {
+  emptied->reset();
+  *patched = nullptr;
+  auto qit = std::find(queries_.begin(), queries_.end(), query);
+  if (qit == queries_.end()) return false;
+  queries_.erase(qit);
+  for (auto git = groups_.begin(); git != groups_.end(); ++git) {
+    QueryGroup* g = git->get();
+    if (!g->RemoveMember(query)) continue;
+    if (g->size() == 0) {
+      by_signature_.erase(g->signature());
+      *emptied = std::move(*git);
+      groups_.erase(git);
+    } else {
+      ReindexGroup(g);
+      *patched = g;
+    }
+    return true;
+  }
+  return true;
 }
 
 size_t ConcurrentQueryScheduler::num_indexed_groups() const {

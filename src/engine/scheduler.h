@@ -43,10 +43,31 @@ class QueryGroup final : public EventProcessor {
   /// shape drives the shared filter (all members share it by construction).
   void AddMember(CompiledQuery* query) { members_.push_back(query); }
 
+  /// Removes a member (a session retracting a query mid-stream); returns
+  /// whether it was present. The caller owns index consistency: call
+  /// `BuildIndex`/`DropIndex` (or `AdoptIndex` on replica lanes) after the
+  /// membership change — the previous index still reflects the old member
+  /// list and is dropped here to fail safe (brute force is always
+  /// correct).
+  bool RemoveMember(CompiledQuery* query) {
+    for (auto it = members_.begin(); it != members_.end(); ++it) {
+      if (*it == query) {
+        members_.erase(it);
+        index_.reset();
+        return true;
+      }
+    }
+    return false;
+  }
+
   /// Builds the shared member-matching `ConstraintIndex` over the current
-  /// members (BuildGroups time). No-op — brute-force member delivery — when
-  /// the group is not indexable (see ConstraintIndex::Build).
+  /// members (BuildGroups time, or after a dynamic membership change). No-op
+  /// — brute-force member delivery — when the group is not indexable (see
+  /// ConstraintIndex::Build).
   void BuildIndex() { index_ = ConstraintIndex::Build(members_); }
+
+  /// Reverts to brute-force member delivery.
+  void DropIndex() { index_.reset(); }
 
   /// Adopts an index built for an identical member list (a sharded lane
   /// reusing the first lane's immutable index). Ignores nullptr; rejects a
@@ -128,6 +149,31 @@ class ConcurrentQueryScheduler {
   /// AddQuery calls and before `groups()`.
   void BuildGroups();
 
+  /// Dynamic (post-BuildGroups) registration: patches the query into its
+  /// compatibility group — an existing group when one with the same
+  /// structural signature exists and grouping is enabled, a new group
+  /// otherwise — and rebuilds the group's shared ConstraintIndex to cover
+  /// the new member. Sets `*created` when the returned group is new (the
+  /// caller must subscribe it to the executor); an existing group's
+  /// stream subscription and routing interest are unchanged (members
+  /// share the structural envelope by construction).
+  QueryGroup* AddQueryDynamic(CompiledQuery* query, bool* created);
+
+  /// Dynamic retraction: removes the query from its group, rebuilding (or
+  /// dropping, below `min_index_members`) the group's index over the
+  /// remaining members. When the group becomes empty its ownership moves
+  /// into `*emptied` (so the caller can unsubscribe it from the executor
+  /// before letting it die); otherwise `*patched` points at the surviving
+  /// group (so sharded lane replicas can re-adopt lane 0's rebuilt
+  /// index). Returns whether the query was registered.
+  bool RemoveQuery(CompiledQuery* query, std::unique_ptr<QueryGroup>* emptied,
+                   QueryGroup** patched);
+
+  /// Re-derives one group's index policy after a dynamic membership
+  /// change: index when enabled and the group has at least
+  /// `min_index_members` members, brute force otherwise.
+  void ReindexGroup(QueryGroup* group);
+
   /// The processors to subscribe to the stream executor.
   std::vector<QueryGroup*> groups();
 
@@ -142,10 +188,15 @@ class ConcurrentQueryScheduler {
   /// ratio is comparable whether routing is on or off.
   double ForwardRatio() const;
 
+  const Options& options() const { return options_; }
+
  private:
   Options options_;
   std::vector<CompiledQuery*> queries_;
   std::vector<std::unique_ptr<QueryGroup>> groups_;
+  /// Signature → group, maintained by BuildGroups and the dynamic
+  /// add/remove path (grouping enabled only).
+  std::map<std::string, QueryGroup*> by_signature_;
 };
 
 }  // namespace saql

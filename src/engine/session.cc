@@ -1,0 +1,764 @@
+// SaqlEngine::Session / QueryHandle: the push-driven streaming lifecycle
+// behind the engine facade. Single-threaded sessions drive a StreamExecutor
+// step-wise; sharded sessions act as the splitter thread of a
+// ShardedStreamExecutor, coordinate dynamic query add/remove across the
+// lane replicas + merge replica at quiesced points, and release collected
+// lane alerts in deterministic (ts, query, group, values) order as the
+// cross-lane watermark aligns past them.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "core/interner.h"
+#include "engine/engine.h"
+#include "engine/shard_merge.h"
+#include "parser/analyzer.h"
+#include "stream/sharded_executor.h"
+
+namespace saql {
+
+namespace {
+
+/// Serialization of an alert's return values; doubles as the `return
+/// distinct` row identity (matching CompiledQuery::EmitRuleMatch's key)
+/// and as the last ordering tie-breaker.
+std::string AlertValueKey(const Alert& alert) {
+  std::string key;
+  for (const auto& [label, value] : alert.values) {
+    key += value.ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+constexpr size_t kNoMergeHandle = std::numeric_limits<size_t>::max();
+
+}  // namespace
+
+struct SaqlEngine::Session::Impl {
+  /// One query of the session, alive for the session's whole lifetime
+  /// (removal deactivates it and frees its execution state, but keeps the
+  /// entry so handles and per-query stats survive).
+  struct SessionQuery {
+    std::string name;
+    AnalyzedQueryPtr aq;
+    /// Single mode: the executing instance. Sharded mode: the merge
+    /// replica (stateful), the global-lane instance (global), or an
+    /// unsubscribed stats anchor (partitionable) — mirroring the batch
+    /// sharded wiring. Freed on removal.
+    std::unique_ptr<CompiledQuery> primary;
+    /// Sharded lane replicas, one per lane (empty for global mode).
+    std::vector<std::unique_ptr<CompiledQuery>> replicas;
+    CompiledQuery::ShardMode mode = CompiledQuery::ShardMode::kPartitionable;
+    size_t merge_handle = kNoMergeHandle;
+    bool central_distinct = false;
+    bool active = true;
+    size_t slot = 0;  ///< index in `queries` (== handle slot)
+    CompiledQuery::QueryStats final_stats;  ///< frozen at removal/close
+    AlertSink tap;                          ///< per-handle sink
+    std::unique_ptr<QueryHandle> handle;
+  };
+
+  SaqlEngine* engine = nullptr;
+  Session* session = nullptr;
+  bool sharded = false;
+  size_t num_lanes = 1;
+  Timestamp advanced_watermark = INT64_MIN;
+
+  std::vector<std::unique_ptr<SessionQuery>> queries;
+  std::unordered_map<std::string, SessionQuery*> by_name;
+
+  // Single-threaded mode.
+  std::unique_ptr<ConcurrentQueryScheduler> scheduler;
+  std::unique_ptr<StreamExecutor> executor;
+
+  // Sharded mode.
+  std::unique_ptr<ShardedStreamExecutor> sharded_exec;
+  std::unique_ptr<ShardMergeStage> merge;
+  std::vector<std::unique_ptr<ConcurrentQueryScheduler>> lane_schedulers;
+  std::unique_ptr<ConcurrentQueryScheduler> global_scheduler;
+  bool have_global_lane = false;
+
+  /// Ordered alert release state. Lane threads append to `pending` and
+  /// update the applied watermarks (through the progress hooks); the
+  /// session thread extracts and emits alerts whose event time every lane
+  /// has aligned past. `alert_mu` guards all of it.
+  std::mutex alert_mu;
+  std::vector<Alert> pending;
+  std::vector<Timestamp> lane_applied;
+  Timestamp global_applied = INT64_MIN;
+  std::set<std::pair<std::string, std::string>> distinct_seen;
+  std::map<std::string, uint64_t> emitted_by_query;
+
+  // -------------------------------------------------------------------
+  // Wiring.
+
+  ConcurrentQueryScheduler::Options SchedulerOptions(bool member_index) {
+    ConcurrentQueryScheduler::Options o;
+    o.enable_grouping = engine->options_.enable_grouping;
+    o.enable_member_index = member_index;
+    return o;
+  }
+
+  AlertSink DirectSink(SessionQuery* sq) {
+    return [this, sq](const Alert& a) {
+      engine->sink_(a);
+      if (sq->tap) sq->tap(a);
+    };
+  }
+
+  AlertSink CollectorSink() {
+    return [this](const Alert& a) {
+      std::lock_guard<std::mutex> lock(alert_mu);
+      pending.push_back(a);
+    };
+  }
+
+  /// Shares lane 0's (re)built ConstraintIndex with another lane's
+  /// corresponding group — the single rule all three membership-change
+  /// paths (open, dynamic add, dynamic remove) apply: only when member
+  /// indexing is on and the groups demonstrably correspond (equal
+  /// signatures; AdoptIndex additionally rejects member-count
+  /// mismatches). Null-tolerant so callers can pass through "no group
+  /// survived" results directly.
+  void AdoptIndexFromLane0(QueryGroup* lane0_group, QueryGroup* group) {
+    if (lane0_group == nullptr || group == nullptr) return;
+    if (!engine->options_.enable_member_index) return;
+    if (group->signature() == lane0_group->signature()) {
+      group->AdoptIndex(lane0_group->shared_index());
+    }
+  }
+
+  /// Classifies one query, wires its sinks/replicas for sharded
+  /// execution, and registers stateful queries with the merge stage.
+  /// Shared by session open and mid-stream AddQuery (the caller holds the
+  /// pipeline quiesced in the latter case).
+  Status WireShardedQuery(SessionQuery* sq) {
+    CompiledQuery* q = sq->primary.get();
+    q->SetErrorReporter(&engine->errors_);
+    sq->mode = q->shard_mode();
+    if (sq->mode == CompiledQuery::ShardMode::kGlobal) {
+      q->SetAlertSink(CollectorSink());
+      return Status::Ok();
+    }
+    if (sq->mode == CompiledQuery::ShardMode::kPartitionableWithMerge) {
+      // The primary becomes the merge replica: it holds the global group
+      // histories / invariants / cluster state and emits the alerts.
+      q->SetAlertSink(CollectorSink());
+      sq->merge_handle = merge->RegisterQuery(q);
+    } else if (q->return_distinct()) {
+      sq->central_distinct = true;
+    }
+    sq->replicas.reserve(num_lanes);
+    for (size_t s = 0; s < num_lanes; ++s) {
+      SAQL_ASSIGN_OR_RETURN(
+          std::unique_ptr<CompiledQuery> r,
+          CompiledQuery::Create(sq->aq, sq->name, q->options()));
+      r->SetErrorReporter(&engine->errors_);
+      if (sq->mode == CompiledQuery::ShardMode::kPartitionableWithMerge) {
+        ShardMergeStage* m = merge.get();
+        size_t handle = sq->merge_handle;
+        r->ExportPartialWindows(
+            [m, handle](const TimeWindow& w,
+                        std::vector<StateMaintainer::PartialGroup>& groups) {
+              m->AddPartials(handle, w, groups);
+            });
+      } else {
+        r->SetAlertSink(CollectorSink());
+      }
+      sq->replicas.push_back(std::move(r));
+    }
+    return Status::Ok();
+  }
+
+  Status Open() {
+    const SaqlEngine::Options& opts = engine->options_;
+    sharded = opts.num_shards > 1 || opts.force_sharded_executor;
+    num_lanes = std::clamp<size_t>(opts.num_shards, 1,
+                                   ShardedStreamExecutor::kMaxShards);
+
+    // Adopt the engine's registered queries as this session's set.
+    for (Registered& reg : engine->registered_) {
+      auto sq = std::make_unique<SessionQuery>();
+      sq->name = reg.name;
+      sq->aq = reg.aq;
+      sq->primary = std::move(reg.compiled);  // recompiled by OpenSession
+      sq->slot = queries.size();
+      sq->handle.reset(new QueryHandle(session, sq->slot, sq->name));
+      by_name[sq->name] = sq.get();
+      queries.push_back(std::move(sq));
+    }
+
+    if (!sharded) {
+      scheduler = std::make_unique<ConcurrentQueryScheduler>(
+          SchedulerOptions(opts.enable_member_index));
+      executor = std::make_unique<StreamExecutor>(
+          StreamExecutor::Options{opts.enable_routing, opts.intern_strings});
+      for (auto& sq : queries) {
+        sq->primary->SetErrorReporter(&engine->errors_);
+        sq->primary->SetAlertSink(DirectSink(sq.get()));
+        scheduler->AddQuery(sq->primary.get());
+      }
+      scheduler->BuildGroups();
+      for (QueryGroup* g : scheduler->groups()) executor->Subscribe(g);
+      executor->BeginStream();
+      return Status::Ok();
+    }
+
+    ShardedStreamExecutor::Options sopts;
+    sopts.num_shards = num_lanes;
+    sopts.executor = StreamExecutor::Options{opts.enable_routing,
+                                             opts.intern_strings};
+    sharded_exec = std::make_unique<ShardedStreamExecutor>(sopts);
+    merge = std::make_unique<ShardMergeStage>(num_lanes);
+    lane_applied.assign(num_lanes, INT64_MIN);
+
+    for (auto& sq : queries) {
+      Status st = WireShardedQuery(sq.get());
+      if (!st.ok()) return st;
+    }
+
+    // One scheduler (query grouping) per shard lane over that shard's
+    // replicas, plus one for the global lane over the primaries of
+    // global-mode queries. The member-matching ConstraintIndex is built
+    // once, on lane 0; every other lane's groups adopt the same immutable
+    // index (lanes register the same queries in the same order, so groups
+    // correspond by position and member order, and Match is const —
+    // per-lane scratch lives in each lane's own QueryGroup).
+    std::vector<QueryGroup*> lane0_groups;
+    lane_schedulers.reserve(num_lanes);
+    for (size_t s = 0; s < num_lanes; ++s) {
+      auto sched = std::make_unique<ConcurrentQueryScheduler>(
+          SchedulerOptions(opts.enable_member_index && s == 0));
+      for (auto& sq : queries) {
+        if (!sq->replicas.empty()) sched->AddQuery(sq->replicas[s].get());
+      }
+      sched->BuildGroups();
+      std::vector<QueryGroup*> groups = sched->groups();
+      if (s == 0) {
+        lane0_groups = groups;
+      } else {
+        for (size_t j = 0; j < groups.size() && j < lane0_groups.size();
+             ++j) {
+          AdoptIndexFromLane0(lane0_groups[j], groups[j]);
+        }
+      }
+      for (QueryGroup* g : groups) sharded_exec->SubscribeShard(s, g);
+      lane_schedulers.push_back(std::move(sched));
+    }
+    bool any_global = false;
+    for (auto& sq : queries) {
+      any_global |= sq->mode == CompiledQuery::ShardMode::kGlobal;
+    }
+    if (any_global) {
+      global_scheduler = std::make_unique<ConcurrentQueryScheduler>(
+          SchedulerOptions(opts.enable_member_index));
+      for (auto& sq : queries) {
+        if (sq->mode == CompiledQuery::ShardMode::kGlobal) {
+          global_scheduler->AddQuery(sq->primary.get());
+        }
+      }
+      global_scheduler->BuildGroups();
+      for (QueryGroup* g : global_scheduler->groups()) {
+        sharded_exec->SubscribeGlobal(g);
+      }
+      have_global_lane = true;
+    }
+
+    ShardedStreamExecutor::ProgressHooks hooks;
+    hooks.watermark = [this](size_t s, Timestamp ts) {
+      merge->AdvanceShardWatermark(s, ts);
+      std::lock_guard<std::mutex> lock(alert_mu);
+      if (ts > lane_applied[s]) lane_applied[s] = ts;
+    };
+    hooks.finished = [this](size_t s) {
+      merge->FinishShard(s);
+      std::lock_guard<std::mutex> lock(alert_mu);
+      lane_applied[s] = INT64_MAX;
+    };
+    hooks.global_watermark = [this](Timestamp ts) {
+      std::lock_guard<std::mutex> lock(alert_mu);
+      if (ts > global_applied) global_applied = ts;
+    };
+    hooks.global_finished = [this]() {
+      std::lock_guard<std::mutex> lock(alert_mu);
+      global_applied = INT64_MAX;
+    };
+    sharded_exec->SetProgressHooks(std::move(hooks));
+    sharded_exec->BeginStream();
+    return Status::Ok();
+  }
+
+  // -------------------------------------------------------------------
+  // Ordered alert release (sharded mode).
+
+  /// Emits every collected alert that is final: with `all` set (after
+  /// FinishStream) everything, otherwise alerts whose event time is
+  /// strictly below what every lane has applied — no lane can still
+  /// produce an alert older than its applied watermark, so the released
+  /// prefix matches the batch run's full (ts, query, group, values) sort.
+  void ReleaseReadyAlerts(bool all) {
+    std::vector<Alert> ready;
+    {
+      std::lock_guard<std::mutex> lock(alert_mu);
+      if (pending.empty()) return;
+      Timestamp cutoff = INT64_MAX;
+      if (!all) {
+        for (Timestamp w : lane_applied) cutoff = std::min(cutoff, w);
+        if (have_global_lane) cutoff = std::min(cutoff, global_applied);
+        if (cutoff == INT64_MIN) return;
+      }
+      std::vector<Alert> keep;
+      for (Alert& a : pending) {
+        if (all || a.ts < cutoff) {
+          ready.push_back(std::move(a));
+        } else {
+          keep.push_back(std::move(a));
+        }
+      }
+      pending = std::move(keep);
+    }
+    if (ready.empty()) return;
+    // Deterministic emission: order by (event time, query, group,
+    // rendered values), then apply cross-shard `return distinct`.
+    std::vector<std::pair<std::string, size_t>> order;
+    order.reserve(ready.size());
+    for (size_t i = 0; i < ready.size(); ++i) {
+      order.emplace_back(AlertValueKey(ready[i]), i);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&ready](const auto& a, const auto& b) {
+                       const Alert& x = ready[a.second];
+                       const Alert& y = ready[b.second];
+                       if (x.ts != y.ts) return x.ts < y.ts;
+                       if (x.query_name != y.query_name) {
+                         return x.query_name < y.query_name;
+                       }
+                       if (x.group != y.group) return x.group < y.group;
+                       return a.first < b.first;
+                     });
+    for (const auto& [value_key, idx] : order) {
+      const Alert& a = ready[idx];
+      auto it = by_name.find(a.query_name);
+      SessionQuery* sq = it == by_name.end() ? nullptr : it->second;
+      if (sq != nullptr && sq->central_distinct &&
+          !distinct_seen.emplace(a.query_name, value_key).second) {
+        continue;  // duplicate row another shard already produced
+      }
+      ++emitted_by_query[a.query_name];
+      engine->sink_(a);
+      if (sq != nullptr && sq->tap) sq->tap(a);
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Streaming.
+
+  Status Push(Event* events, size_t count) {
+    if (count == 0) return Status::Ok();
+    if (!sharded) {
+      executor->ProcessBatch(events, count);
+      return Status::Ok();
+    }
+    sharded_exec->PushBatch(events, count);
+    ReleaseReadyAlerts(false);
+    return Status::Ok();
+  }
+
+  Status AdvanceWatermark(Timestamp ts) {
+    bool advanced = sharded ? sharded_exec->AdvanceWatermark(ts)
+                            : executor->AdvanceWatermark(ts);
+    if (advanced) advanced_watermark = ts;
+    if (sharded) ReleaseReadyAlerts(false);
+    return Status::Ok();
+  }
+
+  Status Flush() {
+    if (sharded) {
+      sharded_exec->Quiesce();
+      ReleaseReadyAlerts(false);
+    }
+    return Status::Ok();
+  }
+
+  Timestamp MaxEventTs() const {
+    return sharded ? sharded_exec->input_max_ts() : executor->max_event_ts();
+  }
+
+  // -------------------------------------------------------------------
+  // Dynamic query lifecycle.
+
+  Result<QueryHandle*> AddQuery(AnalyzedQueryPtr aq,
+                                const std::string& name) {
+    if (by_name.count(name) != 0) {
+      return Status::AlreadyExists("query '" + name +
+                                   "' already exists in this session");
+    }
+    auto sq = std::make_unique<SessionQuery>();
+    sq->name = name;
+    sq->aq = aq;
+    SAQL_ASSIGN_OR_RETURN(
+        sq->primary,
+        CompiledQuery::Create(aq, name, engine->options_.query_options));
+
+    if (!sharded) {
+      sq->primary->SetErrorReporter(&engine->errors_);
+      sq->primary->SetAlertSink(DirectSink(sq.get()));
+      bool created = false;
+      QueryGroup* g = scheduler->AddQueryDynamic(sq->primary.get(), &created);
+      // A new group means a new stream subscription: the executor's
+      // dispatch index re-registers before the next batch. An existing
+      // group keeps its subscription (the new member shares its
+      // structural envelope) but had its ConstraintIndex rebuilt.
+      if (created) executor->Subscribe(g);
+    } else {
+      // All lanes idle: replica wiring, group patching, and merge-stage
+      // registration must not race the lane threads.
+      sharded_exec->Quiesce();
+      Status st = WireShardedQuery(sq.get());
+      if (!st.ok()) return st;
+      if (sq->mode == CompiledQuery::ShardMode::kGlobal) {
+        if (!global_scheduler) {
+          global_scheduler = std::make_unique<ConcurrentQueryScheduler>(
+              SchedulerOptions(engine->options_.enable_member_index));
+        }
+        bool created = false;
+        QueryGroup* g =
+            global_scheduler->AddQueryDynamic(sq->primary.get(), &created);
+        // May spin up the global lane thread mid-stream; the lane sees
+        // the stream from this point on (attach-point semantics).
+        if (created) sharded_exec->SubscribeGlobal(g);
+        have_global_lane = true;
+      } else {
+        QueryGroup* lane0_group = nullptr;
+        for (size_t s = 0; s < num_lanes; ++s) {
+          bool created = false;
+          QueryGroup* g = lane_schedulers[s]->AddQueryDynamic(
+              sq->replicas[s].get(), &created);
+          if (created) sharded_exec->SubscribeShard(s, g);
+          if (s == 0) {
+            lane0_group = g;  // rebuilt its index (when enabled)
+          } else {
+            AdoptIndexFromLane0(lane0_group, g);
+          }
+        }
+      }
+      ReleaseReadyAlerts(false);
+    }
+
+    // Future sessions include the query too (compiled lazily there).
+    engine->registered_.push_back(Registered{name, aq, nullptr});
+    sq->slot = queries.size();
+    sq->handle.reset(new QueryHandle(session, sq->slot, name));
+    QueryHandle* h = sq->handle.get();
+    by_name[name] = sq.get();
+    queries.push_back(std::move(sq));
+    return h;
+  }
+
+  CompiledQuery::QueryStats SumStats(const SessionQuery& sq) const {
+    CompiledQuery::QueryStats total =
+        sq.primary != nullptr ? sq.primary->stats()
+                              : CompiledQuery::QueryStats{};
+    for (const auto& r : sq.replicas) {
+      const CompiledQuery::QueryStats& rs = r->stats();
+      total.events_in += rs.events_in;
+      total.events_past_global += rs.events_past_global;
+      total.matches += rs.matches;
+      total.windows_closed += rs.windows_closed;
+      total.alerts += rs.alerts;
+      total.eval_errors += rs.eval_errors;
+    }
+    return total;
+  }
+
+  Status RemoveSlot(size_t slot) {
+    SessionQuery* sq = queries[slot].get();
+    if (!sq->active) {
+      return Status::FailedPrecondition("query '" + sq->name +
+                                        "' was already removed");
+    }
+    if (!sharded) {
+      sq->final_stats = sq->primary->stats();
+      std::unique_ptr<QueryGroup> emptied;
+      QueryGroup* patched = nullptr;
+      scheduler->RemoveQuery(sq->primary.get(), &emptied, &patched);
+      // An emptied group must leave the dispatch index before it dies.
+      if (emptied) executor->Unsubscribe(emptied.get());
+    } else {
+      sharded_exec->Quiesce();
+      sq->final_stats = SumStats(*sq);
+      if (sq->mode == CompiledQuery::ShardMode::kGlobal) {
+        std::unique_ptr<QueryGroup> emptied;
+        QueryGroup* patched = nullptr;
+        global_scheduler->RemoveQuery(sq->primary.get(), &emptied, &patched);
+        if (emptied) sharded_exec->UnsubscribeGlobal(emptied.get());
+      } else {
+        QueryGroup* lane0_patched = nullptr;
+        for (size_t s = 0; s < num_lanes; ++s) {
+          std::unique_ptr<QueryGroup> emptied;
+          QueryGroup* patched = nullptr;
+          lane_schedulers[s]->RemoveQuery(sq->replicas[s].get(), &emptied,
+                                          &patched);
+          if (emptied) {
+            sharded_exec->UnsubscribeShard(s, emptied.get());
+          } else if (s == 0) {
+            lane0_patched = patched;  // index rebuilt over the survivors
+          } else {
+            AdoptIndexFromLane0(lane0_patched, patched);
+          }
+        }
+        if (sq->merge_handle != kNoMergeHandle) {
+          // Pending unmerged windows are dropped, not flushed: removal
+          // tears partial state down.
+          merge->RemoveQuery(sq->merge_handle);
+        }
+      }
+      ReleaseReadyAlerts(false);
+    }
+    sq->replicas.clear();
+    sq->primary.reset();
+    sq->active = false;
+    for (auto it = engine->registered_.begin();
+         it != engine->registered_.end(); ++it) {
+      if (it->name == sq->name) {
+        engine->registered_.erase(it);
+        break;
+      }
+    }
+    return Status::Ok();
+  }
+
+  // -------------------------------------------------------------------
+  // Statistics.
+
+  CompiledQuery::QueryStats SlotStats(size_t slot) {
+    SessionQuery* sq = queries[slot].get();
+    CompiledQuery::QueryStats qs;
+    if (!sq->active) {
+      qs = sq->final_stats;
+    } else if (!sharded) {
+      qs = sq->primary->stats();
+    } else {
+      sharded_exec->Quiesce();
+      qs = SumStats(*sq);
+    }
+    if (sharded && sq->mode == CompiledQuery::ShardMode::kPartitionable) {
+      // Replicas count pre-deduplication emissions; report what actually
+      // reached the sink (more may still be buffered for ordered
+      // release).
+      std::lock_guard<std::mutex> lock(alert_mu);
+      auto it = emitted_by_query.find(sq->name);
+      qs.alerts = it == emitted_by_query.end() ? 0 : it->second;
+    }
+    return qs;
+  }
+
+  std::vector<std::pair<std::string, CompiledQuery::QueryStats>>
+  QueryStats() {
+    if (sharded && sharded_exec != nullptr) sharded_exec->Quiesce();
+    std::vector<std::pair<std::string, CompiledQuery::QueryStats>> out;
+    out.reserve(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      out.emplace_back(queries[i]->name, SlotStats(i));
+    }
+    return out;
+  }
+
+  size_t NumGroups() const {
+    if (!sharded) return scheduler->num_groups();
+    size_t n = lane_schedulers.empty() ? 0
+                                       : lane_schedulers.front()->num_groups();
+    if (global_scheduler) n += global_scheduler->num_groups();
+    return n;
+  }
+
+  size_t NumIndexedGroups() const {
+    if (!sharded) return scheduler->num_indexed_groups();
+    size_t n = lane_schedulers.empty()
+                   ? 0
+                   : lane_schedulers.front()->num_indexed_groups();
+    if (global_scheduler) n += global_scheduler->num_indexed_groups();
+    return n;
+  }
+
+  double ForwardRatio() {
+    if (!sharded) return scheduler->ForwardRatio();
+    sharded_exec->Quiesce();
+    uint64_t in = 0, forwarded = 0;
+    auto fold = [&in, &forwarded](ConcurrentQueryScheduler* sched) {
+      for (QueryGroup* g : sched->groups()) {
+        in += g->stats().events_in;
+        forwarded += g->stats().events_forwarded;
+      }
+    };
+    for (auto& sched : lane_schedulers) fold(sched.get());
+    if (global_scheduler) fold(global_scheduler.get());
+    return in == 0 ? 0.0
+                   : static_cast<double>(forwarded) /
+                         static_cast<double>(in);
+  }
+
+  ExecutorStats ExecStats() {
+    if (!sharded) return executor->stats();
+    sharded_exec->Quiesce();
+    return sharded_exec->merged_stats();
+  }
+
+  // -------------------------------------------------------------------
+  // Close.
+
+  Status Close() {
+    if (!sharded) {
+      executor->FinishStream();
+    } else {
+      sharded_exec->FinishStream();  // joins lanes; hooks all fired
+      ReleaseReadyAlerts(true);
+    }
+    // Freeze every live query's stats (the fixups in SlotStats still
+    // apply — emitted_by_query is final now).
+    for (auto& sq : queries) {
+      if (sq->active) {
+        sq->final_stats =
+            sharded ? SumStats(*sq) : sq->primary->stats();
+      }
+    }
+    // Publish the run to the engine-level accessors before deactivating.
+    engine->last_exec_stats_ = ExecStats();
+    engine->last_num_groups_ = NumGroups();
+    engine->last_indexed_groups_ = NumIndexedGroups();
+    engine->last_forward_ratio_ = ForwardRatio();
+    engine->last_query_stats_ = QueryStats();
+    for (auto& sq : queries) sq->active = false;
+    engine->active_session_ = nullptr;
+    return Status::Ok();
+  }
+};
+
+// ---------------------------------------------------------------------
+// Session: thin forwarding layer over Impl, plus the open_ lifecycle
+// guard.
+
+SaqlEngine::Session::Session(SaqlEngine* engine)
+    : engine_(engine), impl_(new Impl()) {
+  impl_->engine = engine;
+  impl_->session = this;
+}
+
+SaqlEngine::Session::~Session() {
+  if (open_) Close();  // best effort; errors have nowhere to go
+}
+
+Status SaqlEngine::Session::OpenInternal() { return impl_->Open(); }
+
+Timestamp SaqlEngine::Session::max_event_ts() const {
+  return impl_->MaxEventTs();
+}
+
+Status SaqlEngine::Session::Push(Event* events, size_t count) {
+  if (!open_) return Status::FailedPrecondition("session is closed");
+  return impl_->Push(events, count);
+}
+
+Status SaqlEngine::Session::AdvanceWatermark(Timestamp ts) {
+  if (!open_) return Status::FailedPrecondition("session is closed");
+  return impl_->AdvanceWatermark(ts);
+}
+
+Status SaqlEngine::Session::Flush() {
+  if (!open_) return Status::FailedPrecondition("session is closed");
+  return impl_->Flush();
+}
+
+Result<SaqlEngine::QueryHandle*> SaqlEngine::Session::AddQuery(
+    const std::string& text, const std::string& name) {
+  if (!open_) return Status::FailedPrecondition("session is closed");
+  SAQL_ASSIGN_OR_RETURN(AnalyzedQueryPtr aq, CompileSaql(text));
+  return impl_->AddQuery(std::move(aq), name);
+}
+
+Result<SaqlEngine::QueryHandle*> SaqlEngine::Session::AddAnalyzedQuery(
+    AnalyzedQueryPtr aq, const std::string& name) {
+  if (!open_) return Status::FailedPrecondition("session is closed");
+  return impl_->AddQuery(std::move(aq), name);
+}
+
+Status SaqlEngine::Session::RemoveQuery(const std::string& name) {
+  if (!open_) return Status::FailedPrecondition("session is closed");
+  auto it = impl_->by_name.find(name);
+  if (it == impl_->by_name.end()) {
+    return Status::NotFound("no query named '" + name + "' in this session");
+  }
+  return impl_->RemoveSlot(it->second->slot);
+}
+
+SaqlEngine::QueryHandle* SaqlEngine::Session::handle(
+    const std::string& name) {
+  auto it = impl_->by_name.find(name);
+  return it == impl_->by_name.end() ? nullptr : it->second->handle.get();
+}
+
+Status SaqlEngine::Session::Close() {
+  if (!open_) return Status::FailedPrecondition("session already closed");
+  open_ = false;
+  return impl_->Close();
+}
+
+Timestamp SaqlEngine::Session::watermark() const {
+  return impl_->advanced_watermark;
+}
+
+ExecutorStats SaqlEngine::Session::executor_stats() const {
+  return impl_->ExecStats();
+}
+
+size_t SaqlEngine::Session::num_active_queries() const {
+  size_t n = 0;
+  for (const auto& sq : impl_->queries) n += sq->active ? 1 : 0;
+  return n;
+}
+
+size_t SaqlEngine::Session::num_groups() const { return impl_->NumGroups(); }
+
+size_t SaqlEngine::Session::num_indexed_groups() const {
+  return impl_->NumIndexedGroups();
+}
+
+double SaqlEngine::Session::forward_ratio() const {
+  return impl_->ForwardRatio();
+}
+
+std::vector<std::pair<std::string, CompiledQuery::QueryStats>>
+SaqlEngine::Session::query_stats() const {
+  return impl_->QueryStats();
+}
+
+// ---------------------------------------------------------------------
+// QueryHandle.
+
+bool SaqlEngine::QueryHandle::active() const {
+  return session_->impl_->queries[slot_]->active;
+}
+
+CompiledQuery::QueryStats SaqlEngine::QueryHandle::stats() const {
+  return session_->impl_->SlotStats(slot_);
+}
+
+void SaqlEngine::QueryHandle::SetAlertSink(AlertSink sink) {
+  session_->impl_->queries[slot_]->tap = std::move(sink);
+}
+
+Status SaqlEngine::QueryHandle::Cancel() {
+  if (!session_->open_) {
+    return Status::FailedPrecondition("session is closed");
+  }
+  return session_->impl_->RemoveSlot(slot_);
+}
+
+}  // namespace saql

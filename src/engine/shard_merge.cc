@@ -9,16 +9,24 @@ ShardMergeStage::ShardMergeStage(size_t num_shards)
     : shard_watermarks_(num_shards, INT64_MIN) {}
 
 size_t ShardMergeStage::RegisterQuery(CompiledQuery* merge_replica) {
+  std::lock_guard<std::mutex> lock(mu_);
   QueryState qs;
   qs.replica = merge_replica;
   queries_.push_back(std::move(qs));
   return queries_.size() - 1;
 }
 
+void ShardMergeStage::RemoveQuery(size_t query) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queries_[query].replica = nullptr;
+  queries_[query].pending.clear();
+}
+
 void ShardMergeStage::AddPartials(
     size_t query, const TimeWindow& window,
     std::vector<StateMaintainer::PartialGroup>& groups) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (queries_[query].replica == nullptr) return;  // removed mid-stream
   PendingWindow& pw =
       queries_[query].pending[{window.end, window.start}];
   pw.window = window;
@@ -48,6 +56,7 @@ void ShardMergeStage::DrainReadyLocked() {
   for (Timestamp wm : shard_watermarks_) aligned = std::min(aligned, wm);
   if (aligned == INT64_MIN) return;
   for (QueryState& qs : queries_) {
+    if (qs.replica == nullptr) continue;  // removed mid-stream
     while (!qs.pending.empty() &&
            qs.pending.begin()->first.first <= aligned) {
       PendingWindow pw = std::move(qs.pending.begin()->second);

@@ -39,8 +39,16 @@ class ShardMergeStage {
   explicit ShardMergeStage(size_t num_shards);
 
   /// Registers a stateful query's merge replica (not owned). Returns the
-  /// query handle to use in `AddPartials`. Call before `Run` starts.
+  /// query handle to use in `AddPartials`. Call before the stream starts,
+  /// or mid-stream while the lane pipeline is quiesced (a session adding
+  /// a query dynamically).
   size_t RegisterQuery(CompiledQuery* merge_replica);
+
+  /// Tears down one query's merge state: pending (un-evaluated) partial
+  /// windows are dropped — not flushed — and later AddPartials calls for
+  /// this handle are ignored. Call while the lane pipeline is quiesced;
+  /// the handle is not reused.
+  void RemoveQuery(size_t query);
 
   /// Folds one shard's partial groups for `window` into the pending merge
   /// state. Called from lane threads (thread-safe); moves the aggregators

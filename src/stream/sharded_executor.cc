@@ -1,7 +1,5 @@
 #include "stream/sharded_executor.h"
 
-#include <thread>
-
 #include "core/interner.h"
 
 namespace saql {
@@ -15,9 +13,13 @@ ShardedStreamExecutor::ShardedStreamExecutor(Options options)
   for (size_t i = 0; i < options_.num_shards; ++i) {
     lanes_.push_back(std::make_unique<Lane>(options_.executor));
   }
+  staged_.resize(options_.num_shards);
 }
 
-ShardedStreamExecutor::~ShardedStreamExecutor() = default;
+ShardedStreamExecutor::~ShardedStreamExecutor() {
+  // A session that dies mid-stream must not leak running lane threads.
+  if (streaming_) FinishStream();
+}
 
 size_t ShardedStreamExecutor::SubjectKeyShard(const Event& event,
                                               size_t num_shards) {
@@ -42,7 +44,21 @@ void ShardedStreamExecutor::SubscribeShard(size_t shard,
 }
 
 void ShardedStreamExecutor::SubscribeGlobal(EventProcessor* processor) {
-  EnsureGlobalLane()->executor.Subscribe(processor);
+  Lane* lane = EnsureGlobalLane();
+  // Subscribe before the lane thread can exist: its BeginStream reads the
+  // subscriber list unsynchronized, so the thread must start strictly
+  // after (thread creation is the happens-before edge).
+  lane->executor.Subscribe(processor);
+  if (streaming_ && !lane->started) StartLaneThread(lane);
+}
+
+void ShardedStreamExecutor::UnsubscribeShard(size_t shard,
+                                             EventProcessor* processor) {
+  lanes_[shard]->executor.Unsubscribe(processor);
+}
+
+void ShardedStreamExecutor::UnsubscribeGlobal(EventProcessor* processor) {
+  if (global_lane_) global_lane_->executor.Unsubscribe(processor);
 }
 
 void ShardedStreamExecutor::SetPartitioner(Partitioner partitioner) {
@@ -56,8 +72,15 @@ void ShardedStreamExecutor::SetProgressHooks(ProgressHooks hooks) {
 ShardedStreamExecutor::Lane* ShardedStreamExecutor::EnsureGlobalLane() {
   if (!global_lane_) {
     global_lane_ = std::make_unique<Lane>(options_.executor);
+    global_lane_->is_global = true;
   }
   return global_lane_.get();
+}
+
+void ShardedStreamExecutor::StartLaneThread(Lane* lane) {
+  lane->hooks = &hooks_;
+  lane->started = true;
+  threads_.emplace_back([lane] { lane->ThreadMain(); });
 }
 
 void ShardedStreamExecutor::Lane::Push(LaneBatch&& batch, size_t capacity) {
@@ -77,6 +100,11 @@ void ShardedStreamExecutor::Lane::Close() {
   can_pop.notify_all();
 }
 
+void ShardedStreamExecutor::Lane::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu);
+  idle.wait(lock, [&] { return queue.empty() && !busy; });
+}
+
 void ShardedStreamExecutor::Lane::ThreadMain() {
   executor.BeginStream();
   LaneBatch batch;
@@ -87,70 +115,121 @@ void ShardedStreamExecutor::Lane::ThreadMain() {
       if (queue.empty()) break;  // closed and drained
       batch = std::move(queue.front());
       queue.pop_front();
+      busy = true;
     }
     can_push.notify_one();
     executor.ProcessBatch(batch.events.data(), batch.events.size());
     // The *input* watermark, not the lane's own max event time — see the
     // watermark rule in the class comment.
     bool advanced = executor.AdvanceWatermark(batch.watermark);
-    if (advanced && hooks != nullptr && hooks->watermark) {
-      hooks->watermark(index, batch.watermark);
+    if (advanced && hooks != nullptr) {
+      if (is_global) {
+        if (hooks->global_watermark) hooks->global_watermark(batch.watermark);
+      } else if (hooks->watermark) {
+        hooks->watermark(index, batch.watermark);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      busy = false;
+      if (queue.empty()) idle.notify_all();
     }
   }
   executor.FinishStream();
-  if (hooks != nullptr && hooks->finished) hooks->finished(index);
+  if (hooks != nullptr) {
+    if (is_global) {
+      if (hooks->global_finished) hooks->global_finished();
+    } else if (hooks->finished) {
+      hooks->finished(index);
+    }
+  }
+}
+
+void ShardedStreamExecutor::BeginStream() {
+  if (streaming_ || ran_) return;
+  streaming_ = true;
+  threads_.reserve(lanes_.size() + 1);
+  for (size_t s = 0; s < lanes_.size(); ++s) {
+    lanes_[s]->index = s;
+    StartLaneThread(lanes_[s].get());
+  }
+  if (global_lane_) StartLaneThread(global_lane_.get());
+}
+
+void ShardedStreamExecutor::PushBatch(Event* events, size_t count) {
+  if (!streaming_ || count == 0) return;
+  const size_t n = lanes_.size();
+  ++splitter_stats_.input_batches;
+  splitter_stats_.input_events += count;
+  // Intern once, in the caller's buffer, before events fan out: replayed
+  // buffers (VectorEventSource) keep the memoization, and every copy
+  // below carries the symbol ids with it.
+  if (options_.executor.intern_strings) InternEventSpan(events, count);
+  for (EventBatch& s : staged_) s.clear();
+  for (size_t k = 0; k < count; ++k) {
+    const Event& e = events[k];
+    if (e.ts > input_max_ts_) input_max_ts_ = e.ts;
+    staged_[partitioner_(e, n)].push_back(e);
+  }
+  // The batch carries the last *advanced* watermark (a no-op for the
+  // lane's executor): watermark progress is explicit, via
+  // AdvanceWatermark, which also reaches lanes this batch skipped.
+  for (size_t s = 0; s < n; ++s) {
+    if (staged_[s].empty()) continue;
+    lanes_[s]->Push(LaneBatch{std::move(staged_[s]), pushed_watermark_},
+                    options_.queue_capacity);
+    staged_[s] = EventBatch{};
+  }
+  if (global_lane_) {
+    LaneBatch gb;
+    gb.events.assign(events, events + count);
+    gb.watermark = pushed_watermark_;
+    global_lane_->Push(std::move(gb), options_.queue_capacity);
+  }
+}
+
+bool ShardedStreamExecutor::AdvanceWatermark(Timestamp ts) {
+  if (!streaming_ || ts == INT64_MIN || ts <= pushed_watermark_) {
+    return false;
+  }
+  pushed_watermark_ = ts;
+  // Every lane gets the advanced input watermark, even when it received
+  // no events — a quiet shard must keep closing windows so the merge
+  // stage's alignment can progress.
+  for (auto& lane : lanes_) {
+    lane->Push(LaneBatch{EventBatch{}, ts}, options_.queue_capacity);
+  }
+  if (global_lane_) {
+    global_lane_->Push(LaneBatch{EventBatch{}, ts}, options_.queue_capacity);
+  }
+  return true;
+}
+
+void ShardedStreamExecutor::Quiesce() {
+  if (!streaming_) return;
+  for (auto& lane : lanes_) lane->WaitIdle();
+  if (global_lane_) global_lane_->WaitIdle();
+}
+
+void ShardedStreamExecutor::FinishStream() {
+  if (!streaming_) return;
+  streaming_ = false;
+  ran_ = true;
+  for (auto& lane : lanes_) lane->Close();
+  if (global_lane_) global_lane_->Close();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
 }
 
 void ShardedStreamExecutor::Run(EventSource* source, size_t batch_size) {
-  if (ran_) return;
-  ran_ = true;
-  const size_t n = lanes_.size();
-
-  std::vector<std::thread> threads;
-  threads.reserve(n + 1);
-  for (size_t s = 0; s < n; ++s) {
-    lanes_[s]->index = s;
-    lanes_[s]->hooks = &hooks_;
-    threads.emplace_back([l = lanes_[s].get()] { l->ThreadMain(); });
-  }
-  if (global_lane_) {
-    threads.emplace_back([l = global_lane_.get()] { l->ThreadMain(); });
-  }
-
-  std::vector<EventBatch> staged(n);
-  Timestamp watermark = INT64_MIN;
+  if (ran_ || streaming_) return;
+  BeginStream();
   size_t count = 0;
   while (Event* batch = source->NextBatchZeroCopy(batch_size, &count)) {
-    ++splitter_stats_.input_batches;
-    splitter_stats_.input_events += count;
-    // Intern once, in the source's own buffer, before events fan out:
-    // replayed buffers (VectorEventSource) keep the memoization, and every
-    // copy below carries the symbol ids with it.
-    if (options_.executor.intern_strings) InternEventSpan(batch, count);
-    for (EventBatch& s : staged) s.clear();
-    for (size_t k = 0; k < count; ++k) {
-      const Event& e = batch[k];
-      if (e.ts > watermark) watermark = e.ts;
-      staged[partitioner_(e, n)].push_back(e);
-    }
-    // Every lane gets the advanced input watermark each input batch, even
-    // when it received no events — a quiet shard must keep closing windows
-    // so the merge stage's alignment can progress.
-    for (size_t s = 0; s < n; ++s) {
-      lanes_[s]->Push(LaneBatch{std::move(staged[s]), watermark},
-                      options_.queue_capacity);
-      staged[s] = EventBatch{};
-    }
-    if (global_lane_) {
-      LaneBatch gb;
-      gb.events.assign(batch, batch + count);
-      gb.watermark = watermark;
-      global_lane_->Push(std::move(gb), options_.queue_capacity);
-    }
+    PushBatch(batch, count);
+    AdvanceWatermark(input_max_ts_);
   }
-  for (auto& lane : lanes_) lane->Close();
-  if (global_lane_) global_lane_->Close();
-  for (std::thread& t : threads) t.join();
+  FinishStream();
 }
 
 const ExecutorStats& ShardedStreamExecutor::shard_stats(size_t shard) const {

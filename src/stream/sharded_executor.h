@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "core/event.h"
@@ -77,13 +78,25 @@ class ShardedStreamExecutor {
   ShardedStreamExecutor& operator=(const ShardedStreamExecutor&) = delete;
 
   /// Registers a processor on shard `shard`'s lane. Processors must be
-  /// distinct per shard (they run on different threads) and outlive `Run`.
+  /// distinct per shard (they run on different threads) and outlive the
+  /// stream (or their `Unsubscribe`). Legal before `BeginStream`/`Run`, or
+  /// mid-stream under `Quiesce` (see below): the lane rebuilds its
+  /// dispatch index before the next batch, so a processor attached at
+  /// time T sees only events pushed after T.
   void SubscribeShard(size_t shard, EventProcessor* processor);
 
   /// Registers a processor on the global lane (created on first use): it
   /// sees every event, in input order, exactly like a single-threaded
-  /// executor would.
+  /// executor would. When the stream is already running, the lane thread
+  /// is spawned on the spot (call under `Quiesce`); the lane observes the
+  /// stream from this point on.
   void SubscribeGlobal(EventProcessor* processor);
+
+  /// Removes a processor from its lane. Mid-stream removal is legal only
+  /// while the pipeline is quiesced (`Quiesce` returned and nothing has
+  /// been pushed since).
+  void UnsubscribeShard(size_t shard, EventProcessor* processor);
+  void UnsubscribeGlobal(EventProcessor* processor);
 
   /// Replaces the default subject-entity-key partitioner.
   void SetPartitioner(Partitioner partitioner);
@@ -99,12 +112,51 @@ class ShardedStreamExecutor {
   struct ProgressHooks {
     std::function<void(size_t shard, Timestamp ts)> watermark;
     std::function<void(size_t shard)> finished;
+    /// Global-lane progress (same semantics, no shard index). Optional;
+    /// the cross-shard merge never aligns on the global lane, but a
+    /// session's ordered alert flush does.
+    std::function<void(Timestamp ts)> global_watermark;
+    std::function<void()> global_finished;
   };
   void SetProgressHooks(ProgressHooks hooks);
 
   /// Pulls `source` to exhaustion through the splitter/lane pipeline and
-  /// joins all lane threads. May be called once per instance.
+  /// joins all lane threads. May be called once per instance. Equivalent
+  /// to BeginStream + one PushBatch/AdvanceWatermark pair per pulled
+  /// batch + FinishStream.
   void Run(EventSource* source, size_t batch_size = 1024);
+
+  // Streaming (push-driven) interface. `Run` is built from these; the
+  // engine's session API drives them directly. All of them must be called
+  // from one thread (the splitter/session thread).
+
+  /// Starts the lane threads. Call once, after the initial Subscribe
+  /// calls.
+  void BeginStream();
+
+  /// Interns (when configured) and hash-partitions one batch onto the
+  /// lane queues, plus a copy to the global lane when present. Events are
+  /// annotated in place (symbol ids); the buffer may be reused as soon as
+  /// the call returns (lanes receive copies). Blocks when a lane queue is
+  /// full (backpressure).
+  void PushBatch(Event* events, size_t count);
+
+  /// Enqueues watermark `ts` to every lane (shard + global) when it
+  /// advances the input watermark; returns whether it did.
+  bool AdvanceWatermark(Timestamp ts);
+
+  /// Blocks until every lane has drained its queue and gone idle. While
+  /// quiesced — i.e. until the next PushBatch/AdvanceWatermark — the
+  /// caller may mutate lane subscriptions (Subscribe/Unsubscribe) and
+  /// subscriber state without racing the lane threads.
+  void Quiesce();
+
+  /// Closes the lane queues, joins all lane threads (each lane flushes
+  /// end-of-stream first). Call once; the instance cannot be restarted.
+  void FinishStream();
+
+  /// Max event timestamp the splitter has seen (INT64_MIN before any).
+  Timestamp input_max_ts() const { return input_max_ts_; }
 
   /// Default partitioner: FNV-1a over (agent_id, subject.pid).
   static size_t SubjectKeyShard(const Event& event, size_t num_shards);
@@ -138,33 +190,46 @@ class ShardedStreamExecutor {
   };
 
   /// A lane: bounded queue + executor. The thread pops batches until the
-  /// queue closes, then finishes the stream. `index`/`hooks` are set for
-  /// shard lanes only.
+  /// queue closes, then finishes the stream. `index` is set for shard
+  /// lanes; the global lane reports through the hooks' global callbacks.
   struct Lane {
     explicit Lane(StreamExecutor::Options opts) : executor(opts) {}
 
     void Push(LaneBatch&& batch, size_t capacity);
     void Close();
+    /// Blocks until the queue is empty and the thread is between batches.
+    void WaitIdle();
     void ThreadMain();
 
     StreamExecutor executor;
     std::mutex mu;
     std::condition_variable can_push;
     std::condition_variable can_pop;
+    std::condition_variable idle;
     std::deque<LaneBatch> queue;
     bool closed = false;
+    bool busy = false;  ///< thread currently processing a popped batch
     size_t index = 0;
+    bool is_global = false;
+    bool started = false;  ///< lane thread spawned (mid-stream global lane)
     const ProgressHooks* hooks = nullptr;
   };
 
   Lane* EnsureGlobalLane();
+  void StartLaneThread(Lane* lane);
 
   Options options_;
   Partitioner partitioner_;
   ProgressHooks hooks_;
   std::vector<std::unique_ptr<Lane>> lanes_;
   std::unique_ptr<Lane> global_lane_;
+  std::vector<std::thread> threads_;
+  /// Per-lane staging buffers, reused across PushBatch calls.
+  std::vector<EventBatch> staged_;
   SplitterStats splitter_stats_;
+  Timestamp input_max_ts_ = INT64_MIN;
+  Timestamp pushed_watermark_ = INT64_MIN;
+  bool streaming_ = false;  ///< between BeginStream and FinishStream
   bool ran_ = false;
 };
 

@@ -6,11 +6,23 @@ namespace saql {
 
 void StreamExecutor::Subscribe(EventProcessor* processor) {
   processors_.push_back(processor);
+  routing_dirty_ = true;
+}
+
+void StreamExecutor::Unsubscribe(EventProcessor* processor) {
+  for (auto it = processors_.begin(); it != processors_.end(); ++it) {
+    if (*it == processor) {
+      processors_.erase(it);
+      routing_dirty_ = true;
+      return;
+    }
+  }
 }
 
 void StreamExecutor::Reset() {
   processors_.clear();
   routed_.clear();
+  routing_dirty_ = true;
   max_event_ts_ = INT64_MIN;
   emitted_watermark_ = INT64_MIN;
   stats_ = ExecutorStats{};
@@ -20,28 +32,32 @@ void StreamExecutor::BuildRoutingTable() {
   for (auto& by_op : table_) {
     for (auto& bucket : by_op) bucket.clear();
   }
-  for (size_t i = 0; i < processors_.size(); ++i) {
-    RoutingInterest interest = processors_[i]->Interest();
-    for (size_t type = 0; type < 3; ++type) {
-      for (int op = 0; op < kNumEventOps; ++op) {
-        if (interest.Wants(static_cast<EntityType>(type),
-                           static_cast<EventOp>(op))) {
-          table_[type][op].push_back(static_cast<uint32_t>(i));
+  if (options_.enable_routing) {
+    for (size_t i = 0; i < processors_.size(); ++i) {
+      RoutingInterest interest = processors_[i]->Interest();
+      for (size_t type = 0; type < 3; ++type) {
+        for (int op = 0; op < kNumEventOps; ++op) {
+          if (interest.Wants(static_cast<EntityType>(type),
+                             static_cast<EventOp>(op))) {
+            table_[type][op].push_back(static_cast<uint32_t>(i));
+          }
         }
       }
     }
   }
+  routed_.assign(processors_.size(), EventRefs{});
+  routing_dirty_ = false;
 }
 
 void StreamExecutor::BeginStream() {
-  if (options_.enable_routing) BuildRoutingTable();
-  routed_.assign(processors_.size(), EventRefs{});
+  BuildRoutingTable();
   max_event_ts_ = INT64_MIN;
   emitted_watermark_ = INT64_MIN;
 }
 
 void StreamExecutor::ProcessBatch(Event* batch, size_t count) {
   if (count == 0) return;
+  if (routing_dirty_) BuildRoutingTable();
   const size_t n = processors_.size();
   ++stats_.batches;
   if (options_.intern_strings) InternEventSpan(batch, count);

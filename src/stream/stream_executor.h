@@ -122,8 +122,19 @@ class StreamExecutor {
   StreamExecutor() = default;
   explicit StreamExecutor(Options options) : options_(options) {}
 
-  /// Registers a processor. Subscribers must outlive `Run`.
+  /// Registers a processor. Subscribers must outlive `Run` (or, for
+  /// step-wise drives, stay subscribed until `FinishStream` or an
+  /// `Unsubscribe`). May be called mid-stream between batches: the
+  /// dispatch index is rebuilt before the next `ProcessBatch`, so a
+  /// subscriber added at time T sees only events pushed after T (the
+  /// session API's attach-point semantics).
   void Subscribe(EventProcessor* processor);
+
+  /// Removes one processor; it receives no further events, watermarks, or
+  /// finish calls. Mid-stream removal is legal between batches only (the
+  /// executor is single-threaded; external drivers serialize with
+  /// ProcessBatch themselves). No-op when the processor is not subscribed.
+  void Unsubscribe(EventProcessor* processor);
 
   /// Removes all subscribers and resets statistics.
   void Reset();
@@ -158,11 +169,16 @@ class StreamExecutor {
   /// Max event timestamp seen since BeginStream (INT64_MIN before any).
   Timestamp max_event_ts() const { return max_event_ts_; }
 
+  /// Last watermark delivered to subscribers (INT64_MIN before any).
+  Timestamp emitted_watermark() const { return emitted_watermark_; }
+
+  size_t num_subscribers() const { return processors_.size(); }
+
   const ExecutorStats& stats() const { return stats_; }
 
  private:
   /// Builds table_[type][op] → subscriber indices from the subscribers'
-  /// declared interests.
+  /// declared interests, and sizes the per-subscriber routing scratch.
   void BuildRoutingTable();
 
   Options options_;
@@ -170,6 +186,9 @@ class StreamExecutor {
   std::vector<uint32_t> table_[3][kNumEventOps];
   /// Per-subscriber slice of the current batch, reused across batches.
   std::vector<EventRefs> routed_;
+  /// Subscriber set changed since the dispatch index was last built
+  /// (mid-stream Subscribe/Unsubscribe); rebuilt lazily by ProcessBatch.
+  bool routing_dirty_ = true;
   Timestamp max_event_ts_ = INT64_MIN;
   Timestamp emitted_watermark_ = INT64_MIN;
   ExecutorStats stats_;

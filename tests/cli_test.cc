@@ -139,5 +139,126 @@ TEST(QueryShellTest, AlertsEmptyBeforeRun) {
   EXPECT_NE(h.Run("alerts").find("no alerts"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Live-session mode.
+
+TEST(QueryShellLiveTest, PushRequiresOpenSession) {
+  ShellHarness h;
+  EXPECT_NE(h.Run("push 1").find("no live session"), std::string::npos);
+  EXPECT_NE(h.Run("close").find("no live session"), std::string::npos);
+  EXPECT_NE(h.Run("session").find("no live session"), std::string::npos);
+}
+
+TEST(QueryShellLiveTest, FullLifecycleScript) {
+  ShellHarness h;
+  h.Run("query exfil proc p[\"%sbblv.exe\"] write ip i as e "
+        "return distinct p, i");
+
+  std::string out = h.Run("open");
+  EXPECT_NE(out.find("session open"), std::string::npos);
+  EXPECT_TRUE(h.shell().session_open());
+
+  // Double-open is rejected.
+  EXPECT_NE(h.Run("open").find("already open"), std::string::npos);
+
+  // The APT attack starts 12 minutes in; 16 minutes of traffic alerts.
+  out = h.Run("push 16");
+  EXPECT_NE(out.find("pushed"), std::string::npos);
+  EXPECT_NE(out.find("ALERT exfil"), std::string::npos);
+  EXPECT_FALSE(h.shell().alerts().empty());
+  size_t alerts_after_first = h.shell().alerts().size();
+
+  // Attach a query mid-stream; it participates in the next push.
+  out = h.Run("add osql proc p[\"%osql.exe\"] start proc q as e "
+              "return p, q");
+  EXPECT_NE(out.find("attached query 'osql' mid-stream"),
+            std::string::npos);
+  EXPECT_EQ(h.shell().queries().count("osql"), 1u);
+
+  out = h.Run("push 8");
+  EXPECT_NE(out.find("pushed"), std::string::npos);
+
+  out = h.Run("session");
+  EXPECT_NE(out.find("2 active queries"), std::string::npos);
+
+  // Live stats include both queries.
+  out = h.Run("stats");
+  EXPECT_NE(out.find("events="), std::string::npos);
+  EXPECT_NE(out.find("exfil:"), std::string::npos);
+  EXPECT_NE(out.find("osql:"), std::string::npos);
+
+  // Retract mid-stream: final stats are reported and retained.
+  out = h.Run("remove exfil");
+  EXPECT_NE(out.find("removed query 'exfil'"), std::string::npos);
+  EXPECT_NE(out.find("final:"), std::string::npos);
+  EXPECT_EQ(h.shell().queries().count("exfil"), 0u);
+
+  out = h.Run("close");
+  EXPECT_NE(out.find("session closed"), std::string::npos);
+  EXPECT_FALSE(h.shell().session_open());
+  EXPECT_GE(h.shell().alerts().size(), alerts_after_first);
+
+  // Post-close, `stats` serves the session's final snapshot.
+  out = h.Run("stats");
+  EXPECT_NE(out.find("exfil:"), std::string::npos);
+}
+
+TEST(QueryShellLiveTest, ShardedSessionViaFlag) {
+  ShellHarness h;
+  h.Run("query exfil proc p[\"%sbblv.exe\"] write ip i as e "
+        "return distinct p, i");
+  std::string out = h.Run("open --shards=2");
+  EXPECT_NE(out.find("2 shard lanes"), std::string::npos);
+  out = h.Run("push 16");
+  EXPECT_NE(out.find("ALERT exfil"), std::string::npos);
+  EXPECT_NE(h.Run("close").find("session closed"), std::string::npos);
+}
+
+TEST(QueryShellLiveTest, AddWithoutSessionRegisters) {
+  ShellHarness h;
+  std::string out = h.Run("add q proc p write ip i as e return p");
+  EXPECT_NE(out.find("registered query 'q'"), std::string::npos);
+  EXPECT_EQ(h.shell().queries().count("q"), 1u);
+  // remove without a session unregisters.
+  EXPECT_NE(h.Run("remove q").find("unregistered"), std::string::npos);
+  EXPECT_TRUE(h.shell().queries().empty());
+  EXPECT_NE(h.Run("remove q").find("no query"), std::string::npos);
+}
+
+// The settings satellite: `shards`/`index` changed while a live session
+// runs must say they do not reconfigure it — and say when they do apply.
+TEST(QueryShellLiveTest, ShardsAndIndexReportAgainstLiveSession) {
+  ShellHarness h;
+  h.Run("query q proc p write ip i as e return p");
+
+  // No session: the report says the setting applies to the next run.
+  std::string out = h.Run("shards 2");
+  EXPECT_NE(out.find("applies to the next"), std::string::npos);
+  out = h.Run("index off");
+  EXPECT_NE(out.find("applies to the next"), std::string::npos);
+  h.Run("index on");
+
+  h.Run("open");
+  ASSERT_TRUE(h.shell().session_open());
+  out = h.Run("shards 4");
+  EXPECT_NE(out.find("live session keeps running on 2 lanes"),
+            std::string::npos);
+  EXPECT_EQ(h.shell().num_shards(), 4u);  // setting recorded nonetheless
+  out = h.Run("index off");
+  EXPECT_NE(out.find("live session keeps its member-matching mode"),
+            std::string::npos);
+  EXPECT_FALSE(h.shell().member_index());
+  h.Run("close");
+}
+
+TEST(QueryShellLiveTest, LoadDuringSessionPointsAtAdd) {
+  ShellHarness h;
+  h.Run("open");
+  std::string path = std::string(SAQL_QUERY_DIR) + "/query1_rule.saql";
+  std::string out = h.Run("load " + path + " q1");
+  EXPECT_NE(out.find("use 'add'"), std::string::npos);
+  h.Run("close");
+}
+
 }  // namespace
 }  // namespace saql

@@ -1,0 +1,860 @@
+// Session-based streaming API: the push-driven lifecycle must be
+// observationally equivalent to the batch facade (Run is a thin wrapper
+// over a session), and the dynamic query lifecycle — AddQuery mid-stream,
+// RemoveQuery / QueryHandle::Cancel — must keep group membership,
+// dispatch-index routing, and the shared ConstraintIndex consistent, in
+// single-threaded and sharded mode alike.
+//
+//   - Differential over the checked-in corpus: interleaved
+//     Push/AdvanceWatermark schedules at 1/2/4 shards produce the same
+//     alert sequence and per-query stats as Run(source).
+//   - Attach-point semantics: a query added mid-stream sees only events
+//     pushed after its attach point.
+//   - Removal: state torn down, final stats retained, survivors
+//     unaffected; ConstraintIndex rebuild parity (index on == off) under
+//     add/remove churn.
+//   - Lifecycle contract: Run twice / AddQuery after a run / operations
+//     on a closed session return FailedPrecondition; the interner
+//     rotation policy fires between sessions.
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "collect/enterprise_sim.h"
+#include "core/interner.h"
+#include "engine/engine.h"
+#include "test_util.h"
+
+namespace saql {
+namespace {
+
+using testing::EventBuilder;
+
+// ---------------------------------------------------------------------
+// Helpers.
+
+std::vector<std::pair<std::string, std::string>> CorpusQueries() {
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(
+           SAQL_QUERY_DIR)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".saql") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    out.emplace_back(std::filesystem::path(path).stem().string(),
+                     text.str());
+  }
+  return out;
+}
+
+const EventBatch& SimCorpus() {
+  static const EventBatch* events = [] {
+    EnterpriseSimulator::Options opts;
+    opts.duration = 14 * kMinute;
+    return new EventBatch(EnterpriseSimulator(opts).Generate());
+  }();
+  return *events;
+}
+
+std::vector<std::string> Render(const std::vector<Alert>& alerts) {
+  std::vector<std::string> out;
+  out.reserve(alerts.size());
+  for (const Alert& a : alerts) out.push_back(a.ToString());
+  return out;
+}
+
+struct RunResult {
+  std::vector<std::string> alerts;
+  std::vector<std::pair<std::string, CompiledQuery::QueryStats>> stats;
+};
+
+void ExpectStatsEq(const RunResult& a, const RunResult& b,
+                   const std::string& label) {
+  ASSERT_EQ(a.stats.size(), b.stats.size()) << label;
+  for (size_t i = 0; i < a.stats.size(); ++i) {
+    EXPECT_EQ(a.stats[i].first, b.stats[i].first) << label;
+    const auto& x = a.stats[i].second;
+    const auto& y = b.stats[i].second;
+    EXPECT_EQ(x.events_in, y.events_in) << label << " " << a.stats[i].first;
+    EXPECT_EQ(x.events_past_global, y.events_past_global)
+        << label << " " << a.stats[i].first;
+    EXPECT_EQ(x.matches, y.matches) << label << " " << a.stats[i].first;
+    EXPECT_EQ(x.windows_closed, y.windows_closed)
+        << label << " " << a.stats[i].first;
+    EXPECT_EQ(x.alerts, y.alerts) << label << " " << a.stats[i].first;
+    EXPECT_EQ(x.eval_errors, y.eval_errors)
+        << label << " " << a.stats[i].first;
+  }
+}
+
+SaqlEngine::Options EngineOptions(size_t shards, size_t batch_size) {
+  SaqlEngine::Options opts;
+  opts.num_shards = shards;
+  opts.batch_size = batch_size;
+  return opts;
+}
+
+RunResult RunBatch(
+    const std::vector<std::pair<std::string, std::string>>& queries,
+    const EventBatch& events, SaqlEngine::Options opts) {
+  SaqlEngine engine(opts);
+  for (const auto& [name, text] : queries) {
+    Status st = engine.AddQuery(text, name);
+    EXPECT_TRUE(st.ok()) << name << ": " << st;
+  }
+  EventBatch copy = events;
+  VectorEventSource source(std::move(copy));
+  Status st = engine.Run(&source);
+  EXPECT_TRUE(st.ok()) << st;
+  return RunResult{Render(engine.alerts()), engine.query_stats()};
+}
+
+/// Drives a session over `events` with pushes of `push_size` events and a
+/// watermark advance every `watermark_every` pushes (always once more at
+/// the end, before Close).
+RunResult RunSession(
+    const std::vector<std::pair<std::string, std::string>>& queries,
+    const EventBatch& events, SaqlEngine::Options opts, size_t push_size,
+    size_t watermark_every) {
+  SaqlEngine engine(opts);
+  for (const auto& [name, text] : queries) {
+    Status st = engine.AddQuery(text, name);
+    EXPECT_TRUE(st.ok()) << name << ": " << st;
+  }
+  auto session = engine.OpenSession();
+  EXPECT_TRUE(session.ok()) << session.status();
+  EventBatch copy = events;
+  size_t pushes = 0;
+  for (size_t pos = 0; pos < copy.size(); pos += push_size) {
+    size_t n = std::min(push_size, copy.size() - pos);
+    Status st = (*session)->Push(copy.data() + pos, n);
+    EXPECT_TRUE(st.ok()) << st;
+    if (++pushes % watermark_every == 0) {
+      st = (*session)->AdvanceWatermark((*session)->max_event_ts());
+      EXPECT_TRUE(st.ok()) << st;
+    }
+  }
+  Status st = (*session)->AdvanceWatermark((*session)->max_event_ts());
+  EXPECT_TRUE(st.ok()) << st;
+  st = (*session)->Close();
+  EXPECT_TRUE(st.ok()) << st;
+  return RunResult{Render(engine.alerts()), engine.query_stats()};
+}
+
+Event NetWrite(const std::string& exe, const std::string& dst,
+               int64_t amount, Timestamp ts, const std::string& host = "h1",
+               int64_t pid = 100) {
+  return EventBuilder()
+      .At(ts)
+      .OnHost(host)
+      .Subject(exe, pid)
+      .Op(EventOp::kWrite)
+      .NetObject(dst)
+      .Amount(amount)
+      .Build();
+}
+
+// ---------------------------------------------------------------------
+// Differential: session vs batch over the checked-in corpus.
+
+class SessionCorpusDiff : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SessionCorpusDiff, MatchesBatchRunAcrossSchedules) {
+  const size_t shards = GetParam();
+  auto queries = CorpusQueries();
+  ASSERT_GE(queries.size(), 10u);
+  const EventBatch& events = SimCorpus();
+
+  if (shards == 1) {
+    // Single-threaded alerts emit inline, so the sequence depends on
+    // where watermarks land relative to events: compare schedules that
+    // batch identically to Run.
+    for (size_t batch : {257u, 1024u}) {
+      RunResult ref = RunBatch(queries, events, EngineOptions(1, batch));
+      RunResult got =
+          RunSession(queries, events, EngineOptions(1, batch), batch, 1);
+      EXPECT_EQ(got.alerts, ref.alerts) << "batch=" << batch;
+      ExpectStatsEq(got, ref, "batch=" + std::to_string(batch));
+    }
+    // Per-query stats are schedule-independent even when the interleaving
+    // of window-close vs stateless alerts is not.
+    RunResult ref = RunBatch(queries, events, EngineOptions(1, 1024));
+    RunResult sparse =
+        RunSession(queries, events, EngineOptions(1, 1024), 333, 4);
+    ExpectStatsEq(sparse, ref, "sparse-watermarks");
+    return;
+  }
+
+  // Sharded alerts are released in deterministic (ts, query, group,
+  // values) order, so the sequence is independent of the push split and
+  // watermark cadence.
+  RunResult ref = RunBatch(queries, events, EngineOptions(shards, 1024));
+  for (auto [push, wm_every] :
+       {std::pair<size_t, size_t>{1024, 1}, {513, 3}, {4096, 2}}) {
+    RunResult got = RunSession(queries, events, EngineOptions(shards, 1024),
+                               push, wm_every);
+    EXPECT_EQ(got.alerts, ref.alerts)
+        << "shards=" << shards << " push=" << push << "/" << wm_every;
+    ExpectStatsEq(got, ref,
+                  "shards=" + std::to_string(shards) +
+                      " push=" + std::to_string(push));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, SessionCorpusDiff,
+                         ::testing::Values(1, 2, 4),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "shards" + std::to_string(info.param);
+                         });
+
+// The forced 1-lane sharded pipeline (splitter + lane + merge + ordered
+// sink) through the session path, against plain single-threaded Run:
+// alert multiset identity (sharded emission is globally sorted).
+TEST(SessionShardedTest, ForcedShardedSessionMatchesSingleThreadedMultiset) {
+  auto queries = CorpusQueries();
+  const EventBatch& events = SimCorpus();
+  RunResult single = RunBatch(queries, events, EngineOptions(1, 1024));
+  SaqlEngine::Options forced = EngineOptions(1, 1024);
+  forced.force_sharded_executor = true;
+  RunResult sharded = RunSession(queries, events, forced, 777, 2);
+  std::vector<std::string> a = single.alerts;
+  std::vector<std::string> b = sharded.alerts;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  ExpectStatsEq(sharded, single, "forced-sharded");
+}
+
+// ---------------------------------------------------------------------
+// Dynamic add: attach-point semantics.
+
+class SessionDynamicAdd : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SessionDynamicAdd, AddedQuerySeesOnlyEventsAfterAttach) {
+  const size_t shards = GetParam();
+  EventBatch events;
+  for (int i = 0; i < 100; ++i) {
+    events.push_back(NetWrite(i % 2 == 0 ? "evil.exe" : "ok.exe",
+                              "6.6.6.6", 100, (i + 1) * kSecond, "h1",
+                              100 + i % 7));
+  }
+  const std::string text =
+      "proc p[\"%evil.exe\"] write ip i as e return p, i";
+
+  SaqlEngine::Options opts;
+  opts.num_shards = shards;
+  opts.force_sharded_executor = shards == 1;
+  SaqlEngine engine(opts);
+  ASSERT_TRUE(engine.AddQuery(text, "before").ok());
+  auto session = engine.OpenSession();
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  // First half, then attach, then second half.
+  ASSERT_TRUE((*session)->Push(events.data(), 50).ok());
+  ASSERT_TRUE(
+      (*session)->AdvanceWatermark((*session)->max_event_ts()).ok());
+  auto handle = (*session)->AddQuery(text, "after");
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  ASSERT_TRUE((*session)->Push(events.data() + 50, 50).ok());
+  ASSERT_TRUE(
+      (*session)->AdvanceWatermark((*session)->max_event_ts()).ok());
+  ASSERT_TRUE((*session)->Close().ok());
+
+  // 50 matching events in total, 25 in each half.
+  auto stats = engine.query_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].first, "before");
+  EXPECT_EQ(stats[0].second.alerts, 50u);
+  EXPECT_EQ(stats[1].first, "after");
+  EXPECT_EQ(stats[1].second.alerts, 25u);
+  // The attach point bounds what the new query was ever shown: both
+  // replicas saw exactly the second half (events_in counts routed-away
+  // events too, so it equals the post-attach event count).
+  EXPECT_EQ(stats[1].second.events_in, 50u);
+  EXPECT_EQ((*handle)->stats().alerts, 25u);
+
+  size_t before_alerts = 0, after_alerts = 0;
+  for (const Alert& a : engine.alerts()) {
+    if (a.query_name == "before") ++before_alerts;
+    if (a.query_name == "after") {
+      ++after_alerts;
+      EXPECT_GT(a.ts, 50 * kSecond);  // only post-attach events
+    }
+  }
+  EXPECT_EQ(before_alerts, 50u);
+  EXPECT_EQ(after_alerts, 25u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, SessionDynamicAdd,
+                         ::testing::Values(1, 2, 4),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "shards" + std::to_string(info.param);
+                         });
+
+// A stateful (cross-shard merged) query added mid-stream: windows before
+// the attach point never existed for it; windows after close normally.
+TEST(SessionDynamicAddTest, StatefulQueryAttachesMidStreamSharded) {
+  EventBatch events;
+  for (int w = 0; w < 8; ++w) {
+    for (int i = 0; i < 5; ++i) {
+      events.push_back(NetWrite("app.exe", "1.1.1.1", 1000,
+                                w * kMinute + (i + 1) * kSecond, "h1",
+                                100 + i));
+    }
+  }
+  events.push_back(NetWrite("idle.exe", "9.9.9.9", 1, 9 * kMinute));
+  const std::string text =
+      "proc p write ip i as e #time(1 min) "
+      "state ss { amt := sum(e.amount) } group by p "
+      "alert ss.amt > 0 return p, ss.amt";
+
+  SaqlEngine::Options opts;
+  opts.num_shards = 2;
+  SaqlEngine engine(opts);
+  auto session = engine.OpenSession();
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  size_t half = 20;  // first 4 windows' worth of app.exe events
+  ASSERT_TRUE((*session)->Push(events.data(), half).ok());
+  ASSERT_TRUE(
+      (*session)->AdvanceWatermark((*session)->max_event_ts()).ok());
+  auto handle = (*session)->AddQuery(text, "sum");
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  ASSERT_TRUE(
+      (*session)->Push(events.data() + half, events.size() - half).ok());
+  ASSERT_TRUE(
+      (*session)->AdvanceWatermark((*session)->max_event_ts()).ok());
+  ASSERT_TRUE((*session)->Close().ok());
+
+  // Windows 4..7 hold app.exe events after the attach point.
+  std::vector<const Alert*> app;
+  for (const Alert& a : engine.alerts()) {
+    if (a.group == "app.exe") app.push_back(&a);
+  }
+  ASSERT_EQ(app.size(), 4u);
+  for (const Alert* a : app) {
+    ASSERT_TRUE(a->window.has_value());
+    EXPECT_GE(a->window->start, 4 * kMinute);
+    EXPECT_EQ(a->values[1].second.AsInt(), 5000);
+  }
+}
+
+// A global-lane query (multi-event join) added mid-stream spins the
+// global lane up on the spot and only joins post-attach events.
+TEST(SessionDynamicAddTest, GlobalLaneQueryAttachesMidStreamSharded) {
+  auto seq = [](Timestamp base, const std::string& host) {
+    EventBatch out;
+    out.push_back(EventBuilder()
+                      .At(base)
+                      .OnHost(host)
+                      .Subject("cmd.exe", 50)
+                      .Op(EventOp::kStart)
+                      .ProcObject("osql.exe", 60)
+                      .Build());
+    out.push_back(EventBuilder()
+                      .At(base + kSecond)
+                      .OnHost(host)
+                      .Subject("sqlservr.exe", 70)
+                      .Op(EventOp::kWrite)
+                      .FileObject("/backup1.dmp")
+                      .Amount(5000000)
+                      .Build());
+    return out;
+  };
+  const std::string join =
+      "proc a[\"%cmd.exe\"] start proc b[\"%osql.exe\"] as e1 "
+      "proc c[\"%sqlservr.exe\"] write file f as e2 "
+      "with e1 -> e2 return a, b, f";
+
+  SaqlEngine::Options opts;
+  opts.num_shards = 2;
+  SaqlEngine engine(opts);
+  // Open with a partitionable query only — no global lane yet.
+  ASSERT_TRUE(engine
+                  .AddQuery("proc p write ip i as e return p", "net")
+                  .ok());
+  auto session = engine.OpenSession();
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  EventBatch first = seq(10 * kSecond, "h1");
+  ASSERT_TRUE((*session)->Push(first).ok());
+  ASSERT_TRUE(
+      (*session)->AdvanceWatermark((*session)->max_event_ts()).ok());
+
+  auto handle = (*session)->AddQuery(join, "join");
+  ASSERT_TRUE(handle.ok()) << handle.status();
+
+  EventBatch second = seq(60 * kSecond, "h2");
+  ASSERT_TRUE((*session)->Push(second).ok());
+  ASSERT_TRUE(
+      (*session)->AdvanceWatermark((*session)->max_event_ts()).ok());
+  ASSERT_TRUE((*session)->Close().ok());
+
+  // Only the post-attach sequence (h2) completes the join.
+  size_t join_alerts = 0;
+  for (const Alert& a : engine.alerts()) {
+    if (a.query_name == "join") {
+      ++join_alerts;
+      EXPECT_EQ(a.ts, 61 * kSecond);
+    }
+  }
+  EXPECT_EQ(join_alerts, 1u);
+  EXPECT_EQ((*handle)->stats().matches, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Dynamic remove.
+
+class SessionDynamicRemove : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SessionDynamicRemove, RemovalFreezesStatsAndSparesSurvivors) {
+  const size_t shards = GetParam();
+  EventBatch events;
+  for (int i = 0; i < 120; ++i) {
+    events.push_back(NetWrite(i % 3 == 0 ? "a.exe" : "b.exe", "1.1.1.1",
+                              100, (i + 1) * kSecond, "h1", 100 + i % 5));
+  }
+
+  SaqlEngine::Options opts;
+  opts.num_shards = shards;
+  opts.force_sharded_executor = shards == 1;
+  SaqlEngine engine(opts);
+  ASSERT_TRUE(
+      engine.AddQuery("proc p[\"%a.exe\"] write ip i as e return p", "qa")
+          .ok());
+  ASSERT_TRUE(
+      engine.AddQuery("proc p[\"%b.exe\"] write ip i as e return p", "qb")
+          .ok());
+  auto session = engine.OpenSession();
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  ASSERT_TRUE((*session)->Push(events.data(), 60).ok());
+  ASSERT_TRUE(
+      (*session)->AdvanceWatermark((*session)->max_event_ts()).ok());
+  ASSERT_TRUE((*session)->Flush().ok());
+
+  SaqlEngine::QueryHandle* qa = (*session)->handle("qa");
+  ASSERT_NE(qa, nullptr);
+  EXPECT_TRUE(qa->active());
+  ASSERT_TRUE((*session)->RemoveQuery("qa").ok());
+  EXPECT_FALSE(qa->active());
+  CompiledQuery::QueryStats frozen = qa->stats();
+  EXPECT_EQ(frozen.alerts, 20u);  // i % 3 == 0 in the first half
+
+  // Removing again (by name or handle) reports the lifecycle error.
+  EXPECT_EQ((*session)->RemoveQuery("qa").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(qa->Cancel().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*session)->RemoveQuery("nope").code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE((*session)->Push(events.data() + 60, 60).ok());
+  ASSERT_TRUE(
+      (*session)->AdvanceWatermark((*session)->max_event_ts()).ok());
+  ASSERT_TRUE((*session)->Close().ok());
+
+  // Frozen stats did not move; the survivor saw everything.
+  EXPECT_EQ(qa->stats().alerts, frozen.alerts);
+  EXPECT_EQ(qa->stats().events_in, frozen.events_in);
+  auto stats = engine.query_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].first, "qa");
+  EXPECT_EQ(stats[0].second.alerts, 20u);
+  EXPECT_EQ(stats[1].first, "qb");
+  EXPECT_EQ(stats[1].second.alerts, 80u);
+  size_t qa_alerts = 0;
+  for (const Alert& a : engine.alerts()) {
+    if (a.query_name == "qa") {
+      ++qa_alerts;
+      EXPECT_LE(a.ts, 60 * kSecond);
+    }
+  }
+  EXPECT_EQ(qa_alerts, 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, SessionDynamicRemove,
+                         ::testing::Values(1, 2, 4),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "shards" + std::to_string(info.param);
+                         });
+
+// Removing a stateful query drops its pending (unmerged) windows instead
+// of flushing them.
+TEST(SessionDynamicRemoveTest, StatefulRemovalDropsOpenWindowsSharded) {
+  SaqlEngine::Options opts;
+  opts.num_shards = 2;
+  SaqlEngine engine(opts);
+  ASSERT_TRUE(engine
+                  .AddQuery("proc p write ip i as e #time(1 min) "
+                            "state ss { amt := sum(e.amount) } group by p "
+                            "alert ss.amt > 0 return p, ss.amt",
+                            "sum")
+                  .ok());
+  auto session = engine.OpenSession();
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  EventBatch events;
+  for (int i = 0; i < 10; ++i) {
+    events.push_back(
+        NetWrite("app.exe", "1.1.1.1", 100, 10 * kSecond + i, "h1", 100));
+  }
+  ASSERT_TRUE((*session)->Push(events).ok());
+  // No watermark past the window end: the window is still open when the
+  // query is removed, so it must never fire.
+  ASSERT_TRUE((*session)->RemoveQuery("sum").ok());
+  ASSERT_TRUE((*session)->AdvanceWatermark(10 * kMinute).ok());
+  ASSERT_TRUE((*session)->Close().ok());
+  EXPECT_TRUE(engine.alerts().empty());
+  auto stats = engine.query_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  // Each event reached exactly one lane's replica.
+  EXPECT_EQ(stats[0].second.events_in, 10u);
+  EXPECT_EQ(stats[0].second.alerts, 0u);
+}
+
+// ---------------------------------------------------------------------
+// ConstraintIndex rebuild parity under churn.
+
+class SessionIndexChurn : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SessionIndexChurn, IndexedChurnMatchesBruteForce) {
+  const size_t shards = GetParam();
+  // One structural shape, exact-equality tenants: an indexed group.
+  auto tenant_query = [](int t) {
+    return "proc p[exe_name = \"tenant" + std::to_string(t) +
+           ".exe\"] write ip i as e return p, i";
+  };
+  EventBatch events;
+  for (int i = 0; i < 240; ++i) {
+    events.push_back(NetWrite("tenant" + std::to_string(i % 8) + ".exe",
+                              "1.1.1.1", 100, (i + 1) * kSecond, "h1",
+                              100 + i % 5));
+  }
+
+  auto churn = [&](bool member_index) {
+    SaqlEngine::Options opts;
+    opts.num_shards = shards;
+    opts.force_sharded_executor = shards == 1;
+    opts.enable_member_index = member_index;
+    SaqlEngine engine(opts);
+    for (int t = 0; t < 4; ++t) {
+      EXPECT_TRUE(
+          engine.AddQuery(tenant_query(t), "t" + std::to_string(t)).ok());
+    }
+    auto session = engine.OpenSession();
+    EXPECT_TRUE(session.ok()) << session.status();
+    EventBatch copy = events;
+    // Phase 1: 4 tenants.
+    EXPECT_TRUE((*session)->Push(copy.data(), 80).ok());
+    EXPECT_TRUE(
+        (*session)->AdvanceWatermark((*session)->max_event_ts()).ok());
+    // Phase 2: two more tenants join (index rebuilt over 6 members).
+    for (int t = 4; t < 6; ++t) {
+      auto h = (*session)->AddQuery(tenant_query(t), "t" + std::to_string(t));
+      EXPECT_TRUE(h.ok()) << h.status();
+    }
+    EXPECT_TRUE((*session)->Push(copy.data() + 80, 80).ok());
+    EXPECT_TRUE(
+        (*session)->AdvanceWatermark((*session)->max_event_ts()).ok());
+    // Phase 3: one tenant leaves (index rebuilt over 5).
+    EXPECT_TRUE((*session)->RemoveQuery("t1").ok());
+    EXPECT_TRUE((*session)->Push(copy.data() + 160, 80).ok());
+    EXPECT_TRUE(
+        (*session)->AdvanceWatermark((*session)->max_event_ts()).ok());
+    EXPECT_TRUE((*session)->Close().ok());
+    return RunResult{Render(engine.alerts()), engine.query_stats()};
+  };
+
+  RunResult indexed = churn(true);
+  RunResult brute = churn(false);
+  EXPECT_EQ(indexed.alerts, brute.alerts);
+  ExpectStatsEq(indexed, brute, "index-churn shards=" +
+                                    std::to_string(shards));
+  // Sanity: the workload produced something in every phase.
+  EXPECT_GT(indexed.alerts.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, SessionIndexChurn,
+                         ::testing::Values(1, 2, 4),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "shards" + std::to_string(info.param);
+                         });
+
+// The indexed-group count reflects dynamic membership (index appears when
+// the group crosses min_index_members, disappears when it shrinks).
+TEST(SessionIndexChurnTest, IndexedGroupCountTracksMembership) {
+  SaqlEngine engine;
+  for (int t = 0; t < 2; ++t) {
+    ASSERT_TRUE(engine
+                    .AddQuery("proc p[exe_name = \"t" + std::to_string(t) +
+                                  ".exe\"] write ip i as e return p",
+                              "t" + std::to_string(t))
+                    .ok());
+  }
+  auto session = engine.OpenSession();
+  ASSERT_TRUE(session.ok()) << session.status();
+  EXPECT_EQ((*session)->num_groups(), 1u);
+  EXPECT_EQ((*session)->num_indexed_groups(), 0u);  // below the threshold
+
+  auto h = (*session)->AddQuery(
+      "proc p[exe_name = \"t2.exe\"] write ip i as e return p", "t2");
+  ASSERT_TRUE(h.ok()) << h.status();
+  EXPECT_EQ((*session)->num_groups(), 1u);
+  EXPECT_EQ((*session)->num_indexed_groups(), 1u);  // 3 members: indexed
+
+  ASSERT_TRUE((*session)->RemoveQuery("t0").ok());
+  EXPECT_EQ((*session)->num_indexed_groups(), 0u);  // back to brute force
+  ASSERT_TRUE((*session)->RemoveQuery("t1").ok());
+  ASSERT_TRUE((*session)->RemoveQuery("t2").ok());
+  EXPECT_EQ((*session)->num_groups(), 0u);
+  EXPECT_EQ((*session)->num_active_queries(), 0u);
+  ASSERT_TRUE((*session)->Close().ok());
+}
+
+// ---------------------------------------------------------------------
+// Per-handle alert sinks.
+
+class SessionHandleSink : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SessionHandleSink, TapReceivesOnlyItsQuery) {
+  const size_t shards = GetParam();
+  SaqlEngine::Options opts;
+  opts.num_shards = shards;
+  opts.force_sharded_executor = shards == 1;
+  SaqlEngine engine(opts);
+  ASSERT_TRUE(
+      engine.AddQuery("proc p[\"%a.exe\"] write ip i as e return p", "qa")
+          .ok());
+  ASSERT_TRUE(
+      engine.AddQuery("proc p[\"%b.exe\"] write ip i as e return p", "qb")
+          .ok());
+  auto session = engine.OpenSession();
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  std::vector<std::string> tapped;
+  (*session)->handle("qa")->SetAlertSink(
+      [&tapped](const Alert& a) { tapped.push_back(a.ToString()); });
+
+  EventBatch events;
+  for (int i = 0; i < 40; ++i) {
+    events.push_back(NetWrite(i % 2 == 0 ? "a.exe" : "b.exe", "1.1.1.1",
+                              100, (i + 1) * kSecond, "h1", 100 + i % 3));
+  }
+  ASSERT_TRUE((*session)->Push(events).ok());
+  ASSERT_TRUE(
+      (*session)->AdvanceWatermark((*session)->max_event_ts()).ok());
+  ASSERT_TRUE((*session)->Close().ok());
+
+  // The tap saw exactly the global sink's qa alerts, in the same order.
+  std::vector<std::string> expected;
+  for (const Alert& a : engine.alerts()) {
+    if (a.query_name == "qa") expected.push_back(a.ToString());
+  }
+  EXPECT_EQ(tapped, expected);
+  EXPECT_EQ(tapped.size(), 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, SessionHandleSink,
+                         ::testing::Values(1, 2),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "shards" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------
+// Lifecycle contract (the documented FailedPrecondition surface).
+
+TEST(EngineLifecycleTest, RunTwiceIsFailedPrecondition) {
+  SaqlEngine engine;
+  ASSERT_TRUE(
+      engine.AddQuery("proc p read file f as e return p", "q").ok());
+  VectorEventSource source(EventBatch{});
+  ASSERT_TRUE(engine.Run(&source).ok());
+  VectorEventSource source2(EventBatch{});
+  Status st = engine.Run(&source2);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineLifecycleTest, AddQueryAfterRunIsFailedPrecondition) {
+  SaqlEngine engine;
+  ASSERT_TRUE(
+      engine.AddQuery("proc p read file f as e return p", "q").ok());
+  VectorEventSource source(EventBatch{});
+  ASSERT_TRUE(engine.Run(&source).ok());
+  Status st = engine.AddQuery("proc p write ip i as e return p", "late");
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineLifecycleTest, EngineAddQueryWhileSessionOpenIsRejected) {
+  SaqlEngine engine;
+  auto session = engine.OpenSession();
+  ASSERT_TRUE(session.ok()) << session.status();
+  Status st = engine.AddQuery("proc p write ip i as e return p", "q");
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  // The session-level AddQuery is the supported path.
+  auto h = (*session)->AddQuery("proc p write ip i as e return p", "q");
+  EXPECT_TRUE(h.ok()) << h.status();
+  ASSERT_TRUE((*session)->Close().ok());
+}
+
+TEST(EngineLifecycleTest, RunAfterSessionsIsFailedPrecondition) {
+  SaqlEngine engine;
+  ASSERT_TRUE(
+      engine.AddQuery("proc p read file f as e return p", "q").ok());
+  {
+    auto session = engine.OpenSession();
+    ASSERT_TRUE(session.ok()) << session.status();
+    ASSERT_TRUE((*session)->Close().ok());
+  }
+  VectorEventSource source(EventBatch{});
+  EXPECT_EQ(engine.Run(&source).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SessionLifecycleTest, OperationsOnClosedSessionFail) {
+  SaqlEngine engine;
+  ASSERT_TRUE(
+      engine.AddQuery("proc p write ip i as e return p", "q").ok());
+  auto session = engine.OpenSession();
+  ASSERT_TRUE(session.ok()) << session.status();
+  ASSERT_TRUE((*session)->Close().ok());
+
+  Event e = NetWrite("a.exe", "1.1.1.1", 1, kSecond);
+  EXPECT_EQ((*session)->Push(&e, 1).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*session)->AdvanceWatermark(kSecond).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*session)->Close().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*session)->AddQuery("proc p write ip i as e return p", "r")
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*session)->RemoveQuery("q").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE((*session)->handle("q")->active());
+}
+
+TEST(SessionLifecycleTest, OneSessionAtATimeButSequentialReopen) {
+  SaqlEngine engine;
+  ASSERT_TRUE(
+      engine.AddQuery("proc p[\"%a.exe\"] write ip i as e return p", "q")
+          .ok());
+  auto s1 = engine.OpenSession();
+  ASSERT_TRUE(s1.ok()) << s1.status();
+  EXPECT_EQ(engine.OpenSession().status().code(),
+            StatusCode::kFailedPrecondition);
+
+  EventBatch events;
+  events.push_back(NetWrite("a.exe", "1.1.1.1", 1, kSecond));
+  ASSERT_TRUE((*s1)->Push(events).ok());
+  ASSERT_TRUE((*s1)->Close().ok());
+  EXPECT_EQ(engine.alerts().size(), 1u);
+
+  // Reopening starts fresh stream state over the same registered set.
+  auto s2 = engine.OpenSession();
+  ASSERT_TRUE(s2.ok()) << s2.status();
+  EventBatch again;
+  again.push_back(NetWrite("a.exe", "1.1.1.1", 1, kSecond));
+  ASSERT_TRUE((*s2)->Push(again).ok());
+  ASSERT_TRUE((*s2)->Close().ok());
+  EXPECT_EQ(engine.alerts().size(), 2u);
+  // A query added in session 1's registry view persists across sessions
+  // (none removed here); per-session stats reset.
+  auto stats = engine.query_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].second.alerts, 1u);
+}
+
+TEST(SessionLifecycleTest, DuplicateSessionQueryNameRejected) {
+  SaqlEngine engine;
+  ASSERT_TRUE(
+      engine.AddQuery("proc p write ip i as e return p", "q").ok());
+  auto session = engine.OpenSession();
+  ASSERT_TRUE(session.ok()) << session.status();
+  auto dup = (*session)->AddQuery("proc p write ip i as e return p", "q");
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+  // A removed query's name stays reserved for the session's lifetime.
+  ASSERT_TRUE((*session)->RemoveQuery("q").ok());
+  auto again = (*session)->AddQuery("proc p write ip i as e return p", "q");
+  EXPECT_EQ(again.status().code(), StatusCode::kAlreadyExists);
+  ASSERT_TRUE((*session)->Close().ok());
+}
+
+TEST(SessionLifecycleTest, DestructorClosesOpenSession) {
+  SaqlEngine engine;
+  ASSERT_TRUE(
+      engine.AddQuery("proc p[\"%a.exe\"] write ip i as e return p", "q")
+          .ok());
+  {
+    auto session = engine.OpenSession();
+    ASSERT_TRUE(session.ok()) << session.status();
+    EventBatch events;
+    events.push_back(NetWrite("a.exe", "1.1.1.1", 1, kSecond));
+    ASSERT_TRUE((*session)->Push(events).ok());
+    // No Close: the destructor must finish the stream and publish stats.
+  }
+  EXPECT_EQ(engine.alerts().size(), 1u);
+  auto stats = engine.query_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].second.alerts, 1u);
+  // And the engine accepts a new session afterwards.
+  auto s2 = engine.OpenSession();
+  EXPECT_TRUE(s2.ok()) << s2.status();
+}
+
+// ---------------------------------------------------------------------
+// Interner rotation between sessions.
+
+TEST(SessionInternerTest, RotationPolicyFiresBetweenSessions) {
+  Interner& interner = Interner::Global();
+  SaqlEngine::Options opts;
+  opts.interner_rotate_bytes = 1;  // any payload triggers rotation
+  SaqlEngine engine(opts);
+  ASSERT_TRUE(
+      engine.AddQuery("proc p[\"%a.exe\"] write ip i as e return p", "q")
+          .ok());
+
+  auto run_once = [&engine] {
+    auto session = engine.OpenSession();
+    ASSERT_TRUE(session.ok()) << session.status();
+    EventBatch events;
+    events.push_back(NetWrite("a.exe", "1.1.1.1", 1, kSecond));
+    events.push_back(NetWrite("b.exe", "1.1.1.1", 1, 2 * kSecond));
+    ASSERT_TRUE((*session)->Push(events).ok());
+    ASSERT_TRUE((*session)->Close().ok());
+  };
+
+  run_once();
+  uint64_t gen_after_first = interner.generation();
+  size_t alerts_after_first = engine.alerts().size();
+  EXPECT_EQ(alerts_after_first, 1u);
+
+  // The first session interned event strings, so the policy must rotate
+  // on reopen — and the recompiled query must keep matching (fresh ids).
+  run_once();
+  EXPECT_GT(interner.generation(), gen_after_first);
+  EXPECT_EQ(engine.alerts().size(), alerts_after_first + 1);
+}
+
+TEST(SessionInternerTest, NoRotationWhenDisabled) {
+  SaqlEngine engine;  // interner_rotate_bytes = 0
+  ASSERT_TRUE(
+      engine.AddQuery("proc p[\"%a.exe\"] write ip i as e return p", "q")
+          .ok());
+  uint64_t gen = Interner::Global().generation();
+  auto session = engine.OpenSession();
+  ASSERT_TRUE(session.ok()) << session.status();
+  ASSERT_TRUE((*session)->Close().ok());
+  EXPECT_EQ(Interner::Global().generation(), gen);
+}
+
+}  // namespace
+}  // namespace saql
