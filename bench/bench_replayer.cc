@@ -2,6 +2,13 @@
 // path, Fig. 4). Measures serialized write rate, full-speed replay rate,
 // and filtered replay (host selection) — the replayer must outpace the
 // engine so it never becomes the bottleneck when reproducing attacks.
+//
+// A9: replay-format ablation — the engine-facing replay loop (NextBlock,
+// row materialization, intern pass) over the same corpus stored as the
+// row-at-a-time v1 format, columnar v2 with buffered reads, and columnar
+// v2 with mmap zero-copy blocks. Refresh BENCH_throughput.json with:
+//   ./bench_replayer --benchmark_filter='A9Replay'
+//     --benchmark_out=bench_a9.json --benchmark_out_format=json
 
 #include <cstdio>
 #include <string>
@@ -9,6 +16,8 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "core/interner.h"
+#include "storage/columnar_log.h"
 #include "storage/event_log.h"
 #include "storage/replayer.h"
 
@@ -19,6 +28,10 @@ constexpr size_t kLogEvents = 100000;
 
 std::string LogPath() {
   return ::std::string("/tmp/saql_bench_replayer.saqllog");
+}
+
+std::string ColumnarLogPath() {
+  return ::std::string("/tmp/saql_bench_replayer_v2.saqllog");
 }
 
 const EventBatch& Events() {
@@ -87,6 +100,72 @@ void BM_ReplayWithHostFilter(benchmark::State& state) {
                           static_cast<int64_t>(kLogEvents));
 }
 BENCHMARK(BM_ReplayWithHostFilter)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// A9: replay-format ablation. Each variant drives the exact loop the
+// engine's `Run` drives — pull a block, materialize rows, run the
+// executor's intern pass (a no-op generation check for pre-interned
+// columnar blocks) — so the items/s are comparable end-to-end replay
+// rates, not raw decode rates.
+// ---------------------------------------------------------------------------
+
+void ReplayLoop(benchmark::State& state, const std::string& path,
+                bool use_mmap) {
+  for (auto _ : state) {
+    StreamReplayer::Filter filter;
+    filter.use_mmap = use_mmap;
+    StreamReplayer replayer(path, filter);
+    if (!replayer.status().ok()) {
+      state.SkipWithError(replayer.status().ToString().c_str());
+      return;
+    }
+    uint64_t total = 0;
+    while (EventBlock* block = replayer.NextBlock(4096)) {
+      Event* rows = block->MutableRows();
+      InternEventSpan(rows, block->size());
+      benchmark::DoNotOptimize(rows);
+      total += block->size();
+    }
+    if (total != kLogEvents) {
+      state.SkipWithError("short replay");
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kLogEvents));
+}
+
+void BM_A9ReplayRowV1(benchmark::State& state) {
+  (void)WriteEventLog(LogPath(), Events());
+  ReplayLoop(state, LogPath(), /*use_mmap=*/false);
+}
+BENCHMARK(BM_A9ReplayRowV1)->Unit(benchmark::kMillisecond);
+
+void BM_A9ReplayColumnarV2(benchmark::State& state) {
+  (void)WriteColumnarEventLog(ColumnarLogPath(), Events());
+  ReplayLoop(state, ColumnarLogPath(), /*use_mmap=*/false);
+}
+BENCHMARK(BM_A9ReplayColumnarV2)->Unit(benchmark::kMillisecond);
+
+void BM_A9ReplayColumnarV2Mmap(benchmark::State& state) {
+  (void)WriteColumnarEventLog(ColumnarLogPath(), Events());
+  ReplayLoop(state, ColumnarLogPath(), /*use_mmap=*/true);
+}
+BENCHMARK(BM_A9ReplayColumnarV2Mmap)->Unit(benchmark::kMillisecond);
+
+void BM_A9LogWriteColumnarV2(benchmark::State& state) {
+  const EventBatch& events = Events();
+  for (auto _ : state) {
+    Status st = WriteColumnarEventLog(ColumnarLogPath(), events);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kLogEvents));
+}
+BENCHMARK(BM_A9LogWriteColumnarV2)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace saql

@@ -6,6 +6,7 @@
 #include "cli/table.h"
 #include "collect/enterprise_sim.h"
 #include "core/string_util.h"
+#include "storage/columnar_log.h"
 #include "storage/event_log.h"
 #include "storage/replayer.h"
 
@@ -98,8 +99,12 @@ void QueryShell::CmdHelp() {
        << "  query <name> <text>     register an inline query\n"
        << "  list                    list registered queries\n"
        << "  simulate [minutes]      run enterprise sim + APT attack\n"
-       << "  replay <log> [host...]  replay a stored event log\n"
+       << "  replay <log> [host...]  replay a stored event log (v1 and\n"
+          "                          columnar v2 auto-detected)\n"
        << "  record <log> [minutes]  simulate and store events to a log\n"
+          "                          (columnar v2; pass --v1 for the old\n"
+          "                          row format — v1 logs stay replayable,\n"
+          "                          no migration needed)\n"
        << "  open [--shards=N]       open a live push-driven session\n"
        << "  push [minutes]          push simulated traffic into the "
           "session\n"
@@ -277,27 +282,41 @@ void QueryShell::CmdReplay(const std::vector<std::string>& args) {
     out_ << "replay failed: " << replayer.status() << "\n";
     return;
   }
+  out_ << "replaying " << rest[0] << " (format v"
+       << replayer.format_version()
+       << (replayer.format_version() == 2 ? ", columnar" : ", row") << ")\n";
   RunEngine(&replayer, shards);
 }
 
 void QueryShell::CmdRecord(const std::vector<std::string>& args) {
-  if (args.empty()) {
-    out_ << "usage: record <log> [minutes]\n";
+  std::vector<std::string> rest;
+  bool v1 = false;
+  for (const std::string& a : args) {
+    if (a == "--v1") {
+      v1 = true;
+    } else {
+      rest.push_back(a);
+    }
+  }
+  if (rest.empty()) {
+    out_ << "usage: record <log> [minutes] [--v1]\n";
     return;
   }
   EnterpriseSimulator::Options opts;
-  if (args.size() > 1) {
-    opts.duration = std::strtol(args[1].c_str(), nullptr, 10) * kMinute;
+  if (rest.size() > 1) {
+    opts.duration = std::strtol(rest[1].c_str(), nullptr, 10) * kMinute;
     if (opts.duration <= 0) opts.duration = 30 * kMinute;
   }
   EnterpriseSimulator sim(opts);
   EventBatch events = sim.Generate();
-  Status st = WriteEventLog(args[0], events);
+  Status st = v1 ? WriteEventLog(rest[0], events)
+                 : WriteColumnarEventLog(rest[0], events);
   if (!st.ok()) {
     out_ << "record failed: " << st << "\n";
     return;
   }
-  out_ << "recorded " << events.size() << " events to " << args[0] << "\n";
+  out_ << "recorded " << events.size() << " events to " << rest[0]
+       << (v1 ? " (row v1)" : " (columnar v2)") << "\n";
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,297 @@
+#include "core/event_block.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/interner.h"
+
+namespace saql {
+
+EventBlock::Columns EventBlock::Columns::Slice(size_t offset) const {
+  Columns out = *this;
+  out.id += offset;
+  out.ts += offset;
+  out.subj_pid += offset;
+  out.obj_pid += offset;
+  out.src_port += offset;
+  out.dst_port += offset;
+  out.amount += offset;
+  out.agent += offset;
+  out.subj_exe += offset;
+  out.subj_user += offset;
+  out.obj_exe += offset;
+  out.obj_user += offset;
+  out.obj_path += offset;
+  out.src_ip += offset;
+  out.dst_ip += offset;
+  out.protocol += offset;
+  out.op += offset;
+  out.object_type += offset;
+  out.failed += offset;
+  return out;
+}
+
+void EventBlock::ColumnStore::clear() {
+  id.clear();
+  ts.clear();
+  subj_pid.clear();
+  obj_pid.clear();
+  src_port.clear();
+  dst_port.clear();
+  amount.clear();
+  agent.clear();
+  subj_exe.clear();
+  subj_user.clear();
+  obj_exe.clear();
+  obj_user.clear();
+  obj_path.clear();
+  src_ip.clear();
+  dst_ip.clear();
+  protocol.clear();
+  op.clear();
+  object_type.clear();
+  failed.clear();
+}
+
+void EventBlock::Clear() {
+  mode_ = Mode::kEmpty;
+  size_ = 0;
+  store_.clear();
+  cols_valid_ = false;
+  dict_arena_.clear();
+  dict_own_.clear();
+  dict_codes_.clear();
+  dict_ = nullptr;
+  dict_size_ = 0;
+  dict_syms_own_.clear();
+  dict_syms_ = nullptr;
+  syms_gen_ = 0;
+  borrowed_rows_ = nullptr;
+  rows_valid_ = false;
+}
+
+void EventBlock::ResetBorrowedRows(Event* rows, size_t count) {
+  Clear();
+  mode_ = Mode::kBorrowedRows;
+  borrowed_rows_ = rows;
+  size_ = count;
+}
+
+EventBatch& EventBlock::ResetOwnedRows() {
+  Clear();
+  mode_ = Mode::kOwnedRows;
+  owned_rows_.clear();
+  return owned_rows_;
+}
+
+void EventBlock::EnsureOwnedColumnar() {
+  if (mode_ == Mode::kOwnedColumnar) return;
+  assert(mode_ == Mode::kEmpty && "AppendColumnar on a non-columnar block");
+  mode_ = Mode::kOwnedColumnar;
+  dict_own_.clear();
+  dict_own_.push_back(std::string_view{});  // code 0 = ""
+  dict_ = dict_own_.data();
+  dict_size_ = 1;
+}
+
+uint32_t EventBlock::DictCode(std::string_view s) {
+  if (s.empty()) return kEmptyCode;
+  auto it = dict_codes_.find(s);
+  if (it != dict_codes_.end()) return it->second;
+  dict_arena_.emplace_back(s);
+  uint32_t code = static_cast<uint32_t>(dict_own_.size());
+  dict_own_.push_back(dict_arena_.back());
+  dict_codes_.emplace(dict_own_.back(), code);
+  dict_ = dict_own_.data();  // vector growth may relocate
+  dict_size_ = dict_own_.size();
+  dict_syms_ = nullptr;  // dictionary grew; interned ids are stale
+  syms_gen_ = 0;
+  return code;
+}
+
+void EventBlock::AppendColumnar(const Event& e) {
+  EnsureOwnedColumnar();
+  store_.id.push_back(e.id);
+  store_.ts.push_back(e.ts);
+  store_.subj_pid.push_back(e.subject.pid);
+  store_.obj_pid.push_back(e.obj_proc.pid);
+  store_.src_port.push_back(e.obj_net.src_port);
+  store_.dst_port.push_back(e.obj_net.dst_port);
+  store_.amount.push_back(e.amount);
+  store_.agent.push_back(DictCode(e.agent_id));
+  store_.subj_exe.push_back(DictCode(e.subject.exe_name));
+  store_.subj_user.push_back(DictCode(e.subject.user));
+  store_.obj_exe.push_back(DictCode(e.obj_proc.exe_name));
+  store_.obj_user.push_back(DictCode(e.obj_proc.user));
+  store_.obj_path.push_back(DictCode(e.obj_file.path));
+  store_.src_ip.push_back(DictCode(e.obj_net.src_ip));
+  store_.dst_ip.push_back(DictCode(e.obj_net.dst_ip));
+  store_.protocol.push_back(DictCode(e.obj_net.protocol));
+  store_.op.push_back(static_cast<uint8_t>(e.op));
+  store_.object_type.push_back(static_cast<uint8_t>(e.object_type));
+  store_.failed.push_back(e.failed ? 1 : 0);
+  ++size_;
+  cols_valid_ = false;
+  rows_valid_ = false;
+}
+
+void EventBlock::BindColumns(const Columns& cols, size_t count,
+                             const std::string_view* dict, size_t dict_size,
+                             const uint32_t* dict_syms,
+                             uint64_t syms_generation) {
+  Clear();
+  mode_ = Mode::kBorrowedColumnar;
+  cols_ = cols;
+  cols_valid_ = true;
+  size_ = count;
+  dict_ = dict;
+  dict_size_ = dict_size;
+  dict_syms_ = dict_syms;
+  syms_gen_ = syms_generation;
+}
+
+const EventBlock::Columns& EventBlock::columns() const {
+  assert(columnar() && "columns() on a row-backed block");
+  if (!cols_valid_) {
+    // Owned mode: refresh views from the backing vectors (push_back may
+    // have relocated them).
+    cols_.id = store_.id.data();
+    cols_.ts = store_.ts.data();
+    cols_.subj_pid = store_.subj_pid.data();
+    cols_.obj_pid = store_.obj_pid.data();
+    cols_.src_port = store_.src_port.data();
+    cols_.dst_port = store_.dst_port.data();
+    cols_.amount = store_.amount.data();
+    cols_.agent = store_.agent.data();
+    cols_.subj_exe = store_.subj_exe.data();
+    cols_.subj_user = store_.subj_user.data();
+    cols_.obj_exe = store_.obj_exe.data();
+    cols_.obj_user = store_.obj_user.data();
+    cols_.obj_path = store_.obj_path.data();
+    cols_.src_ip = store_.src_ip.data();
+    cols_.dst_ip = store_.dst_ip.data();
+    cols_.protocol = store_.protocol.data();
+    cols_.op = store_.op.data();
+    cols_.object_type = store_.object_type.data();
+    cols_.failed = store_.failed.data();
+    cols_valid_ = true;
+  }
+  return cols_;
+}
+
+const std::string_view* EventBlock::dict() const { return dict_; }
+
+size_t EventBlock::dict_size() const { return dict_size_; }
+
+void EventBlock::InternDictionary() const {
+  Interner& interner = Interner::Global();
+  uint64_t gen = interner.generation();
+  if (dict_syms_ != nullptr && syms_gen_ == gen) return;
+  assert(mode_ == Mode::kOwnedColumnar &&
+         "borrowed dictionaries are interned by their owner at bind time");
+  dict_syms_own_.resize(dict_size_);
+  for (size_t i = 0; i < dict_size_; ++i) {
+    dict_syms_own_[i] = interner.Intern(dict_[i]);
+  }
+  dict_syms_ = dict_syms_own_.data();
+  syms_gen_ = gen;
+  rows_valid_ = false;  // cached rows carry the old generation's ids
+}
+
+const uint32_t* EventBlock::dict_syms() const {
+  if (mode_ == Mode::kOwnedColumnar) InternDictionary();
+  return dict_syms_;
+}
+
+void EventBlock::Materialize() {
+  if (mode_ == Mode::kOwnedColumnar) InternDictionary();
+  const Columns& c = columns();
+  const uint32_t* syms = dict_syms_;
+  uint32_t gen = static_cast<uint32_t>(syms_gen_);
+  // resize + assign (not clear + push_back): surviving rows keep their
+  // string capacity, so steady-state replay into a reused block stops
+  // allocating once the row strings have grown to the corpus's sizes.
+  owned_rows_.resize(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    Event& e = owned_rows_[i];
+    e.id = c.id[i];
+    e.ts = c.ts[i];
+    e.agent_id.assign(dict_[c.agent[i]]);
+    e.subject.pid = c.subj_pid[i];
+    e.subject.exe_name.assign(dict_[c.subj_exe[i]]);
+    e.subject.user.assign(dict_[c.subj_user[i]]);
+    e.op = static_cast<EventOp>(c.op[i]);
+    e.object_type = static_cast<EntityType>(c.object_type[i]);
+    e.obj_proc.pid = c.obj_pid[i];
+    e.obj_proc.exe_name.assign(dict_[c.obj_exe[i]]);
+    e.obj_proc.user.assign(dict_[c.obj_user[i]]);
+    e.obj_file.path.assign(dict_[c.obj_path[i]]);
+    e.obj_net.src_ip.assign(dict_[c.src_ip[i]]);
+    e.obj_net.dst_ip.assign(dict_[c.dst_ip[i]]);
+    e.obj_net.src_port = c.src_port[i];
+    e.obj_net.dst_port = c.dst_port[i];
+    e.obj_net.protocol.assign(dict_[c.protocol[i]]);
+    e.amount = c.amount[i];
+    e.failed = c.failed[i] != 0;
+    // Pre-stamped interned symbols straight from the dictionary — the
+    // executor's InternEventSpan sees a current generation and skips.
+    e.syms = EventSymbols{};
+    e.syms.agent = syms[c.agent[i]];
+    e.syms.subj_exe = syms[c.subj_exe[i]];
+    e.syms.subj_user = syms[c.subj_user[i]];
+    switch (e.object_type) {
+      case EntityType::kProcess:
+        e.syms.obj_exe = syms[c.obj_exe[i]];
+        e.syms.obj_user = syms[c.obj_user[i]];
+        break;
+      case EntityType::kFile:
+        e.syms.obj_path = syms[c.obj_path[i]];
+        break;
+      case EntityType::kNetwork:
+        break;
+    }
+    e.syms.gen = gen;
+  }
+  rows_valid_ = true;
+}
+
+Event* EventBlock::MutableRows() {
+  if (empty()) return nullptr;
+  switch (mode_) {
+    case Mode::kEmpty:
+      return nullptr;
+    case Mode::kBorrowedRows:
+      return borrowed_rows_;
+    case Mode::kOwnedRows:
+      return owned_rows_.data();
+    case Mode::kOwnedColumnar:
+    case Mode::kBorrowedColumnar:
+      if (!rows_valid_) Materialize();
+      return owned_rows_.data();
+  }
+  return nullptr;
+}
+
+bool EventBlock::TsBounds(Timestamp* min_ts, Timestamp* max_ts) const {
+  size_t n = size();
+  if (n == 0) return false;
+  if (columnar()) {
+    const int64_t* ts = columns().ts;
+    auto [lo, hi] = std::minmax_element(ts, ts + n);
+    *min_ts = *lo;
+    *max_ts = *hi;
+    return true;
+  }
+  const Event* rows =
+      mode_ == Mode::kBorrowedRows ? borrowed_rows_ : owned_rows_.data();
+  Timestamp lo = rows[0].ts, hi = rows[0].ts;
+  for (size_t i = 1; i < n; ++i) {
+    lo = std::min(lo, rows[i].ts);
+    hi = std::max(hi, rows[i].ts);
+  }
+  *min_ts = lo;
+  *max_ts = hi;
+  return true;
+}
+
+}  // namespace saql

@@ -1,0 +1,216 @@
+#ifndef SAQL_CORE_EVENT_BLOCK_H_
+#define SAQL_CORE_EVENT_BLOCK_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/event.h"
+#include "core/time_util.h"
+
+namespace saql {
+
+/// Columnar (structure-of-arrays) batch of events — the unit the ingestion
+/// API moves between sources, the event-log storage engine, and the stream
+/// executors.
+///
+/// A block holds every event attribute as its own column: numeric fields
+/// are flat arrays, and string attributes are **dictionary-encoded** — each
+/// column stores a 32-bit code into a per-block dictionary of distinct
+/// spellings (code 0 is always the empty string). The dictionary is
+/// materialized directly into the process `Interner`: one `Intern` call per
+/// *distinct* spelling per block instead of one hash probe per event, so
+/// rows materialized from a block arrive with `Event::syms` already
+/// stamped and the executor's per-event interning pass reduces to a
+/// generation check.
+///
+/// Three backings share this interface:
+///  - **owned columnar** (`AppendColumnar`): the block owns its column
+///    vectors and dictionary — the event-log writer's pending segment and
+///    the general building side;
+///  - **borrowed columnar** (`BindColumns`): the column arrays and
+///    dictionary alias storage owned by someone else — the mmap'd v2
+///    event-log reader hands out blocks whose columns point straight into
+///    the mapped file (zero-copy replay);
+///  - **rows** (`ResetBorrowedRows` / `ResetOwnedRows`): a plain `Event`
+///    span, the adapter shim for sources that natively produce rows
+///    (simulators, callbacks, merge fan-in). No columns exist in this mode.
+///
+/// Columnar blocks materialize a row view on demand (`MutableRows`); the
+/// row cache is reused across rebinds, so steady-state replay reuses both
+/// the vector and the row strings' capacity.
+class EventBlock {
+ public:
+  /// Dictionary code of the empty string (never stored in the dictionary
+  /// payload; every block's dictionary has "" at index 0).
+  static constexpr uint32_t kEmptyCode = 0;
+
+  /// Borrowed SoA column pointers, each `size()` elements long. String
+  /// columns hold dictionary codes. Columns for fields of inactive object
+  /// types carry the `Event` defaults (pid 0, empty strings, protocol
+  /// "tcp"), so decoding is exact regardless of object type.
+  struct Columns {
+    const uint64_t* id = nullptr;
+    const int64_t* ts = nullptr;
+    const int64_t* subj_pid = nullptr;
+    const int64_t* obj_pid = nullptr;
+    const int64_t* src_port = nullptr;
+    const int64_t* dst_port = nullptr;
+    const int64_t* amount = nullptr;
+    const uint32_t* agent = nullptr;
+    const uint32_t* subj_exe = nullptr;
+    const uint32_t* subj_user = nullptr;
+    const uint32_t* obj_exe = nullptr;
+    const uint32_t* obj_user = nullptr;
+    const uint32_t* obj_path = nullptr;
+    const uint32_t* src_ip = nullptr;
+    const uint32_t* dst_ip = nullptr;
+    const uint32_t* protocol = nullptr;
+    const uint8_t* op = nullptr;
+    const uint8_t* object_type = nullptr;
+    const uint8_t* failed = nullptr;
+
+    /// The same columns advanced by `offset` events (sub-range view).
+    Columns Slice(size_t offset) const;
+  };
+
+  EventBlock() = default;
+  EventBlock(const EventBlock&) = delete;
+  EventBlock& operator=(const EventBlock&) = delete;
+
+  /// Drops all contents (keeps allocated capacity for reuse).
+  void Clear();
+
+  size_t size() const {
+    return mode_ == Mode::kOwnedRows ? owned_rows_.size() : size_;
+  }
+  bool empty() const { return size() == 0; }
+
+  /// True when the block has columnar backing (owned or borrowed); false
+  /// for row-backed shim blocks.
+  bool columnar() const {
+    return mode_ == Mode::kOwnedColumnar || mode_ == Mode::kBorrowedColumnar;
+  }
+
+  // -------------------------------------------------------------------
+  // Row-backed shims (sources that natively produce Event rows).
+
+  /// Wraps an externally owned row span — zero copies; annotations made
+  /// through `MutableRows` land in the caller's storage.
+  void ResetBorrowedRows(Event* rows, size_t count);
+
+  /// Switches to owned-row mode and returns the (cleared) appendable row
+  /// vector; `size()` tracks it.
+  EventBatch& ResetOwnedRows();
+
+  // -------------------------------------------------------------------
+  // Columnar building (owned).
+
+  /// Encodes one event into the owned columns, dictionary-interning its
+  /// string attributes. First call after `Clear` switches the block to
+  /// owned-columnar mode.
+  void AppendColumnar(const Event& e);
+
+  // -------------------------------------------------------------------
+  // Columnar adoption (borrowed; the mmap'd log reader).
+
+  /// Binds externally owned column arrays, dictionary, and the
+  /// dictionary's interned symbol ids (parallel to `dict`, computed under
+  /// interner generation `syms_generation`). All pointers must stay valid
+  /// while the block is bound.
+  void BindColumns(const Columns& cols, size_t count,
+                   const std::string_view* dict, size_t dict_size,
+                   const uint32_t* dict_syms, uint64_t syms_generation);
+
+  // -------------------------------------------------------------------
+  // Consumption.
+
+  /// Column views (columnar modes only; owned mode refreshes the views
+  /// from the backing vectors).
+  const Columns& columns() const;
+
+  /// Dictionary spellings; entry 0 is "".
+  const std::string_view* dict() const;
+  size_t dict_size() const;
+
+  /// Interned symbol ids parallel to `dict()`. Owned mode: interns the
+  /// dictionary into the global `Interner` on first use (and again after a
+  /// rotation). Borrowed mode: the ids supplied at bind time.
+  const uint32_t* dict_syms() const;
+
+  /// Interns the owned dictionary into the process interner now (no-op if
+  /// already interned under the current generation). `MutableRows` calls
+  /// this implicitly.
+  void InternDictionary() const;
+
+  /// Row view of the block; columnar blocks materialize (and cache) rows
+  /// with `Event::syms` pre-stamped from the interned dictionary. Returns
+  /// nullptr for an empty block. Callers may annotate rows in place; for
+  /// borrowed-row blocks the annotations land in the borrowed storage.
+  Event* MutableRows();
+
+  /// Timestamp bounds over the `ts` column / rows (scans; meant for the
+  /// per-segment writer, not per-event paths). Returns false when empty.
+  bool TsBounds(Timestamp* min_ts, Timestamp* max_ts) const;
+
+ private:
+  enum class Mode : uint8_t {
+    kEmpty,
+    kBorrowedRows,
+    kOwnedRows,
+    kOwnedColumnar,
+    kBorrowedColumnar,
+  };
+
+  /// Owned column storage (owned-columnar mode).
+  struct ColumnStore {
+    std::vector<uint64_t> id;
+    std::vector<int64_t> ts, subj_pid, obj_pid, src_port, dst_port, amount;
+    std::vector<uint32_t> agent, subj_exe, subj_user, obj_exe, obj_user,
+        obj_path, src_ip, dst_ip, protocol;
+    std::vector<uint8_t> op, object_type, failed;
+    void clear();
+  };
+
+  /// Returns the dictionary code for `s`, adding it on first sight (exact,
+  /// case-preserving — normalization is the interner's job).
+  uint32_t DictCode(std::string_view s);
+
+  void EnsureOwnedColumnar();
+  void Materialize();
+
+  Mode mode_ = Mode::kEmpty;
+  size_t size_ = 0;
+
+  // Columnar backing.
+  ColumnStore store_;
+  mutable Columns cols_;
+  mutable bool cols_valid_ = false;  ///< owned views refreshed from store_
+
+  // Dictionary: owned (arena + views) or borrowed (views only).
+  std::deque<std::string> dict_arena_;
+  std::vector<std::string_view> dict_own_;
+  std::unordered_map<std::string_view, uint32_t> dict_codes_;
+  const std::string_view* dict_ = nullptr;
+  size_t dict_size_ = 0;
+
+  // Interned ids parallel to the dictionary.
+  mutable std::vector<uint32_t> dict_syms_own_;
+  mutable const uint32_t* dict_syms_ = nullptr;
+  mutable uint64_t syms_gen_ = 0;
+
+  // Row view: borrowed span or owned vector (also the materialization
+  // cache for columnar blocks).
+  Event* borrowed_rows_ = nullptr;
+  EventBatch owned_rows_;
+  /// Mutable: a const `InternDictionary` after a rotation invalidates the
+  /// cached rows (they carry the old generation's ids).
+  mutable bool rows_valid_ = false;
+};
+
+}  // namespace saql
+
+#endif  // SAQL_CORE_EVENT_BLOCK_H_

@@ -101,10 +101,9 @@ Status SaqlEngine::Run(EventSource* source) {
   }
   SAQL_ASSIGN_OR_RETURN(std::unique_ptr<Session> session, OpenSession());
   ran_ = true;
-  size_t count = 0;
-  while (Event* batch =
-             source->NextBatchZeroCopy(options_.batch_size, &count)) {
-    Status st = session->Push(batch, count);
+  while (EventBlock* block = source->NextBlock(options_.batch_size)) {
+    if (block->empty()) continue;
+    Status st = session->Push(*block);
     if (!st.ok()) return st;
     st = session->AdvanceWatermark(session->max_event_ts());
     if (!st.ok()) return st;

@@ -181,6 +181,16 @@ class SaqlEngine {
       return Push(batch.data(), batch.size());
     }
 
+    /// Block-native ingest: pushes the block's rows. Columnar blocks
+    /// (the v2 event-log replayer's) arrive with `Event::syms` already
+    /// stamped from the block dictionary, so the per-event interning pass
+    /// inside the executors reduces to a generation check. `Run` feeds
+    /// sources through this.
+    Status Push(EventBlock& block) {
+      if (block.empty()) return Status::Ok();
+      return Push(block.MutableRows(), block.size());
+    }
+
     /// Advances event time: windows ending at or before `ts` can close.
     /// Values that do not advance the watermark are ignored.
     Status AdvanceWatermark(Timestamp ts);

@@ -1,0 +1,467 @@
+#include "storage/columnar_log.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/interner.h"
+#include "storage/event_log.h"
+
+namespace saql {
+
+namespace {
+
+constexpr size_t kSentinelNone = static_cast<size_t>(-1);
+
+void PutBytes(std::string* buf, const void* data, size_t size) {
+  buf->append(static_cast<const char*>(data), size);
+}
+
+void PutU32(std::string* buf, uint32_t v) { PutBytes(buf, &v, sizeof(v)); }
+
+void PadTo8(std::string* buf) { buf->resize(AlignTo8(buf->size()), '\0'); }
+
+/// Per-event bytes of the fixed-width column section.
+constexpr size_t ColumnBytesPerEvent() {
+  return 7 * sizeof(int64_t) + 9 * sizeof(uint32_t) + 3 * sizeof(uint8_t);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+ColumnarLogWriter::ColumnarLogWriter(const std::string& path, Options options)
+    : options_(options),
+      out_(path, std::ios::binary | std::ios::trunc) {
+  if (options_.segment_events == 0) options_.segment_events = 4096;
+  if (!out_) {
+    status_ = Status::IoError("cannot open '" + path + "' for writing");
+    return;
+  }
+  out_.write(kLogMagicV2, sizeof(kLogMagicV2));
+  uint32_t version = kLogVersionV2;
+  out_.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  uint32_t reserved = 0;
+  out_.write(reinterpret_cast<const char*>(&reserved), sizeof(reserved));
+  if (!out_) status_ = Status::IoError("failed writing log header");
+}
+
+ColumnarLogWriter::~ColumnarLogWriter() { Close(); }
+
+Status ColumnarLogWriter::Append(const Event& event) {
+  SAQL_RETURN_IF_ERROR(status_);
+  pending_.AppendColumnar(event);
+  if (pending_.size() >= options_.segment_events) return Flush();
+  return Status::Ok();
+}
+
+Status ColumnarLogWriter::AppendBatch(const EventBatch& events) {
+  for (const Event& e : events) {
+    SAQL_RETURN_IF_ERROR(Append(e));
+  }
+  return Status::Ok();
+}
+
+Status ColumnarLogWriter::WriteBlock(EventBlock* block) {
+  SAQL_RETURN_IF_ERROR(status_);
+  if (block->empty()) return Status::Ok();
+  if (block->columnar() && block->size() >= options_.segment_events) {
+    SAQL_RETURN_IF_ERROR(Flush());  // keep order: pending rows come first
+    SAQL_RETURN_IF_ERROR(WriteSegment(*block));
+    events_written_ += block->size();
+    return Status::Ok();
+  }
+  const Event* rows = block->MutableRows();
+  for (size_t i = 0; i < block->size(); ++i) {
+    SAQL_RETURN_IF_ERROR(Append(rows[i]));
+  }
+  return Status::Ok();
+}
+
+Status ColumnarLogWriter::Flush() {
+  SAQL_RETURN_IF_ERROR(status_);
+  if (pending_.empty()) return Status::Ok();
+  Status st = WriteSegment(pending_);
+  if (st.ok()) events_written_ += pending_.size();
+  pending_.Clear();
+  return st;
+}
+
+Status ColumnarLogWriter::WriteSegment(const EventBlock& block) {
+  const size_t n = block.size();
+  const EventBlock::Columns& c = block.columns();
+
+  payload_.clear();
+  // Dictionary: entry 0 ("") is implicit.
+  for (size_t i = 1; i < block.dict_size(); ++i) {
+    std::string_view s = block.dict()[i];
+    PutU32(&payload_, static_cast<uint32_t>(s.size()));
+    PutBytes(&payload_, s.data(), s.size());
+  }
+  PadTo8(&payload_);
+  // Columns, widest first (log_format.h fixes the order).
+  PutBytes(&payload_, c.id, n * sizeof(uint64_t));
+  PutBytes(&payload_, c.ts, n * sizeof(int64_t));
+  PutBytes(&payload_, c.subj_pid, n * sizeof(int64_t));
+  PutBytes(&payload_, c.obj_pid, n * sizeof(int64_t));
+  PutBytes(&payload_, c.src_port, n * sizeof(int64_t));
+  PutBytes(&payload_, c.dst_port, n * sizeof(int64_t));
+  PutBytes(&payload_, c.amount, n * sizeof(int64_t));
+  PutBytes(&payload_, c.agent, n * sizeof(uint32_t));
+  PutBytes(&payload_, c.subj_exe, n * sizeof(uint32_t));
+  PutBytes(&payload_, c.subj_user, n * sizeof(uint32_t));
+  PutBytes(&payload_, c.obj_exe, n * sizeof(uint32_t));
+  PutBytes(&payload_, c.obj_user, n * sizeof(uint32_t));
+  PutBytes(&payload_, c.obj_path, n * sizeof(uint32_t));
+  PutBytes(&payload_, c.src_ip, n * sizeof(uint32_t));
+  PutBytes(&payload_, c.dst_ip, n * sizeof(uint32_t));
+  PutBytes(&payload_, c.protocol, n * sizeof(uint32_t));
+  PutBytes(&payload_, c.op, n * sizeof(uint8_t));
+  PutBytes(&payload_, c.object_type, n * sizeof(uint8_t));
+  PutBytes(&payload_, c.failed, n * sizeof(uint8_t));
+  PadTo8(&payload_);
+
+  SegmentHeader header;
+  header.payload_bytes = payload_.size();
+  header.event_count = static_cast<uint32_t>(n);
+  block.TsBounds(&header.min_ts, &header.max_ts);
+  header.dict_count = static_cast<uint32_t>(block.dict_size() - 1);
+  header.crc32 = Crc32(payload_.data(), payload_.size());
+
+  out_.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out_.write(payload_.data(), static_cast<std::streamsize>(payload_.size()));
+  if (!out_) {
+    status_ = Status::IoError("failed appending log segment");
+    return status_;
+  }
+  ++segments_written_;
+  return Status::Ok();
+}
+
+Status ColumnarLogWriter::Close() {
+  if (out_.is_open()) {
+    Flush();
+    out_.flush();
+    out_.close();
+    if (!out_ && status_.ok()) {
+      status_ = Status::IoError("failed closing event log");
+    }
+  }
+  return status_;
+}
+
+// ---------------------------------------------------------------------------
+// Reader.
+// ---------------------------------------------------------------------------
+
+ColumnarLogReader::ColumnarLogReader(const std::string& path, Options options)
+    : options_(options), path_(path), loaded_index_(kSentinelNone) {
+  if (options_.use_mmap) {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      status_ = Status::IoError("cannot open '" + path + "' for reading");
+      return;
+    }
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      status_ = Status::IoError("cannot stat '" + path + "'");
+      return;
+    }
+    file_size_ = static_cast<size_t>(st.st_size);
+    if (file_size_ > 0) {
+      void* map = ::mmap(nullptr, file_size_, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (map == MAP_FAILED) {
+        // mmap-hostile filesystem: degrade to buffered reads.
+        options_.use_mmap = false;
+      } else {
+        map_ = static_cast<const char*>(map);
+        map_size_ = file_size_;
+      }
+    }
+    ::close(fd);
+  }
+  if (map_ == nullptr) {
+    in_.open(path, std::ios::binary);
+    if (!in_) {
+      status_ = Status::IoError("cannot open '" + path + "' for reading");
+      return;
+    }
+    in_.seekg(0, std::ios::end);
+    file_size_ = static_cast<size_t>(in_.tellg());
+    in_.seekg(0);
+  }
+  status_ = BuildIndex();
+}
+
+ColumnarLogReader::~ColumnarLogReader() {
+  if (map_ != nullptr) {
+    ::munmap(const_cast<char*>(map_), map_size_);
+  }
+}
+
+Status ColumnarLogReader::BuildIndex() {
+  char file_header[kV2FileHeaderSize];
+  if (file_size_ < sizeof(file_header)) {
+    return Status::IoError("'" + path_ + "' is not a SAQL v2 event log");
+  }
+  if (map_ != nullptr) {
+    std::memcpy(file_header, map_, sizeof(file_header));
+  } else {
+    in_.read(file_header, sizeof(file_header));
+    if (!in_) return Status::IoError("failed reading log header");
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, file_header + sizeof(kLogMagicV2), sizeof(version));
+  if (std::memcmp(file_header, kLogMagicV2, sizeof(kLogMagicV2)) != 0) {
+    return Status::IoError("'" + path_ + "' is not a SAQL v2 event log");
+  }
+  if (version != kLogVersionV2) {
+    return Status::IoError("unsupported columnar log version " +
+                           std::to_string(version));
+  }
+
+  uint64_t offset = kV2FileHeaderSize;
+  while (offset + sizeof(SegmentHeader) <= file_size_) {
+    SegmentHeader header;
+    if (map_ != nullptr) {
+      std::memcpy(&header, map_ + offset, sizeof(header));
+    } else {
+      in_.seekg(static_cast<std::streamoff>(offset));
+      in_.read(reinterpret_cast<char*>(&header), sizeof(header));
+      if (!in_) break;  // short read at the tail
+    }
+    if (header.magic != kSegmentMagic) {
+      return Status::IoError("corrupt segment header at offset " +
+                             std::to_string(offset));
+    }
+    uint64_t payload_offset = offset + sizeof(SegmentHeader);
+    if (header.payload_bytes >
+            static_cast<uint64_t>(file_size_) - payload_offset ||
+        header.payload_bytes <
+            header.event_count * ColumnBytesPerEvent()) {
+      // Payload extends past EOF (or is impossibly small for its event
+      // count): the writer was cut off mid-segment. Crash-consistent
+      // tail — keep everything before it.
+      break;
+    }
+    SegmentInfo info;
+    info.payload_offset = payload_offset;
+    info.payload_bytes = header.payload_bytes;
+    info.count = header.event_count;
+    info.dict_count = header.dict_count;
+    info.crc32 = header.crc32;
+    info.min_ts = header.min_ts;
+    info.max_ts = header.max_ts;
+    index_.push_back(info);
+    total_events_ += header.event_count;
+    offset = payload_offset + header.payload_bytes;
+  }
+  crc_checked_.assign(index_.size(), false);
+  return Status::Ok();
+}
+
+size_t ColumnarLogReader::FirstSegmentAtOrAfter(Timestamp ts) const {
+  size_t i = 0;
+  while (i < index_.size() && index_[i].max_ts < ts) ++i;
+  return i;
+}
+
+const char* ColumnarLogReader::PayloadData(size_t i) const {
+  if (map_ != nullptr) return map_ + index_[i].payload_offset;
+  return payload_buf_.data();
+}
+
+Status ColumnarLogReader::LoadSegment(size_t i) {
+  SAQL_RETURN_IF_ERROR(status_);
+  if (i >= index_.size()) {
+    return Status::InvalidArgument("segment index out of range");
+  }
+  if (loaded_index_ == i) return Status::Ok();
+  const SegmentInfo& info = index_[i];
+
+  if (map_ == nullptr) {
+    payload_buf_.resize(info.payload_bytes);
+    in_.clear();
+    in_.seekg(static_cast<std::streamoff>(info.payload_offset));
+    in_.read(payload_buf_.data(),
+             static_cast<std::streamsize>(info.payload_bytes));
+    if (!in_) {
+      status_ = Status::IoError("failed reading segment payload");
+      return status_;
+    }
+  }
+  const char* payload = PayloadData(i);
+
+  if (!crc_checked_[i]) {
+    if (Crc32(payload, info.payload_bytes) != info.crc32) {
+      status_ = Status::IoError("corrupt segment (CRC mismatch) at offset " +
+                                std::to_string(info.payload_offset));
+      return status_;
+    }
+    crc_checked_[i] = true;
+  }
+
+  // Dictionary: dict_count entries of u32 length + bytes.
+  loaded_dict_.clear();
+  loaded_dict_.push_back(std::string_view{});  // code 0 = ""
+  size_t pos = 0;
+  for (uint32_t d = 0; d < info.dict_count; ++d) {
+    uint32_t len = 0;
+    if (pos + sizeof(len) > info.payload_bytes) {
+      status_ = Status::IoError("corrupt segment dictionary");
+      return status_;
+    }
+    std::memcpy(&len, payload + pos, sizeof(len));
+    pos += sizeof(len);
+    if (pos + len > info.payload_bytes) {
+      status_ = Status::IoError("corrupt segment dictionary");
+      return status_;
+    }
+    loaded_dict_.emplace_back(payload + pos, len);
+    pos += len;
+  }
+  pos = AlignTo8(pos);
+
+  // Columns at fixed offsets after the dictionary.
+  const size_t n = info.count;
+  if (pos + n * ColumnBytesPerEvent() > info.payload_bytes) {
+    status_ = Status::IoError("corrupt segment (columns truncated)");
+    return status_;
+  }
+  auto take_i64 = [&](const int64_t** col) {
+    *col = reinterpret_cast<const int64_t*>(payload + pos);
+    pos += n * sizeof(int64_t);
+  };
+  auto take_u32 = [&](const uint32_t** col) {
+    *col = reinterpret_cast<const uint32_t*>(payload + pos);
+    pos += n * sizeof(uint32_t);
+  };
+  auto take_u8 = [&](const uint8_t** col) {
+    *col = reinterpret_cast<const uint8_t*>(payload + pos);
+    pos += n * sizeof(uint8_t);
+  };
+  EventBlock::Columns c;
+  c.id = reinterpret_cast<const uint64_t*>(payload + pos);
+  pos += n * sizeof(uint64_t);
+  take_i64(&c.ts);
+  take_i64(&c.subj_pid);
+  take_i64(&c.obj_pid);
+  take_i64(&c.src_port);
+  take_i64(&c.dst_port);
+  take_i64(&c.amount);
+  take_u32(&c.agent);
+  take_u32(&c.subj_exe);
+  take_u32(&c.subj_user);
+  take_u32(&c.obj_exe);
+  take_u32(&c.obj_user);
+  take_u32(&c.obj_path);
+  take_u32(&c.src_ip);
+  take_u32(&c.dst_ip);
+  take_u32(&c.protocol);
+  take_u8(&c.op);
+  take_u8(&c.object_type);
+  take_u8(&c.failed);
+
+  // Bound-check enums and dictionary codes once per segment, so
+  // materialization can index without per-cell checks. Max-reduce then
+  // one compare per column: branch-free inner loops the compiler
+  // vectorizes.
+  uint8_t max_op = 0, max_type = 0;
+  for (size_t r = 0; r < n; ++r) {
+    max_op = std::max(max_op, c.op[r]);
+    max_type = std::max(max_type, c.object_type[r]);
+  }
+  if (max_op >= kNumEventOps || max_type > 2) {
+    status_ = Status::IoError("corrupt segment (bad enum value)");
+    return status_;
+  }
+  const uint32_t dict_total = static_cast<uint32_t>(loaded_dict_.size());
+  const uint32_t* code_cols[] = {c.agent,    c.subj_exe, c.subj_user,
+                                 c.obj_exe,  c.obj_user, c.obj_path,
+                                 c.src_ip,   c.dst_ip,   c.protocol};
+  for (const uint32_t* col : code_cols) {
+    uint32_t max_code = 0;
+    for (size_t r = 0; r < n; ++r) max_code = std::max(max_code, col[r]);
+    if (max_code >= dict_total) {
+      status_ = Status::IoError(
+          "corrupt segment (dictionary code out of range)");
+      return status_;
+    }
+  }
+
+  // Materialize the dictionary into the process interner: one probe per
+  // distinct spelling for the whole segment.
+  Interner& interner = Interner::Global();
+  loaded_syms_gen_ = interner.generation();
+  loaded_dict_syms_.resize(loaded_dict_.size());
+  for (size_t d = 0; d < loaded_dict_.size(); ++d) {
+    loaded_dict_syms_[d] = interner.Intern(loaded_dict_[d]);
+  }
+
+  loaded_cols_ = c;
+  loaded_index_ = i;
+  return Status::Ok();
+}
+
+void ColumnarLogReader::BindRange(EventBlock* block, size_t offset,
+                                  size_t count) {
+  Interner& interner = Interner::Global();
+  if (interner.generation() != loaded_syms_gen_) {
+    // The interner rotated under us (legal only between runs, but blocks
+    // may be handed out across that boundary): refresh the dictionary ids.
+    loaded_syms_gen_ = interner.generation();
+    for (size_t d = 0; d < loaded_dict_.size(); ++d) {
+      loaded_dict_syms_[d] = interner.Intern(loaded_dict_[d]);
+    }
+  }
+  block->BindColumns(loaded_cols_.Slice(offset), count, loaded_dict_.data(),
+                     loaded_dict_.size(), loaded_dict_syms_.data(),
+                     loaded_syms_gen_);
+}
+
+Status ColumnarLogReader::ReadSegment(size_t i, EventBlock* block) {
+  SAQL_RETURN_IF_ERROR(LoadSegment(i));
+  BindRange(block, 0, index_[i].count);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Convenience round trips.
+// ---------------------------------------------------------------------------
+
+Status WriteColumnarEventLog(const std::string& path, const EventBatch& events,
+                             ColumnarLogWriter::Options options) {
+  ColumnarLogWriter writer(path, options);
+  SAQL_RETURN_IF_ERROR(writer.status());
+  SAQL_RETURN_IF_ERROR(writer.AppendBatch(events));
+  return writer.Close();
+}
+
+Result<EventBatch> ReadColumnarEventLog(const std::string& path) {
+  ColumnarLogReader reader(path);
+  SAQL_RETURN_IF_ERROR(reader.status());
+  EventBatch out;
+  out.reserve(reader.total_events());
+  EventBlock block;
+  for (size_t i = 0; i < reader.num_segments(); ++i) {
+    SAQL_RETURN_IF_ERROR(reader.ReadSegment(i, &block));
+    const Event* rows = block.MutableRows();
+    out.insert(out.end(), rows, rows + block.size());
+  }
+  return out;
+}
+
+Result<EventBatch> ReadAnyEventLog(const std::string& path) {
+  SAQL_ASSIGN_OR_RETURN(int version, DetectEventLogVersion(path));
+  if (version == 2) return ReadColumnarEventLog(path);
+  return ReadEventLog(path);
+}
+
+}  // namespace saql

@@ -2,12 +2,13 @@
 
 #include <cstring>
 
+#include "storage/log_format.h"
+
 namespace saql {
 
 namespace {
 
-constexpr char kMagic[8] = {'S', 'A', 'Q', 'L', 'L', 'O', 'G', '1'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = kLogVersionV1;
 
 void PutU32(std::string* buf, uint32_t v) {
   buf->append(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -139,11 +140,13 @@ EventLogWriter::EventLogWriter(const std::string& path)
     status_ = Status::IoError("cannot open '" + path + "' for writing");
     return;
   }
-  out_.write(kMagic, sizeof(kMagic));
+  out_.write(kLogMagicV1, sizeof(kLogMagicV1));
   uint32_t version = kVersion;
   out_.write(reinterpret_cast<const char*>(&version), sizeof(version));
   if (!out_) status_ = Status::IoError("failed writing log header");
 }
+
+EventLogWriter::~EventLogWriter() { Close(); }
 
 Status EventLogWriter::Append(const Event& event) {
   SAQL_RETURN_IF_ERROR(status_);
@@ -184,11 +187,11 @@ EventLogReader::EventLogReader(const std::string& path)
     status_ = Status::IoError("cannot open '" + path + "' for reading");
     return;
   }
-  char magic[sizeof(kMagic)];
+  char magic[sizeof(kLogMagicV1)];
   uint32_t version = 0;
   in_.read(magic, sizeof(magic));
   in_.read(reinterpret_cast<char*>(&version), sizeof(version));
-  if (!in_ || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  if (!in_ || std::memcmp(magic, kLogMagicV1, sizeof(magic)) != 0) {
     status_ = Status::IoError("'" + path + "' is not a SAQL event log");
     return;
   }

@@ -28,6 +28,15 @@ class EventLogWriter {
   /// Creates/truncates `path`. Check `status()` before use.
   explicit EventLogWriter(const std::string& path);
 
+  /// Closes (flushing buffered records). The destructor cannot report, so
+  /// failures on this path stay readable through `status()` while the
+  /// object lives — call `Close()` explicitly (or re-check `status()`
+  /// after it) when flush errors matter.
+  ~EventLogWriter();
+
+  EventLogWriter(const EventLogWriter&) = delete;
+  EventLogWriter& operator=(const EventLogWriter&) = delete;
+
   Status status() const { return status_; }
 
   /// Appends one event.
@@ -36,7 +45,9 @@ class EventLogWriter {
   /// Appends a batch.
   Status AppendBatch(const EventBatch& events);
 
-  /// Flushes and closes. Called by the destructor too.
+  /// Flushes and closes. Idempotent: later calls (including the
+  /// destructor's) return the sticky status without losing an earlier
+  /// failure.
   Status Close();
 
   uint64_t events_written() const { return events_written_; }

@@ -1,7 +1,10 @@
 #include "storage/replayer.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
+
+#include "storage/log_format.h"
 
 namespace saql {
 
@@ -16,9 +19,30 @@ int64_t WallNowNs() {
 }  // namespace
 
 StreamReplayer::StreamReplayer(const std::string& path, Filter filter)
-    : reader_(std::make_unique<EventLogReader>(path)),
-      filter_(std::move(filter)) {
-  status_ = reader_->status();
+    : filter_(std::move(filter)) {
+  Result<int> version = DetectEventLogVersion(path);
+  if (!version.ok()) {
+    status_ = version.status();
+    return;
+  }
+  format_version_ = *version;
+  if (format_version_ == 2) {
+    ColumnarLogReader::Options opts;
+    opts.use_mmap = filter_.use_mmap;
+    v2_ = std::make_unique<ColumnarLogReader>(path, opts);
+    status_ = v2_->status();
+    if (status_.ok() && filter_.start_ts > 0) {
+      // Time-range seek: jump the cursor past every segment that ends
+      // before the range, without touching their payloads.
+      seg_ = v2_->FirstSegmentAtOrAfter(filter_.start_ts);
+      for (size_t i = 0; i < seg_; ++i) {
+        filtered_out_ += v2_->segment(i).count;
+      }
+    }
+  } else {
+    v1_ = std::make_unique<EventLogReader>(path);
+    status_ = v1_->status();
+  }
 }
 
 bool StreamReplayer::Accept(const Event& e) const {
@@ -48,11 +72,16 @@ void StreamReplayer::PaceTo(Timestamp ts) {
   }
 }
 
-bool StreamReplayer::NextBatch(size_t max_events, EventBatch* batch) {
-  batch->clear();
-  if (!status_.ok()) return false;
-  while (batch->size() < max_events) {
-    Result<Event> e = reader_->Next();
+EventBlock* StreamReplayer::NextBlock(size_t max_events) {
+  if (!status_.ok() || max_events == 0) return nullptr;
+  return format_version_ == 2 ? NextBlockV2(max_events)
+                              : NextBlockV1(max_events);
+}
+
+EventBlock* StreamReplayer::NextBlockV1(size_t max_events) {
+  EventBatch& rows = out_block_.ResetOwnedRows();
+  while (rows.size() < max_events) {
+    Result<Event> e = v1_->Next();
     if (!e.ok()) {
       if (e.status().code() != StatusCode::kNotFound) {
         status_ = e.status();
@@ -65,9 +94,78 @@ bool StreamReplayer::NextBatch(size_t max_events, EventBatch* batch) {
     }
     PaceTo(e->ts);
     ++replayed_;
-    batch->push_back(std::move(*e));
+    rows.push_back(std::move(*e));
   }
-  return !batch->empty();
+  return rows.empty() ? nullptr : &out_block_;
+}
+
+bool StreamReplayer::LoadAcceptableSegment() {
+  while (seg_pos_ >= seg_size_) {
+    if (seg_size_ > 0) {
+      ++seg_;
+      seg_pos_ = 0;
+      seg_size_ = 0;
+    }
+    if (seg_ >= v2_->num_segments()) return false;
+    const ColumnarLogReader::SegmentInfo& info = v2_->segment(seg_);
+    if (info.count == 0 || info.max_ts < filter_.start_ts ||
+        info.min_ts >= filter_.end_ts) {
+      // Whole segment outside the time range (or degenerate): skip it
+      // via the index, payload untouched.
+      filtered_out_ += info.count;
+      ++seg_;
+      continue;
+    }
+    Status st = v2_->LoadSegment(seg_);
+    if (!st.ok()) {
+      status_ = st;
+      return false;
+    }
+    seg_size_ = info.count;
+    // The segment passes wholesale when every event is inside the time
+    // range and no per-event filtering or pacing is configured — then
+    // ranges of it can be handed out zero-copy.
+    seg_exact_ = filter_.hosts.empty() && filter_.speed <= 0.0 &&
+                 info.min_ts >= filter_.start_ts &&
+                 info.max_ts < filter_.end_ts;
+  }
+  return true;
+}
+
+EventBlock* StreamReplayer::NextBlockV2(size_t max_events) {
+  if (!LoadAcceptableSegment()) return nullptr;
+  if (seg_exact_) {
+    // Zero-copy: a sub-range of the loaded segment's columns.
+    size_t n = std::min(max_events, seg_size_ - seg_pos_);
+    v2_->BindRange(&out_block_, seg_pos_, n);
+    seg_pos_ += n;
+    replayed_ += n;
+    return &out_block_;
+  }
+  // Row-filtered path: materialize the segment once, then filter (and
+  // pace) rows into an owned block.
+  EventBatch& rows = out_block_.ResetOwnedRows();
+  while (rows.size() < max_events) {
+    if (!LoadAcceptableSegment()) break;
+    if (seg_exact_ && !rows.empty()) break;  // hand out the rows first
+    if (seg_exact_) return NextBlockV2(max_events);
+    if (seg_block_seg_ != seg_) {
+      v2_->BindRange(&seg_block_, 0, seg_size_);
+      seg_block_seg_ = seg_;
+    }
+    const Event* seg_rows = seg_block_.MutableRows();
+    while (seg_pos_ < seg_size_ && rows.size() < max_events) {
+      const Event& e = seg_rows[seg_pos_++];
+      if (!Accept(e)) {
+        ++filtered_out_;
+        continue;
+      }
+      PaceTo(e.ts);
+      ++replayed_;
+      rows.push_back(e);
+    }
+  }
+  return rows.empty() ? nullptr : &out_block_;
 }
 
 }  // namespace saql

@@ -6,7 +6,9 @@
 #include <string>
 
 #include "core/event.h"
+#include "core/event_block.h"
 #include "core/result.h"
+#include "storage/columnar_log.h"
 #include "storage/event_log.h"
 #include "stream/event_source.h"
 
@@ -20,6 +22,14 @@ namespace saql {
 ///  - speed == 0: as fast as possible (benchmarks, tests);
 ///  - speed == 1: real time (1s of event time per wall second);
 ///  - speed == N: N× faster than real time.
+///
+/// The log format is auto-detected: v1 row logs replay through the
+/// sequential `EventLogReader`; v2 columnar logs replay through the
+/// mmap'd `ColumnarLogReader` — the time range seeks (and skips) whole
+/// segments via the segment index, and when no per-event work is needed
+/// (no host filter, no pacing, segment fully inside the time range) the
+/// replayer hands out zero-copy columnar blocks whose rows materialize
+/// pre-interned.
 class StreamReplayer : public EventSource {
  public:
   struct Filter {
@@ -30,6 +40,10 @@ class StreamReplayer : public EventSource {
     Timestamp end_ts = INT64_MAX;
     /// Replay speed multiplier; 0 disables pacing.
     double speed = 0.0;
+    /// v2 logs: mmap the log and alias columns out of the mapping; off =
+    /// buffered per-segment reads (ablation baseline / mmap-less
+    /// filesystems). Ignored for v1 logs.
+    bool use_mmap = true;
   };
 
   /// Opens `path`; check `status()` before use.
@@ -37,9 +51,13 @@ class StreamReplayer : public EventSource {
 
   Status status() const { return status_; }
 
-  bool NextBatch(size_t max_events, EventBatch* batch) override;
+  EventBlock* NextBlock(size_t max_events) override;
 
-  /// Events skipped by the filter so far.
+  /// Detected log format (1 or 2); 0 when open failed.
+  int format_version() const { return format_version_; }
+
+  /// Events skipped by the filter so far (time-range segment skips count
+  /// whole segments without touching their payloads).
   uint64_t filtered_out() const { return filtered_out_; }
   uint64_t replayed() const { return replayed_; }
 
@@ -47,13 +65,30 @@ class StreamReplayer : public EventSource {
   bool Accept(const Event& e) const;
   void PaceTo(Timestamp ts);
 
-  std::unique_ptr<EventLogReader> reader_;
+  EventBlock* NextBlockV1(size_t max_events);
+  EventBlock* NextBlockV2(size_t max_events);
+  /// Advances seg_/seg_pos_ to the next event range the filter can
+  /// accept; returns false at end of log (or on error → status_).
+  bool LoadAcceptableSegment();
+
+  std::unique_ptr<EventLogReader> v1_;
+  std::unique_ptr<ColumnarLogReader> v2_;
   Filter filter_;
   Status status_;
+  int format_version_ = 0;
   uint64_t filtered_out_ = 0;
   uint64_t replayed_ = 0;
   Timestamp first_event_ts_ = INT64_MIN;
   int64_t wall_start_ns_ = 0;
+
+  // v2 cursor.
+  size_t seg_ = 0;        ///< current segment index
+  size_t seg_pos_ = 0;    ///< next event within the segment
+  size_t seg_size_ = 0;   ///< events in the loaded segment
+  bool seg_exact_ = false;  ///< loaded segment passes the filter wholesale
+  EventBlock seg_block_;  ///< full-segment bind (row-filtered path)
+  size_t seg_block_seg_ = static_cast<size_t>(-1);  ///< segment it binds
+  EventBlock out_block_;  ///< block handed to the consumer
 };
 
 }  // namespace saql

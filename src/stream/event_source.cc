@@ -4,44 +4,56 @@
 
 namespace saql {
 
-VectorEventSource::VectorEventSource(EventBatch events)
-    : events_(std::move(events)) {}
-
-bool VectorEventSource::NextBatch(size_t max_events, EventBatch* batch) {
+bool EventSource::NextBatch(size_t max_events, EventBatch* batch) {
   batch->clear();
-  if (pos_ >= events_.size()) return false;
-  size_t n = std::min(max_events, events_.size() - pos_);
-  batch->insert(batch->end(), events_.begin() + static_cast<long>(pos_),
-                events_.begin() + static_cast<long>(pos_ + n));
-  pos_ += n;
+  EventBlock* block;
+  // Tolerate sources that (out of contract) report progress with an empty
+  // block; an empty block must not read as end-of-stream.
+  do {
+    block = NextBlock(max_events);
+    if (block == nullptr) return false;
+  } while (block->empty());
+  const Event* rows = block->MutableRows();
+  batch->assign(rows, rows + block->size());
   return true;
 }
 
-Event* VectorEventSource::NextBatchZeroCopy(size_t max_events,
-                                            size_t* count) {
+Event* EventSource::NextBatchZeroCopy(size_t max_events, size_t* count) {
+  EventBlock* block;
+  do {
+    block = NextBlock(max_events);
+    if (block == nullptr) return nullptr;
+  } while (block->empty());
+  *count = block->size();
+  return block->MutableRows();
+}
+
+VectorEventSource::VectorEventSource(EventBatch events)
+    : events_(std::move(events)) {}
+
+EventBlock* VectorEventSource::NextBlock(size_t max_events) {
   if (pos_ >= events_.size()) return nullptr;
   size_t n = std::min(max_events, events_.size() - pos_);
-  Event* begin = events_.data() + pos_;
+  block_.ResetBorrowedRows(events_.data() + pos_, n);
   pos_ += n;
-  *count = n;
-  return begin;
+  return &block_;
 }
 
 CallbackEventSource::CallbackEventSource(Generator gen)
     : gen_(std::move(gen)) {}
 
-bool CallbackEventSource::NextBatch(size_t max_events, EventBatch* batch) {
-  batch->clear();
-  if (done_) return false;
+EventBlock* CallbackEventSource::NextBlock(size_t max_events) {
+  if (done_) return nullptr;
+  EventBatch& rows = block_.ResetOwnedRows();
   for (size_t i = 0; i < max_events; ++i) {
     Event e;
     if (!gen_(&e)) {
       done_ = true;
       break;
     }
-    batch->push_back(std::move(e));
+    rows.push_back(std::move(e));
   }
-  return !batch->empty();
+  return rows.empty() ? nullptr : &block_;
 }
 
 MergingEventSource::MergingEventSource(
@@ -52,28 +64,27 @@ MergingEventSource::MergingEventSource(
     c.source = std::move(in);
     cursors_.push_back(std::move(c));
   }
-  for (size_t i = 0; i < cursors_.size(); ++i) Refill(i);
 }
 
-void MergingEventSource::Refill(size_t i) {
+void MergingEventSource::Refill(size_t i, size_t budget) {
   Cursor& c = cursors_[i];
   if (c.pos < c.buffer.size() || c.exhausted) return;
   c.buffer.clear();
   c.pos = 0;
-  if (!c.source->NextBatch(4096, &c.buffer)) {
+  if (!c.source->NextBatch(std::max<size_t>(budget, 1), &c.buffer)) {
     c.exhausted = true;
   }
 }
 
-bool MergingEventSource::NextBatch(size_t max_events, EventBatch* batch) {
-  batch->clear();
-  while (batch->size() < max_events) {
+EventBlock* MergingEventSource::NextBlock(size_t max_events) {
+  EventBatch& rows = block_.ResetOwnedRows();
+  while (rows.size() < max_events) {
     // Pick the cursor with the smallest current timestamp. The fan-in here
     // (one agent feed per host) is small, so a linear scan beats a heap.
     size_t best = cursors_.size();
     Timestamp best_ts = 0;
     for (size_t i = 0; i < cursors_.size(); ++i) {
-      Refill(i);
+      Refill(i, max_events);
       Cursor& c = cursors_[i];
       if (c.exhausted || c.pos >= c.buffer.size()) continue;
       Timestamp ts = c.buffer[c.pos].ts;
@@ -83,10 +94,10 @@ bool MergingEventSource::NextBatch(size_t max_events, EventBatch* batch) {
       }
     }
     if (best == cursors_.size()) break;  // all exhausted
-    batch->push_back(cursors_[best].buffer[cursors_[best].pos]);
+    rows.push_back(cursors_[best].buffer[cursors_[best].pos]);
     ++cursors_[best].pos;
   }
-  return !batch->empty();
+  return rows.empty() ? nullptr : &block_;
 }
 
 }  // namespace saql

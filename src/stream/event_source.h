@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/event.h"
+#include "core/event_block.h"
 
 namespace saql {
 
@@ -15,38 +16,38 @@ namespace saql {
 /// are the synthetic enterprise simulator (src/collect) or the stored-event
 /// replayer (src/storage).
 ///
+/// The ingestion unit is the **block** (`EventBlock`, core/event_block.h):
+/// `NextBlock` is the one virtual every source implements. Columnar
+/// sources (the mmap'd event-log replayer) hand out blocks whose columns
+/// alias their own storage and whose dictionary is already interned; row
+/// sources wrap their rows in a block shim. The historical row-level pulls
+/// (`NextBatch`, `NextBatchZeroCopy`) survive as non-virtual adapters over
+/// `NextBlock`.
+///
 /// Sources produce events in non-decreasing timestamp order unless stated
 /// otherwise; a `ReorderBuffer` can repair bounded disorder.
 class EventSource {
  public:
   virtual ~EventSource() = default;
 
-  /// Fills `batch` with up to `max_events` next events (append, batch is
-  /// cleared first). Returns false when the stream is exhausted and no
-  /// events were produced.
-  virtual bool NextBatch(size_t max_events, EventBatch* batch) = 0;
+  /// Primary pull: returns the next block of up to `max_events` events, or
+  /// nullptr at end of stream. The block is owned by the source and stays
+  /// valid until the next pull; callers may annotate its rows in place
+  /// (the executor fills interned symbol ids — columnar blocks arrive
+  /// with them pre-stamped). Sources should not hand out empty blocks;
+  /// consumers tolerate them.
+  virtual EventBlock* NextBlock(size_t max_events) = 0;
 
-  /// Zero-copy pull: returns a pointer to the next run of up to
-  /// `max_events` events and stores its length in `count`, or nullptr at
-  /// end of stream. The events stay owned by the source and remain valid
-  /// until the next pull; callers may annotate them in place (the executor
-  /// fills interned symbol ids). Sources backed by contiguous storage
-  /// override this to hand out their buffer directly; the default adapter
-  /// copies through `NextBatch` into a scratch batch.
-  virtual Event* NextBatchZeroCopy(size_t max_events, size_t* count) {
-    // Tolerate sources that (out of contract) report progress with an
-    // empty batch; an empty scratch must not read as end-of-stream.
-    do {
-      if (!NextBatch(max_events, &zero_copy_scratch_)) return nullptr;
-    } while (zero_copy_scratch_.empty());
-    *count = zero_copy_scratch_.size();
-    return zero_copy_scratch_.data();
-  }
+  /// Row adapter: fills `batch` with a copy of the next block's rows
+  /// (batch is cleared first). Returns false when the stream is
+  /// exhausted.
+  bool NextBatch(size_t max_events, EventBatch* batch);
 
- private:
-  /// Scratch buffer for the default (copying) zero-copy adapter. Named to
-  /// avoid colliding with subclasses' own scratch buffers.
-  EventBatch zero_copy_scratch_;
+  /// Row adapter, zero-copy where the source allows it: returns the next
+  /// block's row view and stores its length in `count`, or nullptr at end
+  /// of stream. Rows stay owned by the source and remain valid until the
+  /// next pull.
+  Event* NextBatchZeroCopy(size_t max_events, size_t* count);
 };
 
 /// Source over a pre-materialized vector of events; used by tests and by
@@ -55,12 +56,10 @@ class VectorEventSource : public EventSource {
  public:
   explicit VectorEventSource(EventBatch events);
 
-  bool NextBatch(size_t max_events, EventBatch* batch) override;
-
-  /// Hands out slices of the owned vector — no per-event copies. Interned
-  /// symbol annotations persist across `Reset`, so replays (benchmarks)
-  /// intern each event at most once.
-  Event* NextBatchZeroCopy(size_t max_events, size_t* count) override;
+  /// Hands out blocks borrowing slices of the owned vector — no per-event
+  /// copies. Interned symbol annotations persist across `Reset`, so
+  /// replays (benchmarks) intern each event at most once.
+  EventBlock* NextBlock(size_t max_events) override;
 
   /// Rewinds to the beginning (benchmarks reuse one materialized stream).
   void Reset() { pos_ = 0; }
@@ -70,6 +69,7 @@ class VectorEventSource : public EventSource {
  private:
   EventBatch events_;
   size_t pos_ = 0;
+  EventBlock block_;
 };
 
 /// Adapts a generator function into a source. The function returns false to
@@ -80,11 +80,12 @@ class CallbackEventSource : public EventSource {
 
   explicit CallbackEventSource(Generator gen);
 
-  bool NextBatch(size_t max_events, EventBatch* batch) override;
+  EventBlock* NextBlock(size_t max_events) override;
 
  private:
   Generator gen_;
   bool done_ = false;
+  EventBlock block_;
 };
 
 /// Merges several timestamp-ordered sources into one ordered stream — the
@@ -93,7 +94,7 @@ class MergingEventSource : public EventSource {
  public:
   explicit MergingEventSource(std::vector<std::unique_ptr<EventSource>> inputs);
 
-  bool NextBatch(size_t max_events, EventBatch* batch) override;
+  EventBlock* NextBlock(size_t max_events) override;
 
  private:
   struct Cursor {
@@ -103,10 +104,14 @@ class MergingEventSource : public EventSource {
     bool exhausted = false;
   };
 
-  /// Ensures cursor `i` has a current event or is marked exhausted.
-  void Refill(size_t i);
+  /// Ensures cursor `i` has a current event or is marked exhausted,
+  /// pulling at most `budget` events from the inner source (the caller's
+  /// `max_events` — inner sources must not be drained harder than the
+  /// consumer asked for, e.g. a paced replayer behind the merge).
+  void Refill(size_t i, size_t budget);
 
   std::vector<Cursor> cursors_;
+  EventBlock block_;
 };
 
 }  // namespace saql

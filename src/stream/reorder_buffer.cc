@@ -56,23 +56,12 @@ bool ReorderingEventSource::RefillStaged(size_t max_events) {
   return true;
 }
 
-bool ReorderingEventSource::NextBatch(size_t max_events, EventBatch* batch) {
-  batch->clear();
-  while (batch->size() < max_events) {
-    if (!RefillStaged(max_events)) break;
-    batch->push_back(std::move(staged_[staged_pos_++]));
-  }
-  return !batch->empty();
-}
-
-Event* ReorderingEventSource::NextBatchZeroCopy(size_t max_events,
-                                                size_t* count) {
+EventBlock* ReorderingEventSource::NextBlock(size_t max_events) {
   if (!RefillStaged(max_events)) return nullptr;
   size_t n = std::min(max_events, staged_.size() - staged_pos_);
-  Event* begin = staged_.data() + staged_pos_;
+  block_.ResetBorrowedRows(staged_.data() + staged_pos_, n);
   staged_pos_ += n;
-  *count = n;
-  return begin;
+  return &block_;
 }
 
 }  // namespace saql

@@ -52,15 +52,13 @@ class ReorderingEventSource : public EventSource {
   /// `inner` is not owned and must outlive this source.
   ReorderingEventSource(EventSource* inner, Duration max_delay);
 
-  bool NextBatch(size_t max_events, EventBatch* batch) override;
-
   /// Drains the staging buffer in place: released events are handed out as
-  /// slices of the internal `staged_` vector — no per-event copies on the
-  /// way to the executor (the buffer repair itself still copies once from
-  /// the inner source into the reorder buffer, which is inherent). The
-  /// returned span stays valid until the next pull: `staged_` is only
-  /// refilled once fully drained.
-  Event* NextBatchZeroCopy(size_t max_events, size_t* count) override;
+  /// block-wrapped slices of the internal `staged_` vector — no per-event
+  /// copies on the way to the executor (the buffer repair itself still
+  /// copies once from the inner source into the reorder buffer, which is
+  /// inherent). The returned block stays valid until the next pull:
+  /// `staged_` is only refilled once fully drained.
+  EventBlock* NextBlock(size_t max_events) override;
 
   size_t late_count() const { return buffer_.late_count(); }
 
@@ -76,6 +74,7 @@ class ReorderingEventSource : public EventSource {
   size_t staged_pos_ = 0;
   EventBatch scratch_;  ///< raw batch pulled from the inner source
   bool inner_done_ = false;
+  EventBlock block_;
 };
 
 }  // namespace saql

@@ -221,12 +221,17 @@ void ShardedStreamExecutor::FinishStream() {
   threads_.clear();
 }
 
+void ShardedStreamExecutor::PushBlock(EventBlock* block) {
+  if (block->empty()) return;
+  PushBatch(block->MutableRows(), block->size());
+}
+
 void ShardedStreamExecutor::Run(EventSource* source, size_t batch_size) {
   if (ran_ || streaming_) return;
   BeginStream();
-  size_t count = 0;
-  while (Event* batch = source->NextBatchZeroCopy(batch_size, &count)) {
-    PushBatch(batch, count);
+  while (EventBlock* block = source->NextBlock(batch_size)) {
+    if (block->empty()) continue;
+    PushBlock(block);
     AdvanceWatermark(input_max_ts_);
   }
   FinishStream();

@@ -141,6 +141,11 @@ class ShardedStreamExecutor {
   /// full (backpressure).
   void PushBatch(Event* events, size_t count);
 
+  /// Block-native push: materializes the block's rows (columnar blocks
+  /// arrive pre-interned from their dictionary) and partitions them.
+  /// Empty blocks are ignored.
+  void PushBlock(EventBlock* block);
+
   /// Enqueues watermark `ts` to every lane (shard + global) when it
   /// advances the input watermark; returns whether it did.
   bool AdvanceWatermark(Timestamp ts);

@@ -107,11 +107,16 @@ void StreamExecutor::FinishStream() {
   }
 }
 
+void StreamExecutor::ProcessBlock(EventBlock* block) {
+  if (block->empty()) return;
+  ProcessBatch(block->MutableRows(), block->size());
+}
+
 void StreamExecutor::Run(EventSource* source, size_t batch_size) {
   BeginStream();
-  size_t count = 0;
-  while (Event* batch = source->NextBatchZeroCopy(batch_size, &count)) {
-    ProcessBatch(batch, count);
+  while (EventBlock* block = source->NextBlock(batch_size)) {
+    if (block->empty()) continue;
+    ProcessBlock(block);
     AdvanceWatermark(max_event_ts_);
   }
   FinishStream();

@@ -157,6 +157,12 @@ class StreamExecutor {
   /// a watermark; the max event time seen so far is tracked internally.
   void ProcessBatch(Event* batch, size_t count);
 
+  /// Block-native delivery: materializes the block's rows (a no-op for
+  /// row-backed blocks; columnar blocks arrive with `Event::syms`
+  /// pre-stamped from their dictionary, so the interning pass reduces to
+  /// a generation check) and delivers them. Empty blocks are ignored.
+  void ProcessBlock(EventBlock* block);
+
   /// Emits `ts` to all subscribers if it advances the emitted watermark;
   /// returns whether it did. `Run` passes the max event time seen;
   /// external drivers may pass any value ≥ it (closing the same windows

@@ -78,6 +78,53 @@ TEST(MergingEventSourceTest, MergesByTimestamp) {
   }
 }
 
+/// Wraps a source and records the largest `max_events` the consumer asked
+/// it for — pins the merge fan-in against over-pulling its inputs.
+class BudgetRecordingSource : public EventSource {
+ public:
+  explicit BudgetRecordingSource(EventBatch events)
+      : inner_(std::move(events)) {}
+
+  EventBlock* NextBlock(size_t max_events) override {
+    max_requested = std::max(max_requested, max_events);
+    return inner_.NextBlock(max_events);
+  }
+
+  size_t max_requested = 0;
+
+ private:
+  VectorEventSource inner_;
+};
+
+// Regression: MergingEventSource used to refill its inner cursors with a
+// hardcoded 4096-event pull regardless of the caller's budget — fatal for
+// paced or windowed inner sources behind the merge. Inner pulls must not
+// exceed the consumer's max_events.
+TEST(MergingEventSourceTest, RespectsCallerBatchBudget) {
+  std::vector<std::unique_ptr<EventSource>> inputs;
+  auto a = std::make_unique<BudgetRecordingSource>(
+      MakeOrderedEvents(200, 0, 2 * kSecond));
+  auto b = std::make_unique<BudgetRecordingSource>(
+      MakeOrderedEvents(200, kSecond, 2 * kSecond));
+  BudgetRecordingSource* ra = a.get();
+  BudgetRecordingSource* rb = b.get();
+  inputs.push_back(std::move(a));
+  inputs.push_back(std::move(b));
+  MergingEventSource merged(std::move(inputs));
+  EventBatch batch, all;
+  while (merged.NextBatch(10, &batch)) {
+    EXPECT_LE(batch.size(), 10u);
+    all.insert(all.end(), batch.begin(), batch.end());
+  }
+  EXPECT_EQ(all.size(), 400u);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i - 1].ts, all[i].ts);
+  }
+  EXPECT_LE(ra->max_requested, 10u);
+  EXPECT_LE(rb->max_requested, 10u);
+  EXPECT_GT(ra->max_requested, 0u);
+}
+
 TEST(MergingEventSourceTest, HandlesEmptyInputs) {
   std::vector<std::unique_ptr<EventSource>> inputs;
   inputs.push_back(std::make_unique<VectorEventSource>(EventBatch{}));
