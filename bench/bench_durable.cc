@@ -1,0 +1,159 @@
+// A11: durable-ingestion ablation. Acked events/s through the
+// DurableLogWriter pipeline under each sync policy — `none` (WAL never
+// synced), `group` (batched commit barrier, the default), `always`
+// (fsync per append) — plus recovery time over a 100k-event log, both
+// as a pure WAL-tail replay and as the mixed segments-plus-tail shape a
+// real crash leaves. Refresh BENCH_throughput.json with:
+//   ./bench_durable --benchmark_filter='A11'
+//     --benchmark_out=bench_a11.json --benchmark_out_format=json
+
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "storage/columnar_log.h"
+#include "storage/durable_log.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
+
+namespace saql {
+namespace {
+
+constexpr size_t kEvents = 100000;
+
+std::string LogPath() {
+  return std::string("/tmp/saql_bench_durable.saqllog");
+}
+
+const EventBatch& Events() {
+  static const EventBatch* events =
+      new EventBatch(bench::NetWriteStream(kEvents, 50, 20));
+  return *events;
+}
+
+// -------------------------------------------------------------------------
+// Ingestion: full pipeline (WAL + drainer + columnar segments), clean
+// close. items/s = acked events per second under the policy's ack rule.
+// -------------------------------------------------------------------------
+
+void IngestLoop(benchmark::State& state, const char* policy) {
+  const EventBatch& events = Events();
+  for (auto _ : state) {
+    DurableLogWriter::Options opts;
+    opts.sync = ParseSyncPolicy(policy).value();
+    DurableLogWriter w(LogPath(), opts);
+    Status st = w.AppendBatch(events);
+    if (st.ok()) st = w.Close();
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kEvents));
+}
+
+void BM_A11IngestSyncNone(benchmark::State& state) {
+  IngestLoop(state, "none");
+}
+BENCHMARK(BM_A11IngestSyncNone)->Unit(benchmark::kMillisecond);
+
+void BM_A11IngestSyncGroup(benchmark::State& state) {
+  IngestLoop(state, "group");
+}
+BENCHMARK(BM_A11IngestSyncGroup)->Unit(benchmark::kMillisecond);
+
+void BM_A11IngestSyncAlways(benchmark::State& state) {
+  IngestLoop(state, "always");
+}
+BENCHMARK(BM_A11IngestSyncAlways)->Unit(benchmark::kMillisecond);
+
+// -------------------------------------------------------------------------
+// Recovery: RecoverDurableLog over a 100k-event crashed log. Setup
+// builds the on-disk state once; the measured loop is recovery only.
+// -------------------------------------------------------------------------
+
+/// Worst case: the crash predates every segment fsync — a header-only
+/// columnar file and the whole stream in the WAL tail.
+void BM_A11RecoverWalTail(benchmark::State& state) {
+  const EventBatch& events = Events();
+  std::string path = "/tmp/saql_bench_recover_tail.saqllog";
+  {
+    ColumnarLogWriter seg(path);  // header only, no segments
+    if (!seg.Close().ok()) {
+      state.SkipWithError("columnar setup failed");
+      return;
+    }
+    WalWriter wal(path + ".wal.0", /*first_seq=*/1);
+    for (size_t i = 0; i < events.size(); ++i) {
+      if (!wal.Append(i + 1, events[i]).ok()) {
+        state.SkipWithError("wal setup failed");
+        return;
+      }
+    }
+    if (!wal.Close().ok()) {
+      state.SkipWithError("wal close failed");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    auto rec = RecoverDurableLog(path);
+    if (!rec.ok() || rec->events.size() != kEvents) {
+      state.SkipWithError("recovery failed");
+      return;
+    }
+    benchmark::DoNotOptimize(rec->events.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kEvents));
+}
+BENCHMARK(BM_A11RecoverWalTail)->Unit(benchmark::kMillisecond);
+
+/// The typical crash shape: half the stream already fsynced into
+/// columnar segments, the rest replayed from the WAL tail.
+void BM_A11RecoverSegmentsPlusWalTail(benchmark::State& state) {
+  const EventBatch& events = Events();
+  const size_t half = events.size() / 2;
+  std::string path = "/tmp/saql_bench_recover_mixed.saqllog";
+  {
+    ColumnarLogWriter seg(path);
+    for (size_t i = 0; i < half; ++i) {
+      if (!seg.Append(events[i]).ok()) {
+        state.SkipWithError("columnar setup failed");
+        return;
+      }
+    }
+    if (!seg.Flush().ok() || !seg.Close().ok()) {
+      state.SkipWithError("columnar close failed");
+      return;
+    }
+    WalWriter wal(path + ".wal.0", /*first_seq=*/half + 1);
+    for (size_t i = half; i < events.size(); ++i) {
+      if (!wal.Append(i + 1, events[i]).ok()) {
+        state.SkipWithError("wal setup failed");
+        return;
+      }
+    }
+    if (!wal.Close().ok()) {
+      state.SkipWithError("wal close failed");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    auto rec = RecoverDurableLog(path);
+    if (!rec.ok() || rec->events.size() != kEvents) {
+      state.SkipWithError("recovery failed");
+      return;
+    }
+    benchmark::DoNotOptimize(rec->events.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kEvents));
+}
+BENCHMARK(BM_A11RecoverSegmentsPlusWalTail)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace saql
+
+BENCHMARK_MAIN();

@@ -54,5 +54,7 @@ int main(int argc, char** argv) {
     }
   }
   shell.Run();
-  return 0;
+  // Nonzero after a durability failure (failed record/recover, or a live
+  // recording that ended in error) so scripts can detect data loss.
+  return shell.exit_code();
 }

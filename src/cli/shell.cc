@@ -7,7 +7,9 @@
 #include "collect/enterprise_sim.h"
 #include "core/string_util.h"
 #include "storage/columnar_log.h"
+#include "storage/durable_log.h"
 #include "storage/event_log.h"
+#include "storage/recovery.h"
 #include "storage/replayer.h"
 
 namespace saql {
@@ -65,6 +67,8 @@ bool QueryShell::Execute(const std::string& line) {
     CmdReplay(args);
   } else if (cmd == "record") {
     CmdRecord(args);
+  } else if (cmd == "recover") {
+    CmdRecover(args);
   } else if (cmd == "open") {
     CmdOpen(args);
   } else if (cmd == "push") {
@@ -102,10 +106,32 @@ void QueryShell::CmdHelp() {
        << "  replay <log> [host...]  replay a stored event log (v1 and\n"
           "                          columnar v2 auto-detected)\n"
        << "  record <log> [minutes]  simulate and store events to a log\n"
-          "                          (columnar v2; pass --v1 for the old\n"
-          "                          row format — v1 logs stay replayable,\n"
+          "                          (columnar v2 via the durable WAL\n"
+          "                          pipeline; pass --v1 for the old row\n"
+          "                          format — v1 logs stay replayable,\n"
           "                          no migration needed)\n"
+          "                          --sync=always  ack only fsynced\n"
+          "                                         events (no acked\n"
+          "                                         event is ever lost)\n"
+          "                          --sync=group[:<delay_us>[:<bytes>]]\n"
+          "                                         batched fsync barrier\n"
+          "                                         (default; crash loss\n"
+          "                                         bounded to the open\n"
+          "                                         commit window)\n"
+          "                          --sync=none    durability only at\n"
+          "                                         segment/close\n"
+          "                                         barriers (fastest)\n"
+       << "  recover <log>           recover a crashed durable log:\n"
+          "                          complete columnar segments + WAL\n"
+          "                          tail replay (torn records dropped by\n"
+          "                          CRC), then compact back to a pure\n"
+          "                          columnar log\n"
        << "  open [--shards=N]       open a live push-driven session\n"
+          "                          (--record=<log> [--sync=P] also\n"
+          "                          records pushed events durably; on\n"
+          "                          disk errors the session keeps\n"
+          "                          serving queries and the recording\n"
+          "                          is marked failed)\n"
        << "  push [minutes]          push simulated traffic into the "
           "session\n"
        << "  add <name> <text>       attach a query mid-stream\n"
@@ -174,6 +200,23 @@ void QueryShell::CmdList() {
   }
   for (const auto& [name, text] : queries_) {
     out_ << "  " << name << " (" << text.size() << " chars)\n";
+  }
+}
+
+void QueryShell::ConsumeSyncFlag(std::vector<std::string>* args,
+                                 SyncPolicy* policy) {
+  for (auto it = args->begin(); it != args->end();) {
+    if (it->rfind("--sync=", 0) == 0) {
+      Result<SyncPolicy> parsed = ParseSyncPolicy(it->substr(7));
+      if (!parsed.ok()) {
+        out_ << "ignoring '" << *it << "': " << parsed.status() << "\n";
+      } else {
+        *policy = *parsed;
+      }
+      it = args->erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 
@@ -298,8 +341,11 @@ void QueryShell::CmdRecord(const std::vector<std::string>& args) {
       rest.push_back(a);
     }
   }
+  SyncPolicy sync;
+  ConsumeSyncFlag(&rest, &sync);
   if (rest.empty()) {
-    out_ << "usage: record <log> [minutes] [--v1]\n";
+    out_ << "usage: record <log> [minutes] [--sync=always|group|none] "
+            "[--v1]\n";
     return;
   }
   EnterpriseSimulator::Options opts;
@@ -309,14 +355,55 @@ void QueryShell::CmdRecord(const std::vector<std::string>& args) {
   }
   EnterpriseSimulator sim(opts);
   EventBatch events = sim.Generate();
-  Status st = v1 ? WriteEventLog(rest[0], events)
-                 : WriteColumnarEventLog(rest[0], events);
+  if (v1) {
+    Status st = WriteEventLog(rest[0], events);
+    if (!st.ok()) {
+      out_ << "record failed: " << st << "\n";
+      exit_code_ = 1;
+      return;
+    }
+    out_ << "recorded " << events.size() << " events to " << rest[0]
+         << " (row v1)\n";
+    return;
+  }
+  DurableLogWriter::Options dopts;
+  dopts.sync = sync;
+  DurableLogWriter writer(rest[0], dopts);
+  Status st = writer.status();
+  if (st.ok()) st = writer.AppendBatch(events);
+  Status close_st = writer.Close();
+  if (st.ok()) st = close_st;
   if (!st.ok()) {
-    out_ << "record failed: " << st << "\n";
+    // Sticky failure: whatever was acked before the error stays
+    // recoverable ('recover <log>' replays segments + WAL tail).
+    out_ << "record failed: " << st << "\n"
+         << "  " << writer.durable_seq() << " of "
+         << writer.appended_events()
+         << " acked events are durable; run 'recover " << rest[0]
+         << "' to salvage\n";
+    exit_code_ = 1;
     return;
   }
   out_ << "recorded " << events.size() << " events to " << rest[0]
-       << (v1 ? " (row v1)" : " (columnar v2)") << "\n";
+       << " (columnar v2, sync=" << sync.name() << ")\n";
+}
+
+void QueryShell::CmdRecover(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    out_ << "usage: recover <log>\n";
+    return;
+  }
+  Result<RecoveredLog> rec = CompactRecoveredLog(args[0]);
+  if (!rec.ok()) {
+    out_ << "recover failed: " << rec.status() << "\n";
+    exit_code_ = 1;
+    return;
+  }
+  out_ << "recovered " << rec->events.size() << " events from " << args[0]
+       << " (" << rec->segment_events << " from columnar segments, "
+       << rec->wal_events << " replayed from " << rec->wal_files.size()
+       << " WAL file" << (rec->wal_files.size() == 1 ? "" : "s")
+       << "); compacted to a pure columnar v2 log\n";
 }
 
 // ---------------------------------------------------------------------
@@ -329,9 +416,22 @@ void QueryShell::CmdOpen(const std::vector<std::string>& args) {
   }
   std::vector<std::string> rest = args;
   size_t shards = ConsumeShardsFlag(&rest);
+  std::string record_path;
+  SyncPolicy record_sync;
+  ConsumeSyncFlag(&rest, &record_sync);
+  for (auto it = rest.begin(); it != rest.end();) {
+    if (it->rfind("--record=", 0) == 0) {
+      record_path = it->substr(9);
+      it = rest.erase(it);
+    } else {
+      ++it;
+    }
+  }
   SaqlEngine::Options opts;
   opts.num_shards = shards;
   opts.enable_member_index = member_index_;
+  opts.record_path = record_path;
+  opts.record_sync = record_sync;
   live_engine_ = std::make_unique<SaqlEngine>(opts);
   for (const auto& [name, text] : queries_) {
     Status st = live_engine_->AddQuery(text, name);
@@ -354,11 +454,25 @@ void QueryShell::CmdOpen(const std::vector<std::string>& args) {
   live_clock_ = EnterpriseSimulator::Options{}.start;
   live_pushes_ = 0;
   live_events_ = 0;
+  live_record_path_ = record_path;
+  live_record_failed_ = false;
   out_ << "session open on " << shards << " shard lane"
        << (shards == 1 ? "" : "s") << " with "
        << live_session_->num_active_queries() << " quer"
        << (live_session_->num_active_queries() == 1 ? "y" : "ies")
        << " — 'push' streams data, 'add'/'remove' change the query set\n";
+  if (!record_path.empty()) {
+    Status rst = live_session_->recording_status();
+    if (rst.ok()) {
+      out_ << "recording pushed events to " << record_path
+           << " (sync=" << record_sync.name() << ")\n";
+    } else {
+      out_ << "recording failed to start: " << rst
+           << " — session serves queries without recording\n";
+      live_record_failed_ = true;
+      exit_code_ = 1;
+    }
+  }
 }
 
 void QueryShell::CmdPush(const std::vector<std::string>& args) {
@@ -395,6 +509,17 @@ void QueryShell::CmdPush(const std::vector<std::string>& args) {
        << FormatDuration(opts.duration) << " of traffic; session total "
        << live_events_ << "), " << alerts_.size() - num_alerts_before
        << " new alert(s)\n";
+  if (!live_record_path_.empty() && !live_record_failed_ &&
+      !live_session_->recording_status().ok()) {
+    // Graceful degradation: report once, keep the session serving.
+    out_ << "recording failed: " << live_session_->recording_status()
+         << " — the session keeps serving queries; "
+         << live_session_->durable_events()
+         << " events are durable, run 'recover " << live_record_path_
+         << "' after closing\n";
+    live_record_failed_ = true;
+    exit_code_ = 1;
+  }
 }
 
 void QueryShell::CmdAdd(const std::string& rest) {
@@ -469,6 +594,16 @@ void QueryShell::CmdSessionStatus() {
     out_ << ", watermark " << FormatTimestamp(live_session_->watermark());
   }
   out_ << "\n";
+  if (!live_record_path_.empty()) {
+    Status rst = live_session_->recording_status();
+    if (rst.ok()) {
+      out_ << "recording: " << live_record_path_ << ", "
+           << live_session_->recorded_events() << " events acked, "
+           << live_session_->durable_events() << " durable\n";
+    } else {
+      out_ << "recording: FAILED (" << rst << ")\n";
+    }
+  }
 }
 
 void QueryShell::CmdClose() {
@@ -476,8 +611,10 @@ void QueryShell::CmdClose() {
     out_ << "no live session to close\n";
     return;
   }
+  uint64_t recorded = live_session_->recorded_events();
   Status st = live_session_->Close();
   if (!st.ok()) out_ << "close reported: " << st << "\n";
+  Status record_st = live_session_->recording_status();
   last_stats_ = FormatStats(
       live_engine_->executor_stats(), live_engine_->num_queries(),
       live_engine_->num_groups(), live_engine_->num_indexed_groups(),
@@ -486,6 +623,17 @@ void QueryShell::CmdClose() {
   live_session_.reset();
   live_engine_.reset();
   out_ << "session closed: " << alerts_.size() << " alert(s) total\n";
+  if (!live_record_path_.empty()) {
+    if (record_st.ok()) {
+      out_ << "recording complete: " << recorded << " events durable in "
+           << live_record_path_ << "\n";
+    } else {
+      out_ << "recording failed: " << record_st << " — run 'recover "
+           << live_record_path_ << "' to salvage the durable prefix\n";
+      exit_code_ = 1;
+    }
+    live_record_path_.clear();
+  }
 }
 
 // ---------------------------------------------------------------------

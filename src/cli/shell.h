@@ -28,11 +28,18 @@ namespace saql {
 ///   replay <log> [host...]   replay a stored event log (all hosts or a
 ///                            subset), at maximum speed
 ///   record <log> [minutes]   simulate and store events into a log file
+///                            through the durable WAL pipeline
+///                            (`--sync=always|group|none` picks the ack
+///                            policy)
+///   recover <log>            recover a durable log after a crash
+///                            (segments + WAL tail) and compact it back
+///                            to a pure columnar log
 ///
 /// Live-session commands (the deployed-monitor mode: a long-lived
 /// push-driven engine session that queries can join and leave mid-stream):
 ///   open [--shards=N]        open a live session over the registered
-///                            queries
+///                            queries (`--record=<log> [--sync=P]` also
+///                            records every pushed event durably)
 ///   push [minutes]           simulate a chunk of enterprise traffic and
 ///                            push it into the live session (clock
 ///                            continues across pushes)
@@ -89,6 +96,11 @@ class QueryShell {
 
   bool session_open() const { return live_session_ != nullptr; }
 
+  /// Process exit code for the embedding binary: 0 until a durability
+  /// failure (failed `record`, failed recovery, or a live recording that
+  /// ended in error) was reported; then 1, sticky.
+  int exit_code() const { return exit_code_; }
+
  private:
   void CmdHelp();
   void CmdLoad(const std::vector<std::string>& args);
@@ -97,6 +109,7 @@ class QueryShell {
   void CmdSimulate(const std::vector<std::string>& args);
   void CmdReplay(const std::vector<std::string>& args);
   void CmdRecord(const std::vector<std::string>& args);
+  void CmdRecover(const std::vector<std::string>& args);
   void CmdAlerts(const std::vector<std::string>& args);
   void CmdShards(const std::vector<std::string>& args);
   void CmdIndex(const std::vector<std::string>& args);
@@ -123,6 +136,10 @@ class QueryShell {
   /// are reported and ignored).
   size_t ConsumeShardsFlag(std::vector<std::string>* args);
 
+  /// Strips a `--sync=P` flag out of `args` into `policy` (untouched when
+  /// the flag is absent; malformed values are reported and ignored).
+  void ConsumeSyncFlag(std::vector<std::string>* args, SyncPolicy* policy);
+
   /// Runs all registered queries against `source`, capturing alerts.
   void RunEngine(class EventSource* source, size_t num_shards);
 
@@ -134,6 +151,7 @@ class QueryShell {
   std::string last_errors_;
   size_t num_shards_ = 1;
   bool member_index_ = true;
+  int exit_code_ = 0;
 
   // Live session state (session must die before its engine).
   std::unique_ptr<SaqlEngine> live_engine_;
@@ -143,6 +161,8 @@ class QueryShell {
   Timestamp live_clock_ = 0;     ///< next push's simulator start time
   uint64_t live_pushes_ = 0;     ///< varies the per-push simulator seed
   uint64_t live_events_ = 0;     ///< events pushed so far
+  std::string live_record_path_;  ///< durable recording target ("" = off)
+  bool live_record_failed_ = false;  ///< already reported mid-session
 };
 
 }  // namespace saql

@@ -9,6 +9,8 @@
 #include "engine/compiled_query.h"
 #include "engine/error_reporter.h"
 #include "engine/scheduler.h"
+#include "storage/file_backend.h"
+#include "storage/wal.h"
 #include "stream/event_source.h"
 #include "stream/stream_executor.h"
 
@@ -104,6 +106,21 @@ class SaqlEngine {
     /// Events pulled from the source per batch (Run only; sessions batch
     /// however the caller pushes).
     size_t batch_size = 1024;
+    /// Durable recording: when non-empty, every event pushed into a
+    /// session is also appended to a durable log at this path (WAL +
+    /// background columnar segmentation, storage/durable_log.h) before
+    /// query processing sees it. Recording failures degrade gracefully:
+    /// the session keeps serving queries, the recording is marked failed
+    /// (`Session::recording_status()`), already-acked data stays
+    /// recoverable.
+    std::string record_path;
+    /// WAL sync/ack policy for the recording (wal.h): `always` acks only
+    /// durable events, `group` batches the fsync barrier, `none` defers
+    /// durability to segment/close barriers.
+    SyncPolicy record_sync;
+    /// File layer for the recording (nullptr = real files); tests inject
+    /// a FaultInjectionFileBackend here.
+    FileBackend* file_backend = nullptr;
   };
 
   class Session;
@@ -241,6 +258,17 @@ class SaqlEngine {
     /// Max timestamp of the events pushed so far (INT64_MIN before any) —
     /// the natural `AdvanceWatermark` argument for in-order streams.
     Timestamp max_event_ts() const;
+
+    // Durable recording state (Options::record_path; all Ok/0 when
+    // recording is off).
+    /// Sticky first recording error — once non-OK the session has
+    /// stopped appending to the log but keeps serving queries.
+    Status recording_status() const;
+    /// Events acked into the recording so far.
+    uint64_t recorded_events() const;
+    /// Events known durable (WAL-fsynced or in fsynced segments) —
+    /// the crash-loss bound is `recorded_events() - durable_events()`.
+    uint64_t durable_events() const;
 
     // Live statistics. In sharded mode these quiesce the lane pipeline
     // briefly to read consistent values.

@@ -19,6 +19,7 @@
 #include "engine/engine.h"
 #include "engine/shard_merge.h"
 #include "parser/analyzer.h"
+#include "storage/durable_log.h"
 #include "stream/sharded_executor.h"
 
 namespace saql {
@@ -95,6 +96,12 @@ struct SaqlEngine::Session::Impl {
   Timestamp global_applied = INT64_MIN;
   std::set<std::pair<std::string, std::string>> distinct_seen;
   std::map<std::string, uint64_t> emitted_by_query;
+
+  /// Durable recording (Options::record_path). A recording failure is
+  /// sticky and *non-fatal*: the session stops appending but keeps
+  /// serving queries (`recording_status` carries the first error).
+  std::unique_ptr<DurableLogWriter> recorder;
+  Status recording_status;
 
   // -------------------------------------------------------------------
   // Wiring.
@@ -179,6 +186,17 @@ struct SaqlEngine::Session::Impl {
 
   Status Open() {
     const SaqlEngine::Options& opts = engine->options_;
+    if (!opts.record_path.empty()) {
+      DurableLogWriter::Options ropts;
+      ropts.sync = opts.record_sync;
+      ropts.backend = opts.file_backend;
+      recorder =
+          std::make_unique<DurableLogWriter>(opts.record_path, ropts);
+      if (!recorder->status().ok()) {
+        // Degrade: the session still opens and serves queries.
+        recording_status = recorder->status();
+      }
+    }
     sharded = opts.num_shards > 1 || opts.force_sharded_executor;
     num_lanes = std::clamp<size_t>(opts.num_shards, 1,
                                    ShardedStreamExecutor::kMaxShards);
@@ -362,6 +380,17 @@ struct SaqlEngine::Session::Impl {
 
   Status Push(Event* events, size_t count) {
     if (count == 0) return Status::Ok();
+    // Record-ahead: persist before query processing sees the batch, so a
+    // crash never alerts on an event the log lost.
+    if (recorder != nullptr && recording_status.ok()) {
+      for (size_t i = 0; i < count; ++i) {
+        Status st = recorder->Append(events[i]);
+        if (!st.ok()) {
+          recording_status = st;
+          break;
+        }
+      }
+    }
     if (!sharded) {
       executor->ProcessBatch(events, count);
       return Status::Ok();
@@ -615,6 +644,10 @@ struct SaqlEngine::Session::Impl {
   // Close.
 
   Status Close() {
+    if (recorder != nullptr) {
+      Status st = recorder->Close();
+      if (!st.ok() && recording_status.ok()) recording_status = st;
+    }
     if (!sharded) {
       executor->FinishStream();
     } else {
@@ -712,6 +745,19 @@ Status SaqlEngine::Session::Close() {
 
 Timestamp SaqlEngine::Session::watermark() const {
   return impl_->advanced_watermark;
+}
+
+Status SaqlEngine::Session::recording_status() const {
+  return impl_->recording_status;
+}
+
+uint64_t SaqlEngine::Session::recorded_events() const {
+  return impl_->recorder != nullptr ? impl_->recorder->appended_events()
+                                    : 0;
+}
+
+uint64_t SaqlEngine::Session::durable_events() const {
+  return impl_->recorder != nullptr ? impl_->recorder->durable_seq() : 0;
 }
 
 ExecutorStats SaqlEngine::Session::executor_stats() const {

@@ -37,19 +37,20 @@ constexpr size_t ColumnBytesPerEvent() {
 // ---------------------------------------------------------------------------
 
 ColumnarLogWriter::ColumnarLogWriter(const std::string& path, Options options)
-    : options_(options),
-      out_(path, std::ios::binary | std::ios::trunc) {
+    : options_(options) {
   if (options_.segment_events == 0) options_.segment_events = 4096;
-  if (!out_) {
-    status_ = Status::IoError("cannot open '" + path + "' for writing");
+  Result<std::unique_ptr<WritableFile>> file =
+      FileBackend::OrReal(options_.backend)->Create(path);
+  if (!file.ok()) {
+    status_ = file.status();
     return;
   }
-  out_.write(kLogMagicV2, sizeof(kLogMagicV2));
+  out_ = std::move(*file);
+  payload_.assign(kLogMagicV2, sizeof(kLogMagicV2));
   uint32_t version = kLogVersionV2;
-  out_.write(reinterpret_cast<const char*>(&version), sizeof(version));
-  uint32_t reserved = 0;
-  out_.write(reinterpret_cast<const char*>(&reserved), sizeof(reserved));
-  if (!out_) status_ = Status::IoError("failed writing log header");
+  PutU32(&payload_, version);
+  PutU32(&payload_, 0);  // reserved
+  status_ = out_->Append(payload_.data(), payload_.size());
 }
 
 ColumnarLogWriter::~ColumnarLogWriter() { Close(); }
@@ -134,24 +135,24 @@ Status ColumnarLogWriter::WriteSegment(const EventBlock& block) {
   header.dict_count = static_cast<uint32_t>(block.dict_size() - 1);
   header.crc32 = Crc32(payload_.data(), payload_.size());
 
-  out_.write(reinterpret_cast<const char*>(&header), sizeof(header));
-  out_.write(payload_.data(), static_cast<std::streamsize>(payload_.size()));
-  if (!out_) {
-    status_ = Status::IoError("failed appending log segment");
-    return status_;
-  }
+  SAQL_RETURN_IF_ERROR(SetStatus(out_->Append(&header, sizeof(header))));
+  SAQL_RETURN_IF_ERROR(SetStatus(out_->Append(payload_.data(),
+                                              payload_.size())));
   ++segments_written_;
   return Status::Ok();
 }
 
+Status ColumnarLogWriter::Sync() {
+  SAQL_RETURN_IF_ERROR(status_);
+  return SetStatus(out_->Sync());
+}
+
 Status ColumnarLogWriter::Close() {
-  if (out_.is_open()) {
+  if (out_ != nullptr) {
     Flush();
-    out_.flush();
-    out_.close();
-    if (!out_ && status_.ok()) {
-      status_ = Status::IoError("failed closing event log");
-    }
+    Status st = out_->Close();
+    if (!st.ok() && status_.ok()) status_ = st;
+    out_.reset();
   }
   return status_;
 }

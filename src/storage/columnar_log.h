@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "core/event.h"
 #include "core/event_block.h"
 #include "core/result.h"
+#include "storage/file_backend.h"
 #include "storage/log_format.h"
 
 namespace saql {
@@ -32,6 +34,10 @@ class ColumnarLogWriter {
     /// Events per segment. Larger segments amortize headers and widen
     /// dictionary sharing; smaller segments tighten time-range seeks.
     size_t segment_events = 4096;
+    /// File layer (nullptr = real files). The durable-ingest pipeline and
+    /// the deterministic fault-injection tests run the writer on an
+    /// injected backend.
+    FileBackend* backend = nullptr;
   };
 
   /// Creates/truncates `path`. Check `status()` before use.
@@ -63,6 +69,11 @@ class ColumnarLogWriter {
   /// Flushes the pending partial segment to the file.
   Status Flush();
 
+  /// Durability barrier: fsyncs everything written so far. Does not
+  /// flush the pending partial segment (call `Flush` first when the
+  /// pending rows must be covered).
+  Status Sync();
+
   /// Flushes and closes. Idempotent; later calls return the sticky
   /// status.
   Status Close();
@@ -74,8 +85,14 @@ class ColumnarLogWriter {
   /// Serializes one columnar block as a segment.
   Status WriteSegment(const EventBlock& block);
 
+  /// Records `st` as the sticky status (first error wins) and returns it.
+  Status SetStatus(Status st) {
+    if (!st.ok() && status_.ok()) status_ = st;
+    return st;
+  }
+
   Options options_;
-  std::ofstream out_;
+  std::unique_ptr<WritableFile> out_;
   Status status_;
   EventBlock pending_;
   std::string payload_;  ///< serialization scratch, reused per segment

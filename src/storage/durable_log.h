@@ -1,0 +1,163 @@
+#ifndef SAQL_STORAGE_DURABLE_LOG_H_
+#define SAQL_STORAGE_DURABLE_LOG_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/event.h"
+#include "core/result.h"
+#include "storage/columnar_log.h"
+#include "storage/file_backend.h"
+#include "storage/wal.h"
+
+namespace saql {
+
+/// Trip-point names the durable pipeline announces to the file backend
+/// ("crash here" markers for the fault-injection crash matrix).
+namespace durable_trip {
+/// Drainer: WAL records exist for a batch, segment write not started.
+inline constexpr char kPreSegment[] = "durable.pre-segment";
+/// Drainer: segments fsynced, covered WAL files about to be deleted.
+inline constexpr char kPreWalDelete[] = "durable.pre-wal-delete";
+/// Foreground: old WAL sealed and closed, new WAL about to be created.
+inline constexpr char kWalRotate[] = "durable.wal-rotate";
+}  // namespace durable_trip
+
+/// Durable ingestion pipeline: the write path
+///
+///   Append ──► WAL (`<path>.wal.<N>`, sequential, CRC'd, sync policy)
+///            └► bounded queue ──► drainer thread ──► columnar segments
+///                                                    (`<path>`, v2 format)
+///
+/// Appends ack according to `SyncPolicy` (see wal.h): `always` acks only
+/// after the WAL fsync, `group` acks immediately with the barrier
+/// batched, `none` never syncs the WAL. A background drainer batches the
+/// queued events into v2 columnar segments through `ColumnarLogWriter`;
+/// once segments are fsynced, the WAL files they fully cover are
+/// deleted (rotation keeps individual WAL files bounded). `Close` drains
+/// everything, leaving a pure v2 columnar log and no WAL files.
+///
+/// After a crash, `RecoverDurableLog` (recovery.h) = the complete
+/// columnar segments + replay of the surviving WAL tail; torn WAL
+/// records are discarded by CRC. WAL files are deleted only after the
+/// covering segments are fsynced, so replay never has a gap.
+///
+/// Errors (disk full, I/O failure, injected crash) are sticky: the first
+/// failure is returned to the failing `Append`/`Close` and every later
+/// call; already-acked data stays recoverable. The owner (a recording
+/// session) is expected to degrade gracefully — stop recording, keep
+/// serving queries.
+///
+/// Thread contract: `Append`/`AppendBatch`/`Close` from one thread; the
+/// accessors are thread-safe.
+class DurableLogWriter {
+ public:
+  struct Options {
+    SyncPolicy sync;
+    /// Events per columnar segment (ColumnarLogWriter::Options).
+    size_t segment_events = 4096;
+    /// Seal + rotate the WAL once the current file reaches this size.
+    uint64_t wal_rotate_bytes = 4u << 20;
+    /// Bounded hand-off queue to the drainer, in events. Appends block
+    /// when the drainer is this far behind.
+    size_t queue_capacity = 64 * 1024;
+    /// File layer (nullptr = real files).
+    FileBackend* backend = nullptr;
+  };
+
+  /// Creates/truncates the columnar log at `path` and the first WAL file
+  /// `<path>.wal.0`, and starts the drainer. Check `status()`.
+  DurableLogWriter(const std::string& path, Options options);
+  ~DurableLogWriter();
+
+  DurableLogWriter(const DurableLogWriter&) = delete;
+  DurableLogWriter& operator=(const DurableLogWriter&) = delete;
+
+  /// First error anywhere in the pipeline (WAL, queue, drainer,
+  /// segments). Sticky.
+  Status status() const;
+
+  /// Appends one event. Returns OK = acked per the sync policy's
+  /// contract (`always`: durable now; `group`/`none`: accepted, durable
+  /// at the next barrier).
+  Status Append(const Event& event);
+  Status AppendBatch(const EventBatch& events);
+
+  /// Forces a WAL durability barrier now (any policy). Everything
+  /// appended so far is durable when this returns OK.
+  Status SyncWal();
+
+  /// Drains the queue into segments, fsyncs, deletes the WAL files, and
+  /// closes — on success `path` is a pure v2 columnar log. On error the
+  /// surviving WAL files are kept for recovery. Idempotent.
+  Status Close();
+
+  /// Appends acked so far (== highest sequence number assigned).
+  uint64_t appended_events() const;
+  /// Highest sequence number known durable (WAL fsync or segment fsync).
+  uint64_t durable_seq() const;
+  /// Events fsynced into complete columnar segments.
+  uint64_t events_in_segments() const;
+  uint64_t wal_rotations() const;
+
+ private:
+  struct SealedWal {
+    std::string path;
+    uint64_t last_seq = 0;
+  };
+
+  /// Drainer thread body.
+  void DrainLoop();
+  /// Moves queued events into the columnar writer; fsyncs + deletes
+  /// covered WALs when segments advanced. Called with `mu_` held;
+  /// releases it around file I/O.
+  void DrainBatchLocked(std::unique_lock<std::mutex>& lock);
+  /// WAL durability barrier: fsync + advance `wal_synced_seq_`. `mu_`
+  /// held (appends stall for the fsync's duration — the group-commit
+  /// trade).
+  void WalBarrierLocked();
+  /// Seals the current WAL and opens `<path>.wal.<N+1>`. `mu_` held.
+  void RotateWalLocked();
+  /// Records the first error. `mu_` held.
+  void SetStatusLocked(const Status& st);
+
+  std::string path_;
+  Options options_;
+  FileBackend* backend_;  ///< resolved, never null
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_drainer_;  ///< work available / closing
+  std::condition_variable cv_space_;    ///< queue has room
+
+  Status status_;
+  bool closing_ = false;
+  bool closed_ = false;
+
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t wal_index_ = 0;       ///< suffix of the current WAL file
+  uint64_t next_seq_ = 1;
+  uint64_t wal_synced_seq_ = 0;  ///< last seq covered by a WAL fsync
+  uint64_t unsynced_bytes_ = 0;  ///< WAL bytes past the last barrier
+  /// When `unsynced_bytes_` went 0 → >0: start of the open commit window.
+  std::chrono::steady_clock::time_point window_start_;
+  std::vector<SealedWal> sealed_;
+  uint64_t rotations_ = 0;
+
+  std::vector<Event> queue_;  ///< seq order; front = oldest
+
+  // Drainer-owned (no lock needed beyond the hand-off).
+  std::unique_ptr<ColumnarLogWriter> columnar_;
+  uint64_t seg_durable_seq_ = 0;  ///< events fsynced in segments
+
+  std::thread drainer_;
+};
+
+}  // namespace saql
+
+#endif  // SAQL_STORAGE_DURABLE_LOG_H_

@@ -134,16 +134,28 @@ bool DeserializeEvent(PayloadReader* r, Event* e) {
 
 }  // namespace
 
-EventLogWriter::EventLogWriter(const std::string& path)
-    : out_(path, std::ios::binary | std::ios::trunc) {
-  if (!out_) {
-    status_ = Status::IoError("cannot open '" + path + "' for writing");
+void SerializeEventPayload(std::string* buf, const Event& event) {
+  SerializeEvent(buf, event);
+}
+
+bool DeserializeEventPayload(const char* data, size_t size, Event* event) {
+  PayloadReader r(data, size);
+  return DeserializeEvent(&r, event);
+}
+
+EventLogWriter::EventLogWriter(const std::string& path,
+                               FileBackend* backend) {
+  Result<std::unique_ptr<WritableFile>> file =
+      FileBackend::OrReal(backend)->Create(path);
+  if (!file.ok()) {
+    status_ = file.status();
     return;
   }
-  out_.write(kLogMagicV1, sizeof(kLogMagicV1));
+  out_ = std::move(*file);
+  buffer_.assign(kLogMagicV1, sizeof(kLogMagicV1));
   uint32_t version = kVersion;
-  out_.write(reinterpret_cast<const char*>(&version), sizeof(version));
-  if (!out_) status_ = Status::IoError("failed writing log header");
+  buffer_.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  status_ = out_->Append(buffer_.data(), buffer_.size());
 }
 
 EventLogWriter::~EventLogWriter() { Close(); }
@@ -151,14 +163,12 @@ EventLogWriter::~EventLogWriter() { Close(); }
 Status EventLogWriter::Append(const Event& event) {
   SAQL_RETURN_IF_ERROR(status_);
   buffer_.clear();
+  buffer_.append(sizeof(uint32_t), '\0');  // payload-size slot
   SerializeEvent(&buffer_, event);
-  uint32_t size = static_cast<uint32_t>(buffer_.size());
-  out_.write(reinterpret_cast<const char*>(&size), sizeof(size));
-  out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
-  if (!out_) {
-    status_ = Status::IoError("failed appending event record");
-    return status_;
-  }
+  uint32_t size = static_cast<uint32_t>(buffer_.size() - sizeof(uint32_t));
+  std::memcpy(buffer_.data(), &size, sizeof(size));
+  status_ = out_->Append(buffer_.data(), buffer_.size());
+  SAQL_RETURN_IF_ERROR(status_);
   ++events_written_;
   return Status::Ok();
 }
@@ -171,12 +181,10 @@ Status EventLogWriter::AppendBatch(const EventBatch& events) {
 }
 
 Status EventLogWriter::Close() {
-  if (out_.is_open()) {
-    out_.flush();
-    out_.close();
-    if (!out_ && status_.ok()) {
-      status_ = Status::IoError("failed closing event log");
-    }
+  if (out_ != nullptr) {
+    Status st = out_->Close();
+    if (!st.ok() && status_.ok()) status_ = st;
+    out_.reset();
   }
   return status_;
 }

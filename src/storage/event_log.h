@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/event.h"
 #include "core/result.h"
+#include "storage/file_backend.h"
 
 namespace saql {
 
@@ -25,8 +27,11 @@ namespace saql {
 /// record.
 class EventLogWriter {
  public:
-  /// Creates/truncates `path`. Check `status()` before use.
-  explicit EventLogWriter(const std::string& path);
+  /// Creates/truncates `path`. Check `status()` before use. `backend`
+  /// injects the file layer (nullptr = real files) — the seam the
+  /// deterministic disk-full/crash tests run on.
+  explicit EventLogWriter(const std::string& path,
+                          FileBackend* backend = nullptr);
 
   /// Closes (flushing buffered records). The destructor cannot report, so
   /// failures on this path stay readable through `status()` while the
@@ -53,7 +58,7 @@ class EventLogWriter {
   uint64_t events_written() const { return events_written_; }
 
  private:
-  std::ofstream out_;
+  std::unique_ptr<WritableFile> out_;
   Status status_;
   uint64_t events_written_ = 0;
   std::string buffer_;
@@ -76,6 +81,15 @@ class EventLogReader {
   std::ifstream in_;
   Status status_;
 };
+
+/// Serializes one event in the v1 record payload layout (fields in fixed
+/// order, strings as u32 length + bytes). Shared by the v1 row log and
+/// the write-ahead log's record payloads. Appends to `buf`.
+void SerializeEventPayload(std::string* buf, const Event& event);
+
+/// Parses a payload produced by `SerializeEventPayload`. Returns false on
+/// truncated or malformed input.
+bool DeserializeEventPayload(const char* data, size_t size, Event* event);
 
 /// Convenience: writes `events` to `path`.
 Status WriteEventLog(const std::string& path, const EventBatch& events);

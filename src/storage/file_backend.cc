@@ -1,0 +1,300 @@
+#include "storage/file_backend.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace saql {
+
+namespace {
+
+/// Appends through a POSIX fd; handles short writes and EINTR.
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override { Close(); }
+
+  Status Append(const void* data, size_t size) override {
+    SAQL_RETURN_IF_ERROR(status_);
+    const char* p = static_cast<const char*>(data);
+    while (size > 0) {
+      ssize_t n = ::write(fd_, p, size);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        status_ = Status::IoError("write failed on '" + path_ +
+                                  "': " + std::strerror(errno));
+        return status_;
+      }
+      p += n;
+      size -= static_cast<size_t>(n);
+      bytes_ += static_cast<uint64_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    SAQL_RETURN_IF_ERROR(status_);
+    if (::fsync(fd_) != 0) {
+      status_ = Status::IoError("fsync failed on '" + path_ +
+                                "': " + std::strerror(errno));
+    }
+    return status_;
+  }
+
+  Status Close() override {
+    if (fd_ >= 0) {
+      if (::close(fd_) != 0 && status_.ok()) {
+        status_ = Status::IoError("close failed on '" + path_ +
+                                  "': " + std::strerror(errno));
+      }
+      fd_ = -1;
+    }
+    return status_;
+  }
+
+  Status status() const override { return status_; }
+  uint64_t bytes_written() const override { return bytes_; }
+
+ private:
+  int fd_;
+  std::string path_;
+  Status status_;
+  uint64_t bytes_ = 0;
+};
+
+class PosixFileBackend : public FileBackend {
+ public:
+  Result<std::unique_ptr<WritableFile>> Create(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+      return Status::IoError("cannot open '" + path +
+                             "' for writing: " + std::strerror(errno));
+    }
+    return {std::make_unique<PosixWritableFile>(fd, path)};
+  }
+
+  Status Delete(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return Status::IoError("cannot remove '" + path +
+                             "': " + std::strerror(errno));
+    }
+    return Status::Ok();
+  }
+};
+
+Status SimulatedCrashError() {
+  return Status::IoError("simulated crash (fault injection)");
+}
+
+}  // namespace
+
+FileBackend* FileBackend::Real() {
+  static PosixFileBackend* backend = new PosixFileBackend();
+  return backend;
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection.
+// ---------------------------------------------------------------------------
+
+/// Book-keeping the backend keeps per open file: the wrapped real file
+/// plus the durable (synced) size used for crash truncation.
+struct FaultInjectionFileBackend::FileState {
+  std::string path;
+  std::unique_ptr<WritableFile> real;
+  uint64_t written = 0;  ///< bytes accepted (incl. torn prefixes)
+  uint64_t synced = 0;   ///< bytes covered by the last Sync
+  bool open = true;
+};
+
+namespace {
+
+/// WritableFile that routes every operation through the backend's fault
+/// schedule before delegating to the wrapped real file.
+class FaultFile : public WritableFile {
+ public:
+  FaultFile(FaultInjectionFileBackend* backend,
+            FaultInjectionFileBackend::FileState* state, std::mutex* mu)
+      : backend_(backend), state_(state), mu_(mu) {}
+
+  ~FaultFile() override { Close(); }
+
+  Status Append(const void* data, size_t size) override;
+  Status Sync() override;
+  Status Close() override;
+  Status status() const override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return status_;
+  }
+  uint64_t bytes_written() const override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return state_->written;
+  }
+
+ private:
+  FaultInjectionFileBackend* backend_;
+  FaultInjectionFileBackend::FileState* state_;
+  std::mutex* mu_;
+  Status status_;
+};
+
+}  // namespace
+
+FaultInjectionFileBackend::~FaultInjectionFileBackend() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (FileState* f : files_) delete f;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionFileBackend::Create(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return SimulatedCrashError();
+  SAQL_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> real,
+                        FileBackend::Real()->Create(path));
+  auto* state = new FileState();
+  state->path = path;
+  state->real = std::move(real);
+  files_.push_back(state);
+  return {std::make_unique<FaultFile>(this, state, &mu_)};
+}
+
+Status FaultInjectionFileBackend::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return SimulatedCrashError();
+  return FileBackend::Real()->Delete(path);
+}
+
+void FaultInjectionFileBackend::TripPoint(const char* name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int count = ++trip_counts_[name];
+  if (!crashed_ && name == crash_trip_name_ &&
+      count == crash_trip_occurrence_) {
+    CrashLocked(nullptr, 0);
+  }
+}
+
+void FaultInjectionFileBackend::FailAppendsAfterBytes(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_after_bytes_ = bytes;
+}
+
+void FaultInjectionFileBackend::CrashAfterBytes(
+    const std::string& path_substr, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_path_substr_ = path_substr;
+  crash_after_bytes_ = bytes;
+}
+
+void FaultInjectionFileBackend::CrashAtTripPoint(const std::string& name,
+                                                 int occurrence) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_trip_name_ = name;
+  crash_trip_occurrence_ = occurrence;
+}
+
+bool FaultInjectionFileBackend::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+int FaultInjectionFileBackend::trip_count(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = trip_counts_.find(name);
+  return it == trip_counts_.end() ? 0 : it->second;
+}
+
+uint64_t FaultInjectionFileBackend::bytes_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_appended_;
+}
+
+void FaultInjectionFileBackend::CrashLocked(FileState* torn_file,
+                                            uint64_t torn_keep) {
+  crashed_ = true;
+  for (FileState* f : files_) {
+    if (!f->open) continue;
+    uint64_t keep = f->synced;
+    if (f == torn_file) keep = std::max(keep, torn_keep);
+    // Freeze the on-disk state the way power loss would: flush what the
+    // wrapper already forwarded, then cut back to the surviving prefix.
+    f->real->Close();
+    if (::truncate(f->path.c_str(), static_cast<off_t>(keep)) != 0) {
+      // Nothing sane to do in a simulated crash; leave the file as is.
+    }
+    f->open = false;
+  }
+}
+
+namespace {
+
+Status FaultFile::Append(const void* data, size_t size) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  SAQL_RETURN_IF_ERROR(status_);
+  Status st = backend_->AppendLocked(state_, data, size);
+  if (!st.ok()) status_ = st;
+  return st;
+}
+
+Status FaultFile::Sync() {
+  std::lock_guard<std::mutex> lock(*mu_);
+  SAQL_RETURN_IF_ERROR(status_);
+  Status st = backend_->SyncLocked(state_);
+  if (!st.ok()) status_ = st;
+  return st;
+}
+
+Status FaultFile::Close() {
+  std::lock_guard<std::mutex> lock(*mu_);
+  if (state_->open) {
+    state_->real->Close();
+    state_->open = false;
+  }
+  return status_;
+}
+
+}  // namespace
+
+Status FaultInjectionFileBackend::AppendLocked(FileState* state,
+                                               const void* data,
+                                               size_t size) {
+  if (crashed_ || !state->open) return SimulatedCrashError();
+  if (total_appended_ + size > fail_after_bytes_) {
+    return Status::IoError("no space left on device (fault injection)");
+  }
+  // Torn-write crash: persist only the prefix up to the threshold, then
+  // freeze the world.
+  if (state->path.find(crash_path_substr_) != std::string::npos &&
+      !crash_path_substr_.empty() &&
+      state->written + size > crash_after_bytes_) {
+    uint64_t keep_of_this =
+        crash_after_bytes_ > state->written
+            ? crash_after_bytes_ - state->written
+            : 0;
+    if (keep_of_this > 0) state->real->Append(data, keep_of_this);
+    state->real->Sync();  // the torn prefix is what "reached the platter"
+    uint64_t torn_keep = state->written + keep_of_this;
+    state->written = torn_keep;
+    CrashLocked(state, torn_keep);
+    return SimulatedCrashError();
+  }
+  SAQL_RETURN_IF_ERROR(state->real->Append(data, size));
+  state->written += size;
+  total_appended_ += size;
+  return Status::Ok();
+}
+
+Status FaultInjectionFileBackend::SyncLocked(FileState* state) {
+  if (crashed_ || !state->open) return SimulatedCrashError();
+  SAQL_RETURN_IF_ERROR(state->real->Sync());
+  state->synced = state->written;
+  return Status::Ok();
+}
+
+}  // namespace saql

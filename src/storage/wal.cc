@@ -1,0 +1,153 @@
+#include "storage/wal.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "storage/event_log.h"
+#include "storage/log_format.h"
+
+namespace saql {
+
+namespace {
+
+constexpr char kWalMagic[8] = {'S', 'A', 'Q', 'L', 'W', 'A', 'L', '1'};
+constexpr uint32_t kWalVersion = 1;
+/// magic + u32 version + u64 first_seq.
+constexpr size_t kWalHeaderSize = sizeof(kWalMagic) + 4 + 8;
+/// u32 payload_size + u32 crc32 + u64 seq.
+constexpr size_t kWalRecordHeaderSize = 16;
+/// Same sanity bound as the v1 row log's record reader.
+constexpr uint32_t kMaxPayload = 64u << 20;
+
+}  // namespace
+
+Result<SyncPolicy> ParseSyncPolicy(const std::string& text) {
+  if (text == "always") return SyncPolicy::Always();
+  if (text == "none") return SyncPolicy::None();
+  if (text == "group") return SyncPolicy::GroupCommit();
+  // group:<delay_us>:<bytes>
+  if (text.rfind("group:", 0) == 0) {
+    const char* p = text.c_str() + 6;
+    char* end = nullptr;
+    long long delay = std::strtoll(p, &end, 10);
+    if (end == p || delay < 0) {
+      return Status::InvalidArgument("bad sync policy '" + text + "'");
+    }
+    uint64_t bytes = SyncPolicy().max_bytes;
+    if (*end == ':') {
+      const char* q = end + 1;
+      long long b = std::strtoll(q, &end, 10);
+      if (end == q || *end != '\0' || b <= 0) {
+        return Status::InvalidArgument("bad sync policy '" + text + "'");
+      }
+      bytes = static_cast<uint64_t>(b);
+    } else if (*end != '\0') {
+      return Status::InvalidArgument("bad sync policy '" + text + "'");
+    }
+    return SyncPolicy::GroupCommit(delay, bytes);
+  }
+  return Status::InvalidArgument(
+      "unknown sync policy '" + text +
+      "' (expected always, group[:<delay_us>[:<bytes>]], or none)");
+}
+
+WalWriter::WalWriter(const std::string& path, uint64_t first_seq,
+                     FileBackend* backend)
+    : path_(path) {
+  Result<std::unique_ptr<WritableFile>> file =
+      FileBackend::OrReal(backend)->Create(path);
+  if (!file.ok()) {
+    status_ = file.status();
+    return;
+  }
+  out_ = std::move(*file);
+  buffer_.assign(kWalMagic, sizeof(kWalMagic));
+  buffer_.append(reinterpret_cast<const char*>(&kWalVersion),
+                 sizeof(kWalVersion));
+  buffer_.append(reinterpret_cast<const char*>(&first_seq),
+                 sizeof(first_seq));
+  status_ = out_->Append(buffer_.data(), buffer_.size());
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+Status WalWriter::Append(uint64_t seq, const Event& event) {
+  SAQL_RETURN_IF_ERROR(status_);
+  buffer_.clear();
+  buffer_.append(kWalRecordHeaderSize, '\0');
+  std::memcpy(buffer_.data() + 8, &seq, sizeof(seq));
+  SerializeEventPayload(&buffer_, event);
+  uint32_t size =
+      static_cast<uint32_t>(buffer_.size() - kWalRecordHeaderSize);
+  uint32_t crc = Crc32(buffer_.data() + 8, buffer_.size() - 8);
+  std::memcpy(buffer_.data(), &size, sizeof(size));
+  std::memcpy(buffer_.data() + 4, &crc, sizeof(crc));
+  status_ = out_->Append(buffer_.data(), buffer_.size());
+  SAQL_RETURN_IF_ERROR(status_);
+  ++records_written_;
+  return Status::Ok();
+}
+
+Status WalWriter::Sync() {
+  SAQL_RETURN_IF_ERROR(status_);
+  status_ = out_->Sync();
+  return status_;
+}
+
+Status WalWriter::Close() {
+  if (out_ != nullptr) {
+    Status st = out_->Close();
+    if (!st.ok() && status_.ok()) status_ = st;
+    out_.reset();
+  }
+  return status_;
+}
+
+Result<std::vector<WalRecord>> ReadWal(const std::string& path,
+                                       uint64_t* bytes_consumed) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  char header[kWalHeaderSize];
+  in.read(header, sizeof(header));
+  if (!in || std::memcmp(header, kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::IoError("'" + path + "' is not a SAQL WAL file");
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, header + sizeof(kWalMagic), sizeof(version));
+  if (version != kWalVersion) {
+    return Status::IoError("unsupported WAL version " +
+                           std::to_string(version));
+  }
+
+  std::vector<WalRecord> records;
+  uint64_t consumed = kWalHeaderSize;
+  std::string rec;
+  while (true) {
+    char rec_header[kWalRecordHeaderSize];
+    in.read(rec_header, sizeof(rec_header));
+    if (!in) break;  // torn tail: short record header
+    uint32_t size = 0, crc = 0;
+    uint64_t seq = 0;
+    std::memcpy(&size, rec_header, sizeof(size));
+    std::memcpy(&crc, rec_header + 4, sizeof(crc));
+    std::memcpy(&seq, rec_header + 8, sizeof(seq));
+    if (size > kMaxPayload) break;  // torn tail: implausible length
+    rec.assign(rec_header + 8, 8);  // seq bytes, then payload
+    rec.resize(8 + size);
+    in.read(rec.data() + 8, size);
+    if (!in) break;  // torn tail: short payload
+    if (Crc32(rec.data(), rec.size()) != crc) break;  // torn tail
+    WalRecord r;
+    r.seq = seq;
+    if (!DeserializeEventPayload(rec.data() + 8, size, &r.event)) break;
+    records.push_back(std::move(r));
+    consumed += kWalRecordHeaderSize + size;
+  }
+  if (bytes_consumed != nullptr) *bytes_consumed = consumed;
+  return records;
+}
+
+}  // namespace saql

@@ -1,0 +1,125 @@
+#ifndef SAQL_STORAGE_WAL_H_
+#define SAQL_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/event.h"
+#include "core/result.h"
+#include "storage/file_backend.h"
+
+namespace saql {
+
+/// When an ingested event counts as durable — i.e. when the write-ahead
+/// log fsyncs relative to the append that acks it.
+enum class SyncMode : uint8_t {
+  /// fsync before every ack. An acked event is never lost; slowest.
+  kAlways,
+  /// Appends ack immediately; a group barrier fsyncs once the open
+  /// commit window reaches `max_delay` or `max_bytes`. Loss after a
+  /// crash is bounded to the events of the open window.
+  kGroupCommit,
+  /// No WAL-side fsync at all; data becomes durable only at segment
+  /// and close barriers. Fastest, widest loss window.
+  kNone,
+};
+
+struct SyncPolicy {
+  SyncMode mode = SyncMode::kGroupCommit;
+  /// kGroupCommit: maximum age of an unsynced append before the
+  /// background barrier fires.
+  int64_t max_delay_us = 2000;
+  /// kGroupCommit: unsynced bytes that force an immediate barrier.
+  uint64_t max_bytes = 256 * 1024;
+
+  static SyncPolicy Always() { return {SyncMode::kAlways, 0, 0}; }
+  static SyncPolicy GroupCommit(int64_t max_delay_us = 2000,
+                                uint64_t max_bytes = 256 * 1024) {
+    return {SyncMode::kGroupCommit, max_delay_us, max_bytes};
+  }
+  static SyncPolicy None() { return {SyncMode::kNone, 0, 0}; }
+
+  const char* name() const {
+    switch (mode) {
+      case SyncMode::kAlways: return "always";
+      case SyncMode::kGroupCommit: return "group";
+      case SyncMode::kNone: return "none";
+    }
+    return "?";
+  }
+};
+
+/// Parses "always", "group", "group:<delay_us>:<bytes>", or "none" (the
+/// shell's `--sync=` argument values).
+Result<SyncPolicy> ParseSyncPolicy(const std::string& text);
+
+/// Append-only write-ahead log of events, the durability layer in front
+/// of the columnar segment writer.
+///
+/// File format (little-endian):
+///   header:  magic "SAQLWAL1", u32 version, u64 first_seq
+///   record:  u32 payload_size, u32 crc32 (over seq + payload),
+///            u64 seq, payload (v1 event serialization)
+///
+/// Records carry explicit sequence numbers so recovery can line the WAL
+/// tail up against the columnar segments (which hold seqs
+/// 1..events-in-segments by construction). The CRC covers seq + payload,
+/// so a torn tail — power loss mid-append — is detected and discarded by
+/// the reader rather than replayed as garbage.
+class WalWriter {
+ public:
+  /// Creates/truncates `path`; records appended here start at
+  /// `first_seq`. Check `status()` before use.
+  WalWriter(const std::string& path, uint64_t first_seq,
+            FileBackend* backend = nullptr);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  Status status() const { return status_; }
+  const std::string& path() const { return path_; }
+
+  /// Appends `event` as the record for `seq`. No fsync — call `Sync()`
+  /// per the policy in force.
+  Status Append(uint64_t seq, const Event& event);
+
+  /// Durability barrier over everything appended so far.
+  Status Sync();
+
+  /// Closes without deleting (the pipeline deletes WAL files only after
+  /// their contents are durable in segments). Idempotent.
+  Status Close();
+
+  uint64_t bytes_written() const {
+    return out_ != nullptr ? out_->bytes_written() : 0;
+  }
+  uint64_t records_written() const { return records_written_; }
+
+ private:
+  std::string path_;
+  std::unique_ptr<WritableFile> out_;
+  Status status_;
+  std::string buffer_;
+  uint64_t records_written_ = 0;
+};
+
+/// One event recovered from a WAL file.
+struct WalRecord {
+  uint64_t seq = 0;
+  Event event;
+};
+
+/// Reads the complete records of the WAL at `path`, in file order. A bad
+/// record — short header, short payload, or CRC mismatch — ends the read
+/// at the last good record: the crash-consistent torn-tail contract, not
+/// an error. `bytes_consumed` (optional) reports how far the valid
+/// prefix ran.
+Result<std::vector<WalRecord>> ReadWal(const std::string& path,
+                                       uint64_t* bytes_consumed = nullptr);
+
+}  // namespace saql
+
+#endif  // SAQL_STORAGE_WAL_H_

@@ -426,33 +426,63 @@ TEST(ColumnarLogTest, DestructorFlushesPendingSegment) {
   ExpectSameEvents(original, *loaded);
 }
 
-// Close-path flush failures surface through status() instead of being
-// swallowed (the destructor runs the same Close). /dev/full accepts the
-// open and fails the flush with ENOSPC.
-TEST(ColumnarLogTest, FlushFailureToFullDeviceSurfacesInStatus) {
-  if (!std::ofstream("/dev/full").is_open()) {
-    GTEST_SKIP() << "/dev/full not available";
-  }
-  ColumnarLogWriter w("/dev/full");
+// Flush failures surface through status() instead of being swallowed
+// (the destructor runs the same Close). Disk-full is injected through
+// the FileBackend seam — deterministic everywhere, unlike the old
+// /dev/full fixture, and exercising exactly the path production errors
+// take.
+TEST(ColumnarLogTest, FlushFailureOnFullDiskSurfacesInStatus) {
+  FaultInjectionFileBackend fs;
+  fs.FailAppendsAfterBytes(8 * 1024);
+  ColumnarLogWriter::Options opts;
+  opts.backend = &fs;
+  ColumnarLogWriter w(TempPath("full_disk_v2.log"), opts);
+  ASSERT_TRUE(w.status().ok()) << w.status();
   EventBatch events = SampleEvents();
-  for (int i = 0; i < 200; ++i) w.AppendBatch(events);
+  for (int i = 0; i < 2000; ++i) w.AppendBatch(events);
   EXPECT_FALSE(w.Close().ok());
   EXPECT_EQ(w.status().code(), StatusCode::kIoError);
   // Idempotent: a later (destructor-path) Close keeps the error.
   EXPECT_EQ(w.Close().code(), StatusCode::kIoError);
 }
 
-TEST(EventLogWriterTest, FlushFailureToFullDeviceSurfacesInStatus) {
-  if (!std::ofstream("/dev/full").is_open()) {
-    GTEST_SKIP() << "/dev/full not available";
-  }
-  EventLogWriter w("/dev/full");
+TEST(EventLogWriterTest, FlushFailureOnFullDiskSurfacesInStatus) {
+  FaultInjectionFileBackend fs;
+  fs.FailAppendsAfterBytes(8 * 1024);
+  EventLogWriter w(TempPath("full_disk_v1.log"), &fs);
+  ASSERT_TRUE(w.status().ok()) << w.status();
   EventBatch events = SampleEvents();
   for (int i = 0; i < 2000; ++i) w.AppendBatch(events);
   EXPECT_FALSE(w.Close().ok());
   EXPECT_EQ(w.status().code(), StatusCode::kIoError);
   EXPECT_EQ(w.Close().code(), StatusCode::kIoError);
-  EXPECT_FALSE(WriteEventLog("/dev/full", RandomCorpus(3, 50000)).ok());
+}
+
+// A writer hitting the wall mid-stream keeps every complete segment it
+// managed to write: the reader recovers the prefix, not nothing.
+TEST(ColumnarLogTest, FullDiskKeepsCompleteSegmentPrefixReadable) {
+  FaultInjectionFileBackend fs;
+  fs.FailAppendsAfterBytes(64 * 1024);
+  EventBatch original = RandomCorpus(11, 4000);
+  std::string path = TempPath("full_disk_prefix.log");
+  ColumnarLogWriter::Options opts;
+  opts.segment_events = 256;
+  opts.backend = &fs;
+  ColumnarLogWriter w(path, opts);
+  uint64_t accepted = 0;
+  for (const Event& e : original) {
+    if (!w.Append(e).ok()) break;
+    ++accepted;
+  }
+  EXPECT_LT(accepted, original.size());  // the wall was actually hit
+  uint64_t in_segments = w.events_written();
+  w.Close();
+  Result<EventBatch> loaded = ReadColumnarEventLog(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), in_segments);
+  ExpectSameEvents(
+      EventBatch(original.begin(), original.begin() + in_segments),
+      *loaded);
 }
 
 }  // namespace

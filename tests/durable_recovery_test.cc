@@ -1,0 +1,489 @@
+// The durability contract, end to end: a DurableLogWriter run that is
+// killed at any point — torn mid-WAL-record, between WAL and segment,
+// mid-segment, during WAL deletion or rotation — recovers to a clean
+// prefix of the appended stream, with the loss bound set by the sync
+// policy:
+//
+//   always  — no acked event is ever lost (recovered >= acked);
+//   group   — loss bounded to the open commit window
+//             (durable_seq <= recovered <= acked);
+//   none    — durability only at segment/close barriers.
+//
+// The differential half of the matrix replays each recovered stream
+// through the engine at 1/2/4 shards and requires the alert sequence to
+// be identical to an uncrashed run over the same prefix — recovery must
+// be invisible to queries.
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "storage/columnar_log.h"
+#include "storage/durable_log.h"
+#include "storage/file_backend.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
+#include "test_util.h"
+
+namespace saql {
+namespace {
+
+using testing::EventBuilder;
+
+// ---------------------------------------------------------------------
+// Fixtures.
+
+/// A fresh directory per test: recovery scans the log's directory for
+/// WAL files, so tests must not share one.
+std::string TestDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::vector<std::string> WalFilesNextTo(const std::string& path) {
+  std::filesystem::path base(path);
+  std::string prefix = base.filename().string() + ".wal.";
+  std::vector<std::string> out;
+  for (const auto& e :
+       std::filesystem::directory_iterator(base.parent_path())) {
+    if (e.path().filename().string().rfind(prefix, 0) == 0) {
+      out.push_back(e.path().string());
+    }
+  }
+  return out;
+}
+
+/// Deterministic alert-bearing corpus: every event is a network write
+/// (one per second), a sprinkle of "%evil.exe" subjects for the
+/// stateless query, varied hosts/amounts for the per-minute aggregation.
+EventBatch Corpus(size_t n) {
+  EventBatch out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool evil = i % 17 == 0;
+    out.push_back(
+        EventBuilder()
+            .Id(i + 1)
+            .At(static_cast<Timestamp>(i) * kSecond)
+            .OnHost("h" + std::to_string(i % 3))
+            .Subject(
+                evil ? "evil.exe" : "app" + std::to_string(i % 4) + ".exe",
+                100 + static_cast<int>(i % 50))
+            .Op(EventOp::kWrite)
+            .NetObject("10.0.0." + std::to_string(i % 5), 443)
+            .Amount(static_cast<int64_t>((i % 100) * 1000))
+            .Build());
+  }
+  return out;
+}
+
+/// `got` must be `corpus[0..got.size())`, field for field.
+void ExpectIsCorpusPrefix(const EventBatch& got, const EventBatch& corpus,
+                          const std::string& label) {
+  ASSERT_LE(got.size(), corpus.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    const Event& a = corpus[i];
+    const Event& b = got[i];
+    ASSERT_EQ(a.id, b.id) << label << " @" << i;
+    ASSERT_EQ(a.ts, b.ts) << label << " @" << i;
+    ASSERT_EQ(a.agent_id, b.agent_id) << label << " @" << i;
+    ASSERT_EQ(a.subject, b.subject) << label << " @" << i;
+    ASSERT_EQ(a.op, b.op) << label << " @" << i;
+    ASSERT_EQ(a.obj_net, b.obj_net) << label << " @" << i;
+    ASSERT_EQ(a.amount, b.amount) << label << " @" << i;
+  }
+}
+
+constexpr char kExfilQuery[] =
+    "proc p[\"%evil.exe\"] write ip i as e return p, i";
+constexpr char kSumQuery[] =
+    "proc p write ip i as e #time(1 min) "
+    "state ss { amt := sum(e.amount) } group by p "
+    "alert ss.amt > 0 return p, ss.amt";
+
+/// Runs the two standing queries over `events` at `shards` lanes —
+/// pushed in chunks with the watermark advanced between them — and
+/// returns the rendered alerts, sorted. (Sorted because the comparison
+/// contract is multiset equality: a single-shard session emits match
+/// alerts inline during Push, sharded sessions release them in global
+/// (ts, query, group) order — same alerts, different interleaving.)
+std::vector<std::string> AlertsFor(const EventBatch& events, size_t shards) {
+  SaqlEngine::Options opts;
+  opts.num_shards = shards;
+  SaqlEngine engine(opts);
+  EXPECT_TRUE(engine.AddQuery(kExfilQuery, "exfil").ok());
+  EXPECT_TRUE(engine.AddQuery(kSumQuery, "sum").ok());
+  auto session = engine.OpenSession();
+  EXPECT_TRUE(session.ok()) << session.status();
+  EventBatch copy = events;  // Push annotates in place
+  for (size_t off = 0; off < copy.size(); off += 257) {
+    size_t len = std::min<size_t>(257, copy.size() - off);
+    EXPECT_TRUE((*session)->Push(copy.data() + off, len).ok());
+    EXPECT_TRUE(
+        (*session)->AdvanceWatermark((*session)->max_event_ts()).ok());
+  }
+  EXPECT_TRUE((*session)->Close().ok());
+  std::vector<std::string> out;
+  out.reserve(engine.alerts().size());
+  for (const Alert& a : engine.alerts()) out.push_back(a.ToString());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Probe: WAL bytes (header + records) for the first `count` events —
+/// measured on a scratch backend so crash thresholds can target exact
+/// record boundaries on the backend under test.
+uint64_t WalBytesFor(const EventBatch& events, size_t count,
+                     const std::string& dir) {
+  FaultInjectionFileBackend probe_fs;
+  WalWriter probe(dir + "/probe.walbytes", 1, &probe_fs);
+  for (size_t i = 0; i < count; ++i) {
+    EXPECT_TRUE(probe.Append(i + 1, events[i]).ok());
+  }
+  return probe_fs.bytes_appended();
+}
+
+/// Probe: total columnar-file bytes for the whole corpus at
+/// `segment_events` (header + every segment, final partial flushed).
+uint64_t ColumnarBytesFor(const EventBatch& events, size_t segment_events,
+                          const std::string& dir) {
+  FaultInjectionFileBackend probe_fs;
+  ColumnarLogWriter::Options copts;
+  copts.segment_events = segment_events;
+  copts.backend = &probe_fs;
+  ColumnarLogWriter probe(dir + "/probe.colbytes", copts);
+  EXPECT_TRUE(probe.AppendBatch(events).ok());
+  EXPECT_TRUE(probe.Flush().ok());
+  return probe_fs.bytes_appended();
+}
+
+struct CrashOutcome {
+  uint64_t acked = 0;    ///< Appends that returned OK
+  uint64_t durable = 0;  ///< writer-reported durable_seq after the dust
+};
+
+/// Appends `corpus` until the scheduled fault kills the pipeline, then
+/// closes (which must fail and must leave the WAL files in place).
+CrashOutcome WriteUntilCrash(const std::string& path,
+                             FaultInjectionFileBackend* fs,
+                             DurableLogWriter::Options opts,
+                             const EventBatch& corpus) {
+  opts.backend = fs;
+  DurableLogWriter w(path, opts);
+  EXPECT_TRUE(w.status().ok()) << w.status();
+  CrashOutcome out;
+  for (const Event& e : corpus) {
+    if (!w.Append(e).ok()) break;
+    ++out.acked;
+  }
+  w.Close();
+  EXPECT_TRUE(fs->crashed()) << path << ": fault never fired";
+  EXPECT_FALSE(w.status().ok()) << path;
+  out.durable = w.durable_seq();
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Healthy-path contract.
+
+// A cleanly closed durable log is a pure v2 columnar log under every
+// sync policy: identical contents, no WAL files, and recovery on it is
+// a no-op (all events from segments, nothing replayed).
+TEST(DurableLogTest, CleanCloseLeavesPureColumnarLogUnderEveryPolicy) {
+  const EventBatch corpus = Corpus(1500);
+  for (const char* policy : {"always", "group:2000:65536", "none"}) {
+    std::string dir = TestDir(std::string("durable_clean_") +
+                              (policy[0] == 'g' ? "group" : policy));
+    std::string path = dir + "/log";
+    auto sync = ParseSyncPolicy(policy);
+    ASSERT_TRUE(sync.ok()) << policy;
+
+    DurableLogWriter::Options opts;
+    opts.sync = *sync;
+    opts.segment_events = 256;
+    {
+      DurableLogWriter w(path, opts);
+      ASSERT_TRUE(w.status().ok()) << w.status();
+      ASSERT_TRUE(w.AppendBatch(corpus).ok()) << policy;
+      EXPECT_EQ(w.appended_events(), corpus.size());
+      EXPECT_FALSE(WalFilesNextTo(path).empty()) << policy;
+      ASSERT_TRUE(w.Close().ok()) << policy;
+      EXPECT_EQ(w.durable_seq(), corpus.size()) << policy;
+      EXPECT_EQ(w.events_in_segments(), corpus.size()) << policy;
+    }
+    EXPECT_TRUE(WalFilesNextTo(path).empty()) << policy;
+
+    auto direct = ReadColumnarEventLog(path);
+    ASSERT_TRUE(direct.ok()) << policy << ": " << direct.status();
+    ASSERT_EQ(direct->size(), corpus.size()) << policy;
+    ExpectIsCorpusPrefix(*direct, corpus, policy);
+
+    auto rec = RecoverDurableLog(path);
+    ASSERT_TRUE(rec.ok()) << policy << ": " << rec.status();
+    EXPECT_EQ(rec->segment_events, corpus.size()) << policy;
+    EXPECT_EQ(rec->wal_events, 0u) << policy;
+    EXPECT_TRUE(rec->wal_files.empty()) << policy;
+  }
+}
+
+TEST(DurableLogTest, SyncAlwaysAcksOnlyDurableEvents) {
+  std::string path = TestDir("durable_always") + "/log";
+  DurableLogWriter::Options opts;
+  opts.sync = ParseSyncPolicy("always").value();
+  DurableLogWriter w(path, opts);
+  ASSERT_TRUE(w.status().ok());
+  const EventBatch corpus = Corpus(100);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    ASSERT_TRUE(w.Append(corpus[i]).ok());
+    // The ack IS the durability barrier: never a gap.
+    EXPECT_EQ(w.durable_seq(), w.appended_events()) << "i=" << i;
+  }
+  EXPECT_TRUE(w.Close().ok());
+}
+
+TEST(DurableLogTest, RotationSealsAndRetiresCoveredWalFiles) {
+  std::string path = TestDir("durable_rotate") + "/log";
+  const EventBatch corpus = Corpus(2000);
+  DurableLogWriter::Options opts;
+  opts.sync = ParseSyncPolicy("group").value();
+  opts.segment_events = 128;
+  opts.wal_rotate_bytes = 8 * 1024;
+  DurableLogWriter w(path, opts);
+  ASSERT_TRUE(w.status().ok());
+  ASSERT_TRUE(w.AppendBatch(corpus).ok());
+  EXPECT_GE(w.wal_rotations(), 2u);
+  ASSERT_TRUE(w.Close().ok());
+  // Every WAL file — sealed or live — is spent after a clean close.
+  EXPECT_TRUE(WalFilesNextTo(path).empty());
+  auto rec = RecoverDurableLog(path);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  ASSERT_EQ(rec->events.size(), corpus.size());
+  ExpectIsCorpusPrefix(rec->events, corpus, "rotate");
+}
+
+// ---------------------------------------------------------------------
+// The crash matrix (tentpole acceptance): kill the pipeline at every
+// trip point under sync=always, recover, and check both halves of the
+// contract — no acked event lost, and the recovered stream replays
+// through the engine (1/2/4 shards) exactly like an uncrashed run over
+// the same prefix.
+
+struct CrashCase {
+  std::string name;
+  std::function<void(FaultInjectionFileBackend&)> schedule;
+  uint64_t wal_rotate_bytes;
+  size_t segment_events;
+};
+
+TEST(DurableRecoveryTest, CrashMatrixRecoversAckedPrefixAtEveryTripPoint) {
+  const EventBatch corpus = Corpus(4000);
+  std::string probe_dir = TestDir("durable_matrix_probe");
+  // Byte offsets for the byte-precise cases: torn mid-WAL-record (7
+  // bytes into record 51) and torn mid-columnar-segment (half the total
+  // columnar size — large enough that no 4 KiB-rotated WAL file can
+  // reach it first, asserted below).
+  const uint64_t torn_wal_at = WalBytesFor(corpus, 50, probe_dir) + 7;
+  const uint64_t columnar_bytes = ColumnarBytesFor(corpus, 256, probe_dir);
+  ASSERT_GT(columnar_bytes / 2, uint64_t{12 * 1024});
+
+  const std::vector<CrashCase> cases = {
+      {"mid-wal-record",
+       [&](FaultInjectionFileBackend& fs) {
+         fs.CrashAfterBytes(".wal.0", torn_wal_at);
+       },
+       4u << 20, 256},
+      {"pre-segment",
+       [](FaultInjectionFileBackend& fs) {
+         fs.CrashAtTripPoint(durable_trip::kPreSegment, 3);
+       },
+       32 * 1024, 256},
+      {"mid-segment",
+       [&](FaultInjectionFileBackend& fs) {
+         fs.CrashAfterBytes("/log", columnar_bytes / 2 + 3);
+       },
+       4 * 1024, 256},
+      {"pre-wal-delete",
+       [](FaultInjectionFileBackend& fs) {
+         fs.CrashAtTripPoint(durable_trip::kPreWalDelete, 1);
+       },
+       8 * 1024, 128},
+      {"wal-rotate",
+       [](FaultInjectionFileBackend& fs) {
+         fs.CrashAtTripPoint(durable_trip::kWalRotate, 2);
+       },
+       8 * 1024, 128},
+  };
+
+  for (const CrashCase& c : cases) {
+    SCOPED_TRACE(c.name);
+    std::string path = TestDir("durable_matrix_" + c.name) + "/log";
+    FaultInjectionFileBackend fs;
+    c.schedule(fs);
+
+    DurableLogWriter::Options opts;
+    opts.sync = ParseSyncPolicy("always").value();
+    opts.segment_events = c.segment_events;
+    opts.wal_rotate_bytes = c.wal_rotate_bytes;
+    opts.queue_capacity = 128;  // force real writer/drainer interleaving
+    CrashOutcome crash = WriteUntilCrash(path, &fs, opts, corpus);
+    ASSERT_GT(crash.acked, 0u);
+    ASSERT_LT(crash.acked, corpus.size());
+
+    // Recovery runs against the real filesystem — exactly what a
+    // restarted process would see.
+    auto rec = RecoverDurableLog(path);
+    ASSERT_TRUE(rec.ok()) << rec.status();
+    ExpectIsCorpusPrefix(rec->events, corpus, c.name);
+
+    // sync=always: every acked event survives. (One synced-but-unacked
+    // record may survive too — an append whose ack was lost to the
+    // crash after its barrier, the classic commit-ack race.)
+    EXPECT_GE(rec->events.size(), crash.acked);
+    EXPECT_LE(rec->events.size(), crash.acked + 1);
+    EXPECT_GE(rec->events.size(), crash.durable);
+
+    // Differential replay: the recovered stream must be
+    // indistinguishable from the never-crashed prefix, at every shard
+    // count.
+    EventBatch prefix(corpus.begin(),
+                      corpus.begin() + static_cast<long>(rec->events.size()));
+    const std::vector<std::string> want = AlertsFor(prefix, 1);
+    EXPECT_FALSE(want.empty());
+    for (size_t shards : {1u, 2u, 4u}) {
+      EXPECT_EQ(AlertsFor(rec->events, shards), want)
+          << c.name << " shards=" << shards;
+    }
+  }
+}
+
+// Under group commit the crash-loss bound is the open commit window:
+// everything past the last barrier may vanish, nothing durable may.
+TEST(DurableRecoveryTest, GroupCommitLossIsBoundedToTheOpenWindow) {
+  const EventBatch corpus = Corpus(3000);
+  std::string path = TestDir("durable_group_loss") + "/log";
+  FaultInjectionFileBackend fs;
+  fs.CrashAtTripPoint(durable_trip::kPreSegment, 2);
+
+  DurableLogWriter::Options opts;
+  // A barrier that never fires on its own: 10 s delay, 1 GiB window —
+  // the only durability is the drainer's segment fsyncs.
+  opts.sync = ParseSyncPolicy("group:10000000:1073741824").value();
+  opts.segment_events = 256;
+  opts.queue_capacity = 128;
+  CrashOutcome crash = WriteUntilCrash(path, &fs, opts, corpus);
+  ASSERT_GT(crash.acked, 0u);
+
+  auto rec = RecoverDurableLog(path);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  ExpectIsCorpusPrefix(rec->events, corpus, "group-loss");
+  EXPECT_GE(rec->events.size(), crash.durable);  // durable means durable
+  EXPECT_LE(rec->events.size(), crash.acked);    // loss, but only unsynced
+}
+
+// CompactRecoveredLog turns a crashed log back into a normal replayable
+// artifact: pure v2, WAL files gone, recovery now a no-op.
+TEST(DurableRecoveryTest, CompactionRewritesCrashedLogAsPureColumnar) {
+  const EventBatch corpus = Corpus(2000);
+  std::string path = TestDir("durable_compact") + "/log";
+  FaultInjectionFileBackend fs;
+  fs.CrashAtTripPoint(durable_trip::kPreSegment, 2);
+  DurableLogWriter::Options opts;
+  opts.sync = ParseSyncPolicy("always").value();
+  opts.segment_events = 128;
+  opts.queue_capacity = 64;
+  CrashOutcome crash = WriteUntilCrash(path, &fs, opts, corpus);
+
+  auto rec = CompactRecoveredLog(path);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_GE(rec->events.size(), crash.acked);
+  EXPECT_GT(rec->wal_events, 0u);  // the WAL tail did some work here
+  EXPECT_TRUE(WalFilesNextTo(path).empty());
+
+  auto direct = ReadColumnarEventLog(path);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  ASSERT_EQ(direct->size(), rec->events.size());
+  ExpectIsCorpusPrefix(*direct, corpus, "compacted");
+
+  auto again = RecoverDurableLog(path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->segment_events, rec->events.size());
+  EXPECT_EQ(again->wal_events, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Engine wiring: a recording session persists what it serves, and a
+// recording *failure* costs the recording, never the queries.
+
+TEST(DurableSessionTest, RecordingSessionPersistsPushedEvents) {
+  const EventBatch corpus = Corpus(1200);
+  std::string path = TestDir("session_record") + "/log";
+  SaqlEngine::Options opts;
+  opts.record_path = path;
+  opts.record_sync = ParseSyncPolicy("group").value();
+  SaqlEngine engine(opts);
+  ASSERT_TRUE(engine.AddQuery(kExfilQuery, "exfil").ok());
+  auto session = engine.OpenSession();
+  ASSERT_TRUE(session.ok()) << session.status();
+  EventBatch copy = corpus;
+  ASSERT_TRUE((*session)->Push(copy).ok());
+  EXPECT_TRUE((*session)->recording_status().ok());
+  EXPECT_EQ((*session)->recorded_events(), corpus.size());
+  ASSERT_TRUE((*session)->Close().ok());
+  EXPECT_EQ((*session)->durable_events(), corpus.size());
+
+  // The recording is the stream: replayable, field-identical.
+  auto direct = ReadColumnarEventLog(path);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  ASSERT_EQ(direct->size(), corpus.size());
+  ExpectIsCorpusPrefix(*direct, corpus, "session-record");
+  EXPECT_TRUE(WalFilesNextTo(path).empty());
+}
+
+TEST(DurableSessionTest, RecordingFailureDegradesGracefully) {
+  const EventBatch corpus = Corpus(2000);
+  const std::vector<std::string> want = AlertsFor(corpus, 1);
+  ASSERT_FALSE(want.empty());
+
+  FaultInjectionFileBackend fs;
+  fs.FailAppendsAfterBytes(16 * 1024);  // the disk fills mid-stream
+  SaqlEngine::Options opts;
+  opts.record_path = TestDir("session_degrade") + "/log";
+  opts.record_sync = ParseSyncPolicy("always").value();
+  opts.file_backend = &fs;
+  SaqlEngine engine(opts);
+  ASSERT_TRUE(engine.AddQuery(kExfilQuery, "exfil").ok());
+  ASSERT_TRUE(engine.AddQuery(kSumQuery, "sum").ok());
+  auto session = engine.OpenSession();
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  EventBatch copy = corpus;
+  for (size_t off = 0; off < copy.size(); off += 257) {
+    size_t len = std::min<size_t>(257, copy.size() - off);
+    // Push never fails on a recording error — the session degrades.
+    ASSERT_TRUE((*session)->Push(copy.data() + off, len).ok());
+    ASSERT_TRUE(
+        (*session)->AdvanceWatermark((*session)->max_event_ts()).ok());
+  }
+  EXPECT_EQ((*session)->recording_status().code(), StatusCode::kIoError);
+  EXPECT_LT((*session)->recorded_events(), corpus.size());
+  ASSERT_TRUE((*session)->Close().ok());
+
+  // Queries never noticed: the full alert sequence, as if recording
+  // were off.
+  std::vector<std::string> got;
+  got.reserve(engine.alerts().size());
+  for (const Alert& a : engine.alerts()) got.push_back(a.ToString());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, want);
+}
+
+}  // namespace
+}  // namespace saql

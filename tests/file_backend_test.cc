@@ -1,0 +1,114 @@
+// FileBackend seam coverage: the POSIX backend's append/sync/close
+// contract, and the fault-injection backend's three schedules (disk
+// full, torn-write crash at a byte threshold, crash at a named trip
+// point) — the machinery every durability test in the suite stands on.
+
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "storage/file_backend.h"
+
+namespace saql {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return data;
+}
+
+TEST(FileBackendTest, RealBackendWritesBytes) {
+  std::string path = TempPath("real_backend.bin");
+  auto file = FileBackend::Real()->Create(path);
+  ASSERT_TRUE(file.ok()) << file.status();
+  EXPECT_TRUE((*file)->Append("hello ", 6).ok());
+  EXPECT_TRUE((*file)->Append("world", 5).ok());
+  EXPECT_TRUE((*file)->Sync().ok());
+  EXPECT_EQ((*file)->bytes_written(), 11u);
+  EXPECT_TRUE((*file)->Close().ok());
+  EXPECT_EQ(ReadFile(path), "hello world");
+  EXPECT_TRUE(FileBackend::Real()->Delete(path).ok());
+  EXPECT_FALSE(FileBackend::Real()->Delete(path).ok());  // already gone
+}
+
+TEST(FileBackendTest, OrRealResolvesNullToReal) {
+  EXPECT_EQ(FileBackend::OrReal(nullptr), FileBackend::Real());
+  FaultInjectionFileBackend fs;
+  EXPECT_EQ(FileBackend::OrReal(&fs), &fs);
+}
+
+TEST(FaultInjectionTest, DiskFullFailsAppendsAtThreshold) {
+  FaultInjectionFileBackend fs;
+  fs.FailAppendsAfterBytes(10);
+  auto file = fs.Create(TempPath("fault_full.bin"));
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE((*file)->Append("12345", 5).ok());
+  EXPECT_TRUE((*file)->Append("12345", 5).ok());  // exactly at the limit
+  Status st = (*file)->Append("x", 1);
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  // Sticky on the file handle.
+  EXPECT_FALSE((*file)->Append("x", 1).ok());
+  EXPECT_EQ(fs.bytes_appended(), 10u);
+}
+
+// The power-loss model: at the crash, a file keeps its prefix up to the
+// torn-write threshold; files only keep *synced* bytes otherwise.
+TEST(FaultInjectionTest, TornWriteCrashKeepsPrefixUpToThreshold) {
+  std::string torn_path = TempPath("fault_torn.bin");
+  std::string other_path = TempPath("fault_other.bin");
+  FaultInjectionFileBackend fs;
+  fs.CrashAfterBytes("fault_torn", 7);
+  auto torn = fs.Create(torn_path);
+  auto other = fs.Create(other_path);
+  ASSERT_TRUE(torn.ok());
+  ASSERT_TRUE(other.ok());
+
+  EXPECT_TRUE((*other)->Append("abc", 3).ok());
+  EXPECT_TRUE((*other)->Sync().ok());
+  EXPECT_TRUE((*other)->Append("def", 3).ok());  // unsynced — will vanish
+
+  EXPECT_TRUE((*torn)->Append("12345", 5).ok());
+  Status st = (*torn)->Append("6789", 4);  // 5 + 4 > 7: torn at byte 7
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_TRUE(fs.crashed());
+
+  EXPECT_EQ(ReadFile(torn_path), "1234567");
+  EXPECT_EQ(ReadFile(other_path), "abc");  // truncated to synced bytes
+
+  // The world stays frozen: every later operation fails.
+  EXPECT_FALSE((*other)->Append("x", 1).ok());
+  EXPECT_FALSE(fs.Create(TempPath("fault_post.bin")).ok());
+  EXPECT_FALSE(fs.Delete(other_path).ok());
+}
+
+TEST(FaultInjectionTest, CrashAtNamedTripPoint) {
+  std::string path = TempPath("fault_trip.bin");
+  FaultInjectionFileBackend fs;
+  fs.CrashAtTripPoint("checkpoint", /*occurrence=*/2);
+  auto file = fs.Create(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE((*file)->Append("synced", 6).ok());
+  EXPECT_TRUE((*file)->Sync().ok());
+  EXPECT_TRUE((*file)->Append("lost", 4).ok());
+
+  fs.TripPoint("other");       // different name: no crash
+  fs.TripPoint("checkpoint");  // first occurrence: no crash
+  EXPECT_FALSE(fs.crashed());
+  fs.TripPoint("checkpoint");  // second occurrence: power loss
+  EXPECT_TRUE(fs.crashed());
+  EXPECT_EQ(fs.trip_count("checkpoint"), 2);
+  EXPECT_EQ(fs.trip_count("other"), 1);
+  EXPECT_EQ(fs.trip_count("never"), 0);
+
+  EXPECT_EQ(ReadFile(path), "synced");  // unsynced tail gone
+}
+
+}  // namespace
+}  // namespace saql

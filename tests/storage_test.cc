@@ -6,6 +6,7 @@
 
 #include "collect/enterprise_sim.h"
 #include "storage/event_log.h"
+#include "storage/file_backend.h"
 #include "storage/replayer.h"
 #include "test_util.h"
 
@@ -108,6 +109,52 @@ TEST(EventLogTest, TruncatedTailIsCrashConsistent) {
   Result<EventBatch> loaded = ReadEventLog(path);
   ASSERT_TRUE(loaded.ok()) << loaded.status();
   EXPECT_EQ(loaded->size(), 2u);  // last record dropped, others intact
+}
+
+// The injected-fault twin of TruncatedTailIsCrashConsistent: a simulated
+// power loss mid-append leaves a torn final record on disk (the
+// backend's page-cache model keeps the unsynced prefix of the
+// triggering write), and the reader drops exactly that record.
+TEST(EventLogTest, InjectedCrashMidRecordIsCrashConsistent) {
+  std::string path = TempPath("crash_midrec.saqllog");
+  FaultInjectionFileBackend fs;
+  // Header is 12 bytes; crash once the file holds the header, two full
+  // records, and a few bytes of the third.
+  EventBatch events = SampleEvents();
+  uint64_t two_records;
+  {
+    EventLogWriter probe(TempPath("crash_probe.saqllog"), &fs);
+    ASSERT_TRUE(probe.Append(events[0]).ok());
+    ASSERT_TRUE(probe.Append(events[1]).ok());
+    two_records = fs.bytes_appended();
+  }
+  fs.CrashAfterBytes("crash_midrec", two_records + 5);
+
+  EventLogWriter w(path, &fs);
+  ASSERT_TRUE(w.status().ok());
+  EXPECT_TRUE(w.Append(events[0]).ok());
+  EXPECT_TRUE(w.Append(events[1]).ok());
+  EXPECT_FALSE(w.Append(events[2]).ok());  // the torn write
+  EXPECT_TRUE(fs.crashed());
+  w.Close();
+
+  Result<EventBatch> loaded = ReadEventLog(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->size(), 2u);  // torn record dropped, others intact
+}
+
+// Disk-full through the backend seam: the v1 writer reports the failure
+// on the append that hit the wall and stays sticky.
+TEST(EventLogTest, DiskFullSurfacesOnFailingAppend) {
+  FaultInjectionFileBackend fs;
+  fs.FailAppendsAfterBytes(1024);
+  EventLogWriter w(TempPath("full.saqllog"), &fs);
+  ASSERT_TRUE(w.status().ok());
+  Status st;
+  EventBatch events = SampleEvents();
+  for (int i = 0; i < 100 && st.ok(); ++i) st = w.AppendBatch(events);
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_EQ(w.Close().code(), StatusCode::kIoError);
 }
 
 TEST(EventLogTest, WriterCountsEvents) {
