@@ -28,11 +28,18 @@
 //      no-churn session baseline; the sweep prices what a live
 //      multi-tenant deployment pays for analysts joining and leaving
 //      mid-stream.
+//   A12 Concurrent sessions — aggregate throughput when 1/2/4/8 isolated
+//      tenant sessions of one engine stream from independent threads
+//      (shared process-wide interner, per-session everything else), plus
+//      the rotation hiccup: the same drive with the live interner
+//      rotation policy forced on at every quiesce point, so each push
+//      pays the re-intern/re-index heal.
 //   Baseline file: run with
-//     --benchmark_filter='Routing|ShardScaling|MemberIndex|DynamicChurn'
+//     --benchmark_filter='Routing|ShardScaling|MemberIndex|DynamicChurn|ConcurrentSessions'
 //     --benchmark_out=BENCH_throughput.json --benchmark_out_format=json
 //   to refresh the checked-in throughput baseline.
 
+#include <atomic>
 #include <random>
 #include <string>
 #include <thread>
@@ -40,6 +47,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "core/interner.h"
 #include "core/like_matcher.h"
 #include "engine/engine.h"
 #include "stream/reorder_buffer.h"
@@ -578,6 +586,98 @@ BENCHMARK(BM_DynamicChurn)
     ->Arg(16)
     ->Arg(64)
     ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// A12: concurrent multi-tenant sessions.
+// ---------------------------------------------------------------------------
+
+/// K sessions of one engine, each driven from its own thread over the
+/// full multi-tenant stream (16 tenant queries, single-lane sessions so
+/// the sweep measures session concurrency, not shard parallelism).
+/// Items processed = K * stream size per iteration, so events/s is the
+/// *aggregate* across tenants. `rotate_bytes != 0` forces the live
+/// interner rotation policy (1 byte = rotate at every quiesce check):
+/// every push rotates the global table and every session re-interns its
+/// constraint symbols and rebuilds its probe groups at its next push —
+/// the worst-case rotation hiccup, reported via the `rotations` counter.
+void RunConcurrentSessions(benchmark::State& state, size_t rotate_bytes) {
+  const size_t sessions = static_cast<size_t>(state.range(0));
+  static constexpr size_t kChunk = 4096;
+  static EventBatch* stream = new EventBatch(MemberIndexWorkloadStream());
+  std::vector<std::string> queries = MemberIndexWorkloadQueries(16);
+  uint64_t rotations = 0;
+  for (auto _ : state) {
+    SaqlEngine::Options opts;
+    opts.interner_rotate_bytes = rotate_bytes;
+    SaqlEngine engine(opts);
+    engine.SetAlertSink([](const Alert&) {});
+    for (size_t i = 0; i < queries.size(); ++i) {
+      Status st = engine.AddQuery(queries[i], "t" + std::to_string(i));
+      if (!st.ok()) {
+        state.SkipWithError(st.ToString().c_str());
+        return;
+      }
+    }
+    const uint64_t gen_before = Interner::Global().generation();
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> threads;
+    threads.reserve(sessions);
+    for (size_t s = 0; s < sessions; ++s) {
+      threads.emplace_back([&engine, &failed] {
+        auto session = engine.OpenSession();
+        if (!session.ok()) {
+          failed = true;
+          return;
+        }
+        for (size_t pos = 0; pos < stream->size(); pos += kChunk) {
+          size_t n = std::min(kChunk, stream->size() - pos);
+          Status st = (*session)->Push(stream->data() + pos, n);
+          if (st.ok()) {
+            st = (*session)->AdvanceWatermark((*session)->max_event_ts());
+          }
+          if (!st.ok()) {
+            failed = true;
+            break;
+          }
+        }
+        if (!(*session)->Close().ok()) failed = true;
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    if (failed.load()) {
+      state.SkipWithError("session drive failed");
+      return;
+    }
+    rotations += Interner::Global().generation() - gen_before;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sessions) *
+                          static_cast<int64_t>(stream->size()));
+  state.counters["sessions"] = static_cast<double>(sessions);
+  state.counters["rotations"] = static_cast<double>(rotations);
+  state.counters["cores"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+
+void BM_ConcurrentSessions(benchmark::State& state) {
+  RunConcurrentSessions(state, /*rotate_bytes=*/0);
+}
+BENCHMARK(BM_ConcurrentSessions)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ConcurrentSessionsRotating(benchmark::State& state) {
+  RunConcurrentSessions(state, /*rotate_bytes=*/1);
+}
+BENCHMARK(BM_ConcurrentSessionsRotating)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 // ---------------------------------------------------------------------------
 // A6: shard scaling (hash-partitioned executor, 1/2/4/8 lanes).

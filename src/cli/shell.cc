@@ -30,8 +30,8 @@ QueryShell::QueryShell(std::istream& in, std::ostream& out)
     : in_(in), out_(out) {}
 
 QueryShell::~QueryShell() {
-  // Session before engine: the session's teardown touches the engine.
-  live_session_.reset();
+  // Sessions before engine: their teardown touches the engine.
+  live_sessions_.clear();
   live_engine_.reset();
 }
 
@@ -78,9 +78,11 @@ bool QueryShell::Execute(const std::string& line) {
   } else if (cmd == "remove") {
     CmdRemove(args);
   } else if (cmd == "session") {
-    CmdSessionStatus();
+    CmdSessionStatus(args);
+  } else if (cmd == "sessions") {
+    CmdSessions();
   } else if (cmd == "close") {
-    CmdClose();
+    CmdClose(args);
   } else if (cmd == "alerts") {
     CmdAlerts(args);
   } else if (cmd == "shards") {
@@ -126,18 +128,26 @@ void QueryShell::CmdHelp() {
           "                          tail replay (torn records dropped by\n"
           "                          CRC), then compact back to a pure\n"
           "                          columnar log\n"
-       << "  open [--shards=N]       open a live push-driven session\n"
-          "                          (--record=<log> [--sync=P] also\n"
-          "                          records pushed events durably; on\n"
-          "                          disk errors the session keeps\n"
+       << "  open [--shards=N]       open a live push-driven session;\n"
+          "                          repeatable — sessions run as\n"
+          "                          isolated concurrent tenants, and the\n"
+          "                          newest one becomes current\n"
+          "                          (--record=<log> [--sync=P] [--force]\n"
+          "                          also records pushed events durably;\n"
+          "                          on disk errors the session keeps\n"
           "                          serving queries and the recording\n"
-          "                          is marked failed)\n"
-       << "  push [minutes]          push simulated traffic into the "
+          "                          is marked failed; --force discards\n"
+          "                          stale WAL files left by a crashed\n"
+          "                          earlier incarnation of the log)\n"
+       << "  push [#id] [minutes]    push simulated traffic into a "
           "session\n"
-       << "  add <name> <text>       attach a query mid-stream\n"
-       << "  remove <name>           retract a query\n"
-       << "  session                 live-session status\n"
-       << "  close                   close the live session\n"
+       << "  add [#id] <name> <text> attach a query mid-stream to one\n"
+          "                          session (others are unaffected)\n"
+       << "  remove [#id] <name>     retract a query\n"
+       << "  session [#id]           one session's status (an explicit\n"
+          "                          #id also makes it current)\n"
+       << "  sessions                list all open sessions\n"
+       << "  close [#id]             close a session\n"
        << "  alerts [n]              show last n alerts\n"
        << "  shards [n]              show or set executor shard lanes\n"
        << "  index [on|off]          show or toggle member-match indexing\n"
@@ -409,160 +419,231 @@ void QueryShell::CmdRecover(const std::vector<std::string>& args) {
 // ---------------------------------------------------------------------
 // Live-session commands.
 
-void QueryShell::CmdOpen(const std::vector<std::string>& args) {
-  if (session_open()) {
-    out_ << "a live session is already open — 'close' it first\n";
-    return;
+QueryShell::LiveSession* QueryShell::ConsumeSessionRef(
+    std::vector<std::string>* args) {
+  uint64_t id = current_session_;
+  for (auto it = args->begin(); it != args->end();) {
+    if (!it->empty() && (*it)[0] == '#') {
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(it->c_str() + 1, &end, 10);
+      if (n == 0 || end == nullptr || *end != '\0') {
+        out_ << "bad session reference '" << *it << "' (expected #<id>)\n";
+        return nullptr;
+      }
+      id = n;
+      it = args->erase(it);
+    } else {
+      ++it;
+    }
   }
+  if (live_sessions_.empty()) {
+    out_ << "no live session — 'open' one first\n";
+    return nullptr;
+  }
+  auto it = live_sessions_.find(id);
+  if (it == live_sessions_.end()) {
+    out_ << "no open session #" << id << " — 'sessions' lists them\n";
+    return nullptr;
+  }
+  current_session_ = id;  // addressing a session selects it
+  return &it->second;
+}
+
+void QueryShell::CmdOpen(const std::vector<std::string>& args) {
   std::vector<std::string> rest = args;
   size_t shards = ConsumeShardsFlag(&rest);
   std::string record_path;
   SyncPolicy record_sync;
+  bool record_force = false;
   ConsumeSyncFlag(&rest, &record_sync);
   for (auto it = rest.begin(); it != rest.end();) {
     if (it->rfind("--record=", 0) == 0) {
       record_path = it->substr(9);
       it = rest.erase(it);
+    } else if (*it == "--force") {
+      record_force = true;
+      it = rest.erase(it);
     } else {
       ++it;
     }
   }
-  SaqlEngine::Options opts;
-  opts.num_shards = shards;
-  opts.enable_member_index = member_index_;
-  opts.record_path = record_path;
-  opts.record_sync = record_sync;
-  live_engine_ = std::make_unique<SaqlEngine>(opts);
-  for (const auto& [name, text] : queries_) {
-    Status st = live_engine_->AddQuery(text, name);
-    if (!st.ok()) out_ << "skipping '" << name << "': " << st << "\n";
+  // One engine hosts every concurrently open session; it is built at the
+  // first open (snapshotting the registered queries) and torn down when
+  // the last session closes.
+  if (live_engine_ == nullptr) {
+    SaqlEngine::Options opts;
+    opts.enable_member_index = member_index_;
+    live_engine_ = std::make_unique<SaqlEngine>(opts);
+    for (const auto& [name, text] : queries_) {
+      Status st = live_engine_->AddQuery(text, name);
+      if (!st.ok()) out_ << "skipping '" << name << "': " << st << "\n";
+    }
+    alerts_.clear();
+    live_engine_->SetAlertSink([this](const Alert& a) {
+      alerts_.push_back(a);
+      out_ << a.ToString() << "\n";
+    });
+    live_member_index_ = member_index_;
+  } else if (live_engine_->num_queries() != queries_.size()) {
+    out_ << "note: sessions snapshot the query set from the first 'open' "
+            "— use 'add' to attach newer queries mid-stream\n";
   }
-  alerts_.clear();
-  live_engine_->SetAlertSink([this](const Alert& a) {
-    alerts_.push_back(a);
-    out_ << a.ToString() << "\n";
-  });
-  auto session = live_engine_->OpenSession();
+  SessionOptions sopts;
+  sopts.num_shards = shards;
+  sopts.record_path = record_path;
+  sopts.record_sync = record_sync;
+  sopts.record_force = record_force;
+  auto session = live_engine_->OpenSession(std::move(sopts));
   if (!session.ok()) {
     out_ << "open failed: " << session.status() << "\n";
-    live_engine_.reset();
+    if (live_sessions_.empty()) live_engine_.reset();
     return;
   }
-  live_session_ = std::move(session).value();
-  live_shards_ = shards;
-  live_member_index_ = member_index_;
-  live_clock_ = EnterpriseSimulator::Options{}.start;
-  live_pushes_ = 0;
-  live_events_ = 0;
-  live_record_path_ = record_path;
-  live_record_failed_ = false;
+  const uint64_t id = (*session)->id();
+  LiveSession& ls = live_sessions_[id];
+  ls.session = std::move(session).value();
+  ls.shards = shards;
+  ls.clock = EnterpriseSimulator::Options{}.start;
+  ls.record_path = record_path;
+  current_session_ = id;
   out_ << "session open on " << shards << " shard lane"
        << (shards == 1 ? "" : "s") << " with "
-       << live_session_->num_active_queries() << " quer"
-       << (live_session_->num_active_queries() == 1 ? "y" : "ies")
-       << " — 'push' streams data, 'add'/'remove' change the query set\n";
+       << ls.session->num_active_queries() << " quer"
+       << (ls.session->num_active_queries() == 1 ? "y" : "ies") << " (#"
+       << id << (live_sessions_.size() > 1 ? ", now current" : "")
+       << ") — 'push' streams data, 'add'/'remove' change the query set\n";
   if (!record_path.empty()) {
-    Status rst = live_session_->recording_status();
+    Status rst = ls.session->recording_status();
     if (rst.ok()) {
       out_ << "recording pushed events to " << record_path
            << " (sync=" << record_sync.name() << ")\n";
     } else {
       out_ << "recording failed to start: " << rst
            << " — session serves queries without recording\n";
-      live_record_failed_ = true;
+      ls.record_failed = true;
       exit_code_ = 1;
     }
   }
 }
 
 void QueryShell::CmdPush(const std::vector<std::string>& args) {
-  if (!session_open()) {
-    out_ << "no live session — 'open' one first\n";
-    return;
-  }
+  std::vector<std::string> rest = args;
+  LiveSession* ls = ConsumeSessionRef(&rest);
+  if (ls == nullptr) return;
   long minutes = 5;
-  if (!args.empty()) {
-    minutes = std::strtol(args[0].c_str(), nullptr, 10);
+  if (!rest.empty()) {
+    minutes = std::strtol(rest[0].c_str(), nullptr, 10);
     if (minutes <= 0) minutes = 5;
   }
   EnterpriseSimulator::Options opts;
-  opts.start = live_clock_;
+  opts.start = ls->clock;
   opts.duration = minutes * kMinute;
   // Vary the seed per push so repeated pushes produce fresh traffic.
-  opts.seed = 42 + live_pushes_;
+  opts.seed = 42 + ls->pushes;
   EnterpriseSimulator sim(opts);
   EventBatch events = sim.Generate();
   size_t num_alerts_before = alerts_.size();
-  Status st = live_session_->Push(events);
+  Status st = ls->session->Push(events);
   if (st.ok()) {
-    st = live_session_->AdvanceWatermark(live_session_->max_event_ts());
+    st = ls->session->AdvanceWatermark(ls->session->max_event_ts());
   }
-  if (st.ok()) st = live_session_->Flush();
+  if (st.ok()) st = ls->session->Flush();
   if (!st.ok()) {
     out_ << "push failed: " << st << "\n";
     return;
   }
-  live_clock_ += opts.duration;
-  ++live_pushes_;
-  live_events_ += events.size();
+  ls->clock += opts.duration;
+  ++ls->pushes;
+  ls->events += events.size();
   out_ << "pushed " << events.size() << " events ("
-       << FormatDuration(opts.duration) << " of traffic; session total "
-       << live_events_ << "), " << alerts_.size() - num_alerts_before
-       << " new alert(s)\n";
-  if (!live_record_path_.empty() && !live_record_failed_ &&
-      !live_session_->recording_status().ok()) {
+       << FormatDuration(opts.duration) << " of traffic; session #"
+       << current_session_ << " total " << ls->events << "), "
+       << alerts_.size() - num_alerts_before << " new alert(s)\n";
+  if (!ls->record_path.empty() && !ls->record_failed &&
+      !ls->session->recording_status().ok()) {
     // Graceful degradation: report once, keep the session serving.
-    out_ << "recording failed: " << live_session_->recording_status()
+    out_ << "recording failed: " << ls->session->recording_status()
          << " — the session keeps serving queries; "
-         << live_session_->durable_events()
-         << " events are durable, run 'recover " << live_record_path_
+         << ls->session->durable_events()
+         << " events are durable, run 'recover " << ls->record_path
          << "' after closing\n";
-    live_record_failed_ = true;
+    ls->record_failed = true;
     exit_code_ = 1;
   }
 }
 
 void QueryShell::CmdAdd(const std::string& rest) {
   std::istringstream is(Trim(rest));
+  std::string first;
+  is >> first;
+  std::vector<std::string> ref;
   std::string name;
-  is >> name;
+  if (!first.empty() && first[0] == '#') {
+    ref.push_back(first);
+    is >> name;
+  } else {
+    name = first;
+  }
   std::string text;
   std::getline(is, text);
   text = Trim(text);
   if (name.empty() || text.empty()) {
-    out_ << "usage: add <name> <text>\n";
+    out_ << "usage: add [#id] <name> <text>\n";
     return;
   }
   if (!session_open()) {
+    if (!ref.empty()) {
+      out_ << "no live session — 'open' one first\n";
+      return;
+    }
     // No live stream to attach to: behave like `query`.
     CmdQueryInline(rest);
     return;
   }
-  auto handle = live_session_->AddQuery(text, name);
+  LiveSession* ls = ConsumeSessionRef(&ref);
+  if (ls == nullptr) return;
+  auto handle = ls->session->AddQuery(text, name);
   if (!handle.ok()) {
     out_ << "add failed: " << handle.status() << "\n";
     return;
   }
   queries_[name] = text;
   out_ << "attached query '" << name
-       << "' mid-stream (sees events from this point on)\n";
+       << "' mid-stream (sees events from this point on";
+  if (live_sessions_.size() > 1) {
+    out_ << "; session #" << current_session_ << " only";
+  }
+  out_ << ")\n";
 }
 
 void QueryShell::CmdRemove(const std::vector<std::string>& args) {
-  if (args.empty()) {
-    out_ << "usage: remove <name>\n";
+  std::vector<std::string> rest = args;
+  std::vector<std::string> ref;
+  for (auto it = rest.begin(); it != rest.end();) {
+    if (!it->empty() && (*it)[0] == '#') {
+      ref.push_back(*it);
+      it = rest.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (rest.empty()) {
+    out_ << "usage: remove [#id] <name>\n";
     return;
   }
-  const std::string& name = args[0];
+  const std::string& name = rest[0];
   if (session_open()) {
-    SaqlEngine::QueryHandle* h = live_session_->handle(name);
-    Status st = live_session_->RemoveQuery(name);
+    LiveSession* ls = ConsumeSessionRef(&ref);
+    if (ls == nullptr) return;
+    SaqlEngine::QueryHandle* h = ls->session->handle(name);
+    Status st = ls->session->RemoveQuery(name);
     if (!st.ok()) {
       out_ << "remove failed: " << st << "\n";
       return;
     }
     queries_.erase(name);
     out_ << "removed query '" << name << "' from the live session";
+    if (live_sessions_.size() > 1) out_ << " #" << current_session_;
     if (h != nullptr) {
       CompiledQuery::QueryStats qs = h->stats();
       out_ << " (final: matched=" << qs.matches
@@ -572,6 +653,10 @@ void QueryShell::CmdRemove(const std::vector<std::string>& args) {
     out_ << "\n";
     return;
   }
+  if (!ref.empty()) {
+    out_ << "no live session — 'open' one first\n";
+    return;
+  }
   if (queries_.erase(name) > 0) {
     out_ << "unregistered query '" << name << "'\n";
   } else {
@@ -579,60 +664,88 @@ void QueryShell::CmdRemove(const std::vector<std::string>& args) {
   }
 }
 
-void QueryShell::CmdSessionStatus() {
-  if (!session_open()) {
-    out_ << "no live session — 'open' starts one\n";
-    return;
-  }
-  out_ << "session: open, " << live_shards_ << " shard lane"
-       << (live_shards_ == 1 ? "" : "s") << ", "
-       << live_session_->num_active_queries() << " active quer"
-       << (live_session_->num_active_queries() == 1 ? "y" : "ies") << ", "
-       << live_events_ << " events pushed, " << alerts_.size()
-       << " alert(s)";
-  if (live_session_->watermark() != INT64_MIN) {
-    out_ << ", watermark " << FormatTimestamp(live_session_->watermark());
+void QueryShell::PrintSessionStatus(uint64_t id, LiveSession& ls) {
+  out_ << "session #" << id << (id == current_session_ ? " (current)" : "")
+       << ": open, " << ls.shards << " shard lane"
+       << (ls.shards == 1 ? "" : "s") << ", "
+       << ls.session->num_active_queries() << " active quer"
+       << (ls.session->num_active_queries() == 1 ? "y" : "ies") << ", "
+       << ls.events << " events pushed";
+  if (ls.session->watermark() != INT64_MIN) {
+    out_ << ", watermark " << FormatTimestamp(ls.session->watermark());
   }
   out_ << "\n";
-  if (!live_record_path_.empty()) {
-    Status rst = live_session_->recording_status();
+  if (!ls.record_path.empty()) {
+    Status rst = ls.session->recording_status();
     if (rst.ok()) {
-      out_ << "recording: " << live_record_path_ << ", "
-           << live_session_->recorded_events() << " events acked, "
-           << live_session_->durable_events() << " durable\n";
+      out_ << "  recording: " << ls.record_path << ", "
+           << ls.session->recorded_events() << " events acked, "
+           << ls.session->durable_events() << " durable\n";
     } else {
-      out_ << "recording: FAILED (" << rst << ")\n";
+      out_ << "  recording: FAILED (" << rst << ")\n";
     }
   }
 }
 
-void QueryShell::CmdClose() {
-  if (!session_open()) {
-    out_ << "no live session to close\n";
+void QueryShell::CmdSessionStatus(const std::vector<std::string>& args) {
+  std::vector<std::string> rest = args;
+  LiveSession* ls = ConsumeSessionRef(&rest);
+  if (ls == nullptr) return;
+  PrintSessionStatus(current_session_, *ls);
+  out_ << "  " << alerts_.size() << " alert(s) across all sessions\n";
+}
+
+void QueryShell::CmdSessions() {
+  if (live_sessions_.empty()) {
+    out_ << "(no live sessions — 'open' starts one)\n";
     return;
   }
-  uint64_t recorded = live_session_->recorded_events();
-  Status st = live_session_->Close();
+  out_ << live_sessions_.size() << " live session"
+       << (live_sessions_.size() == 1 ? "" : "s") << ":\n";
+  for (auto& [id, ls] : live_sessions_) {
+    out_ << "  ";
+    PrintSessionStatus(id, ls);
+  }
+}
+
+void QueryShell::CmdClose(const std::vector<std::string>& args) {
+  std::vector<std::string> rest = args;
+  LiveSession* ls = ConsumeSessionRef(&rest);
+  if (ls == nullptr) return;
+  const uint64_t id = current_session_;
+  uint64_t recorded = ls->session->recorded_events();
+  Status st = ls->session->Close();
   if (!st.ok()) out_ << "close reported: " << st << "\n";
-  Status record_st = live_session_->recording_status();
+  Status record_st = ls->session->recording_status();
+  std::string record_path = ls->record_path;
+  // The engine publishes the closing session's stats (last close wins).
   last_stats_ = FormatStats(
       live_engine_->executor_stats(), live_engine_->num_queries(),
       live_engine_->num_groups(), live_engine_->num_indexed_groups(),
       live_member_index_, alerts_.size(), live_engine_->query_stats());
   last_errors_ = live_engine_->errors().ToString();
-  live_session_.reset();
-  live_engine_.reset();
-  out_ << "session closed: " << alerts_.size() << " alert(s) total\n";
-  if (!live_record_path_.empty()) {
+  live_sessions_.erase(id);
+  out_ << "session closed: " << alerts_.size() << " alert(s) total";
+  if (!live_sessions_.empty()) {
+    out_ << " (" << live_sessions_.size() << " session"
+         << (live_sessions_.size() == 1 ? "" : "s") << " still open)";
+  }
+  out_ << "\n";
+  if (live_sessions_.empty()) {
+    live_engine_.reset();
+    current_session_ = 0;
+  } else {
+    current_session_ = live_sessions_.rbegin()->first;
+  }
+  if (!record_path.empty()) {
     if (record_st.ok()) {
       out_ << "recording complete: " << recorded << " events durable in "
-           << live_record_path_ << "\n";
+           << record_path << "\n";
     } else {
       out_ << "recording failed: " << record_st << " — run 'recover "
-           << live_record_path_ << "' to salvage the durable prefix\n";
+           << record_path << "' to salvage the durable prefix\n";
       exit_code_ = 1;
     }
-    live_record_path_.clear();
   }
 }
 
@@ -678,9 +791,8 @@ void QueryShell::CmdShards(const std::vector<std::string>& args) {
   SetNumShards(static_cast<size_t>(n));
   out_ << "shards = " << num_shards_ << "\n";
   if (session_open()) {
-    out_ << "note: the live session keeps running on " << live_shards_
-         << " lane" << (live_shards_ == 1 ? "" : "s")
-         << "; the new setting applies from the next 'open' or batch run\n";
+    out_ << "note: open sessions keep their lane counts; the new setting "
+            "applies from the next 'open' or batch run\n";
   } else {
     out_ << "(applies to the next 'open' or batch run)\n";
   }
@@ -713,13 +825,19 @@ void QueryShell::CmdIndex(const std::vector<std::string>& args) {
 
 void QueryShell::CmdStats() {
   if (session_open()) {
-    out_ << FormatStats(live_session_->executor_stats(),
-                        live_session_->num_active_queries(),
-                        live_session_->num_groups(),
-                        live_session_->num_indexed_groups(),
-                        live_member_index_, alerts_.size(),
-                        live_session_->query_stats());
-    return;
+    auto it = live_sessions_.find(current_session_);
+    if (it != live_sessions_.end()) {
+      SaqlEngine::Session& s = *it->second.session;
+      if (live_sessions_.size() > 1) {
+        out_ << "stats for session #" << current_session_
+             << " (the current one; 'session #id' selects another)\n";
+      }
+      out_ << FormatStats(s.executor_stats(), s.num_active_queries(),
+                          s.num_groups(), s.num_indexed_groups(),
+                          live_member_index_, alerts_.size(),
+                          s.query_stats());
+      return;
+    }
   }
   out_ << (last_stats_.empty() ? "(no run yet)\n" : last_stats_);
 }

@@ -1,6 +1,7 @@
 #ifndef SAQL_CLI_SHELL_H_
 #define SAQL_CLI_SHELL_H_
 
+#include <cstdint>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -35,19 +36,31 @@ namespace saql {
 ///                            (segments + WAL tail) and compact it back
 ///                            to a pure columnar log
 ///
-/// Live-session commands (the deployed-monitor mode: a long-lived
-/// push-driven engine session that queries can join and leave mid-stream):
-///   open [--shards=N]        open a live session over the registered
-///                            queries (`--record=<log> [--sync=P]` also
-///                            records every pushed event durably)
-///   push [minutes]           simulate a chunk of enterprise traffic and
-///                            push it into the live session (clock
-///                            continues across pushes)
-///   add <name> <text...>     attach a query mid-stream (falls back to
-///                            plain registration when no session is open)
-///   remove <name>            retract a query (live if a session is open)
-///   session                  live-session status
-///   close                    close the live session
+/// Live-session commands (the deployed-monitor mode: long-lived
+/// push-driven engine sessions that queries can join and leave
+/// mid-stream). Any number of sessions can be open at once — they are
+/// isolated tenants of one engine, each with its own lane count, clock,
+/// query set, and optional recording. `open` makes the new session
+/// *current*; every session-addressed command targets the current session
+/// unless given an explicit `#<id>`:
+///   open [--shards=N]        open another live session over the
+///                            registered queries (`--record=<log>
+///                            [--sync=P] [--force]` also records every
+///                            pushed event durably; `--force` discards
+///                            stale WAL files a crashed earlier
+///                            incarnation left at the log path)
+///   push [#id] [minutes]     simulate a chunk of enterprise traffic and
+///                            push it into a session (each session's
+///                            clock continues across its pushes)
+///   add [#id] <name> <text>  attach a query mid-stream to one session
+///                            (falls back to plain registration when no
+///                            session is open)
+///   remove [#id] <name>      retract a query (live if a session is open)
+///   session [#id]            one session's status; also selects it as
+///                            current when an id is given
+///   sessions                 list all open sessions
+///   close [#id]              close a session (the engine publishes the
+///                            last-closed stats once all are closed)
 ///
 /// Inspection:
 ///   alerts [n]               show the last n alerts (default 10)
@@ -94,7 +107,8 @@ class QueryShell {
     return queries_;
   }
 
-  bool session_open() const { return live_session_ != nullptr; }
+  bool session_open() const { return !live_sessions_.empty(); }
+  size_t open_session_count() const { return live_sessions_.size(); }
 
   /// Process exit code for the embedding binary: 0 until a durability
   /// failure (failed `record`, failed recovery, or a live recording that
@@ -121,8 +135,9 @@ class QueryShell {
   void CmdPush(const std::vector<std::string>& args);
   void CmdAdd(const std::string& rest);
   void CmdRemove(const std::vector<std::string>& args);
-  void CmdSessionStatus();
-  void CmdClose();
+  void CmdSessionStatus(const std::vector<std::string>& args);
+  void CmdSessions();
+  void CmdClose(const std::vector<std::string>& args);
 
   /// Renders the engine/session statistics block shown by `stats`.
   std::string FormatStats(
@@ -140,6 +155,27 @@ class QueryShell {
   /// the flag is absent; malformed values are reported and ignored).
   void ConsumeSyncFlag(std::vector<std::string>* args, SyncPolicy* policy);
 
+  /// One open live session of the shared engine, with the shell-side
+  /// drive state (the per-session simulator clock and counters).
+  struct LiveSession {
+    std::unique_ptr<SaqlEngine::Session> session;
+    size_t shards = 1;
+    Timestamp clock = 0;        ///< next push's simulator start time
+    uint64_t pushes = 0;        ///< varies the per-push simulator seed
+    uint64_t events = 0;        ///< events pushed so far
+    std::string record_path;    ///< durable recording target ("" = off)
+    bool record_failed = false;  ///< already reported mid-session
+  };
+
+  /// Strips a `#<id>` session reference out of `args`. Returns the
+  /// addressed live session — the explicit one, else the current one —
+  /// or nullptr (with a message) when the reference is unknown or no
+  /// session is open.
+  LiveSession* ConsumeSessionRef(std::vector<std::string>* args);
+
+  /// Renders one session's status line.
+  void PrintSessionStatus(uint64_t id, LiveSession& ls);
+
   /// Runs all registered queries against `source`, capturing alerts.
   void RunEngine(class EventSource* source, size_t num_shards);
 
@@ -153,16 +189,15 @@ class QueryShell {
   bool member_index_ = true;
   int exit_code_ = 0;
 
-  // Live session state (session must die before its engine).
+  // Live multi-session state. One shared engine hosts every open session
+  // (created at the first `open`, torn down when the last session
+  // closes); sessions must die before it. Keyed by engine-assigned
+  // session id; `current_session_` is the default target of
+  // session-addressed commands (the last opened/selected).
   std::unique_ptr<SaqlEngine> live_engine_;
-  std::unique_ptr<SaqlEngine::Session> live_session_;
-  size_t live_shards_ = 1;       ///< lanes the open session runs on
-  bool live_member_index_ = true;  ///< member-matching mode at open time
-  Timestamp live_clock_ = 0;     ///< next push's simulator start time
-  uint64_t live_pushes_ = 0;     ///< varies the per-push simulator seed
-  uint64_t live_events_ = 0;     ///< events pushed so far
-  std::string live_record_path_;  ///< durable recording target ("" = off)
-  bool live_record_failed_ = false;  ///< already reported mid-session
+  std::map<uint64_t, LiveSession> live_sessions_;
+  uint64_t current_session_ = 0;
+  bool live_member_index_ = true;  ///< member-matching mode at engine build
 };
 
 }  // namespace saql

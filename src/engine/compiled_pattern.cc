@@ -24,10 +24,18 @@ void CompiledConstraint::CompileValue() {
       (op_ == ConstraintOp::kEq || op_ == ConstraintOp::kNe)) {
     like_.emplace(value_.AsString());
     // Wildcard-free equality on an internable attribute: capture the
-    // expected symbol so interned events compare ids, not strings.
+    // expected symbol so interned events compare ids, not strings. The
+    // generation stamp gates the fast path — after a rotation, events
+    // carry new-generation ids and the comparison must not mix eras.
     if (like_->is_exact()) {
-      sym_ = Interner::Global().Intern(value_.AsString());
+      sym_ = Interner::Global().InternStamped(value_.AsString(), &sym_gen_);
     }
+  }
+}
+
+void CompiledConstraint::ReIntern() {
+  if (like_.has_value() && like_->is_exact()) {
+    sym_ = Interner::Global().InternStamped(value_.AsString(), &sym_gen_);
   }
 }
 
@@ -79,7 +87,7 @@ bool CompiledConstraint::MatchesEntity(const Event& event,
     if (!v.ok()) return false;
     return CompareResolved(*v);
   }
-  if (sym_ != 0) {
+  if (sym_ != 0 && event.syms.gen == static_cast<uint32_t>(sym_gen_)) {
     uint32_t actual = GetEntitySymbol(event, role, field_id_);
     if (actual != 0) {
       return op_ == ConstraintOp::kEq ? actual == sym_ : actual != sym_;
@@ -102,7 +110,7 @@ bool CompiledConstraint::MatchesEvent(const Event& event) const {
     if (!v.ok()) return false;
     return CompareResolved(*v);
   }
-  if (sym_ != 0) {
+  if (sym_ != 0 && event.syms.gen == static_cast<uint32_t>(sym_gen_)) {
     uint32_t actual = GetEventSymbol(event, field_id_);
     if (actual != 0) {
       return op_ == ConstraintOp::kEq ? actual == sym_ : actual != sym_;
@@ -139,6 +147,11 @@ bool CompiledPattern::Matches(const Event& event) const {
     if (!c.MatchesEntity(event, EntityRole::kObject)) return false;
   }
   return true;
+}
+
+void CompiledPattern::ReInternSymbols() {
+  for (CompiledConstraint& c : subject_constraints_) c.ReIntern();
+  for (CompiledConstraint& c : object_constraints_) c.ReIntern();
 }
 
 std::string CompiledPattern::StructuralSignature() const {

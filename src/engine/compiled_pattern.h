@@ -43,6 +43,15 @@ class CompiledConstraint {
   /// Interned expected symbol; nonzero only for exact (wildcard-free)
   /// string eq/ne constraints.
   uint32_t symbol() const { return sym_; }
+  /// Interner generation `symbol()` was captured under. The integer fast
+  /// path only fires when the event's symbols carry the same generation;
+  /// otherwise matching falls back to (always correct) string comparison.
+  uint64_t symbol_generation() const { return sym_gen_; }
+
+  /// Re-captures the expected symbol from the current interner
+  /// generation. Sessions call this at a quiesce point after a live
+  /// rotation so the integer fast path resumes.
+  void ReIntern();
 
  private:
   void CompileValue();
@@ -56,6 +65,7 @@ class CompiledConstraint {
   std::optional<LikeMatcher> like_;  ///< set for string eq/ne constraints
   FieldId field_id_ = FieldId::kInvalid;
   uint32_t sym_ = 0;  ///< interned expected value for exact string equality
+  uint64_t sym_gen_ = 0;  ///< generation sym_ was interned under
 };
 
 /// A fully compiled event pattern: structural shape (subject/object entity
@@ -88,6 +98,10 @@ class CompiledPattern {
   /// A stable signature of the structural shape, used to group compatible
   /// queries ("proc|start|proc").
   std::string StructuralSignature() const;
+
+  /// Re-captures every constraint's expected symbol after an interner
+  /// rotation (see CompiledConstraint::ReIntern).
+  void ReInternSymbols();
 
  private:
   OpMask ops_;

@@ -110,6 +110,11 @@ void CompiledQuery::ConsumeMergedWindow(
   OnWindowClose(window, groups);
 }
 
+void CompiledQuery::ReInternSymbols() {
+  for (CompiledConstraint& c : global_constraints_) c.ReIntern();
+  for (CompiledPattern& p : patterns_) p.ReInternSymbols();
+}
+
 std::string CompiledQuery::GroupSignature() const {
   std::vector<std::string> sigs;
   sigs.reserve(patterns_.size());

@@ -105,6 +105,13 @@ class CompiledQuery final : public EventProcessor {
   /// signatures are semantically compatible for scheduler grouping.
   std::string GroupSignature() const;
 
+  /// Re-captures every constraint's interned symbol from the current
+  /// interner generation. Called by the owning session at its quiesce
+  /// point after a live rotation; until then matching falls back to the
+  /// (always correct) string paths on the generation mismatch. Not
+  /// thread-safe against concurrent OnEvent on the same instance.
+  void ReInternSymbols();
+
   // Sharded execution support -----------------------------------------
 
   /// How this query can run under a sharded executor that hash-partitions

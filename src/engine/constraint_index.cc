@@ -3,6 +3,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "core/interner.h"
 #include "core/string_util.h"
 #include "engine/compiled_query.h"
 
@@ -93,6 +94,7 @@ std::shared_ptr<const ConstraintIndex> ConstraintIndex::Build(
 
   std::shared_ptr<ConstraintIndex> index(new ConstraintIndex());
   index->num_members_ = members.size();
+  index->built_gen_ = Interner::Global().generation();
   const size_t words = WordsFor(members.size());
   index->all_members_.assign(words, 0);
   for (size_t i = 0; i < members.size(); ++i) {
@@ -128,10 +130,16 @@ std::shared_ptr<const ConstraintIndex> ConstraintIndex::Build(
   std::vector<ProbeGroup> probes;
   for (uint32_t s = 0; s < index->slots_.size(); ++s) {
     const Slot& slot = index->slots_[s];
-    const bool probeable = slot.constraint.op() == ConstraintOp::kEq &&
-                           slot.constraint.symbol() != 0 &&
-                           slot.constraint.field_id() != FieldId::kInvalid &&
-                           SymbolCapable(slot.side, slot.constraint.field_id());
+    const bool probeable =
+        slot.constraint.op() == ConstraintOp::kEq &&
+        slot.constraint.symbol() != 0 &&
+        // A symbol from an older interner generation than the index is
+        // built against would probe against ids from the wrong era; such
+        // slots stay residual until the owning session re-interns its
+        // constraints and rebuilds.
+        slot.constraint.symbol_generation() == index->built_gen_ &&
+        slot.constraint.field_id() != FieldId::kInvalid &&
+        SymbolCapable(slot.side, slot.constraint.field_id());
     if (!probeable) {
       if (slot.side == Side::kEvent) {
         index->global_residuals_.push_back(s);
@@ -196,14 +204,16 @@ void ConstraintIndex::ApplyProbeGroup(const ProbeGroup& group,
                                       const Event& event,
                                       std::vector<uint64_t>* matched) const {
   if (!Intersects(group.all_members, *matched)) return;
-  uint32_t sym =
-      group.side == Side::kEvent
-          ? GetEventSymbol(event, group.field)
-          : GetEntitySymbol(event,
-                            group.side == Side::kSubject
-                                ? EntityRole::kSubject
-                                : EntityRole::kObject,
-                            group.field);
+  uint32_t sym = 0;
+  if (event.syms.gen == static_cast<uint32_t>(built_gen_)) {
+    sym = group.side == Side::kEvent
+              ? GetEventSymbol(event, group.field)
+              : GetEntitySymbol(event,
+                                group.side == Side::kSubject
+                                    ? EntityRole::kSubject
+                                    : EntityRole::kObject,
+                                group.field);
+  }
   if (sym == 0) {
     // Un-interned event (or the field carries no symbol for this object
     // type): fall back to the constraints' own evaluation, which handles

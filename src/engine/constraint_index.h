@@ -95,6 +95,12 @@ class ConstraintIndex {
   /// (num_members + 63) / 64.
   const std::vector<uint64_t>& all_members() const { return all_members_; }
 
+  /// Interner generation the probe groups were built against. Events
+  /// stamped under any other generation bypass the symbol probes and take
+  /// the per-slot fallback (always correct); sessions rebuild their
+  /// indexes at the quiesce point after a live rotation.
+  uint64_t built_generation() const { return built_gen_; }
+
  private:
   /// One distinct predicate shared by every member whose bit is set.
   struct Slot {
@@ -131,6 +137,7 @@ class ConstraintIndex {
   size_t num_members_ = 0;
   size_t probe_slots_ = 0;
   size_t total_constraints_ = 0;
+  uint64_t built_gen_ = 0;
   std::vector<uint64_t> all_members_;
   std::vector<Slot> slots_;
   // Evaluation plan: global (whole-event) predicates first — their joint

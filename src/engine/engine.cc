@@ -5,9 +5,7 @@
 
 namespace saql {
 
-SaqlEngine::SaqlEngine(Options options) : options_(std::move(options)) {
-  sink_ = [this](const Alert& a) { alerts_.push_back(a); };
-}
+SaqlEngine::SaqlEngine(Options options) : core_(std::move(options)) {}
 
 SaqlEngine::~SaqlEngine() = default;
 
@@ -24,60 +22,36 @@ Status SaqlEngine::AddAnalyzedQuery(AnalyzedQueryPtr aq,
         "engine already ran: Run() is one-shot; register queries before "
         "Run, or use OpenSession() for long-lived deployments");
   }
-  if (active_session_ != nullptr) {
+  if (core_.session_count() > 0) {
     return Status::FailedPrecondition(
-        "a session is open: use Session::AddQuery to attach a query "
-        "mid-stream");
+        "sessions are open: use Session::AddQuery to attach a query "
+        "mid-stream (engine-level registration covers future sessions "
+        "only)");
   }
-  for (const Registered& r : registered_) {
-    if (r.name == name) {
-      return Status::AlreadyExists("query '" + name +
-                                   "' is already registered");
-    }
-  }
-  // Compile now to validate (and to serve the first session without a
-  // recompile).
-  SAQL_ASSIGN_OR_RETURN(
-      std::unique_ptr<CompiledQuery> q,
-      CompiledQuery::Create(aq, name, options_.query_options));
-  registered_.push_back(Registered{name, std::move(aq), std::move(q)});
-  return Status::Ok();
+  return core_.RegisterQuery(std::move(aq), name);
 }
 
-void SaqlEngine::SetAlertSink(AlertSink sink) { sink_ = std::move(sink); }
+void SaqlEngine::SetAlertSink(AlertSink sink) {
+  core_.SetAlertSink(std::move(sink));
+}
 
-Result<std::unique_ptr<SaqlEngine::Session>> SaqlEngine::OpenSession() {
+Result<std::unique_ptr<SaqlEngine::Session>> SaqlEngine::OpenSession(
+    SessionOptions options) {
   if (ran_) {
     return Status::FailedPrecondition(
         "engine already ran: Run() is one-shot and final; use sessions "
         "from the start for multi-run lifecycles");
   }
-  if (active_session_ != nullptr) {
-    return Status::FailedPrecondition(
-        "a session is already open; close it before opening another");
-  }
-  // Interner rotation policy: only ever between sessions, never under a
-  // live stream. Rotation invalidates the symbol ids compiled constraints
-  // captured, so every cached compilation is discarded below.
-  bool rotated = false;
-  if (options_.interner_rotate_bytes > 0 &&
-      Interner::Global().stats().bytes >= options_.interner_rotate_bytes) {
-    Interner::Global().Rotate();
-    rotated = true;
-  }
-  for (Registered& reg : registered_) {
-    if (reg.compiled == nullptr || rotated) {
-      SAQL_ASSIGN_OR_RETURN(
-          reg.compiled,
-          CompiledQuery::Create(reg.aq, reg.name, options_.query_options));
-    }
-  }
-  auto session = std::unique_ptr<Session>(new Session(this));
+  // Interner rotation policy, no-stream edition: rotating here (instead
+  // of at this session's first push) lets the fresh compilations below
+  // capture current-generation symbols directly. Rotation under other
+  // live sessions is safe — they heal at their own next push.
+  core_.MaybeRotate();
+  auto session =
+      std::unique_ptr<Session>(new Session(this, std::move(options)));
   Status st = session->OpenInternal();
   if (!st.ok()) return st;
   session->open_ = true;
-  active_session_ = session.get();
-  ++sessions_opened_;
   return session;
 }
 
@@ -87,21 +61,21 @@ Status SaqlEngine::Run(EventSource* source) {
         "SaqlEngine::Run is one-shot and this engine already ran; use "
         "OpenSession() for repeated or long-lived runs");
   }
-  if (active_session_ != nullptr) {
+  if (core_.session_count() > 0) {
     return Status::FailedPrecondition(
         "a session is open; push events through it instead of Run");
   }
-  if (sessions_opened_ > 0) {
+  if (core_.sessions_opened() > 0) {
     return Status::FailedPrecondition(
         "this engine is driven through sessions; Run's one-shot contract "
         "applies to fresh engines only");
   }
-  if (registered_.empty()) {
+  if (core_.num_queries() == 0) {
     return Status::InvalidArgument("no queries registered");
   }
   SAQL_ASSIGN_OR_RETURN(std::unique_ptr<Session> session, OpenSession());
   ran_ = true;
-  while (EventBlock* block = source->NextBlock(options_.batch_size)) {
+  while (EventBlock* block = source->NextBlock(core_.options().batch_size)) {
     if (block->empty()) continue;
     Status st = session->Push(*block);
     if (!st.ok()) return st;

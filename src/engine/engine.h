@@ -7,6 +7,7 @@
 
 #include "engine/alert.h"
 #include "engine/compiled_query.h"
+#include "engine/engine_core.h"
 #include "engine/error_reporter.h"
 #include "engine/scheduler.h"
 #include "storage/file_backend.h"
@@ -38,15 +39,37 @@ namespace saql {
 ///   session->Close();
 /// ```
 ///
+/// **Sessions are concurrent.** `OpenSession` may be called any number of
+/// times; the resulting sessions run simultaneously from independent
+/// threads, one driving thread per session (each session's own methods
+/// keep their single-caller-thread contract). Sessions are fully isolated
+/// tenants — each owns its query registry snapshot, scheduler and groups,
+/// dispatch index, executor (optionally sharded) lanes, statistics, alert
+/// ordering state, and recording pipeline — and share exactly the
+/// process-wide pieces that are safe to share: the global string
+/// `Interner` (lock-free read path) and the immutable analyzed-query
+/// handles. Each session's alert sequence and per-query `QueryStats` are
+/// bit-identical to the same session run solo. Per-session options
+/// (`SessionOptions`: lane count, record path, alert sink) override the
+/// engine defaults at `OpenSession`; two live sessions must not record to
+/// the same path (the second open fails cleanly).
+///
 /// Sessions honor every engine option: with `Options::num_shards > 1` a
 /// session runs the full hash-partitioned lane pipeline (pushes are split
 /// across lanes, watermark alignment and the cross-shard window merge work
 /// exactly as in a batch run, and dynamic add/remove is coordinated across
-/// all lane replicas plus the merge replica). Sessions are sequential —
-/// one open session per engine at a time, but a closed session may be
-/// followed by a new `OpenSession()`, which recompiles the registered
-/// queries with fresh stream state (and applies the
-/// `Options::interner_rotate_bytes` rotation policy, see below).
+/// all lane replicas plus the merge replica). A session opened after
+/// others closed starts from fresh stream state, recompiling the
+/// registered queries.
+///
+/// Interner rotation (`Options::interner_rotate_bytes`) runs live: when
+/// the global table's payload crosses the threshold — checked at
+/// `OpenSession` and at every session push — the table rotates *under*
+/// open sessions. Each open session re-interns its compiled constraint
+/// symbols and rebuilds its index probe groups at its own next quiesce
+/// point (the top of its next push); until then matching falls back to
+/// string comparison on the generation mismatch, so alert output is
+/// unaffected by where the rotation lands in the stream.
 ///
 /// `Run(source)` is retained as a thin convenience wrapper: it opens a
 /// session, pushes the source to exhaustion (advancing the watermark to
@@ -58,70 +81,8 @@ namespace saql {
 /// `OpenSession`).
 class SaqlEngine {
  public:
-  struct Options {
-    /// Group compatible queries under the master-dependent-query scheme.
-    bool enable_grouping = true;
-    /// Route events through the executor's (object type, op) dispatch
-    /// index so groups only see events their master pattern can match;
-    /// disabled = broadcast delivery (the ablation baseline).
-    bool enable_routing = true;
-    /// Intern hot event strings once per batch before dispatch.
-    bool intern_strings = true;
-    /// Member-side matching through a shared per-group `ConstraintIndex`:
-    /// the group's member constraint conjunctions are factored into
-    /// deduplicated predicate slots at BuildGroups time (exact interned
-    /// equality collapses to one symbol probe per field, residuals
-    /// evaluate once per event instead of once per member). Disabled =
-    /// brute-force member loops (the differential-test and A7 ablation
-    /// baseline). Alert output and per-member stats are identical either
-    /// way. Dynamic session add/remove rebuilds the affected group's
-    /// index.
-    bool enable_member_index = true;
-    /// Hash-partitioned parallel execution: with N > 1 the engine runs N
-    /// per-shard executor lanes (events partitioned by subject entity
-    /// key), replicating partitionable queries per shard and merging
-    /// stateful window aggregates across shards before alert evaluation;
-    /// queries whose semantics need the full ordered stream (multi-event
-    /// joins, count windows) run on a single global lane. Alerts from all
-    /// lanes funnel through one deterministically ordered sink. The alert
-    /// multiset is identical to a single-threaded run. 1 = the
-    /// single-threaded executor.
-    size_t num_shards = 1;
-    /// Routes even a 1-shard run through the full sharded pipeline
-    /// (splitter thread, lane thread, merge stage, ordered sink). For the
-    /// equivalence tests and as the honest 1-shard baseline of the
-    /// shard-scaling ablation; production single-threaded runs should
-    /// leave this off.
-    bool force_sharded_executor = false;
-    /// Interner rotation policy for long-running deployments: when
-    /// `OpenSession` finds the global interner's payload bytes at or
-    /// above this threshold, it calls `Interner::Global().Rotate()` and
-    /// recompiles every registered query against the fresh table (symbol
-    /// ids captured at compile time do not survive a rotation). Rotation
-    /// only ever happens *between* sessions — never under a live stream.
-    /// 0 disables the policy.
-    size_t interner_rotate_bytes = 0;
-    /// Compiled-query tuning.
-    CompiledQuery::Options query_options;
-    /// Events pulled from the source per batch (Run only; sessions batch
-    /// however the caller pushes).
-    size_t batch_size = 1024;
-    /// Durable recording: when non-empty, every event pushed into a
-    /// session is also appended to a durable log at this path (WAL +
-    /// background columnar segmentation, storage/durable_log.h) before
-    /// query processing sees it. Recording failures degrade gracefully:
-    /// the session keeps serving queries, the recording is marked failed
-    /// (`Session::recording_status()`), already-acked data stays
-    /// recoverable.
-    std::string record_path;
-    /// WAL sync/ack policy for the recording (wal.h): `always` acks only
-    /// durable events, `group` batches the fsync barrier, `none` defers
-    /// durability to segment/close barriers.
-    SyncPolicy record_sync;
-    /// File layer for the recording (nullptr = real files); tests inject
-    /// a FaultInjectionFileBackend here.
-    FileBackend* file_backend = nullptr;
-  };
+  /// Engine-wide configuration (see engine_core.h for the fields).
+  using Options = EngineOptions;
 
   class Session;
 
@@ -129,7 +90,8 @@ class SaqlEngine {
   /// `Session::AddQuery` and `Session::handle`. Handles are owned by the
   /// session and stay valid until the session object is destroyed —
   /// including after the query was removed, when they keep serving the
-  /// final retained statistics (`active()` turns false).
+  /// final retained statistics (`active()` turns false). Call only from
+  /// the owning session's thread.
   class QueryHandle {
    public:
     const std::string& name() const { return name_; }
@@ -144,7 +106,7 @@ class SaqlEngine {
     CompiledQuery::QueryStats stats() const;
 
     /// Additional per-query alert tap: every alert this query emits is
-    /// delivered here *as well as* to the engine-wide sink, from the
+    /// delivered here *as well as* to the session's sink, from the
     /// session's thread. Pass nullptr to clear.
     void SetAlertSink(AlertSink sink);
 
@@ -167,14 +129,17 @@ class SaqlEngine {
   /// A push-driven run over the engine's query set. Obtained from
   /// `OpenSession`; all methods must be called from one thread (the
   /// session thread — in sharded mode it doubles as the splitter).
+  /// Different sessions of one engine run from different threads
+  /// concurrently.
   ///
   /// Lifecycle: `Push`/`AdvanceWatermark` stream data in;
-  /// `AddQuery`/`RemoveQuery` change the live query set (a query added
-  /// mid-stream sees only events pushed after its attach point; a removed
-  /// query's state is torn down and its final stats retained); `Close`
-  /// flushes end-of-stream (open windows, partial matches), emits any
-  /// buffered sharded alerts, and publishes the run's statistics to the
-  /// engine accessors. The destructor closes an open session.
+  /// `AddQuery`/`RemoveQuery` change this session's live query set (a
+  /// query added mid-stream sees only events pushed after its attach
+  /// point and belongs to this session only; a removed query's state is
+  /// torn down and its final stats retained); `Close` flushes
+  /// end-of-stream (open windows, partial matches), emits any buffered
+  /// sharded alerts, and publishes the run's statistics to the engine
+  /// accessors (last close wins). The destructor closes an open session.
   ///
   /// Watermark contract: `AdvanceWatermark(ts)` finalizes windows ending
   /// at or before `ts`. Callers must push events in non-decreasing
@@ -188,6 +153,11 @@ class SaqlEngine {
     ~Session();
     Session(const Session&) = delete;
     Session& operator=(const Session&) = delete;
+
+    /// Engine-assigned session id (unique per engine, dense from 1) —
+    /// the handle the shell and stats use to address one of several
+    /// concurrently open sessions.
+    uint64_t id() const;
 
     /// Delivers one batch of events to the live query set. Events are
     /// annotated in place (interned symbol ids); the buffer may be reused
@@ -225,9 +195,11 @@ class SaqlEngine {
     /// is rebuilt over the widened member list, and — in sharded mode —
     /// lane replicas plus (for stateful queries) a merge-stage
     /// registration are created across all lanes at a quiesced point. The
-    /// query sees only events pushed after this call. The name must be
-    /// unique within the session (including removed queries). The query
-    /// is also registered with the engine, so later sessions include it.
+    /// query sees only events pushed after this call, and belongs to
+    /// this session alone (concurrent sessions are isolated tenants; use
+    /// `SaqlEngine::AddQuery` between sessions for queries every later
+    /// session should include). The name must be unique within the
+    /// session (including removed queries).
     Result<QueryHandle*> AddQuery(const std::string& text,
                                   const std::string& name);
     Result<QueryHandle*> AddAnalyzedQuery(AnalyzedQueryPtr aq,
@@ -259,8 +231,8 @@ class SaqlEngine {
     /// the natural `AdvanceWatermark` argument for in-order streams.
     Timestamp max_event_ts() const;
 
-    // Durable recording state (Options::record_path; all Ok/0 when
-    // recording is off).
+    // Durable recording state (record path from Options/SessionOptions;
+    // all Ok/0 when recording is off).
     /// Sticky first recording error — once non-OK the session has
     /// stopped appending to the log but keeps serving queries.
     Status recording_status() const;
@@ -286,41 +258,51 @@ class SaqlEngine {
     friend class SaqlEngine;
     friend class QueryHandle;
 
-    explicit Session(SaqlEngine* engine);
+    Session(SaqlEngine* engine, SessionOptions options);
 
     /// Builds the session's execution state (schedulers, executors, lane
     /// replicas); called by OpenSession before the session is handed out.
     Status OpenInternal();
 
-    struct Impl;
+    struct SessionContext;
 
     SaqlEngine* engine_;
     bool open_ = false;
-    std::unique_ptr<Impl> impl_;
+    std::unique_ptr<SessionContext> impl_;
   };
 
   SaqlEngine() : SaqlEngine(Options{}) {}
   explicit SaqlEngine(Options options);
   ~SaqlEngine();
 
-  /// Parses, analyzes, and registers a query for the next session (or
-  /// `Run`). The name must be unique; it labels alerts and error reports.
-  /// Returns FailedPrecondition while a session is open (use
+  /// Parses, analyzes, and registers a query for sessions opened later
+  /// (or `Run`). The name must be unique; it labels alerts and error
+  /// reports. Returns FailedPrecondition while any session is open (use
   /// `Session::AddQuery` to attach mid-stream) or after `Run` was used.
   Status AddQuery(const std::string& text, const std::string& name);
 
   /// Registers an already-analyzed query (same contract as `AddQuery`).
   Status AddAnalyzedQuery(AnalyzedQueryPtr aq, const std::string& name);
 
-  /// All alerts are delivered here. Defaults to buffering in `alerts()`.
+  /// All alerts are delivered here unless a session installs its own
+  /// sink (`SessionOptions::alert_sink`). Defaults to buffering in
+  /// `alerts()`. The sink is called with a lock held that serializes
+  /// concurrent sessions' emissions; install before opening sessions.
   void SetAlertSink(AlertSink sink);
 
   /// Opens a push-driven session over the registered queries (the set may
-  /// be empty; queries can be added mid-stream). One session may be open
-  /// at a time; a later `OpenSession` recompiles the registered queries
-  /// with fresh stream state and applies the interner rotation policy.
-  /// The returned session must not outlive the engine.
-  Result<std::unique_ptr<Session>> OpenSession();
+  /// be empty; queries can be added mid-stream). Any number of sessions
+  /// may be open concurrently, each driven from its own thread; every
+  /// session compiles its own query instances against fresh stream
+  /// state. Applies the interner rotation policy. The returned session
+  /// must not outlive the engine.
+  Result<std::unique_ptr<Session>> OpenSession() {
+    return OpenSession(SessionOptions{});
+  }
+
+  /// Opens a session with per-session overrides (lane count, record
+  /// path, alert sink — see SessionOptions).
+  Result<std::unique_ptr<Session>> OpenSession(SessionOptions options);
 
   /// Convenience batch wrapper: opens a session, pushes `source` to
   /// exhaustion, closes. One-shot — a second call (or a call after
@@ -328,58 +310,43 @@ class SaqlEngine {
   /// query must be registered.
   Status Run(EventSource* source);
 
-  /// Buffered alerts (only when no custom sink was installed).
-  const std::vector<Alert>& alerts() const { return alerts_; }
+  /// Buffered alerts (only when no custom sink was installed). Read when
+  /// no session is emitting — e.g. after the sessions closed.
+  const std::vector<Alert>& alerts() const { return core_.alerts(); }
 
-  const ErrorReporter& errors() const { return errors_; }
+  const ErrorReporter& errors() const { return core_.errors(); }
+
+  /// Open sessions right now.
+  size_t session_count() const { return core_.session_count(); }
 
   // Statistics of the last *closed* session (which `Run` wraps): executor
   // accounting, group structure, and per-query stats. In sharded mode the
   // executor stats are the element-wise sum over all lanes and each
   // query's stats are summed over its replicas (alerts for partitionable
-  // queries count centrally emitted, post-deduplication alerts). While a
-  // session is open, read the live values from the session instead.
-  const ExecutorStats& executor_stats() const { return last_exec_stats_; }
-  size_t num_queries() const { return registered_.size(); }
-  size_t num_groups() const { return last_num_groups_; }
+  // queries count centrally emitted, post-deduplication alerts). With
+  // concurrent sessions the last `Close` wins; read per-session live
+  // values from the sessions instead.
+  const ExecutorStats& executor_stats() const {
+    return core_.last_run().exec;
+  }
+  size_t num_queries() const { return core_.num_queries(); }
+  size_t num_groups() const { return core_.last_run().num_groups; }
   /// Groups whose member matching ran through a shared ConstraintIndex
   /// (sharded mode counts each distinct index once, not per lane).
-  size_t num_indexed_groups() const { return last_indexed_groups_; }
-  double forward_ratio() const { return last_forward_ratio_; }
+  size_t num_indexed_groups() const {
+    return core_.last_run().indexed_groups;
+  }
+  double forward_ratio() const { return core_.last_run().forward_ratio; }
   std::vector<std::pair<std::string, CompiledQuery::QueryStats>>
   query_stats() const {
-    return last_query_stats_;
+    return core_.last_run().query_stats;
   }
 
  private:
   friend class Session;
 
-  /// One registered query. `compiled` holds the validated instance until
-  /// a session consumes it; later sessions recompile from `aq` (always
-  /// after an interner rotation — compiled constraints capture symbol
-  /// ids).
-  struct Registered {
-    std::string name;
-    AnalyzedQueryPtr aq;
-    std::unique_ptr<CompiledQuery> compiled;
-  };
-
-  Options options_;
-  std::vector<Registered> registered_;
-  ErrorReporter errors_;
-  AlertSink sink_;
-  std::vector<Alert> alerts_;
+  EngineCore core_;
   bool ran_ = false;  ///< Run() was used (its documented one-shot latch)
-  Session* active_session_ = nullptr;
-  uint64_t sessions_opened_ = 0;
-
-  // Published by Session::Close (see the accessor comments).
-  ExecutorStats last_exec_stats_;
-  size_t last_num_groups_ = 0;
-  size_t last_indexed_groups_ = 0;
-  double last_forward_ratio_ = 0.0;
-  std::vector<std::pair<std::string, CompiledQuery::QueryStats>>
-      last_query_stats_;
 };
 
 }  // namespace saql

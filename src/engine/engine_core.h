@@ -1,0 +1,265 @@
+#ifndef SAQL_ENGINE_ENGINE_CORE_H_
+#define SAQL_ENGINE_ENGINE_CORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/alert.h"
+#include "engine/compiled_query.h"
+#include "engine/error_reporter.h"
+#include "parser/analyzer.h"
+#include "storage/file_backend.h"
+#include "storage/wal.h"
+
+namespace saql {
+
+/// Engine-wide configuration, shared by every session the engine opens.
+/// (Aliased as `SaqlEngine::Options` — see engine.h for the facade.)
+struct EngineOptions {
+  /// Group compatible queries under the master-dependent-query scheme.
+  bool enable_grouping = true;
+  /// Route events through the executor's (object type, op) dispatch
+  /// index so groups only see events their master pattern can match;
+  /// disabled = broadcast delivery (the ablation baseline).
+  bool enable_routing = true;
+  /// Intern hot event strings once per batch before dispatch.
+  bool intern_strings = true;
+  /// Member-side matching through a shared per-group `ConstraintIndex`:
+  /// the group's member constraint conjunctions are factored into
+  /// deduplicated predicate slots at BuildGroups time (exact interned
+  /// equality collapses to one symbol probe per field, residuals
+  /// evaluate once per event instead of once per member). Disabled =
+  /// brute-force member loops (the differential-test and A7 ablation
+  /// baseline). Alert output and per-member stats are identical either
+  /// way. Dynamic session add/remove rebuilds the affected group's
+  /// index.
+  bool enable_member_index = true;
+  /// Hash-partitioned parallel execution: with N > 1 each session runs N
+  /// per-shard executor lanes (events partitioned by subject entity
+  /// key), replicating partitionable queries per shard and merging
+  /// stateful window aggregates across shards before alert evaluation;
+  /// queries whose semantics need the full ordered stream (multi-event
+  /// joins, count windows) run on a single global lane. Alerts from all
+  /// lanes funnel through one deterministically ordered sink. The alert
+  /// multiset is identical to a single-threaded run. 1 = the
+  /// single-threaded executor. Sessions can override per session.
+  size_t num_shards = 1;
+  /// Routes even a 1-shard run through the full sharded pipeline
+  /// (splitter thread, lane thread, merge stage, ordered sink). For the
+  /// equivalence tests and as the honest 1-shard baseline of the
+  /// shard-scaling ablation; production single-threaded runs should
+  /// leave this off.
+  bool force_sharded_executor = false;
+  /// Interner rotation policy for long-running deployments: when the
+  /// global interner's payload bytes reach this threshold, the engine
+  /// rotates the table — at `OpenSession` when no stream is live, and
+  /// **under live sessions** at the next push (each open session then
+  /// re-interns its compiled constraint symbols and rebuilds its index
+  /// probe groups at its own next quiesce point; events and constraints
+  /// carry the generation their symbol ids were issued under, so
+  /// matching stays correct through the transition via the string
+  /// fallback). 0 disables the policy.
+  size_t interner_rotate_bytes = 0;
+  /// Compiled-query tuning.
+  CompiledQuery::Options query_options;
+  /// Events pulled from the source per batch (Run only; sessions batch
+  /// however the caller pushes).
+  size_t batch_size = 1024;
+  /// Durable recording: when non-empty, every event pushed into a
+  /// session is also appended to a durable log at this path (WAL +
+  /// background columnar segmentation, storage/durable_log.h) before
+  /// query processing sees it. Recording failures degrade gracefully:
+  /// the session keeps serving queries, the recording is marked failed
+  /// (`Session::recording_status()`), already-acked data stays
+  /// recoverable. With concurrent sessions, each session needs its own
+  /// path (override per session) — a second session opening the same
+  /// live path fails its `OpenSession`.
+  std::string record_path;
+  /// WAL sync/ack policy for the recording (wal.h): `always` acks only
+  /// durable events, `group` batches the fsync barrier, `none` defers
+  /// durability to segment/close barriers.
+  SyncPolicy record_sync;
+  /// Clean up leftover `.wal.<N>` files from an unrecovered earlier
+  /// incarnation of the record path instead of refusing to open over
+  /// them (the recording equivalent of `--force`; the stale WAL data is
+  /// lost). Off by default: an unrecovered log is evidence of a crash
+  /// and silently discarding its tail would defeat the durability
+  /// contract — run recovery first.
+  bool record_force = false;
+  /// File layer for the recording (nullptr = real files); tests inject
+  /// a FaultInjectionFileBackend here.
+  FileBackend* file_backend = nullptr;
+};
+
+/// Per-session overrides of the engine-wide defaults, for multi-tenant
+/// deployments where concurrently open sessions need different lane
+/// counts, recording destinations, or alert destinations.
+struct SessionOptions {
+  /// Shard lanes for this session; 0 = the engine default.
+  size_t num_shards = 0;
+  /// Force the sharded pipeline for this session (OR'd with the engine
+  /// default).
+  bool force_sharded_executor = false;
+  /// Recording destination for this session; empty = the engine
+  /// default. Two live sessions must not record to the same path.
+  std::string record_path;
+  /// Disables recording for this session even when the engine default
+  /// sets a path.
+  bool no_record = false;
+  /// WAL sync policy when `record_path` is set here (otherwise the
+  /// engine default applies).
+  SyncPolicy record_sync;
+  /// Stale-WAL cleanup for `record_path` set here (see
+  /// EngineOptions::record_force).
+  bool record_force = false;
+  /// Alert destination for this session; null = the engine-wide sink.
+  /// Called from this session's thread only, so per-session sinks need
+  /// no locking of their own.
+  AlertSink alert_sink;
+};
+
+/// The process-wide, concurrency-safe half of the engine: options, the
+/// query registry, compilation, the shared alert funnel, and the open
+/// session registry with the live interner-rotation machinery. Every
+/// mutable member is guarded — any number of sessions may run against one
+/// core from independent threads. Per-session execution state (scheduler,
+/// groups, executor lanes, dispatch index, stats, recording) lives in the
+/// session's own `SessionContext` (session.cc) and is never shared.
+class EngineCore {
+ public:
+  /// One registered query, snapshot by each session at open.
+  struct RegisteredQuery {
+    std::string name;
+    AnalyzedQueryPtr aq;  ///< immutable, shared across sessions
+  };
+
+  /// Liveness record of one open session. Owned by the core; handed to
+  /// the session at open. `gen_seen` is the interner generation the
+  /// session has provably healed past (re-interned constraints, rebuilt
+  /// indexes) — the reclaim barrier for retired interner generations.
+  struct SessionSlot {
+    uint64_t id = 0;
+    std::atomic<uint64_t> gen_seen{0};
+  };
+
+  explicit EngineCore(EngineOptions options);
+
+  const EngineOptions& options() const { return options_; }
+  ErrorReporter* errors() { return &errors_; }
+  const ErrorReporter& errors() const { return errors_; }
+
+  // Query registry ----------------------------------------------------
+
+  /// Validates (by compiling) and registers a query under `name`.
+  /// Sessions opened later include it; open sessions are unaffected
+  /// (use Session::AddQuery to attach mid-stream).
+  Status RegisterQuery(AnalyzedQueryPtr aq, const std::string& name);
+
+  /// The registered queries at this instant (shared AnalyzedQuery
+  /// handles; safe to compile from concurrently).
+  std::vector<RegisteredQuery> SnapshotRegistry() const;
+
+  size_t num_queries() const;
+
+  // Alert funnel ------------------------------------------------------
+
+  /// Installs the engine-wide sink (default: buffer into `alerts()`).
+  /// Not safe to call with sessions emitting.
+  void SetAlertSink(AlertSink sink);
+
+  /// Delivers one alert to the engine-wide sink. Thread-safe: sessions
+  /// without a per-session sink emit through here, and their threads are
+  /// serialized so multi-session output does not interleave mid-alert.
+  void Emit(const Alert& a);
+
+  /// Alerts buffered by the default sink. Read when no session is
+  /// emitting (e.g. after close).
+  const std::vector<Alert>& alerts() const { return alerts_; }
+
+  // Session registry --------------------------------------------------
+
+  /// Registers a new open session: assigns its id and stamps its
+  /// `gen_seen` with the current interner generation.
+  SessionSlot* RegisterSession();
+
+  /// Removes a closed session from the registry (its slot dies here).
+  void UnregisterSession(SessionSlot* slot);
+
+  /// Open sessions right now.
+  size_t session_count() const;
+
+  /// Sessions ever opened (the Run() freshness guard).
+  uint64_t sessions_opened() const;
+
+  // Live interner rotation --------------------------------------------
+
+  /// Applies the rotation policy: rotates the global interner when its
+  /// payload bytes have reached `interner_rotate_bytes`. Called by every
+  /// session at the top of each push and by `OpenSession`; the fast path
+  /// (policy off or under budget) is two atomic loads. Returns whether a
+  /// rotation happened.
+  bool MaybeRotate();
+
+  /// Frees retired interner generations every open session has healed
+  /// past (min over the slots' `gen_seen`; with no sessions open,
+  /// everything below the current generation). Called by sessions after
+  /// advancing their own `gen_seen`. Returns the payload bytes freed.
+  size_t MaybeReclaim();
+
+  // Record-path collision guard ---------------------------------------
+
+  /// Claims `path` for one live recording; AlreadyExists when another
+  /// live session (in this process) is recording there. Process-wide —
+  /// two engines in one process contend too, which is the point.
+  static Status ReserveRecordPath(const std::string& path);
+  static void ReleaseRecordPath(const std::string& path);
+
+  // Last-closed-session statistics ------------------------------------
+
+  struct RunStats {
+    ExecutorStats exec;
+    size_t num_groups = 0;
+    size_t indexed_groups = 0;
+    double forward_ratio = 0.0;
+    std::vector<std::pair<std::string, CompiledQuery::QueryStats>>
+        query_stats;
+  };
+
+  /// Publishes a closing session's stats (last close wins).
+  void PublishRun(RunStats stats);
+
+  /// The last published stats. The reference is stable (members are
+  /// updated in place under the stats mutex); read it when no session is
+  /// closing, e.g. after the engine quiesced.
+  const RunStats& last_run() const { return last_run_; }
+
+ private:
+  const EngineOptions options_;
+  ErrorReporter errors_;
+
+  mutable std::mutex registry_mu_;
+  std::vector<RegisteredQuery> registered_;
+
+  std::mutex sink_mu_;
+  AlertSink sink_;
+  std::vector<Alert> alerts_;
+
+  mutable std::mutex sessions_mu_;
+  std::map<uint64_t, std::unique_ptr<SessionSlot>> sessions_;
+  uint64_t next_session_id_ = 1;
+  std::atomic<uint64_t> sessions_opened_{0};
+
+  std::mutex rotate_mu_;  ///< serializes policy checks against Rotate
+
+  mutable std::mutex stats_mu_;
+  RunStats last_run_;
+};
+
+}  // namespace saql
+
+#endif  // SAQL_ENGINE_ENGINE_CORE_H_

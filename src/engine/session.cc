@@ -1,10 +1,24 @@
 // SaqlEngine::Session / QueryHandle: the push-driven streaming lifecycle
-// behind the engine facade. Single-threaded sessions drive a StreamExecutor
-// step-wise; sharded sessions act as the splitter thread of a
-// ShardedStreamExecutor, coordinate dynamic query add/remove across the
-// lane replicas + merge replica at quiesced points, and release collected
-// lane alerts in deterministic (ts, query, group, values) order as the
-// cross-lane watermark aligns past them.
+// behind the engine facade. Each session owns a SessionContext — its
+// private query registry, scheduler/groups, executor (optionally sharded)
+// lanes, alert ordering state, statistics, and recording pipeline — so any
+// number of sessions run concurrently against one EngineCore, sharing only
+// the global interner and the immutable analyzed queries.
+//
+// Single-threaded sessions drive a StreamExecutor step-wise; sharded
+// sessions act as the splitter thread of a ShardedStreamExecutor,
+// coordinate dynamic query add/remove across the lane replicas + merge
+// replica at quiesced points, and release collected lane alerts in
+// deterministic (ts, query, group, values) order as the cross-lane
+// watermark aligns past them.
+//
+// Live interner rotation: the top of every Push is the session's quiesce
+// point — it applies the rotation policy and, when the global generation
+// moved (by this or any other session), re-interns every compiled
+// constraint symbol and rebuilds the ConstraintIndex probe groups before
+// the batch is processed. Between a rotation and a session's next push,
+// matching falls back to string comparison on the generation mismatch, so
+// alert output is independent of where the rotation lands.
 
 #include <algorithm>
 #include <cstdint>
@@ -42,7 +56,7 @@ constexpr size_t kNoMergeHandle = std::numeric_limits<size_t>::max();
 
 }  // namespace
 
-struct SaqlEngine::Session::Impl {
+struct SaqlEngine::Session::SessionContext {
   /// One query of the session, alive for the session's whole lifetime
   /// (removal deactivates it and frees its execution state, but keeps the
   /// entry so handles and per-query stats survive).
@@ -66,8 +80,12 @@ struct SaqlEngine::Session::Impl {
     std::unique_ptr<QueryHandle> handle;
   };
 
-  SaqlEngine* engine = nullptr;
+  EngineCore* core = nullptr;
   Session* session = nullptr;
+  SessionOptions sopts;  ///< per-session overrides, resolved in Open
+  /// The core's liveness record for this session; null until Open
+  /// succeeds and after Close.
+  EngineCore::SessionSlot* slot = nullptr;
   bool sharded = false;
   size_t num_lanes = 1;
   Timestamp advanced_watermark = INT64_MIN;
@@ -97,25 +115,48 @@ struct SaqlEngine::Session::Impl {
   std::set<std::pair<std::string, std::string>> distinct_seen;
   std::map<std::string, uint64_t> emitted_by_query;
 
-  /// Durable recording (Options::record_path). A recording failure is
-  /// sticky and *non-fatal*: the session stops appending but keeps
-  /// serving queries (`recording_status` carries the first error).
+  /// Durable recording (record path resolved from Options +
+  /// SessionOptions). A recording failure is sticky and *non-fatal*: the
+  /// session stops appending but keeps serving queries
+  /// (`recording_status` carries the first error).
   std::unique_ptr<DurableLogWriter> recorder;
   Status recording_status;
+  /// Record path claimed in the process-wide collision registry; empty
+  /// when recording is off. Released at Close (or teardown on a failed
+  /// open).
+  std::string reserved_path;
+
+  ~SessionContext() {
+    // Failed-open teardown: Close() clears these on the normal path.
+    if (!reserved_path.empty()) {
+      EngineCore::ReleaseRecordPath(reserved_path);
+    }
+    if (slot != nullptr) core->UnregisterSession(slot);
+  }
 
   // -------------------------------------------------------------------
   // Wiring.
 
   ConcurrentQueryScheduler::Options SchedulerOptions(bool member_index) {
     ConcurrentQueryScheduler::Options o;
-    o.enable_grouping = engine->options_.enable_grouping;
+    o.enable_grouping = core->options().enable_grouping;
     o.enable_member_index = member_index;
     return o;
   }
 
+  /// This session's alert destination: the per-session sink when one was
+  /// installed, the engine-wide (serialized) funnel otherwise.
+  void EmitAlert(const Alert& a) {
+    if (sopts.alert_sink) {
+      sopts.alert_sink(a);
+    } else {
+      core->Emit(a);
+    }
+  }
+
   AlertSink DirectSink(SessionQuery* sq) {
     return [this, sq](const Alert& a) {
-      engine->sink_(a);
+      EmitAlert(a);
       if (sq->tap) sq->tap(a);
     };
   }
@@ -128,15 +169,15 @@ struct SaqlEngine::Session::Impl {
   }
 
   /// Shares lane 0's (re)built ConstraintIndex with another lane's
-  /// corresponding group — the single rule all three membership-change
-  /// paths (open, dynamic add, dynamic remove) apply: only when member
-  /// indexing is on and the groups demonstrably correspond (equal
-  /// signatures; AdoptIndex additionally rejects member-count
+  /// corresponding group — the single rule all membership-change paths
+  /// (open, dynamic add, dynamic remove, rotation reindex) apply: only
+  /// when member indexing is on and the groups demonstrably correspond
+  /// (equal signatures; AdoptIndex additionally rejects member-count
   /// mismatches). Null-tolerant so callers can pass through "no group
   /// survived" results directly.
   void AdoptIndexFromLane0(QueryGroup* lane0_group, QueryGroup* group) {
     if (lane0_group == nullptr || group == nullptr) return;
-    if (!engine->options_.enable_member_index) return;
+    if (!core->options().enable_member_index) return;
     if (group->signature() == lane0_group->signature()) {
       group->AdoptIndex(lane0_group->shared_index());
     }
@@ -148,7 +189,7 @@ struct SaqlEngine::Session::Impl {
   /// pipeline quiesced in the latter case).
   Status WireShardedQuery(SessionQuery* sq) {
     CompiledQuery* q = sq->primary.get();
-    q->SetErrorReporter(&engine->errors_);
+    q->SetErrorReporter(core->errors());
     sq->mode = q->shard_mode();
     if (sq->mode == CompiledQuery::ShardMode::kGlobal) {
       q->SetAlertSink(CollectorSink());
@@ -167,7 +208,7 @@ struct SaqlEngine::Session::Impl {
       SAQL_ASSIGN_OR_RETURN(
           std::unique_ptr<CompiledQuery> r,
           CompiledQuery::Create(sq->aq, sq->name, q->options()));
-      r->SetErrorReporter(&engine->errors_);
+      r->SetErrorReporter(core->errors());
       if (sq->mode == CompiledQuery::ShardMode::kPartitionableWithMerge) {
         ShardMergeStage* m = merge.get();
         size_t handle = sq->merge_handle;
@@ -185,41 +226,70 @@ struct SaqlEngine::Session::Impl {
   }
 
   Status Open() {
-    const SaqlEngine::Options& opts = engine->options_;
-    if (!opts.record_path.empty()) {
+    const EngineOptions& opts = core->options();
+
+    // Resolve the recording destination: per-session override, engine
+    // default, or off. Claim it in the process-wide collision registry
+    // before touching the filesystem — two live writers interleaving on
+    // one log would corrupt it.
+    std::string record_path =
+        sopts.no_record
+            ? std::string()
+            : (!sopts.record_path.empty() ? sopts.record_path
+                                          : opts.record_path);
+    if (!record_path.empty()) {
+      SAQL_RETURN_IF_ERROR(EngineCore::ReserveRecordPath(record_path));
+      reserved_path = record_path;
       DurableLogWriter::Options ropts;
-      ropts.sync = opts.record_sync;
+      ropts.sync =
+          !sopts.record_path.empty() ? sopts.record_sync : opts.record_sync;
+      ropts.force_stale_wal =
+          !sopts.record_path.empty() ? sopts.record_force : opts.record_force;
       ropts.backend = opts.file_backend;
-      recorder =
-          std::make_unique<DurableLogWriter>(opts.record_path, ropts);
+      recorder = std::make_unique<DurableLogWriter>(record_path, ropts);
       if (!recorder->status().ok()) {
         // Degrade: the session still opens and serves queries.
         recording_status = recorder->status();
       }
     }
-    sharded = opts.num_shards > 1 || opts.force_sharded_executor;
-    num_lanes = std::clamp<size_t>(opts.num_shards, 1,
-                                   ShardedStreamExecutor::kMaxShards);
+    const size_t shards =
+        sopts.num_shards != 0 ? sopts.num_shards : opts.num_shards;
+    sharded = shards > 1 || opts.force_sharded_executor ||
+              sopts.force_sharded_executor;
+    num_lanes =
+        std::clamp<size_t>(shards, 1, ShardedStreamExecutor::kMaxShards);
 
-    // Adopt the engine's registered queries as this session's set.
-    for (Registered& reg : engine->registered_) {
+    // Snapshot the engine's registered queries as this session's set,
+    // compiling a fresh instance of each (sessions never share mutable
+    // execution state; the analyzed queries are immutable and shared).
+    for (EngineCore::RegisteredQuery& reg : core->SnapshotRegistry()) {
       auto sq = std::make_unique<SessionQuery>();
       sq->name = reg.name;
       sq->aq = reg.aq;
-      sq->primary = std::move(reg.compiled);  // recompiled by OpenSession
+      SAQL_ASSIGN_OR_RETURN(
+          sq->primary,
+          CompiledQuery::Create(reg.aq, reg.name, opts.query_options));
       sq->slot = queries.size();
       sq->handle.reset(new QueryHandle(session, sq->slot, sq->name));
       by_name[sq->name] = sq.get();
       queries.push_back(std::move(sq));
     }
 
+    Status st = BuildExecution();
+    if (!st.ok()) return st;
+    slot = core->RegisterSession();
+    return Status::Ok();
+  }
+
+  Status BuildExecution() {
+    const EngineOptions& opts = core->options();
     if (!sharded) {
       scheduler = std::make_unique<ConcurrentQueryScheduler>(
           SchedulerOptions(opts.enable_member_index));
       executor = std::make_unique<StreamExecutor>(
           StreamExecutor::Options{opts.enable_routing, opts.intern_strings});
       for (auto& sq : queries) {
-        sq->primary->SetErrorReporter(&engine->errors_);
+        sq->primary->SetErrorReporter(core->errors());
         sq->primary->SetAlertSink(DirectSink(sq.get()));
         scheduler->AddQuery(sq->primary.get());
       }
@@ -229,11 +299,11 @@ struct SaqlEngine::Session::Impl {
       return Status::Ok();
     }
 
-    ShardedStreamExecutor::Options sopts;
-    sopts.num_shards = num_lanes;
-    sopts.executor = StreamExecutor::Options{opts.enable_routing,
-                                             opts.intern_strings};
-    sharded_exec = std::make_unique<ShardedStreamExecutor>(sopts);
+    ShardedStreamExecutor::Options sopts_exec;
+    sopts_exec.num_shards = num_lanes;
+    sopts_exec.executor = StreamExecutor::Options{opts.enable_routing,
+                                                  opts.intern_strings};
+    sharded_exec = std::make_unique<ShardedStreamExecutor>(sopts_exec);
     merge = std::make_unique<ShardMergeStage>(num_lanes);
     lane_applied.assign(num_lanes, INT64_MIN);
 
@@ -314,6 +384,54 @@ struct SaqlEngine::Session::Impl {
   }
 
   // -------------------------------------------------------------------
+  // Live interner rotation healing.
+
+  /// The session's quiesce-point half of a live rotation: drains the lane
+  /// pipeline, re-captures every compiled constraint's symbol under the
+  /// current generation, rebuilds the ConstraintIndex probe groups (lane
+  /// 0 rebuilds, other lanes adopt positionally), then advances this
+  /// session's reclaim barrier and lets the core free generations every
+  /// session has passed. Called from the session thread with the
+  /// generation already observed to have moved.
+  void HealRotation(uint64_t gen) {
+    if (sharded) sharded_exec->Quiesce();
+    for (auto& sq : queries) {
+      if (!sq->active) continue;
+      if (sq->primary != nullptr) sq->primary->ReInternSymbols();
+      for (auto& r : sq->replicas) r->ReInternSymbols();
+    }
+    if (!sharded) {
+      scheduler->ReindexAllGroups();
+    } else {
+      if (!lane_schedulers.empty()) {
+        lane_schedulers[0]->ReindexAllGroups();
+        std::vector<QueryGroup*> lane0_groups = lane_schedulers[0]->groups();
+        for (size_t s = 1; s < num_lanes; ++s) {
+          std::vector<QueryGroup*> groups = lane_schedulers[s]->groups();
+          for (size_t j = 0; j < groups.size() && j < lane0_groups.size();
+               ++j) {
+            AdoptIndexFromLane0(lane0_groups[j], groups[j]);
+          }
+        }
+      }
+      if (global_scheduler != nullptr) global_scheduler->ReindexAllGroups();
+    }
+    slot->gen_seen.store(gen, std::memory_order_release);
+    core->MaybeReclaim();
+  }
+
+  /// Applies the rotation policy and heals if the generation moved (by
+  /// this session's own rotation or another session's). The steady-state
+  /// cost is two atomic loads.
+  void RotationCheckpoint() {
+    core->MaybeRotate();
+    const uint64_t gen = Interner::Global().generation();
+    if (gen != slot->gen_seen.load(std::memory_order_relaxed)) {
+      HealRotation(gen);
+    }
+  }
+
+  // -------------------------------------------------------------------
   // Ordered alert release (sharded mode).
 
   /// Emits every collected alert that is final: with `all` set (after
@@ -370,7 +488,7 @@ struct SaqlEngine::Session::Impl {
         continue;  // duplicate row another shard already produced
       }
       ++emitted_by_query[a.query_name];
-      engine->sink_(a);
+      EmitAlert(a);
       if (sq != nullptr && sq->tap) sq->tap(a);
     }
   }
@@ -379,6 +497,7 @@ struct SaqlEngine::Session::Impl {
   // Streaming.
 
   Status Push(Event* events, size_t count) {
+    RotationCheckpoint();
     if (count == 0) return Status::Ok();
     // Record-ahead: persist before query processing sees the batch, so a
     // crash never alerts on an event the log lost.
@@ -434,10 +553,10 @@ struct SaqlEngine::Session::Impl {
     sq->aq = aq;
     SAQL_ASSIGN_OR_RETURN(
         sq->primary,
-        CompiledQuery::Create(aq, name, engine->options_.query_options));
+        CompiledQuery::Create(aq, name, core->options().query_options));
 
     if (!sharded) {
-      sq->primary->SetErrorReporter(&engine->errors_);
+      sq->primary->SetErrorReporter(core->errors());
       sq->primary->SetAlertSink(DirectSink(sq.get()));
       bool created = false;
       QueryGroup* g = scheduler->AddQueryDynamic(sq->primary.get(), &created);
@@ -455,7 +574,7 @@ struct SaqlEngine::Session::Impl {
       if (sq->mode == CompiledQuery::ShardMode::kGlobal) {
         if (!global_scheduler) {
           global_scheduler = std::make_unique<ConcurrentQueryScheduler>(
-              SchedulerOptions(engine->options_.enable_member_index));
+              SchedulerOptions(core->options().enable_member_index));
         }
         bool created = false;
         QueryGroup* g =
@@ -481,8 +600,10 @@ struct SaqlEngine::Session::Impl {
       ReleaseReadyAlerts(false);
     }
 
-    // Future sessions include the query too (compiled lazily there).
-    engine->registered_.push_back(Registered{name, aq, nullptr});
+    // Session-local attach: concurrent sessions are isolated tenants, so
+    // the engine-level registry (which future sessions snapshot) is not
+    // touched — that is what SaqlEngine::AddQuery between sessions is
+    // for.
     sq->slot = queries.size();
     sq->handle.reset(new QueryHandle(session, sq->slot, name));
     QueryHandle* h = sq->handle.get();
@@ -507,8 +628,8 @@ struct SaqlEngine::Session::Impl {
     return total;
   }
 
-  Status RemoveSlot(size_t slot) {
-    SessionQuery* sq = queries[slot].get();
+  Status RemoveSlot(size_t slot_index) {
+    SessionQuery* sq = queries[slot_index].get();
     if (!sq->active) {
       return Status::FailedPrecondition("query '" + sq->name +
                                         "' was already removed");
@@ -554,21 +675,14 @@ struct SaqlEngine::Session::Impl {
     sq->replicas.clear();
     sq->primary.reset();
     sq->active = false;
-    for (auto it = engine->registered_.begin();
-         it != engine->registered_.end(); ++it) {
-      if (it->name == sq->name) {
-        engine->registered_.erase(it);
-        break;
-      }
-    }
     return Status::Ok();
   }
 
   // -------------------------------------------------------------------
   // Statistics.
 
-  CompiledQuery::QueryStats SlotStats(size_t slot) {
-    SessionQuery* sq = queries[slot].get();
+  CompiledQuery::QueryStats SlotStats(size_t slot_index) {
+    SessionQuery* sq = queries[slot_index].get();
     CompiledQuery::QueryStats qs;
     if (!sq->active) {
       qs = sq->final_stats;
@@ -648,6 +762,10 @@ struct SaqlEngine::Session::Impl {
       Status st = recorder->Close();
       if (!st.ok() && recording_status.ok()) recording_status = st;
     }
+    if (!reserved_path.empty()) {
+      EngineCore::ReleaseRecordPath(reserved_path);
+      reserved_path.clear();
+    }
     if (!sharded) {
       executor->FinishStream();
     } else {
@@ -662,26 +780,31 @@ struct SaqlEngine::Session::Impl {
             sharded ? SumStats(*sq) : sq->primary->stats();
       }
     }
-    // Publish the run to the engine-level accessors before deactivating.
-    engine->last_exec_stats_ = ExecStats();
-    engine->last_num_groups_ = NumGroups();
-    engine->last_indexed_groups_ = NumIndexedGroups();
-    engine->last_forward_ratio_ = ForwardRatio();
-    engine->last_query_stats_ = QueryStats();
+    // Publish the run to the engine-level accessors (last close wins)
+    // before deactivating.
+    EngineCore::RunStats run;
+    run.exec = ExecStats();
+    run.num_groups = NumGroups();
+    run.indexed_groups = NumIndexedGroups();
+    run.forward_ratio = ForwardRatio();
+    run.query_stats = QueryStats();
+    core->PublishRun(std::move(run));
     for (auto& sq : queries) sq->active = false;
-    engine->active_session_ = nullptr;
+    core->UnregisterSession(slot);
+    slot = nullptr;
     return Status::Ok();
   }
 };
 
 // ---------------------------------------------------------------------
-// Session: thin forwarding layer over Impl, plus the open_ lifecycle
-// guard.
+// Session: thin forwarding layer over SessionContext, plus the open_
+// lifecycle guard.
 
-SaqlEngine::Session::Session(SaqlEngine* engine)
-    : engine_(engine), impl_(new Impl()) {
-  impl_->engine = engine;
+SaqlEngine::Session::Session(SaqlEngine* engine, SessionOptions options)
+    : engine_(engine), impl_(new SessionContext()) {
+  impl_->core = &engine->core_;
   impl_->session = this;
+  impl_->sopts = std::move(options);
 }
 
 SaqlEngine::Session::~Session() {
@@ -689,6 +812,10 @@ SaqlEngine::Session::~Session() {
 }
 
 Status SaqlEngine::Session::OpenInternal() { return impl_->Open(); }
+
+uint64_t SaqlEngine::Session::id() const {
+  return impl_->slot != nullptr ? impl_->slot->id : 0;
+}
 
 Timestamp SaqlEngine::Session::max_event_ts() const {
   return impl_->MaxEventTs();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "storage/recovery.h"
+
 namespace saql {
 
 namespace {
@@ -19,6 +21,35 @@ DurableLogWriter::DurableLogWriter(const std::string& path, Options options)
       backend_(FileBackend::OrReal(options.backend)) {
   if (options_.segment_events == 0) options_.segment_events = 4096;
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+
+  // Stale-WAL hygiene: `<path>.wal.<N>` files with no live writer are the
+  // unrecovered tail of a crashed incarnation. Creating fresh WAL files
+  // next to them would interleave two incompatible sequence spaces, and
+  // truncating the columnar log below silently drops whatever that tail
+  // held — so refuse, unless the caller explicitly forces cleanup.
+  Result<std::vector<std::string>> stale = FindWalFiles(path_);
+  if (!stale.ok()) {
+    status_ = stale.status();
+    return;
+  }
+  if (!stale->empty()) {
+    if (!options_.force_stale_wal) {
+      status_ = Status::FailedPrecondition(
+          "stale WAL files exist at '" + path_ + "' (first: '" +
+          stale->front() +
+          "'): an earlier durable log here was never recovered; run "
+          "recovery (RecoverDurableLog/CompactRecoveredLog) or force "
+          "cleanup to discard its tail");
+      return;
+    }
+    for (const std::string& wal : *stale) {
+      Status st = backend_->Delete(wal);
+      if (!st.ok()) {
+        status_ = st;
+        return;
+      }
+    }
+  }
 
   ColumnarLogWriter::Options copts;
   copts.segment_events = options_.segment_events;

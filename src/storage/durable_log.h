@@ -69,10 +69,20 @@ class DurableLogWriter {
     size_t queue_capacity = 64 * 1024;
     /// File layer (nullptr = real files).
     FileBackend* backend = nullptr;
+    /// Leftover `<path>.wal.<N>` files mean an earlier incarnation
+    /// crashed (or was killed) and was never recovered; opening over
+    /// them would silently discard their tail, so the constructor
+    /// refuses with FailedPrecondition. Set this to delete the stale
+    /// files instead (explicit data loss — run `RecoverDurableLog`
+    /// first if the tail matters).
+    bool force_stale_wal = false;
   };
 
   /// Creates/truncates the columnar log at `path` and the first WAL file
-  /// `<path>.wal.0`, and starts the drainer. Check `status()`.
+  /// `<path>.wal.0`, and starts the drainer. Refuses (FailedPrecondition)
+  /// when stale WAL files from an unrecovered earlier incarnation exist
+  /// at `path`, unless `force_stale_wal` cleans them up. Check
+  /// `status()`.
   DurableLogWriter(const std::string& path, Options options);
   ~DurableLogWriter();
 

@@ -31,7 +31,15 @@ void SplitPath(const std::string& path, std::string* dir,
   }
 }
 
-/// Finds `<path>.wal.<N>` files, sorted by rotation index N.
+/// Size of `path`, or 0 when it does not exist.
+uint64_t FileSize(const std::string& path) {
+  struct stat st = {};
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+}  // namespace
+
 Result<std::vector<std::string>> FindWalFiles(const std::string& path) {
   std::string dir, base;
   SplitPath(path, &dir, &base);
@@ -61,15 +69,6 @@ Result<std::vector<std::string>> FindWalFiles(const std::string& path) {
   for (auto& [index, p] : found) paths.push_back(std::move(p));
   return paths;
 }
-
-/// Size of `path`, or 0 when it does not exist.
-uint64_t FileSize(const std::string& path) {
-  struct stat st = {};
-  if (::stat(path.c_str(), &st) != 0) return 0;
-  return static_cast<uint64_t>(st.st_size);
-}
-
-}  // namespace
 
 Result<RecoveredLog> RecoverDurableLog(const std::string& path) {
   RecoveredLog out;

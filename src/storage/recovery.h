@@ -25,6 +25,12 @@ struct RecoveredLog {
   std::vector<std::string> wal_files;
 };
 
+/// Scans `path`'s directory for `<path>.wal.<N>` files, returned in
+/// rotation order. Leftover WAL files on a path with no live writer are
+/// evidence of a crash that was never recovered — `DurableLogWriter`
+/// refuses to open over them (see its `force_stale_wal` option).
+Result<std::vector<std::string>> FindWalFiles(const std::string& path);
+
 /// Recovers the durable log at `path`:
 ///
 ///   1. Reads the complete columnar segments of `path` (a torn final

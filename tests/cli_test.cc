@@ -158,8 +158,16 @@ TEST(QueryShellLiveTest, FullLifecycleScript) {
   EXPECT_NE(out.find("session open"), std::string::npos);
   EXPECT_TRUE(h.shell().session_open());
 
-  // Double-open is rejected.
-  EXPECT_NE(h.Run("open").find("already open"), std::string::npos);
+  // A second concurrent open succeeds, becomes current, and closes
+  // independently — the first session keeps streaming.
+  std::string out2 = h.Run("open");
+  EXPECT_NE(out2.find("now current"), std::string::npos);
+  EXPECT_EQ(h.shell().open_session_count(), 2u);
+  out2 = h.Run("sessions");
+  EXPECT_NE(out2.find("2 live sessions"), std::string::npos);
+  out2 = h.Run("close");
+  EXPECT_NE(out2.find("still open"), std::string::npos);
+  EXPECT_EQ(h.shell().open_session_count(), 1u);
 
   // The APT attack starts 12 minutes in; 16 minutes of traffic alerts.
   out = h.Run("push 16");
@@ -214,6 +222,32 @@ TEST(QueryShellLiveTest, ShardedSessionViaFlag) {
   EXPECT_NE(h.Run("close").find("session closed"), std::string::npos);
 }
 
+TEST(QueryShellLiveTest, SessionAddressingTargetsById) {
+  ShellHarness h;
+  h.Run("query exfil proc p[\"%sbblv.exe\"] write ip i as e "
+        "return distinct p, i");
+  h.Run("open");
+  h.Run("open --shards=2");
+  EXPECT_EQ(h.shell().open_session_count(), 2u);
+
+  // Explicit #1 pushes into the first session and selects it as current.
+  std::string out = h.Run("push #1 16");
+  EXPECT_NE(out.find("session #1 total"), std::string::npos);
+
+  out = h.Run("session #2");
+  EXPECT_NE(out.find("session #2 (current)"), std::string::npos);
+  EXPECT_NE(out.find("0 events pushed"), std::string::npos);
+
+  EXPECT_NE(h.Run("push #7").find("no open session #7"),
+            std::string::npos);
+
+  // Close the current (#2); #1 becomes current again and closes last.
+  EXPECT_NE(h.Run("close").find("still open"), std::string::npos);
+  out = h.Run("close");
+  EXPECT_NE(out.find("session closed"), std::string::npos);
+  EXPECT_FALSE(h.shell().session_open());
+}
+
 TEST(QueryShellLiveTest, AddWithoutSessionRegisters) {
   ShellHarness h;
   std::string out = h.Run("add q proc p write ip i as e return p");
@@ -241,7 +275,7 @@ TEST(QueryShellLiveTest, ShardsAndIndexReportAgainstLiveSession) {
   h.Run("open");
   ASSERT_TRUE(h.shell().session_open());
   out = h.Run("shards 4");
-  EXPECT_NE(out.find("live session keeps running on 2 lanes"),
+  EXPECT_NE(out.find("open sessions keep their lane counts"),
             std::string::npos);
   EXPECT_EQ(h.shell().num_shards(), 4u);  // setting recorded nonetheless
   out = h.Run("index off");

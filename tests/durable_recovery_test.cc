@@ -269,6 +269,102 @@ TEST(DurableLogTest, RotationSealsAndRetiresCoveredWalFiles) {
   ExpectIsCorpusPrefix(rec->events, corpus, "rotate");
 }
 
+// Stale-WAL hygiene: a record path with leftover `.wal.<N>` files is the
+// unrecovered tail of a crashed incarnation. Opening a fresh writer over
+// it must refuse (the fresh columnar truncate + new WAL sequence would
+// silently discard that tail) unless cleanup is forced explicitly.
+TEST(DurableLogTest, StaleWalFilesRefuseOpenUnlessForced) {
+  std::string path = TestDir("durable_stale_wal") + "/log";
+  const EventBatch corpus = Corpus(300);
+
+  // Leave a crashed incarnation behind: sync=always acks everything into
+  // the WAL, the pre-segment crash kills the pipeline before segments
+  // exist, Close fails and keeps the WAL files.
+  FaultInjectionFileBackend fs;
+  fs.CrashAtTripPoint(durable_trip::kPreSegment, 1);
+  DurableLogWriter::Options opts;
+  opts.sync = ParseSyncPolicy("always").value();
+  WriteUntilCrash(path, &fs, opts, corpus);
+  ASSERT_FALSE(WalFilesNextTo(path).empty());
+
+  // A fresh writer refuses the path.
+  DurableLogWriter::Options fresh;
+  fresh.sync = ParseSyncPolicy("always").value();
+  {
+    DurableLogWriter refused(path, fresh);
+    EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_TRUE(refused.Append(corpus[0]).ok() == false);
+  }
+  // Refusing must not have disturbed the crash evidence: the stale WAL
+  // files are still there and still recover the acked prefix.
+  ASSERT_FALSE(WalFilesNextTo(path).empty());
+  auto rec = RecoverDurableLog(path);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  ExpectIsCorpusPrefix(rec->events, corpus, "stale-wal-refused");
+
+  // Forcing cleans the stale files up (explicit data loss) and opens a
+  // fresh, fully functional log.
+  fresh.force_stale_wal = true;
+  {
+    DurableLogWriter forced(path, fresh);
+    ASSERT_TRUE(forced.status().ok()) << forced.status();
+    ASSERT_TRUE(forced.Append(corpus[0]).ok());
+    ASSERT_TRUE(forced.Close().ok());
+  }
+  EXPECT_TRUE(WalFilesNextTo(path).empty());
+  auto rec2 = RecoverDurableLog(path);
+  ASSERT_TRUE(rec2.ok()) << rec2.status();
+  ASSERT_EQ(rec2->events.size(), 1u);
+}
+
+// The session layer surfaces the stale-WAL refusal as a degraded
+// recording (the session still opens and serves queries), and
+// `record_force` opts into the cleanup.
+TEST(DurableSessionTest, StaleWalDegradesRecordingUnlessForced) {
+  std::string path = TestDir("durable_stale_session") + "/log";
+  const EventBatch corpus = Corpus(200);
+  FaultInjectionFileBackend fs;
+  fs.CrashAtTripPoint(durable_trip::kPreSegment, 1);
+  DurableLogWriter::Options wopts;
+  wopts.sync = ParseSyncPolicy("always").value();
+  WriteUntilCrash(path, &fs, wopts, corpus);
+  ASSERT_FALSE(WalFilesNextTo(path).empty());
+
+  SaqlEngine::Options opts;
+  opts.record_path = path;
+  {
+    SaqlEngine engine(opts);
+    ASSERT_TRUE(engine.AddQuery(kExfilQuery, "exfil").ok());
+    auto session = engine.OpenSession();
+    ASSERT_TRUE(session.ok()) << session.status();
+    EXPECT_EQ((*session)->recording_status().code(),
+              StatusCode::kFailedPrecondition);
+    // Queries still served while recording is refused.
+    EventBatch copy = Corpus(40);
+    ASSERT_TRUE((*session)->Push(copy).ok());
+    ASSERT_TRUE((*session)->Close().ok());
+    EXPECT_FALSE(engine.alerts().empty());
+  }
+  ASSERT_FALSE(WalFilesNextTo(path).empty());  // evidence untouched
+
+  opts.record_force = true;
+  {
+    SaqlEngine engine(opts);
+    ASSERT_TRUE(engine.AddQuery(kExfilQuery, "exfil").ok());
+    auto session = engine.OpenSession();
+    ASSERT_TRUE(session.ok()) << session.status();
+    ASSERT_TRUE((*session)->recording_status().ok());
+    EventBatch copy = Corpus(40);
+    ASSERT_TRUE((*session)->Push(copy).ok());
+    ASSERT_TRUE((*session)->Close().ok());
+    EXPECT_TRUE((*session)->recording_status().ok());
+  }
+  EXPECT_TRUE(WalFilesNextTo(path).empty());
+  auto rec = RecoverDurableLog(path);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_EQ(rec->events.size(), 40u);
+}
+
 // ---------------------------------------------------------------------
 // The crash matrix (tentpole acceptance): kill the pipeline at every
 // trip point under sync=always, recover, and check both halves of the

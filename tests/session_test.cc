@@ -742,32 +742,44 @@ TEST(SessionLifecycleTest, OperationsOnClosedSessionFail) {
   EXPECT_FALSE((*session)->handle("q")->active());
 }
 
-TEST(SessionLifecycleTest, OneSessionAtATimeButSequentialReopen) {
+TEST(SessionLifecycleTest, ConcurrentOpensAndSequentialReopen) {
   SaqlEngine engine;
   ASSERT_TRUE(
       engine.AddQuery("proc p[\"%a.exe\"] write ip i as e return p", "q")
           .ok());
   auto s1 = engine.OpenSession();
   ASSERT_TRUE(s1.ok()) << s1.status();
-  EXPECT_EQ(engine.OpenSession().status().code(),
-            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine.session_count(), 1u);
+
+  // Sessions are concurrent tenants: a second open succeeds, gets its own
+  // id and fresh stream state, and its events do not feed session 1.
+  auto s2 = engine.OpenSession();
+  ASSERT_TRUE(s2.ok()) << s2.status();
+  EXPECT_EQ(engine.session_count(), 2u);
+  EXPECT_NE((*s1)->id(), (*s2)->id());
 
   EventBatch events;
   events.push_back(NetWrite("a.exe", "1.1.1.1", 1, kSecond));
   ASSERT_TRUE((*s1)->Push(events).ok());
   ASSERT_TRUE((*s1)->Close().ok());
+  EXPECT_EQ(engine.session_count(), 1u);
+  EXPECT_EQ(engine.alerts().size(), 1u);
+
+  // Session 2 never saw session 1's events.
+  ASSERT_TRUE((*s2)->Close().ok());
+  EXPECT_EQ(engine.session_count(), 0u);
   EXPECT_EQ(engine.alerts().size(), 1u);
 
   // Reopening starts fresh stream state over the same registered set.
-  auto s2 = engine.OpenSession();
-  ASSERT_TRUE(s2.ok()) << s2.status();
+  auto s3 = engine.OpenSession();
+  ASSERT_TRUE(s3.ok()) << s3.status();
   EventBatch again;
   again.push_back(NetWrite("a.exe", "1.1.1.1", 1, kSecond));
-  ASSERT_TRUE((*s2)->Push(again).ok());
-  ASSERT_TRUE((*s2)->Close().ok());
+  ASSERT_TRUE((*s3)->Push(again).ok());
+  ASSERT_TRUE((*s3)->Close().ok());
   EXPECT_EQ(engine.alerts().size(), 2u);
-  // A query added in session 1's registry view persists across sessions
-  // (none removed here); per-session stats reset.
+  // A query registered on the engine persists across sessions (none
+  // removed here); per-session stats reset.
   auto stats = engine.query_stats();
   ASSERT_EQ(stats.size(), 1u);
   EXPECT_EQ(stats[0].second.alerts, 1u);
