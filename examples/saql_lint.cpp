@@ -1,0 +1,90 @@
+// saql_lint — CI-friendly static analysis for SAQL query files.
+//
+//   $ ./saql_lint queries/*.saql queries/apt/*.saql
+//
+// Each file is compiled and run through QueryAnalysis::Lint; every
+// diagnostic prints as `file: severity CODE at span: message`. The exit
+// code makes it a build gate:
+//
+//   0  every file compiled and no error-severity diagnostics
+//   1  at least one error-severity diagnostic (provably broken query)
+//   2  a file failed to open or compile, or no files were given
+//
+// Warnings, hints, and placement notes print but do not fail the gate;
+// pass --errors-only to silence them (CI logs stay readable, the gate is
+// unchanged).
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/query_analysis.h"
+#include "engine/compiled_query.h"
+#include "parser/analyzer.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  bool errors_only = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--errors-only") {
+      errors_only = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag '" << arg
+                << "' (supported: --errors-only)\n";
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "usage: saql_lint [--errors-only] <file.saql...>\n";
+    return 2;
+  }
+
+  size_t total_errors = 0;
+  size_t total_warnings = 0;
+  bool io_or_compile_failure = false;
+  for (const std::string& path : files) {
+    std::ifstream f(path);
+    if (!f) {
+      std::cerr << path << ": cannot open\n";
+      io_or_compile_failure = true;
+      continue;
+    }
+    std::ostringstream text;
+    text << f.rdbuf();
+    saql::Result<saql::AnalyzedQueryPtr> analyzed =
+        saql::CompileSaql(text.str());
+    if (!analyzed.ok()) {
+      std::cerr << path << ": compile error: " << analyzed.status() << "\n";
+      io_or_compile_failure = true;
+      continue;
+    }
+    saql::Result<std::unique_ptr<saql::CompiledQuery>> query =
+        saql::CompiledQuery::Create(*analyzed, path, {});
+    if (!query.ok()) {
+      std::cerr << path << ": compile error: " << query.status() << "\n";
+      io_or_compile_failure = true;
+      continue;
+    }
+    for (const saql::Diagnostic& d :
+         saql::QueryAnalysis::Lint(**query)) {
+      if (d.severity == saql::Severity::kError) {
+        ++total_errors;
+      } else if (d.severity == saql::Severity::kWarning) {
+        ++total_warnings;
+      } else if (errors_only) {
+        continue;
+      }
+      std::cout << path << ": " << d.ToString() << "\n";
+    }
+  }
+
+  std::cout << files.size() << " file(s): " << total_errors
+            << " error(s), " << total_warnings << " warning(s)\n";
+  if (io_or_compile_failure) return 2;
+  return total_errors > 0 ? 1 : 0;
+}

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the library,
+# examples, and benches using the compile_commands.json that CMake exports.
+#
+#   usage: scripts/run_clang_tidy.sh [build-dir]
+#
+# The build dir defaults to ./build and must already be configured
+# (CMAKE_EXPORT_COMPILE_COMMANDS is always on, see CMakeLists.txt).
+# Exits nonzero on any finding: .clang-tidy sets WarningsAsErrors '*',
+# so CI can use this script directly as a gate.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "error: $build_dir/compile_commands.json not found." >&2
+  echo "Configure first: cmake -B \"$build_dir\" -S \"$repo_root\"" >&2
+  exit 2
+fi
+
+runner=""
+for candidate in run-clang-tidy run-clang-tidy-18 run-clang-tidy-17 \
+                 run-clang-tidy-16 run-clang-tidy-15 run-clang-tidy-14; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    runner="$candidate"
+    break
+  fi
+done
+
+# Lint first-party translation units only; generated/third-party files in
+# the build tree are excluded by matching on the source directories.
+files_regex="$repo_root/(src|examples|bench|tests)/.*"
+
+if [[ -n "$runner" ]]; then
+  exec "$runner" -p "$build_dir" -quiet "$files_regex"
+fi
+
+# Fallback without the parallel runner: invoke clang-tidy sequentially.
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "error: clang-tidy not found on PATH" >&2
+  exit 2
+fi
+status=0
+while IFS= read -r file; do
+  clang-tidy -p "$build_dir" --quiet "$file" || status=1
+done < <(find "$repo_root/src" "$repo_root/examples" -name '*.cc' -o \
+         -name '*.cpp' | sort)
+exit "$status"

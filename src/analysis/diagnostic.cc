@@ -1,0 +1,55 @@
+#include "analysis/diagnostic.h"
+
+#include <sstream>
+
+namespace saql {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kHint:
+      return "hint";
+    case Severity::kNote:
+      return "note";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream os;
+  os << SeverityName(severity) << " " << code;
+  if (!span.IsZero()) os << " at " << span.ToString();
+  os << ": " << message;
+  if (!fix_hint.empty()) os << " (fix: " << fix_hint << ")";
+  return os.str();
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diagnostics) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+size_t CountSeverity(const std::vector<Diagnostic>& diagnostics,
+                     Severity severity) {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diagnostics,
+                              const std::string& indent) {
+  std::ostringstream os;
+  for (const Diagnostic& d : diagnostics) {
+    os << indent << d.ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace saql

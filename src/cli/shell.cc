@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/query_analysis.h"
 #include "cli/table.h"
 #include "collect/enterprise_sim.h"
 #include "core/string_util.h"
@@ -61,6 +62,10 @@ bool QueryShell::Execute(const std::string& line) {
     CmdQueryInline(trimmed.substr(5));
   } else if (cmd == "list") {
     CmdList();
+  } else if (cmd == "lint") {
+    CmdLint(args);
+  } else if (cmd == "explain") {
+    CmdExplain(args);
   } else if (cmd == "simulate") {
     CmdSimulate(args);
   } else if (cmd == "replay") {
@@ -104,6 +109,11 @@ void QueryShell::CmdHelp() {
        << "  load <file> [name]      load a .saql query file\n"
        << "  query <name> <text>     register an inline query\n"
        << "  list                    list registered queries\n"
+       << "  lint <file...>          static-analysis diagnostics for\n"
+          "                          .saql files (satisfiability, dead\n"
+          "                          patterns, window/aggregate sanity)\n"
+       << "  explain <name>          placement rationale + lint findings\n"
+          "                          for a registered query\n"
        << "  simulate [minutes]      run enterprise sim + APT attack\n"
        << "  replay <log> [host...]  replay a stored event log (v1 and\n"
           "                          columnar v2 auto-detected)\n"
@@ -210,6 +220,73 @@ void QueryShell::CmdList() {
   }
   for (const auto& [name, text] : queries_) {
     out_ << "  " << name << " (" << text.size() << " chars)\n";
+  }
+}
+
+void QueryShell::PrintDiagnostics(
+    const std::vector<Diagnostic>& diagnostics) {
+  out_ << RenderDiagnostics(diagnostics, "  ");
+  size_t errors = CountSeverity(diagnostics, Severity::kError);
+  size_t warnings = CountSeverity(diagnostics, Severity::kWarning);
+  out_ << "  " << errors << " error(s), " << warnings << " warning(s), "
+       << diagnostics.size() - errors - warnings << " note(s)\n";
+}
+
+void QueryShell::CmdLint(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    out_ << "usage: lint <file.saql> [more files...]\n";
+    return;
+  }
+  for (const std::string& path : args) {
+    std::ifstream f(path);
+    if (!f) {
+      out_ << path << ": cannot open\n";
+      continue;
+    }
+    std::ostringstream text;
+    text << f.rdbuf();
+    Result<AnalyzedQueryPtr> compiled = CompileSaql(text.str());
+    if (!compiled.ok()) {
+      out_ << path << ": compile error: " << compiled.status() << "\n";
+      continue;
+    }
+    Result<std::unique_ptr<CompiledQuery>> query =
+        CompiledQuery::Create(*compiled, path, {});
+    if (!query.ok()) {
+      out_ << path << ": compile error: " << query.status() << "\n";
+      continue;
+    }
+    out_ << path << ":\n";
+    PrintDiagnostics(QueryAnalysis::Lint(**query));
+  }
+}
+
+void QueryShell::CmdExplain(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    out_ << "usage: explain <query-name>\n";
+    return;
+  }
+  auto it = queries_.find(args[0]);
+  if (it == queries_.end()) {
+    out_ << "no query named '" << args[0] << "' — 'list' shows names\n";
+    return;
+  }
+  Result<AnalyzedQueryPtr> compiled = CompileSaql(it->second);
+  if (!compiled.ok()) {
+    out_ << "compile error: " << compiled.status() << "\n";
+    return;
+  }
+  Result<std::unique_ptr<CompiledQuery>> query =
+      CompiledQuery::Create(*compiled, args[0], {});
+  if (!query.ok()) {
+    out_ << "compile error: " << query.status() << "\n";
+    return;
+  }
+  out_ << QueryAnalysis::ExplainPlacement(**query).ToString() << "\n";
+  std::vector<Diagnostic> findings = QueryAnalysis::Lint(**query);
+  if (!findings.empty()) {
+    out_ << "findings:\n";
+    PrintDiagnostics(findings);
   }
 }
 
@@ -602,10 +679,23 @@ void QueryShell::CmdAdd(const std::string& rest) {
   }
   LiveSession* ls = ConsumeSessionRef(&ref);
   if (ls == nullptr) return;
-  auto handle = ls->session->AddQuery(text, name);
+  std::vector<Diagnostic> diags;
+  auto handle = ls->session->AddQuery(text, name, &diags);
   if (!handle.ok()) {
-    out_ << "add failed: " << handle.status() << "\n";
+    // Rejection leaves the session (and the shell's registry) exactly as
+    // it was; show the analyzer's findings so the error is actionable.
+    out_ << "add failed: query '" << name << "' rejected\n";
+    if (diags.empty()) {
+      out_ << "  " << handle.status() << "\n";
+    } else {
+      PrintDiagnostics(diags);
+    }
     return;
+  }
+  for (const Diagnostic& d : diags) {
+    // Surface actionable findings on success; placement notes stay in
+    // 'explain' where they were asked for.
+    if (d.severity != Severity::kNote) out_ << "  " << d.ToString() << "\n";
   }
   queries_[name] = text;
   out_ << "attached query '" << name

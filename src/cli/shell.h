@@ -120,6 +120,8 @@ class QueryShell {
   void CmdLoad(const std::vector<std::string>& args);
   void CmdQueryInline(const std::string& rest);
   void CmdList();
+  void CmdLint(const std::vector<std::string>& args);
+  void CmdExplain(const std::vector<std::string>& args);
   void CmdSimulate(const std::vector<std::string>& args);
   void CmdReplay(const std::vector<std::string>& args);
   void CmdRecord(const std::vector<std::string>& args);
@@ -138,6 +140,10 @@ class QueryShell {
   void CmdSessionStatus(const std::vector<std::string>& args);
   void CmdSessions();
   void CmdClose(const std::vector<std::string>& args);
+
+  /// Renders a lint finding list (one line per diagnostic, then the
+  /// error/warning summary line).
+  void PrintDiagnostics(const std::vector<Diagnostic>& diagnostics);
 
   /// Renders the engine/session statistics block shown by `stats`.
   std::string FormatStats(

@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include "analysis/query_analysis.h"
 #include "core/interner.h"
 #include "parser/analyzer.h"
 
@@ -9,14 +10,15 @@ SaqlEngine::SaqlEngine(Options options) : core_(std::move(options)) {}
 
 SaqlEngine::~SaqlEngine() = default;
 
-Status SaqlEngine::AddQuery(const std::string& text,
-                            const std::string& name) {
+Status SaqlEngine::AddQuery(const std::string& text, const std::string& name,
+                            std::vector<Diagnostic>* diagnostics) {
   SAQL_ASSIGN_OR_RETURN(AnalyzedQueryPtr aq, CompileSaql(text));
-  return AddAnalyzedQuery(std::move(aq), name);
+  return AddAnalyzedQuery(std::move(aq), name, diagnostics);
 }
 
 Status SaqlEngine::AddAnalyzedQuery(AnalyzedQueryPtr aq,
-                                    const std::string& name) {
+                                    const std::string& name,
+                                    std::vector<Diagnostic>* diagnostics) {
   if (ran_) {
     return Status::FailedPrecondition(
         "engine already ran: Run() is one-shot; register queries before "
@@ -27,6 +29,21 @@ Status SaqlEngine::AddAnalyzedQuery(AnalyzedQueryPtr aq,
         "sessions are open: use Session::AddQuery to attach a query "
         "mid-stream (engine-level registration covers future sessions "
         "only)");
+  }
+  // Static analysis gates registration: a provably broken query (UNSAT
+  // constraints, dead pattern) never reaches a session. The throwaway
+  // compilation mirrors RegisterQuery's own validation compile.
+  {
+    SAQL_ASSIGN_OR_RETURN(
+        std::unique_ptr<CompiledQuery> compiled,
+        CompiledQuery::Create(aq, name, core_.options().query_options));
+    std::vector<Diagnostic> findings = QueryAnalysis::Lint(*compiled);
+    if (diagnostics != nullptr) *diagnostics = findings;
+    if (HasErrors(findings)) {
+      return Status::InvalidArgument(
+          "query '" + name + "' rejected by static analysis:\n" +
+          RenderDiagnostics(findings, "  "));
+    }
   }
   return core_.RegisterQuery(std::move(aq), name);
 }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostic.h"
 #include "engine/alert.h"
 #include "engine/compiled_query.h"
 #include "engine/engine_core.h"
@@ -116,6 +117,11 @@ class SaqlEngine {
     /// down; final stats stay readable through this handle.
     Status Cancel();
 
+    /// Non-error static-analysis findings recorded when the query was
+    /// attached (warnings, hints, and placement notes — error findings
+    /// reject at AddQuery and never produce a handle).
+    const std::vector<Diagnostic>& diagnostics() const;
+
    private:
     friend class Session;
     QueryHandle(Session* session, size_t slot, std::string name)
@@ -200,10 +206,20 @@ class SaqlEngine {
     /// `SaqlEngine::AddQuery` between sessions for queries every later
     /// session should include). The name must be unique within the
     /// session (including removed queries).
+    /// Static analysis runs between compilation and wiring: error-severity
+    /// diagnostics (unsatisfiable constraints, dead patterns) reject the
+    /// query with the session state untouched; the remaining findings
+    /// attach to the returned handle (`QueryHandle::diagnostics`). When
+    /// `diagnostics` is non-null it receives the full finding list either
+    /// way — on rejection this is how callers render the findings.
     Result<QueryHandle*> AddQuery(const std::string& text,
-                                  const std::string& name);
+                                  const std::string& name,
+                                  std::vector<Diagnostic>* diagnostics =
+                                      nullptr);
     Result<QueryHandle*> AddAnalyzedQuery(AnalyzedQueryPtr aq,
-                                          const std::string& name);
+                                          const std::string& name,
+                                          std::vector<Diagnostic>*
+                                              diagnostics = nullptr);
 
     /// Retracts a live query: its group membership, routing/constraint
     /// index slots, lane replicas, and partial window state are torn down
@@ -279,10 +295,17 @@ class SaqlEngine {
   /// (or `Run`). The name must be unique; it labels alerts and error
   /// reports. Returns FailedPrecondition while any session is open (use
   /// `Session::AddQuery` to attach mid-stream) or after `Run` was used.
-  Status AddQuery(const std::string& text, const std::string& name);
+  ///
+  /// Registration runs static analysis (`QueryAnalysis::Lint`):
+  /// error-severity findings reject with InvalidArgument. Pass
+  /// `diagnostics` to receive every finding (also on rejection);
+  /// warnings/hints/notes never reject.
+  Status AddQuery(const std::string& text, const std::string& name,
+                  std::vector<Diagnostic>* diagnostics = nullptr);
 
   /// Registers an already-analyzed query (same contract as `AddQuery`).
-  Status AddAnalyzedQuery(AnalyzedQueryPtr aq, const std::string& name);
+  Status AddAnalyzedQuery(AnalyzedQueryPtr aq, const std::string& name,
+                          std::vector<Diagnostic>* diagnostics = nullptr);
 
   /// All alerts are delivered here unless a session installs its own
   /// sink (`SessionOptions::alert_sink`). Defaults to buffering in

@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "analysis/query_analysis.h"
 #include "core/interner.h"
 #include "engine/engine.h"
 #include "engine/shard_merge.h"
@@ -78,6 +79,9 @@ struct SaqlEngine::Session::SessionContext {
     CompiledQuery::QueryStats final_stats;  ///< frozen at removal/close
     AlertSink tap;                          ///< per-handle sink
     std::unique_ptr<QueryHandle> handle;
+    /// Non-error lint findings from attach time (errors rejected before
+    /// this record was created).
+    std::vector<Diagnostic> diagnostics;
   };
 
   EngineCore* core = nullptr;
@@ -542,8 +546,9 @@ struct SaqlEngine::Session::SessionContext {
   // -------------------------------------------------------------------
   // Dynamic query lifecycle.
 
-  Result<QueryHandle*> AddQuery(AnalyzedQueryPtr aq,
-                                const std::string& name) {
+  Result<QueryHandle*> AddQuery(AnalyzedQueryPtr aq, const std::string& name,
+                                std::vector<Diagnostic>* diagnostics =
+                                    nullptr) {
     if (by_name.count(name) != 0) {
       return Status::AlreadyExists("query '" + name +
                                    "' already exists in this session");
@@ -554,6 +559,17 @@ struct SaqlEngine::Session::SessionContext {
     SAQL_ASSIGN_OR_RETURN(
         sq->primary,
         CompiledQuery::Create(aq, name, core->options().query_options));
+
+    // Static analysis gates the attach *before* any scheduler or executor
+    // wiring, so a rejected query leaves the session exactly as it was.
+    std::vector<Diagnostic> findings = QueryAnalysis::Lint(*sq->primary);
+    if (diagnostics != nullptr) *diagnostics = findings;
+    if (HasErrors(findings)) {
+      return Status::InvalidArgument(
+          "query '" + name + "' rejected by static analysis:\n" +
+          RenderDiagnostics(findings, "  "));
+    }
+    sq->diagnostics = std::move(findings);
 
     if (!sharded) {
       sq->primary->SetErrorReporter(core->errors());
@@ -837,16 +853,18 @@ Status SaqlEngine::Session::Flush() {
 }
 
 Result<SaqlEngine::QueryHandle*> SaqlEngine::Session::AddQuery(
-    const std::string& text, const std::string& name) {
+    const std::string& text, const std::string& name,
+    std::vector<Diagnostic>* diagnostics) {
   if (!open_) return Status::FailedPrecondition("session is closed");
   SAQL_ASSIGN_OR_RETURN(AnalyzedQueryPtr aq, CompileSaql(text));
-  return impl_->AddQuery(std::move(aq), name);
+  return impl_->AddQuery(std::move(aq), name, diagnostics);
 }
 
 Result<SaqlEngine::QueryHandle*> SaqlEngine::Session::AddAnalyzedQuery(
-    AnalyzedQueryPtr aq, const std::string& name) {
+    AnalyzedQueryPtr aq, const std::string& name,
+    std::vector<Diagnostic>* diagnostics) {
   if (!open_) return Status::FailedPrecondition("session is closed");
-  return impl_->AddQuery(std::move(aq), name);
+  return impl_->AddQuery(std::move(aq), name, diagnostics);
 }
 
 Status SaqlEngine::Session::RemoveQuery(const std::string& name) {
@@ -925,6 +943,10 @@ CompiledQuery::QueryStats SaqlEngine::QueryHandle::stats() const {
 
 void SaqlEngine::QueryHandle::SetAlertSink(AlertSink sink) {
   session_->impl_->queries[slot_]->tap = std::move(sink);
+}
+
+const std::vector<Diagnostic>& SaqlEngine::QueryHandle::diagnostics() const {
+  return session_->impl_->queries[slot_]->diagnostics;
 }
 
 Status SaqlEngine::QueryHandle::Cancel() {

@@ -79,6 +79,7 @@ ExprPtr Expr::MakeLiteral(Value v, SourceLoc loc) {
   e->kind = ExprKind::kLiteral;
   e->literal = std::move(v);
   e->loc = loc;
+  e->span = SourceSpan{loc, loc};
   return e;
 }
 
@@ -90,6 +91,7 @@ ExprPtr Expr::MakeRef(std::string base, std::optional<int> history,
   e->history = history;
   e->field = std::move(field);
   e->loc = loc;
+  e->span = SourceSpan{loc, loc};
   return e;
 }
 
@@ -100,6 +102,8 @@ ExprPtr Expr::MakeCall(std::string callee, std::vector<ExprPtr> args,
   e->callee = std::move(callee);
   e->args = std::move(args);
   e->loc = loc;
+  e->span = SourceSpan{loc, loc};
+  for (const ExprPtr& a : e->args) e->span = SourceSpan::Cover(e->span, a->span);
   return e;
 }
 
@@ -110,6 +114,9 @@ ExprPtr Expr::MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc) {
   e->lhs = std::move(lhs);
   e->rhs = std::move(rhs);
   e->loc = loc;
+  e->span = SourceSpan{loc, loc};
+  if (e->lhs) e->span = SourceSpan::Cover(e->span, e->lhs->span);
+  if (e->rhs) e->span = SourceSpan::Cover(e->span, e->rhs->span);
   return e;
 }
 
@@ -119,6 +126,8 @@ ExprPtr Expr::MakeUnary(UnOp op, ExprPtr operand, SourceLoc loc) {
   e->un_op = op;
   e->lhs = std::move(operand);
   e->loc = loc;
+  e->span = SourceSpan{loc, loc};
+  if (e->lhs) e->span = SourceSpan::Cover(e->span, e->lhs->span);
   return e;
 }
 
@@ -126,6 +135,7 @@ ExprPtr Expr::Clone() const {
   auto e = std::make_unique<Expr>();
   e->kind = kind;
   e->loc = loc;
+  e->span = span;
   e->literal = literal;
   e->base = base;
   e->history = history;

@@ -83,6 +83,10 @@ class Expr {
  public:
   ExprKind kind;
   SourceLoc loc;
+  /// Full source range of the node (binary nodes cover both operands).
+  /// `span.begin == loc`; factories seed it from `loc` and the parser
+  /// widens composite nodes.
+  SourceSpan span;
 
   // kLiteral
   Value literal;
@@ -154,6 +158,8 @@ struct AttrConstraint {
   ConstraintOp op = ConstraintOp::kEq;
   Value value;
   SourceLoc loc;
+  /// Range from the field name through the value token.
+  SourceSpan span;
 
   std::string ToString() const;
 };
@@ -166,6 +172,8 @@ struct EntityPattern {
   std::string var;  ///< empty when anonymous
   std::vector<AttrConstraint> constraints;
   SourceLoc loc;
+  /// Range from the type keyword through the closing `]` (or the variable).
+  SourceSpan span;
 
   std::string ToString() const;
 };
@@ -178,6 +186,8 @@ struct EventPatternDecl {
   EntityPattern object;
   std::string alias;  ///< from `as evtN`; auto-generated when omitted
   SourceLoc loc;
+  /// Range from the subject's type keyword through the alias (or object).
+  SourceSpan span;
 
   std::string ToString() const;
 };
@@ -194,6 +204,8 @@ struct WindowSpec {
   Duration slide = 0;      ///< 0 = same as length
   int64_t count = 0;       ///< for kCount
   SourceLoc loc;
+  /// Range from `#` through the closing `)`.
+  SourceSpan span;
 
   Duration EffectiveSlide() const { return slide > 0 ? slide : length; }
   std::string ToString() const;

@@ -237,6 +237,9 @@ Result<std::vector<Token>> Lexer::Tokenize() {
   std::vector<Token> tokens;
   while (true) {
     SAQL_ASSIGN_OR_RETURN(Token t, Next());
+    // Next() leaves the cursor one past the token's last character, so the
+    // current position is the token's exclusive end.
+    t.end = Here();
     bool eof = t.Is(TokenKind::kEof);
     tokens.push_back(std::move(t));
     if (eof) break;

@@ -90,10 +90,12 @@ Result<Query> Parser::ParseQuery(const std::string& text) {
     }
   }
   if (query.patterns.empty()) {
-    return Status::ParseError("query declares no event pattern");
+    return Status::ParseError(Peek().loc.ToString() +
+                              ": query declares no event pattern");
   }
   if (query.returns.empty()) {
-    return Status::ParseError("query has no return clause");
+    return Status::ParseError(Peek().loc.ToString() +
+                              ": query has no return clause");
   }
   return query;
 }
@@ -137,6 +139,7 @@ Status Parser::ParseGlobalConstraint(Query* query) {
   c.op = op;
   c.value = std::move(v);
   c.loc = field.loc;
+  c.span = SourceSpan{field.loc, PrevEnd()};
   query->global_constraints.push_back(std::move(c));
   return Status::Ok();
 }
@@ -195,6 +198,7 @@ Status Parser::ParseEventPattern(Query* query) {
   } else {
     decl.alias = "_evt" + std::to_string(query->patterns.size());
   }
+  decl.span = SourceSpan{loc, PrevEnd()};
   query->patterns.push_back(std::move(decl));
   return Status::Ok();
 }
@@ -229,6 +233,7 @@ Result<EntityPattern> Parser::ParseEntityPattern() {
     SAQL_RETURN_IF_ERROR(
         Expect(TokenKind::kRBracket, "closing entity constraints").status());
   }
+  pattern.span = SourceSpan{type_tok.loc, PrevEnd()};
   return pattern;
 }
 
@@ -244,6 +249,7 @@ Result<std::vector<AttrConstraint>> Parser::ParseConstraintList(
     c.op = ConstraintOp::kEq;
     c.value = Value(s.text);
     c.loc = s.loc;
+    c.span = s.span();
     out.push_back(std::move(c));
     return out;
   }
@@ -256,6 +262,7 @@ Result<std::vector<AttrConstraint>> Parser::ParseConstraintList(
     c.op = op;
     c.value = std::move(v);
     c.loc = field.loc;
+    c.span = SourceSpan{field.loc, PrevEnd()};
     out.push_back(std::move(c));
     if (!Match(TokenKind::kComma) && !Match(TokenKind::kAndAnd)) break;
   }
@@ -324,6 +331,7 @@ Status Parser::ParseWindow(Query* query) {
   }
   SAQL_RETURN_IF_ERROR(
       Expect(TokenKind::kRParen, "closing window spec").status());
+  spec.span = SourceSpan{loc, PrevEnd()};
   if (query->window.has_value()) {
     return Status::ParseError(loc.ToString() +
                               ": duplicate window specification");
@@ -691,15 +699,21 @@ Result<ExprPtr> Parser::ParsePrimary() {
   switch (t.kind) {
     case TokenKind::kInteger: {
       Token tok = Advance();
-      return Expr::MakeLiteral(Value(tok.int_value), tok.loc);
+      ExprPtr e = Expr::MakeLiteral(Value(tok.int_value), tok.loc);
+      e->span = tok.span();
+      return e;
     }
     case TokenKind::kFloat: {
       Token tok = Advance();
-      return Expr::MakeLiteral(Value(tok.float_value), tok.loc);
+      ExprPtr e = Expr::MakeLiteral(Value(tok.float_value), tok.loc);
+      e->span = tok.span();
+      return e;
     }
     case TokenKind::kString: {
       Token tok = Advance();
-      return Expr::MakeLiteral(Value(tok.text), tok.loc);
+      ExprPtr e = Expr::MakeLiteral(Value(tok.text), tok.loc);
+      e->span = tok.span();
+      return e;
     }
     case TokenKind::kLParen: {
       Advance();
@@ -724,13 +738,19 @@ Result<ExprPtr> Parser::ParsePrimary() {
 
   Token ident = Advance();
   if (ident.IsIdent("true")) {
-    return Expr::MakeLiteral(Value(true), ident.loc);
+    ExprPtr e = Expr::MakeLiteral(Value(true), ident.loc);
+    e->span = ident.span();
+    return e;
   }
   if (ident.IsIdent("false")) {
-    return Expr::MakeLiteral(Value(false), ident.loc);
+    ExprPtr e = Expr::MakeLiteral(Value(false), ident.loc);
+    e->span = ident.span();
+    return e;
   }
   if (ident.IsIdent("empty_set")) {
-    return Expr::MakeLiteral(Value(StringSet{}), ident.loc);
+    ExprPtr e = Expr::MakeLiteral(Value(StringSet{}), ident.loc);
+    e->span = ident.span();
+    return e;
   }
   // Call: `avg(evt.amount)`.
   if (Check(TokenKind::kLParen)) {
@@ -745,7 +765,9 @@ Result<ExprPtr> Parser::ParsePrimary() {
     }
     SAQL_RETURN_IF_ERROR(
         Expect(TokenKind::kRParen, "closing call arguments").status());
-    return Expr::MakeCall(ident.text, std::move(args), ident.loc);
+    ExprPtr e = Expr::MakeCall(ident.text, std::move(args), ident.loc);
+    e->span = SourceSpan{ident.loc, PrevEnd()};
+    return e;
   }
   // State history: `ss[1].avg_amount`.
   if (Check(TokenKind::kLBracket)) {
@@ -759,17 +781,23 @@ Result<ExprPtr> Parser::ParsePrimary() {
       SAQL_ASSIGN_OR_RETURN(Token f, ExpectIdent("field after '.'"));
       field = f.text;
     }
-    return Expr::MakeRef(ident.text, static_cast<int>(idx.int_value),
-                         std::move(field), ident.loc);
+    ExprPtr e = Expr::MakeRef(ident.text, static_cast<int>(idx.int_value),
+                              std::move(field), ident.loc);
+    e->span = SourceSpan{ident.loc, PrevEnd()};
+    return e;
   }
   // Qualified field: `p1.exe_name`.
   if (Check(TokenKind::kDot)) {
     Advance();
     SAQL_ASSIGN_OR_RETURN(Token f, ExpectIdent("field after '.'"));
-    return Expr::MakeRef(ident.text, std::nullopt, f.text, ident.loc);
+    ExprPtr e = Expr::MakeRef(ident.text, std::nullopt, f.text, ident.loc);
+    e->span = SourceSpan{ident.loc, f.end};
+    return e;
   }
   // Bare reference.
-  return Expr::MakeRef(ident.text, std::nullopt, "", ident.loc);
+  ExprPtr bare = Expr::MakeRef(ident.text, std::nullopt, "", ident.loc);
+  bare->span = ident.span();
+  return bare;
 }
 
 Result<Query> ParseSaql(const std::string& text) {

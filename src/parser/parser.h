@@ -74,6 +74,11 @@ class Parser {
   Result<Token> Expect(TokenKind kind, const std::string& context);
   Result<Token> ExpectIdent(const std::string& context);
   Status ErrorHere(const std::string& msg) const;
+  /// Exclusive end of the most recently consumed token — the natural end
+  /// of whatever syntax node just finished parsing.
+  SourceLoc PrevEnd() const {
+    return pos_ > 0 ? tokens_[pos_ - 1].end : Peek().loc;
+  }
 
   /// True when the current token begins an entity pattern.
   bool AtEntityType() const;

@@ -74,6 +74,16 @@ const char* TokenKindName(TokenKind kind) {
   return "?";
 }
 
+std::string SourceSpan::ToString() const {
+  if (end.line == begin.line && end.col > begin.col) {
+    return begin.ToString() + "-" + std::to_string(end.col);
+  }
+  if (end.line > begin.line) {
+    return begin.ToString() + "-" + end.ToString();
+  }
+  return begin.ToString();
+}
+
 bool Token::IsIdent(const std::string& spelling) const {
   return kind == TokenKind::kIdentifier && ToLower(text) == ToLower(spelling);
 }

@@ -57,6 +57,36 @@ struct SourceLoc {
   }
 };
 
+/// Half-open source range `[begin, end)` covering one token or one syntax
+/// node. Parse trees carry spans so post-parse passes (analyzer, lint) can
+/// point diagnostics at the offending text rather than just its first
+/// character.
+struct SourceSpan {
+  SourceLoc begin;
+  SourceLoc end;
+
+  bool IsZero() const { return begin.line == 1 && begin.col == 1 &&
+                               end.line == 1 && end.col == 1; }
+
+  /// Smallest span covering both operands (for composite nodes).
+  static SourceSpan Cover(const SourceSpan& a, const SourceSpan& b) {
+    SourceSpan s = a;
+    if (b.begin.line < s.begin.line ||
+        (b.begin.line == s.begin.line && b.begin.col < s.begin.col)) {
+      s.begin = b.begin;
+    }
+    if (b.end.line > s.end.line ||
+        (b.end.line == s.end.line && b.end.col > s.end.col)) {
+      s.end = b.end;
+    }
+    return s;
+  }
+
+  /// Renders "line:col-line:col", collapsing the end when it adds nothing
+  /// ("3:5-3:12" on one line, "3:5" when the span is empty).
+  std::string ToString() const;
+};
+
 /// One lexical token. `text` holds the identifier spelling or the unescaped
 /// string contents; numeric values are pre-parsed into `int_value` /
 /// `float_value`.
@@ -66,11 +96,16 @@ struct Token {
   int64_t int_value = 0;
   double float_value = 0.0;
   SourceLoc loc;
+  /// One past the token's last character (same line unless the token holds
+  /// an embedded newline). Stamped by the lexer driver loop.
+  SourceLoc end;
 
   bool Is(TokenKind k) const { return kind == k; }
   /// True for an identifier with the given spelling (case-insensitive, as
   /// SAQL keywords are).
   bool IsIdent(const std::string& spelling) const;
+
+  SourceSpan span() const { return SourceSpan{loc, end}; }
 
   std::string ToString() const;
 };

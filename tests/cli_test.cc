@@ -87,6 +87,41 @@ TEST(QueryShellTest, LoadMissingFileFails) {
             std::string::npos);
 }
 
+TEST(QueryShellTest, LintCommandReportsDiagnostics) {
+  ShellHarness h;
+  std::string out = h.Run("lint");
+  EXPECT_NE(out.find("usage: lint"), std::string::npos);
+  // Corpus file: clean except the placement note.
+  std::string path = std::string(SAQL_QUERY_DIR) + "/query1_rule.saql";
+  out = h.Run("lint " + path);
+  EXPECT_NE(out.find("SA030"), std::string::npos);
+  EXPECT_NE(out.find("0 error(s), 0 warning(s)"), std::string::npos);
+  EXPECT_NE(h.Run("lint /no/such.saql").find("cannot open"),
+            std::string::npos);
+}
+
+TEST(QueryShellTest, ExplainShowsPlacementRationale) {
+  ShellHarness h;
+  EXPECT_NE(h.Run("explain nothere").find("no query named"),
+            std::string::npos);
+  h.Run("query exfil proc p[\"%sbblv.exe\"] write ip i as e "
+        "return distinct p, i");
+  std::string out = h.Run("explain exfil");
+  EXPECT_NE(out.find("placement: partitionable"), std::string::npos);
+  std::string path = std::string(SAQL_QUERY_DIR) + "/query1_rule.saql";
+  h.Run("load " + path + " q1");
+  out = h.Run("explain q1");
+  EXPECT_NE(out.find("placement: global"), std::string::npos);
+  EXPECT_NE(out.find("join-key analysis"), std::string::npos);
+}
+
+TEST(QueryShellTest, HelpListsLintAndExplain) {
+  ShellHarness h;
+  std::string out = h.Run("help");
+  EXPECT_NE(out.find("lint <file"), std::string::npos);
+  EXPECT_NE(out.find("explain <name>"), std::string::npos);
+}
+
 TEST(QueryShellTest, SimulateWithoutQueriesWarns) {
   ShellHarness h;
   EXPECT_NE(h.Run("simulate 1").find("no queries"), std::string::npos);
@@ -257,6 +292,42 @@ TEST(QueryShellLiveTest, AddWithoutSessionRegisters) {
   EXPECT_NE(h.Run("remove q").find("unregistered"), std::string::npos);
   EXPECT_TRUE(h.shell().queries().empty());
   EXPECT_NE(h.Run("remove q").find("no query"), std::string::npos);
+}
+
+// A mid-session `add` of a statically broken query must report the
+// diagnostic list (not just a status blob) and leave the session state
+// untouched: no phantom registration, later adds and pushes still work.
+TEST(QueryShellLiveTest, AddRejectedByLintReportsDiagnosticsAndKeepsState) {
+  ShellHarness h;
+  h.Run("open");
+  ASSERT_TRUE(h.shell().session_open());
+  std::string out =
+      h.Run("add dead proc p[pid > 100, pid <= 50] write ip i as e "
+            "return p");
+  EXPECT_NE(out.find("add failed"), std::string::npos);
+  EXPECT_NE(out.find("SA001"), std::string::npos);
+  EXPECT_NE(out.find("error"), std::string::npos);
+  // Untouched: not registered in the shell, not active in the session.
+  EXPECT_EQ(h.shell().queries().count("dead"), 0u);
+  std::string status = h.Run("session");
+  EXPECT_NE(status.find("0 active queries"), std::string::npos);
+  // The session still accepts a good query and traffic after the reject.
+  out = h.Run("add good proc p[\"%sbblv.exe\"] write ip i as e "
+              "return distinct p, i");
+  EXPECT_NE(out.find("attached query 'good'"), std::string::npos);
+  EXPECT_NE(h.Run("push 4").find("pushed"), std::string::npos);
+  h.Run("close");
+}
+
+// Warnings do not reject a mid-session add, but they print.
+TEST(QueryShellLiveTest, AddWithWarningPrintsFindingAndAttaches) {
+  ShellHarness h;
+  h.Run("open");
+  std::string out = h.Run("add warn proc p start file f as e return p");
+  EXPECT_NE(out.find("SA003"), std::string::npos);
+  EXPECT_NE(out.find("attached query 'warn'"), std::string::npos);
+  EXPECT_EQ(h.shell().queries().count("warn"), 1u);
+  h.Run("close");
 }
 
 // The settings satellite: `shards`/`index` changed while a live session
