@@ -1,10 +1,13 @@
 // saql_lint — CI-friendly static analysis for SAQL query files.
 //
 //   $ ./saql_lint queries/*.saql queries/apt/*.saql
+//   $ ./saql_lint --fleet --json queries/*.saql > lint.json
 //
 // Each file is compiled and run through QueryAnalysis::Lint; every
-// diagnostic prints as `file: severity CODE at span: message`. The exit
-// code makes it a build gate:
+// diagnostic prints as `file: severity CODE at span: message`. With
+// --fleet, the compiled set additionally runs through the cross-query
+// FleetAnalysis pass (SA050 duplicates, SA051 subsumption, routing-envelope
+// overlap). The exit code makes it a build gate:
 //
 //   0  every file compiled and no error-severity diagnostics
 //   1  at least one error-severity diagnostic (provably broken query)
@@ -12,41 +15,162 @@
 //
 // Warnings, hints, and placement notes print but do not fail the gate;
 // pass --errors-only to silence them (CI logs stay readable, the gate is
-// unchanged).
+// unchanged). --json switches stdout to a single stable JSON document
+// (schema documented in --help) for CI artifact upload; compile/IO
+// failures still go to stderr.
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/fleet_analysis.h"
 #include "analysis/query_analysis.h"
 #include "engine/compiled_query.h"
 #include "parser/analyzer.h"
 
+namespace {
+
+void PrintHelp(std::ostream& os) {
+  os << "usage: saql_lint [flags] <file.saql...>\n"
+        "\n"
+        "Static analysis for SAQL query files: per-query satisfiability,\n"
+        "dead-pattern, window/aggregate, and type/dataflow checks, plus\n"
+        "optional cross-query fleet analysis.\n"
+        "\n"
+        "flags:\n"
+        "  --errors-only  print only error-severity diagnostics (the exit\n"
+        "                 code is unchanged; warnings still count in the\n"
+        "                 summary line)\n"
+        "  --fleet        also run the cross-query pass over the whole\n"
+        "                 file set: SA050 exact duplicates, SA051\n"
+        "                 subsumption, and the routing-envelope overlap\n"
+        "                 table\n"
+        "  --json         emit one JSON document on stdout instead of\n"
+        "                 text: {\"files\", \"errors\", \"warnings\",\n"
+        "                 \"diagnostics\": [{\"file\", \"code\",\n"
+        "                 \"severity\", \"span\": {\"begin\": {\"line\",\n"
+        "                 \"col\"}, \"end\": {\"line\", \"col\"}},\n"
+        "                 \"message\", \"fix_hint\"}]} — span is null for\n"
+        "                 whole-query findings; the field order and names\n"
+        "                 are stable\n"
+        "  --help         this text\n"
+        "\n"
+        "exit codes:\n"
+        "  0  every file compiled; no error-severity diagnostics\n"
+        "  1  at least one error-severity diagnostic\n"
+        "  2  unreadable/uncompilable file, no files given, or an unknown\n"
+        "     flag\n";
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendJsonDiagnostic(std::ostream& os, const std::string& file,
+                          const saql::Diagnostic& d, bool* first) {
+  if (!*first) os << ",";
+  *first = false;
+  os << "\n    {\"file\": \"" << JsonEscape(file) << "\", \"code\": \""
+     << d.code << "\", \"severity\": \"" << saql::SeverityName(d.severity)
+     << "\", \"span\": ";
+  if (d.span.IsZero()) {
+    os << "null";
+  } else {
+    os << "{\"begin\": {\"line\": " << d.span.begin.line
+       << ", \"col\": " << d.span.begin.col
+       << "}, \"end\": {\"line\": " << d.span.end.line
+       << ", \"col\": " << d.span.end.col << "}}";
+  }
+  os << ", \"message\": \"" << JsonEscape(d.message) << "\", \"fix_hint\": \""
+     << JsonEscape(d.fix_hint) << "\"}";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::vector<std::string> files;
   bool errors_only = false;
+  bool fleet = false;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--errors-only") {
       errors_only = true;
+    } else if (arg == "--fleet") {
+      fleet = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintHelp(std::cout);
+      return 0;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag '" << arg
-                << "' (supported: --errors-only)\n";
+                << "' (supported: --errors-only --fleet --json --help)\n";
       return 2;
     } else {
       files.push_back(arg);
     }
   }
   if (files.empty()) {
-    std::cerr << "usage: saql_lint [--errors-only] <file.saql...>\n";
+    std::cerr << "usage: saql_lint [--errors-only] [--fleet] [--json] "
+                 "<file.saql...>\n(--help for details)\n";
     return 2;
   }
 
   size_t total_errors = 0;
   size_t total_warnings = 0;
   bool io_or_compile_failure = false;
+  // (file, diagnostic) pairs in emission order, for the JSON document.
+  std::vector<std::pair<std::string, saql::Diagnostic>> emitted;
+  std::vector<saql::FleetAnalysis::Member> members;
+
+  auto emit = [&](const std::string& file, const saql::Diagnostic& d) {
+    if (d.severity == saql::Severity::kError) {
+      ++total_errors;
+    } else if (d.severity == saql::Severity::kWarning) {
+      ++total_warnings;
+    } else if (errors_only) {
+      return;
+    }
+    if (json) {
+      emitted.emplace_back(file, d);
+    } else {
+      std::cout << file << ": " << d.ToString() << "\n";
+    }
+  };
+
   for (const std::string& path : files) {
     std::ifstream f(path);
     if (!f) {
@@ -70,21 +194,37 @@ int main(int argc, char** argv) {
       io_or_compile_failure = true;
       continue;
     }
-    for (const saql::Diagnostic& d :
-         saql::QueryAnalysis::Lint(**query)) {
-      if (d.severity == saql::Severity::kError) {
-        ++total_errors;
-      } else if (d.severity == saql::Severity::kWarning) {
-        ++total_warnings;
-      } else if (errors_only) {
-        continue;
+    for (const saql::Diagnostic& d : saql::QueryAnalysis::Lint(**query)) {
+      emit(path, d);
+    }
+    if (fleet) members.push_back({path, *analyzed});
+  }
+
+  saql::FleetReport report;
+  if (fleet) {
+    report = saql::FleetAnalysis::Analyze(members);
+    for (size_t i = 0; i < report.findings.size(); ++i) {
+      for (const saql::Diagnostic& d : report.findings[i]) {
+        emit(report.names[i], d);
       }
-      std::cout << path << ": " << d.ToString() << "\n";
     }
   }
 
-  std::cout << files.size() << " file(s): " << total_errors
-            << " error(s), " << total_warnings << " warning(s)\n";
+  if (json) {
+    std::cout << "{\n  \"files\": " << files.size()
+              << ",\n  \"errors\": " << total_errors
+              << ",\n  \"warnings\": " << total_warnings
+              << ",\n  \"diagnostics\": [";
+    bool first = true;
+    for (const auto& [file, d] : emitted) {
+      AppendJsonDiagnostic(std::cout, file, d, &first);
+    }
+    std::cout << (first ? "" : "\n  ") << "]\n}\n";
+  } else {
+    if (fleet) std::cout << report.ToString();
+    std::cout << files.size() << " file(s): " << total_errors << " error(s), "
+              << total_warnings << " warning(s)\n";
+  }
   if (io_or_compile_failure) return 2;
   return total_errors > 0 ? 1 : 0;
 }

@@ -1,0 +1,497 @@
+#include "analysis/dataflow.h"
+
+#include <set>
+#include <string>
+
+#include "core/field_access.h"
+#include "core/string_util.h"
+
+namespace saql {
+namespace {
+
+/// Schema type of an attribute, for both the entity-scoped and whole-event
+/// spellings. This is the single source of truth the type checker reads;
+/// it mirrors the storage types in core/event.h.
+StaticType FieldType(FieldId id) {
+  switch (id) {
+    case FieldId::kExeName:
+    case FieldId::kUser:
+    case FieldId::kPath:
+    case FieldId::kSrcIp:
+    case FieldId::kDstIp:
+    case FieldId::kProtocol:
+    case FieldId::kName:
+    case FieldId::kAgentId:
+    case FieldId::kOp:
+    case FieldId::kSubjectExeName:
+    case FieldId::kSubjectUser:
+    case FieldId::kObjectExeName:
+    case FieldId::kObjectUser:
+    case FieldId::kObjectPath:
+    case FieldId::kObjectName:
+    case FieldId::kObjectSrcIp:
+    case FieldId::kObjectDstIp:
+    case FieldId::kObjectProtocol:
+      return StaticType::kString;
+    case FieldId::kPid:
+    case FieldId::kSrcPort:
+    case FieldId::kDstPort:
+    case FieldId::kAmount:
+    case FieldId::kTs:
+    case FieldId::kId:
+    case FieldId::kSubjectPid:
+    case FieldId::kObjectPid:
+    case FieldId::kObjectSrcPort:
+    case FieldId::kObjectDstPort:
+      return StaticType::kNumeric;
+    case FieldId::kFailed:
+      return StaticType::kBool;
+    case FieldId::kInvalid:
+      return StaticType::kUnknown;
+  }
+  return StaticType::kUnknown;
+}
+
+StaticType LiteralType(const Value& v) {
+  if (v.is_string()) return StaticType::kString;
+  if (v.is_bool()) return StaticType::kBool;
+  if (v.is_numeric()) return StaticType::kNumeric;
+  if (v.is_set()) return StaticType::kSet;
+  return StaticType::kUnknown;  // null
+}
+
+/// Result type of an aggregate call. `min`/`max` return one of their input
+/// values, so they take the argument's type; `top` depends on the
+/// aggregator's tie-breaking representation and stays unknown.
+StaticType AggregateType(const std::string& callee, const Expr& e,
+                         const AnalyzedQuery& aq);
+
+StaticType Infer(const AnalyzedQuery& aq, const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return LiteralType(e.literal);
+    case ExprKind::kRef:
+      switch (e.ref_kind) {
+        case RefKind::kEntity:
+        case RefKind::kEvent:
+          return FieldType(e.ref_field);
+        case RefKind::kState: {
+          if (!aq.query->state.has_value()) return StaticType::kUnknown;
+          const auto& fields = aq.query->state->fields;
+          if (e.ref_index < 0 ||
+              static_cast<size_t>(e.ref_index) >= fields.size()) {
+            return StaticType::kUnknown;
+          }
+          const ExprPtr& def = fields[static_cast<size_t>(e.ref_index)].expr;
+          return def == nullptr ? StaticType::kUnknown : Infer(aq, *def);
+        }
+        case RefKind::kGroupKey: {
+          if (e.ref_index < 0 ||
+              static_cast<size_t>(e.ref_index) >= aq.group_keys.size()) {
+            return StaticType::kUnknown;
+          }
+          return FieldType(
+              aq.group_keys[static_cast<size_t>(e.ref_index)].field_id);
+        }
+        case RefKind::kInvariant: {
+          // Resolved through the variable's init statement only — update
+          // statements reference the variable itself and would recurse.
+          if (!aq.query->invariant.has_value()) return StaticType::kUnknown;
+          if (e.ref_index < 0 ||
+              static_cast<size_t>(e.ref_index) >= aq.invariant_vars.size()) {
+            return StaticType::kUnknown;
+          }
+          const std::string& var =
+              aq.invariant_vars[static_cast<size_t>(e.ref_index)];
+          for (const InvariantStmt& s : aq.query->invariant->stmts) {
+            if (s.is_init && s.var == var && s.expr != nullptr &&
+                s.expr->kind == ExprKind::kLiteral) {
+              return LiteralType(s.expr->literal);
+            }
+          }
+          return StaticType::kUnknown;
+        }
+        case RefKind::kCluster:
+          // cluster.outlier is the DBSCAN stage's boolean verdict; the
+          // remaining cluster.* attributes (size, distance) are numeric but
+          // engine-versioned, so only the documented one is typed.
+          return e.field == "outlier" ? StaticType::kBool
+                                      : StaticType::kUnknown;
+        case RefKind::kUnresolved:
+          return StaticType::kUnknown;
+      }
+      return StaticType::kUnknown;
+    case ExprKind::kCall: {
+      std::string callee = ToLower(e.callee);
+      if (IsAggregateFunction(callee)) return AggregateType(callee, e, aq);
+      if (callee == "sqrt" || callee == "log" || callee == "exp" ||
+          callee == "abs" || callee == "pow") {
+        return StaticType::kNumeric;
+      }
+      return StaticType::kUnknown;
+    }
+    case ExprKind::kUnary:
+      switch (e.un_op) {
+        case UnOp::kNot:
+          return StaticType::kBool;
+        case UnOp::kNeg:
+        case UnOp::kSize:
+          return StaticType::kNumeric;
+      }
+      return StaticType::kUnknown;
+    case ExprKind::kBinary:
+      switch (e.bin_op) {
+        case BinOp::kOr:
+        case BinOp::kAnd:
+        case BinOp::kEq:
+        case BinOp::kNe:
+        case BinOp::kLt:
+        case BinOp::kLe:
+        case BinOp::kGt:
+        case BinOp::kGe:
+        case BinOp::kIn:
+          return StaticType::kBool;
+        case BinOp::kUnion:
+        case BinOp::kDiff:
+        case BinOp::kIntersect:
+          return StaticType::kSet;
+        case BinOp::kAdd:
+        case BinOp::kSub:
+        case BinOp::kMul:
+        case BinOp::kDiv:
+        case BinOp::kMod:
+          return StaticType::kNumeric;
+      }
+      return StaticType::kUnknown;
+  }
+  return StaticType::kUnknown;
+}
+
+StaticType AggregateType(const std::string& callee, const Expr& e,
+                         const AnalyzedQuery& aq) {
+  if (callee == "set") return StaticType::kSet;
+  if (callee == "min" || callee == "max") {
+    return e.args.empty() ? StaticType::kUnknown : Infer(aq, *e.args[0]);
+  }
+  if (callee == "top") return StaticType::kUnknown;
+  // avg, sum, count, stddev, median, count_distinct.
+  return StaticType::kNumeric;
+}
+
+void Emit(std::vector<Diagnostic>* out, const char* code, Severity severity,
+          SourceSpan span, std::string message, std::string fix_hint = "") {
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.span = span;
+  d.message = std::move(message);
+  d.fix_hint = std::move(fix_hint);
+  out->push_back(std::move(d));
+}
+
+// ---------------------------------------------------------------------------
+// SA040 — cross-type comparisons
+// ---------------------------------------------------------------------------
+
+bool IsOrderedCompare(BinOp op) {
+  return op == BinOp::kLt || op == BinOp::kLe || op == BinOp::kGt ||
+         op == BinOp::kGe;
+}
+
+/// Both sides concretely typed and the comparison provably never holds:
+/// ordered comparisons across different types (or between sets) are
+/// `Value::Compare` errors that poison the whole evaluation; equality
+/// across different types is always false (`Value::Equals` coerces between
+/// int and float only, which the single kNumeric type already absorbs).
+bool ComparisonNeverHolds(BinOp op, StaticType lhs, StaticType rhs) {
+  if (lhs == StaticType::kUnknown || rhs == StaticType::kUnknown) {
+    return false;
+  }
+  if (IsOrderedCompare(op)) {
+    return lhs != rhs || lhs == StaticType::kSet;
+  }
+  if (op == BinOp::kEq) return lhs != rhs;
+  return false;
+}
+
+void CheckComparisons(const AnalyzedQuery& aq, const Expr& e,
+                      std::vector<Diagnostic>* out) {
+  if (e.kind == ExprKind::kBinary && e.lhs != nullptr && e.rhs != nullptr) {
+    StaticType lt = Infer(aq, *e.lhs);
+    StaticType rt = Infer(aq, *e.rhs);
+    if (ComparisonNeverHolds(e.bin_op, lt, rt)) {
+      Emit(out, "SA040", Severity::kError, e.span,
+           "cross-type comparison `" + e.ToString() + "` (" +
+               StaticTypeName(lt) + " vs " + StaticTypeName(rt) +
+               ") can never hold: " +
+               (IsOrderedCompare(e.bin_op)
+                    ? "ordered comparisons across types are evaluation "
+                      "errors, so the whole expression fails"
+                    : "equality across types is always false"),
+           "compare values of the same type");
+      return;  // one finding per comparison; operands are its own subtree
+    }
+  }
+  if (e.lhs != nullptr) CheckComparisons(aq, *e.lhs, out);
+  if (e.rhs != nullptr) CheckComparisons(aq, *e.rhs, out);
+  for (const ExprPtr& a : e.args) CheckComparisons(aq, *a, out);
+}
+
+/// SA040 over attribute constraints: the literal's type against the
+/// schema type of the constrained field. `pid = "abc"` compares a numeric
+/// attribute with a string and can never match any event.
+void CheckConstraintTypes(const AnalyzedQuery& aq,
+                          std::vector<Diagnostic>* out) {
+  auto check = [&](const AttrConstraint& c, FieldId id) {
+    StaticType ft = FieldType(id);
+    StaticType vt = LiteralType(c.value);
+    if (ft == StaticType::kUnknown || vt == StaticType::kUnknown) return;
+    if (ft == vt) return;
+    Emit(out, "SA040", Severity::kError, c.span,
+         "cross-type constraint `" + c.ToString() + "`: attribute '" +
+             c.field + "' is " + StaticTypeName(ft) + " but the value is " +
+             StaticTypeName(vt) + ", so the constraint matches no event",
+         "use a " + std::string(StaticTypeName(ft)) + " value");
+  };
+  const Query& q = *aq.query;
+  for (const AttrConstraint& c : q.global_constraints) {
+    check(c, ResolveEventFieldId(c.field));
+  }
+  for (const EventPatternDecl& decl : q.patterns) {
+    for (const AttrConstraint& c : decl.subject.constraints) {
+      check(c, ResolveEntityFieldId(decl.subject.type, c.field));
+    }
+    for (const AttrConstraint& c : decl.object.constraints) {
+      check(c, ResolveEntityFieldId(decl.object.type, c.field));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Expression enumeration shared by the passes
+// ---------------------------------------------------------------------------
+
+/// Calls `fn` with every expression root of the query: state fields, the
+/// alert condition, return items, invariant statements, cluster points.
+template <typename Fn>
+void ForEachExprRoot(const Query& q, Fn fn) {
+  if (q.state.has_value()) {
+    for (const StateField& f : q.state->fields) {
+      if (f.expr != nullptr) fn(*f.expr);
+    }
+  }
+  if (q.invariant.has_value()) {
+    for (const InvariantStmt& s : q.invariant->stmts) {
+      if (s.expr != nullptr) fn(*s.expr);
+    }
+  }
+  if (q.cluster.has_value()) {
+    for (const ExprPtr& p : q.cluster->points) {
+      if (p != nullptr) fn(*p);
+    }
+  }
+  if (q.alert != nullptr) fn(*q.alert);
+  for (const ReturnItem& item : q.returns) {
+    if (item.expr != nullptr) fn(*item.expr);
+  }
+}
+
+void CollectRefBases(const Expr& e, std::set<std::string>* out) {
+  if (e.kind == ExprKind::kRef) out->insert(e.base);
+  if (e.lhs != nullptr) CollectRefBases(*e.lhs, out);
+  if (e.rhs != nullptr) CollectRefBases(*e.rhs, out);
+  for (const ExprPtr& a : e.args) CollectRefBases(*a, out);
+}
+
+// ---------------------------------------------------------------------------
+// SA041 — unused pattern variables
+// ---------------------------------------------------------------------------
+
+void CheckUnusedVariables(const AnalyzedQuery& aq,
+                          std::vector<Diagnostic>* out) {
+  const Query& q = *aq.query;
+  std::set<std::string> used;
+  ForEachExprRoot(q, [&](const Expr& e) { CollectRefBases(e, &used); });
+  if (q.state.has_value()) {
+    for (const GroupKey& k : q.state->group_by) used.insert(k.base);
+  }
+
+  auto check_entity = [&](const EntityPattern& entity) {
+    const std::string& var = entity.var;
+    if (var.empty() || var[0] == '_') return;     // anonymous spelling
+    if (!entity.constraints.empty()) return;      // still filters events
+    if (used.count(var) != 0) return;             // read by an expression
+    auto it = aq.entity_vars.find(var);
+    if (it != aq.entity_vars.end() && it->second.size() > 1) {
+      return;  // shared across patterns: an implicit join constraint
+    }
+    Emit(out, "SA041", Severity::kWarning, entity.span,
+         "unused pattern variable '" + var +
+             "': it has no constraints, is never referenced by any "
+             "expression, and joins no other pattern",
+         "drop the name (an anonymous entity matches the same events) or "
+         "reference the variable");
+  };
+  for (const EventPatternDecl& decl : q.patterns) {
+    check_entity(decl.subject);
+    check_entity(decl.object);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SA042 — never-read state fields
+// ---------------------------------------------------------------------------
+
+/// True when any expression root outside the state block reads state field
+/// `index` (resolved kState references; falls back to `ss.field` name
+/// matching for roots the analyzer leaves unresolved).
+bool StateFieldRead(const Expr& e, int index, const std::string& state_var,
+                    const std::string& field_name) {
+  if (e.kind == ExprKind::kRef) {
+    if (e.ref_kind == RefKind::kState && e.ref_index == index) return true;
+    if (e.ref_kind == RefKind::kUnresolved && e.base == state_var &&
+        e.field == field_name) {
+      return true;
+    }
+  }
+  if (e.lhs != nullptr &&
+      StateFieldRead(*e.lhs, index, state_var, field_name)) {
+    return true;
+  }
+  if (e.rhs != nullptr &&
+      StateFieldRead(*e.rhs, index, state_var, field_name)) {
+    return true;
+  }
+  for (const ExprPtr& a : e.args) {
+    if (StateFieldRead(*a, index, state_var, field_name)) return true;
+  }
+  return false;
+}
+
+void CheckUnreadStateFields(const AnalyzedQuery& aq,
+                            std::vector<Diagnostic>* out) {
+  const Query& q = *aq.query;
+  if (!q.state.has_value()) return;
+  const StateBlock& sb = *q.state;
+  for (size_t i = 0; i < sb.fields.size(); ++i) {
+    const StateField& f = sb.fields[i];
+    bool read = false;
+    auto scan = [&](const Expr& e) {
+      if (!read &&
+          StateFieldRead(e, static_cast<int>(i), sb.var, f.name)) {
+        read = true;
+      }
+    };
+    if (q.invariant.has_value()) {
+      for (const InvariantStmt& s : q.invariant->stmts) {
+        if (s.expr != nullptr) scan(*s.expr);
+      }
+    }
+    if (q.cluster.has_value()) {
+      for (const ExprPtr& p : q.cluster->points) {
+        if (p != nullptr) scan(*p);
+      }
+    }
+    if (q.alert != nullptr) scan(*q.alert);
+    for (const ReturnItem& item : q.returns) {
+      if (item.expr != nullptr) scan(*item.expr);
+    }
+    if (read) continue;
+    SourceSpan span{f.loc, f.loc};
+    if (f.expr != nullptr) span = SourceSpan{f.loc, f.expr->span.end};
+    Emit(out, "SA042", Severity::kWarning, span,
+         "state field '" + f.name +
+             "' is aggregated every window but never read by any alert, "
+             "return, invariant, or cluster expression",
+         "drop the field or reference it");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SA043 — constant-foldable subexpressions
+// ---------------------------------------------------------------------------
+
+bool IsConstantSubtree(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return true;
+    case ExprKind::kUnary:
+      return e.lhs != nullptr && IsConstantSubtree(*e.lhs);
+    case ExprKind::kBinary:
+      return e.lhs != nullptr && e.rhs != nullptr &&
+             IsConstantSubtree(*e.lhs) && IsConstantSubtree(*e.rhs);
+    default:
+      return false;
+  }
+}
+
+/// Emits one hint per *maximal* all-literal operator subtree: recursion
+/// stops at a constant node, so `(2 + 3) * 4` inside a larger expression
+/// reports once, at the outermost foldable node.
+void FindFoldable(const Expr& e, std::vector<Diagnostic>* out) {
+  if ((e.kind == ExprKind::kBinary || e.kind == ExprKind::kUnary) &&
+      IsConstantSubtree(e)) {
+    Emit(out, "SA043", Severity::kHint, e.span,
+         "constant subexpression `" + e.ToString() +
+             "` is re-evaluated on every use",
+         "fold it to its value");
+    return;
+  }
+  if (e.lhs != nullptr) FindFoldable(*e.lhs, out);
+  if (e.rhs != nullptr) FindFoldable(*e.rhs, out);
+  for (const ExprPtr& a : e.args) FindFoldable(*a, out);
+}
+
+}  // namespace
+
+const char* StaticTypeName(StaticType type) {
+  switch (type) {
+    case StaticType::kUnknown:
+      return "unknown";
+    case StaticType::kString:
+      return "string";
+    case StaticType::kNumeric:
+      return "numeric";
+    case StaticType::kBool:
+      return "bool";
+    case StaticType::kSet:
+      return "set";
+  }
+  return "?";
+}
+
+StaticType InferExprType(const AnalyzedQuery& aq, const Expr& e) {
+  return Infer(aq, e);
+}
+
+void RunDataflowChecks(const AnalyzedQuery& aq,
+                       std::vector<Diagnostic>* out) {
+  const Query& q = *aq.query;
+
+  CheckConstraintTypes(aq, out);
+  ForEachExprRoot(q, [&](const Expr& e) { CheckComparisons(aq, e, out); });
+
+  CheckUnusedVariables(aq, out);
+  CheckUnreadStateFields(aq, out);
+
+  // A fully constant alert is SA021's finding (query_analysis.cc); the
+  // foldable-subtree hint covers constants *inside* live expressions.
+  if (q.alert != nullptr && !IsConstantSubtree(*q.alert)) {
+    FindFoldable(*q.alert, out);
+  }
+  if (q.state.has_value()) {
+    for (const StateField& f : q.state->fields) {
+      if (f.expr != nullptr) FindFoldable(*f.expr, out);
+    }
+  }
+  if (q.invariant.has_value()) {
+    for (const InvariantStmt& s : q.invariant->stmts) {
+      if (s.expr != nullptr) FindFoldable(*s.expr, out);
+    }
+  }
+  for (const ReturnItem& item : q.returns) {
+    if (item.expr != nullptr) FindFoldable(*item.expr, out);
+  }
+}
+
+}  // namespace saql

@@ -1,0 +1,55 @@
+#ifndef SAQL_ANALYSIS_DATAFLOW_H_
+#define SAQL_ANALYSIS_DATAFLOW_H_
+
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "parser/analyzer.h"
+
+namespace saql {
+
+/// Static type of a SAQL expression, inferred over the compiled field
+/// schema (FieldId → type) and the analyzer's reference resolution. The
+/// lattice is flat: a node is either one of the four concrete types or
+/// `kUnknown` (null literals, unresolved references, functions whose result
+/// type depends on runtime values). Every check in the dataflow pass fires
+/// only when both sides are concrete, so `kUnknown` can never produce a
+/// false positive.
+enum class StaticType : uint8_t {
+  kUnknown = 0,
+  kString,
+  kNumeric,  ///< int and float (the engine coerces freely between them)
+  kBool,
+  kSet,
+};
+
+const char* StaticTypeName(StaticType type);
+
+/// Infers the static type of `e` within `aq` (state-field and invariant
+/// variable types are resolved through their defining expressions).
+/// Exposed for tests; the pass itself runs through `RunDataflowChecks`.
+StaticType InferExprType(const AnalyzedQuery& aq, const Expr& e);
+
+/// The intra-query type & dataflow pass (run by `QueryAnalysis::Lint`):
+///
+///   SA040 error   cross-type comparison: the comparison provably never
+///                 holds under the engine's coercion rules (ordered
+///                 comparisons across types are evaluation errors; equality
+///                 across types is always false). Also covers attribute
+///                 constraints whose literal type contradicts the field's
+///                 schema type (`pid = "abc"`).
+///   SA041 warning unused pattern variable: a named, unconstrained entity
+///                 variable that is never referenced by any expression and
+///                 never shared across patterns does no filtering, joining,
+///                 or reporting work. Underscore-prefixed names (the
+///                 parser's anonymous spelling) are exempt.
+///   SA042 warning never-read state field: aggregated every window, read by
+///                 no alert/return/invariant/cluster expression.
+///   SA043 hint    constant-foldable subexpression: a maximal all-literal
+///                 operator subtree inside a non-constant expression (a
+///                 fully constant alert stays SA021's domain).
+void RunDataflowChecks(const AnalyzedQuery& aq, std::vector<Diagnostic>* out);
+
+}  // namespace saql
+
+#endif  // SAQL_ANALYSIS_DATAFLOW_H_

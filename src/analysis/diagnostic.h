@@ -43,6 +43,12 @@ const char* SeverityName(Severity severity);
 ///   SA021 hint    constant alert condition
 ///   SA030 note    shard-placement classification
 ///   SA031 note    join-key partitionability
+///   SA040 error   cross-type comparison/constraint (never holds)
+///   SA041 warning unused pattern variable
+///   SA042 warning never-read state field
+///   SA043 hint    constant-foldable subexpression
+///   SA050 warning exact-duplicate query in the fleet (double alerting)
+///   SA051 warning query subsumed by / subsuming another fleet query
 struct Diagnostic {
   std::string code;
   Severity severity = Severity::kWarning;

@@ -7,12 +7,27 @@
 #include <optional>
 #include <sstream>
 
+#include "analysis/dataflow.h"
 #include "core/like_matcher.h"
 #include "core/string_util.h"
 #include "core/time_util.h"
 #include "parser/analyzer.h"
 
 namespace saql {
+
+FieldId CanonicalEntityFieldId(EntityType type, FieldId id) {
+  if (id != FieldId::kName) return id;
+  switch (type) {
+    case EntityType::kProcess:
+      return FieldId::kExeName;
+    case EntityType::kFile:
+      return FieldId::kPath;
+    case EntityType::kNetwork:
+      return id;  // analyzer rejects `name` on network entities
+  }
+  return id;
+}
+
 namespace {
 
 // ---------------------------------------------------------------------------
@@ -32,16 +47,7 @@ struct NormConstraint {
 /// `p1[name = "a"]` and `p1[exe_name = "b"]` land in one satisfiability
 /// group.
 FieldId CanonicalEntityField(EntityType type, FieldId id) {
-  if (id != FieldId::kName) return id;
-  switch (type) {
-    case EntityType::kProcess:
-      return FieldId::kExeName;
-    case EntityType::kFile:
-      return FieldId::kPath;
-    case EntityType::kNetwork:
-      return id;  // analyzer rejects `name` on network entities
-  }
-  return id;
+  return CanonicalEntityFieldId(type, id);
 }
 
 /// Maps a global `subject_*` / `object_*` passthrough field to the entity
@@ -686,6 +692,7 @@ std::vector<Diagnostic> QueryAnalysis::Lint(const CompiledQuery& query) {
   CheckWindow(q, &out);
   CheckAggregates(q, &out);
   CheckRedundancy(q, &out);
+  RunDataflowChecks(query.analyzed(), &out);
 
   PlacementRationale placement = ExplainPlacement(query);
   SourceSpan query_span =

@@ -9,6 +9,13 @@
 
 namespace saql {
 
+/// Lowers the polymorphic `name` attribute to the entity's concrete field
+/// (`exe_name` for processes, `path` for files) so differently spelled
+/// constraints land in one satisfiability / canonicalization group. Shared
+/// by the per-query satisfiability pass and the fleet analyzer's slot
+/// normalization.
+FieldId CanonicalEntityFieldId(EntityType type, FieldId id);
+
 /// Why a query landed on its `CompiledQuery::shard_mode()`, derived from the
 /// same facts the scheduler uses (pattern count, statefulness, window kind,
 /// alert cooldown) — `mode` is read straight from the compiled query, so the

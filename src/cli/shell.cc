@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/fleet_analysis.h"
 #include "analysis/query_analysis.h"
 #include "cli/table.h"
 #include "collect/enterprise_sim.h"
@@ -64,6 +65,8 @@ bool QueryShell::Execute(const std::string& line) {
     CmdList();
   } else if (cmd == "lint") {
     CmdLint(args);
+  } else if (cmd == "fleet") {
+    CmdFleet();
   } else if (cmd == "explain") {
     CmdExplain(args);
   } else if (cmd == "simulate") {
@@ -109,9 +112,15 @@ void QueryShell::CmdHelp() {
        << "  load <file> [name]      load a .saql query file\n"
        << "  query <name> <text>     register an inline query\n"
        << "  list                    list registered queries\n"
-       << "  lint <file...>          static-analysis diagnostics for\n"
+       << "  lint [file...]          static-analysis diagnostics for\n"
           "                          .saql files (satisfiability, dead\n"
-          "                          patterns, window/aggregate sanity)\n"
+          "                          patterns, type/dataflow checks); with\n"
+          "                          no files, lints every registered\n"
+          "                          query\n"
+       << "  fleet                   cross-query analysis of the\n"
+          "                          registered set: duplicates (SA050),\n"
+          "                          subsumption (SA051), and routing-\n"
+          "                          envelope overlap per (type, op) cell\n"
        << "  explain <name>          placement rationale + lint findings\n"
           "                          for a registered query\n"
        << "  simulate [minutes]      run enterprise sim + APT attack\n"
@@ -233,8 +242,28 @@ void QueryShell::PrintDiagnostics(
 }
 
 void QueryShell::CmdLint(const std::vector<std::string>& args) {
+  // With no file arguments, lint every registered query instead.
   if (args.empty()) {
-    out_ << "usage: lint <file.saql> [more files...]\n";
+    if (queries_.empty()) {
+      out_ << "usage: lint <file.saql> [more files...]\n"
+              "(no queries registered — 'load' some, or pass files)\n";
+      return;
+    }
+    for (const auto& [name, text] : queries_) {
+      Result<AnalyzedQueryPtr> compiled = CompileSaql(text);
+      if (!compiled.ok()) {
+        out_ << name << ": compile error: " << compiled.status() << "\n";
+        continue;
+      }
+      Result<std::unique_ptr<CompiledQuery>> query =
+          CompiledQuery::Create(*compiled, name, {});
+      if (!query.ok()) {
+        out_ << name << ": compile error: " << query.status() << "\n";
+        continue;
+      }
+      out_ << name << ":\n";
+      PrintDiagnostics(QueryAnalysis::Lint(**query));
+    }
     return;
   }
   for (const std::string& path : args) {
@@ -258,6 +287,29 @@ void QueryShell::CmdLint(const std::vector<std::string>& args) {
     }
     out_ << path << ":\n";
     PrintDiagnostics(QueryAnalysis::Lint(**query));
+  }
+}
+
+void QueryShell::CmdFleet() {
+  if (queries_.size() < 1) {
+    out_ << "(no queries registered — 'load' or 'query' some first)\n";
+    return;
+  }
+  std::vector<FleetAnalysis::Member> members;
+  for (const auto& [name, text] : queries_) {
+    Result<AnalyzedQueryPtr> compiled = CompileSaql(text);
+    if (!compiled.ok()) {
+      out_ << name << ": compile error: " << compiled.status() << "\n";
+      continue;
+    }
+    members.push_back({name, *compiled});
+  }
+  FleetReport report = FleetAnalysis::Analyze(members);
+  out_ << report.ToString();
+  for (size_t i = 0; i < report.findings.size(); ++i) {
+    if (report.findings[i].empty()) continue;
+    out_ << report.names[i] << ":\n"
+         << RenderDiagnostics(report.findings[i], "  ");
   }
 }
 

@@ -63,6 +63,13 @@ namespace saql {
 ///                            last-closed stats once all are closed)
 ///
 /// Inspection:
+///   lint [file...]           static-analysis diagnostics for .saql files;
+///                            with no arguments, lints every registered
+///                            query
+///   fleet                    cross-query analysis of the registered set:
+///                            exact duplicates (SA050), subsumption
+///                            (SA051), and routing-envelope overlap per
+///                            (object type, op) cell
 ///   alerts [n]               show the last n alerts (default 10)
 ///   shards [n]               show or set executor shard lanes (1 = off)
 ///   index [on|off]           show or toggle shared member-match indexing
@@ -121,6 +128,7 @@ class QueryShell {
   void CmdQueryInline(const std::string& rest);
   void CmdList();
   void CmdLint(const std::vector<std::string>& args);
+  void CmdFleet();
   void CmdExplain(const std::vector<std::string>& args);
   void CmdSimulate(const std::vector<std::string>& args);
   void CmdReplay(const std::vector<std::string>& args);

@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include "analysis/fleet_analysis.h"
 #include "analysis/query_analysis.h"
 #include "core/interner.h"
 #include "parser/analyzer.h"
@@ -38,12 +39,30 @@ Status SaqlEngine::AddAnalyzedQuery(AnalyzedQueryPtr aq,
         std::unique_ptr<CompiledQuery> compiled,
         CompiledQuery::Create(aq, name, core_.options().query_options));
     std::vector<Diagnostic> findings = QueryAnalysis::Lint(*compiled);
-    if (diagnostics != nullptr) *diagnostics = findings;
     if (HasErrors(findings)) {
-      return Status::InvalidArgument(
-          "query '" + name + "' rejected by static analysis:\n" +
-          RenderDiagnostics(findings, "  "));
+      std::string rendered = RenderDiagnostics(findings, "  ");
+      if (diagnostics != nullptr) *diagnostics = std::move(findings);
+      return Status::InvalidArgument("query '" + name +
+                                     "' rejected by static analysis:\n" +
+                                     rendered);
     }
+    // Fleet pass: warn (never reject) when the new query duplicates or
+    // subsumes an already-registered one. Subsumption claims are disabled
+    // under a nonzero alert cooldown, whose suppression timing breaks the
+    // alert-containment argument (see FleetAnalysis).
+    std::vector<FleetAnalysis::Member> fleet;
+    for (EngineCore::RegisteredQuery& reg : core_.SnapshotRegistry()) {
+      fleet.push_back({reg.name, reg.aq});
+    }
+    FleetAnalysis::Options fleet_opts;
+    fleet_opts.subsumption =
+        core_.options().query_options.alert_cooldown <= 0;
+    std::vector<Diagnostic> fleet_findings =
+        FleetAnalysis::CheckQuery(*aq, fleet, fleet_opts);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(fleet_findings.begin()),
+                    std::make_move_iterator(fleet_findings.end()));
+    if (diagnostics != nullptr) *diagnostics = std::move(findings);
   }
   return core_.RegisterQuery(std::move(aq), name);
 }

@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "analysis/fleet_analysis.h"
 #include "analysis/query_analysis.h"
 #include "core/interner.h"
 #include "engine/engine.h"
@@ -563,12 +564,31 @@ struct SaqlEngine::Session::SessionContext {
     // Static analysis gates the attach *before* any scheduler or executor
     // wiring, so a rejected query leaves the session exactly as it was.
     std::vector<Diagnostic> findings = QueryAnalysis::Lint(*sq->primary);
-    if (diagnostics != nullptr) *diagnostics = findings;
     if (HasErrors(findings)) {
+      if (diagnostics != nullptr) *diagnostics = findings;
       return Status::InvalidArgument(
           "query '" + name + "' rejected by static analysis:\n" +
           RenderDiagnostics(findings, "  "));
     }
+    // Fleet pass against this session's live query set: duplicate /
+    // subsumption findings warn on the incoming query's handle, they never
+    // reject. Subsumption claims are unsound under an alert cooldown
+    // (suppression timing), so they are gated on cooldown == 0.
+    {
+      std::vector<FleetAnalysis::Member> fleet;
+      for (const auto& existing : queries) {
+        fleet.push_back({existing->name, existing->aq});
+      }
+      FleetAnalysis::Options fleet_opts;
+      fleet_opts.subsumption =
+          core->options().query_options.alert_cooldown <= 0;
+      std::vector<Diagnostic> fleet_findings =
+          FleetAnalysis::CheckQuery(*aq, fleet, fleet_opts);
+      findings.insert(findings.end(),
+                      std::make_move_iterator(fleet_findings.begin()),
+                      std::make_move_iterator(fleet_findings.end()));
+    }
+    if (diagnostics != nullptr) *diagnostics = findings;
     sq->diagnostics = std::move(findings);
 
     if (!sharded) {

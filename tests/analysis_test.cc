@@ -11,8 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/fleet_analysis.h"
 #include "analysis/query_analysis.h"
 #include "engine/engine.h"
+#include "parser/analyzer.h"
 #include "test_util.h"
 
 namespace saql {
@@ -292,6 +294,38 @@ TEST(AnalysisCorpusTest, AllCorpusQueriesLintWithoutErrorsOrWarnings) {
   }
 }
 
+// The fleet-level companion gate: the corpus must also be free of
+// cross-query redundancy — no two checked-in queries may be duplicates
+// or subsume one another (the CI `saql_lint --fleet` gate pins the same
+// invariant on the command line).
+TEST(AnalysisCorpusTest, CorpusIsCleanUnderFleetAnalysis) {
+  std::vector<FleetAnalysis::Member> members;
+  for (const char* file : kCorpusFiles) {
+    Result<AnalyzedQueryPtr> aq = CompileSaql(ReadQueryFile(file));
+    ASSERT_TRUE(aq.ok()) << file << "\n" << aq.status();
+    members.push_back({file, *aq});
+  }
+  FleetReport report = FleetAnalysis::Analyze(members);
+  EXPECT_TRUE(report.relations.empty()) << report.ToString();
+  EXPECT_FALSE(report.HasFindings()) << report.ToString();
+  // The routing envelope is still populated (overlap is informational).
+  EXPECT_FALSE(report.cells.empty());
+}
+
+// The intentionally duplicated fixture pair (kept outside the linted
+// corpus) exercises the SA050 path over checked-in files end to end.
+TEST(AnalysisCorpusTest, FixturePairDrawsSA050) {
+  Result<AnalyzedQueryPtr> a =
+      CompileSaql(ReadQueryFile("apt/fixtures/dup_dropper_write_a.saql"));
+  Result<AnalyzedQueryPtr> b =
+      CompileSaql(ReadQueryFile("apt/fixtures/dup_dropper_write_b.saql"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  FleetReport report = FleetAnalysis::Analyze({{"a", *a}, {"b", *b}});
+  ASSERT_EQ(report.relations.size(), 1u) << report.ToString();
+  EXPECT_EQ(report.relations[0].kind, FleetRelation::Kind::kDuplicate);
+  EXPECT_NE(Find(report.findings[1], "SA050"), nullptr);
+}
+
 TEST(AnalysisCorpusTest, ExplainPlacementMatchesSchedulerForEveryQuery) {
   for (const char* file : kCorpusFiles) {
     auto q = CompileQuery(ReadQueryFile(file), file);
@@ -469,6 +503,13 @@ TEST(AnalysisPropertyTest, SatisfiableQueriesNeverDrawErrors) {
         << q.str() << "\n" << Render(diags);
     EXPECT_EQ(Find(diags, "SA003"), nullptr)
         << q.str() << "\n" << Render(diags);
+    // The dataflow pass must stay silent too: every generated constraint
+    // is type-correct against the schema, every variable is constrained
+    // or returned, and there is no state block or constant arithmetic.
+    for (const char* code : {"SA040", "SA041", "SA042", "SA043"}) {
+      EXPECT_EQ(Find(diags, code), nullptr)
+          << code << "\n" << q.str() << "\n" << Render(diags);
+    }
   }
 }
 

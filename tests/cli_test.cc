@@ -115,11 +115,55 @@ TEST(QueryShellTest, ExplainShowsPlacementRationale) {
   EXPECT_NE(out.find("join-key analysis"), std::string::npos);
 }
 
-TEST(QueryShellTest, HelpListsLintAndExplain) {
+TEST(QueryShellTest, HelpListsLintFleetAndExplain) {
   ShellHarness h;
   std::string out = h.Run("help");
-  EXPECT_NE(out.find("lint <file"), std::string::npos);
+  EXPECT_NE(out.find("lint [file...]"), std::string::npos);
+  EXPECT_NE(out.find("fleet"), std::string::npos);
   EXPECT_NE(out.find("explain <name>"), std::string::npos);
+}
+
+TEST(QueryShellTest, LintWithoutArgsLintsRegisteredQueries) {
+  ShellHarness h;
+  h.Run("query dead proc p start file f as e return p");
+  std::string out = h.Run("lint");
+  // The registered query's name heads its findings; SA003 (dead pattern)
+  // and SA041 (unused f) both surface.
+  EXPECT_NE(out.find("dead"), std::string::npos);
+  EXPECT_NE(out.find("SA003"), std::string::npos);
+  EXPECT_NE(out.find("SA041"), std::string::npos);
+}
+
+TEST(QueryShellTest, FixtureDuplicatePairDrawsSA050EndToEnd) {
+  // The intentionally duplicated pair under queries/apt/fixtures/ (kept
+  // out of the linted corpus): loading both and running `fleet` must
+  // surface the SA050 double-alerting warning through the CLI layer.
+  ShellHarness h;
+  std::string dir = std::string(SAQL_QUERY_DIR) + "/apt/fixtures/";
+  EXPECT_NE(h.Run("load " + dir + "dup_dropper_write_a.saql dup_a")
+                .find("loaded"),
+            std::string::npos);
+  EXPECT_NE(h.Run("load " + dir + "dup_dropper_write_b.saql dup_b")
+                .find("loaded"),
+            std::string::npos);
+  std::string out = h.Run("fleet");
+  EXPECT_NE(out.find("SA050"), std::string::npos) << out;
+  EXPECT_NE(out.find("'dup_b' duplicates 'dup_a'"), std::string::npos) << out;
+  EXPECT_NE(out.find("exact duplicate of fleet query 'dup_a'"),
+            std::string::npos)
+      << out;
+}
+
+TEST(QueryShellTest, FleetCommandReportsCrossQueryRelations) {
+  ShellHarness h;
+  EXPECT_NE(h.Run("fleet").find("no queries"), std::string::npos);
+  h.Run("query qa proc p[\"%m.exe\"] write file f as e return p, f");
+  h.Run("query qb proc q[\"%M.EXE\"] write file g as ev return q, g");
+  std::string out = h.Run("fleet");
+  EXPECT_NE(out.find("2 query(ies), 1 relation(s)"), std::string::npos);
+  EXPECT_NE(out.find("SA050"), std::string::npos);
+  EXPECT_NE(out.find("duplicates"), std::string::npos);
+  EXPECT_NE(out.find("file/write: 2"), std::string::npos);
 }
 
 TEST(QueryShellTest, SimulateWithoutQueriesWarns) {
